@@ -1,0 +1,61 @@
+"""Ablation: anycast deployment size vs client distance and stability.
+
+DESIGN.md calls out two design choices worth isolating:
+
+* larger deployments put clients nearer to replicas (Koch et al.'s
+  observation the paper builds on), and
+* catchment churn is not a function of deployment size alone — b.root
+  and g.root both run 6 sites yet differ 4-8x in change counts, which in
+  this model comes from the per-letter announcement dynamics, not the
+  candidate set.
+"""
+
+import statistics
+
+from repro.geo.coords import haversine_km
+from repro.netsim.churn import TARGET_MEDIAN_CHANGES
+
+
+def mean_best_distance(results, letter: str) -> float:
+    distances = []
+    for vp in results.vps:
+        route = None
+        selector = results.fabric.selector(seed=1, expected_rounds=10)
+        route = selector.best(vp.attachment, letter, 4)
+        distances.append(route.direct_km)
+    return statistics.mean(distances)
+
+
+def test_ablation_deployment_size_vs_distance(benchmark, results):
+    letters = {"b": 6, "g": 6, "c": 12, "i": 81, "l": 132, "f": 129}
+
+    def build():
+        return {letter: mean_best_distance(results, letter) for letter in letters}
+
+    means = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("Ablation: deployment size vs mean client-to-replica distance")
+    for letter, n_sites in sorted(letters.items(), key=lambda kv: kv[1]):
+        print(f"  {letter}.root ({n_sites:3d} global sites): {means[letter]:7.0f} km")
+
+    # Big deployments serve clients from much closer than 6-site ones.
+    small = statistics.mean([means["b"], means["g"]])
+    large = statistics.mean([means["l"], means["f"]])
+    assert large < small * 0.6
+
+
+def test_ablation_stability_not_size(benchmark, results):
+    """Same size, different churn: the b-vs-g contrast is driven by the
+    per-letter dynamics targets, mirroring the paper's observation that
+    deployment size alone does not predict stability."""
+    from repro.analysis.stability import StabilityAnalysis
+
+    stability = benchmark(StabilityAnalysis, results.collector)
+    b = stability.median_changes("b", 4, "new")
+    g = stability.median_changes("g", 4)
+    print()
+    print(f"b.root (6 sites) median changes: {b:g}")
+    print(f"g.root (6 sites) median changes: {g:g}")
+    print(f"configured targets: b={TARGET_MEDIAN_CHANGES[('b', 4)]}, "
+          f"g={TARGET_MEDIAN_CHANGES[('g', 4)]}")
+    assert g > 2 * b

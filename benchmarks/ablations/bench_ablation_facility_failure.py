@@ -1,0 +1,66 @@
+"""Ablation: failure of a shared facility (the §5 motivating scenario).
+
+"A failure of such a clustered location can, instantaneously, shift
+traffic to other locations. Moreover, an increase in RTT may cause
+resolvers to switch to other root server deployments" — we take the
+facility hosting the most letters offline and measure exactly that:
+how many letters lose their preferred catchment *simultaneously* per
+client, and what the RTT penalty of the shifted traffic is.
+"""
+
+import statistics
+
+from repro.netsim.latency import route_rtt_ms
+
+
+def test_ablation_facility_failure(benchmark, results):
+    census = results.fabric.colocation_census()
+    victim = max(census, key=census.get)
+    letters_at_victim = census[victim]
+    failed = frozenset({victim})
+    selector = results.fabric.selector(seed=23, expected_rounds=10)
+
+    def build():
+        shifted_per_vp = []
+        rtt_penalties = []
+        for vp in results.vps:
+            shifted = 0
+            for letter in "abcdefghijklm":
+                baseline = selector.best(vp.attachment, letter, 4)
+                if baseline.facility.facility_id != victim:
+                    continue
+                fallback = selector.best_excluding(
+                    vp.attachment, letter, 4, failed
+                )
+                assert fallback is not None
+                shifted += 1
+                before = route_rtt_ms(baseline, vp.last_mile_ms, 1)
+                after = route_rtt_ms(fallback, vp.last_mile_ms, 1)
+                rtt_penalties.append(after - before)
+            shifted_per_vp.append(shifted)
+        return shifted_per_vp, rtt_penalties
+
+    shifted_per_vp, rtt_penalties = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    affected_vps = [n for n in shifted_per_vp if n > 0]
+    print()
+    print(f"Ablation: failure of {victim} (hosts {letters_at_victim} letters)")
+    print(f"  VPs with at least one shifted catchment: {len(affected_vps)}"
+          f"/{len(shifted_per_vp)}")
+    if affected_vps:
+        print(f"  max letters shifted simultaneously for one VP: "
+              f"{max(affected_vps)}")
+    if rtt_penalties:
+        print(f"  RTT penalty of shifted traffic: mean "
+              f"{statistics.mean(rtt_penalties):.1f} ms, max "
+              f"{max(rtt_penalties):.1f} ms")
+
+    # The co-location risk is real: some client loses several letters at
+    # once when one facility fails...
+    assert affected_vps
+    assert max(affected_vps) >= 2
+    # ...but the system as a whole absorbs it (every letter still
+    # reachable — the paper does "not question reliability of the RSS").
+    for vp in results.vps[:10]:
+        for letter in "abcdefghijklm":
+            assert selector.best_excluding(vp.attachment, letter, 4, failed)

@@ -1,0 +1,70 @@
+"""Ablation: the KSK rollover as a study-under-change (extension).
+
+The paper's related work (Mueller et al.) analysed the root's first KSK
+rollover; this repository implements the rollover machinery (phased
+DNSKEY sets, RFC 5011 trust-anchor tracking), and this ablation measures
+the population effect the 2018 roll worried about: validators with
+*static* trust anchors break at the swap, RFC 5011 followers do not.
+"""
+
+from repro.dnssec.trustanchor import KskRolloverSchedule, TrustAnchorTracker
+from repro.dns.constants import RRType
+from repro.dns.name import ROOT_NAME
+from repro.util.timeutil import DAY, parse_ts
+from repro.zone.rootzone import RootZoneBuilder
+
+SCHEDULE = KskRolloverSchedule(
+    publish_ts=parse_ts("2023-08-01"),
+    swap_ts=parse_ts("2023-10-01"),
+    revoke_ts=parse_ts("2023-11-15"),
+    remove_ts=parse_ts("2024-01-01"),
+)
+
+
+def test_ablation_ksk_rollover_validator_population(benchmark):
+    builder = RootZoneBuilder(
+        seed=13, tlds=["com", "org", "world", "ruhr"], ksk_rollover=SCHEDULE
+    )
+
+    def build():
+        # 20 RFC 5011 validators with varied polling cadence, plus the
+        # static-anchor population that never updates.
+        rfc5011 = [
+            TrustAnchorTracker(builder.ksk.dnskey, bootstrap_ts=0)
+            for _ in range(20)
+        ]
+        cadences = [1 + (i % 7) for i in range(20)]  # 1..7 day polling
+        static_anchor_tag = builder.ksk.dnskey.key_tag()
+
+        checkpoints = {}
+        ts = SCHEDULE.publish_ts - 5 * DAY
+        while ts < SCHEDULE.remove_ts + 5 * DAY:
+            zone = builder.build(ts)
+            rrset = zone.find_rrset(ROOT_NAME, RRType.DNSKEY)
+            keys = [r.rdata for r in rrset]
+            for tracker, cadence in zip(rfc5011, cadences):
+                if (ts // DAY) % cadence == 0:
+                    tracker.observe(keys, ts)
+            active = builder.active_ksk(ts).key_tag
+            surviving = sum(1 for t in rfc5011 if t.can_validate(active))
+            static_ok = static_anchor_tag == active
+            checkpoints[ts] = (surviving, static_ok)
+            ts += 5 * DAY
+        return checkpoints
+
+    checkpoints = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("Ablation: validator survival through the KSK rollover")
+    swap = SCHEDULE.swap_ts
+    before = [v for ts, v in checkpoints.items() if ts < swap]
+    after = [v for ts, v in checkpoints.items() if ts >= swap]
+    print(f"  before swap: RFC5011 {min(s for s, _ in before)}/20 ok, "
+          f"static anchors ok={all(ok for _, ok in before)}")
+    print(f"  after swap:  RFC5011 {min(s for s, _ in after)}/20 ok, "
+          f"static anchors ok={any(ok for _, ok in after)}")
+
+    # RFC 5011 followers all survive the swap (hold-down long since met).
+    assert all(s == 20 for s, _ok in after)
+    # Static-anchor validators break exactly at the swap.
+    assert all(ok for _s, ok in before)
+    assert not any(ok for _s, ok in after)

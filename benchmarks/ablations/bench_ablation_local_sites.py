@@ -1,0 +1,73 @@
+"""Ablation: local-site share vs client distance and coverage.
+
+d/e/f/j.root deploy hundreds of *local* sites (reachable only via the
+exchange or country they live in).  This ablation isolates what those
+local sites buy: compare each letter's mean client distance with local
+sites reachable versus a counterfactual where only global sites exist —
+and show the measurement-side cost, the low local-site coverage of
+Tables 1/4 (local sites are only visible to nearby VPs).
+"""
+
+import statistics
+
+from repro.analysis.coverage import CoverageAnalysis
+from repro.rss.sites import SITE_PLAN
+
+
+def mean_distance(results, letter: str, include_local: bool) -> float:
+    selector = results.fabric.selector(seed=17, expected_rounds=10)
+    distances = []
+    for vp in results.vps:
+        if include_local:
+            route = selector.best(vp.attachment, letter, 4)
+            distances.append(route.direct_km)
+        else:
+            candidates = selector.candidates(vp.attachment, letter, 4)
+            global_only = [r for r in candidates if r.site.is_global]
+            if global_only:
+                distances.append(global_only[0].direct_km)
+    return statistics.mean(distances)
+
+
+def test_ablation_local_site_benefit(benchmark, results):
+    letters = ("d", "f", "j")
+
+    def build():
+        return {
+            letter: (
+                mean_distance(results, letter, include_local=True),
+                mean_distance(results, letter, include_local=False),
+            )
+            for letter in letters
+        }
+
+    outcomes = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("Ablation: local sites' contribution to client proximity")
+    for letter, (with_local, without_local) in outcomes.items():
+        n_local = sum(pair[1] for pair in SITE_PLAN[letter].values())
+        print(f"  {letter}.root ({n_local:3d} local sites): "
+              f"with locals {with_local:6.0f} km, "
+              f"global-only {without_local:6.0f} km")
+        # Local sites never hurt; they help where VPs can see them.
+        assert with_local <= without_local + 1.0
+
+    # At least one local-heavy letter gains measurably.
+    gains = [
+        without - with_ for (with_, without) in outcomes.values()
+    ]
+    assert max(gains) > 25.0
+
+
+def test_ablation_local_site_coverage_cost(benchmark, results):
+    """The flip side (Tables 1/4): local sites are hard for a VP fleet
+    to observe — local coverage trails global coverage everywhere."""
+    coverage = benchmark(
+        CoverageAnalysis, results.catalog, results.collector.identities
+    )
+    print()
+    for letter in ("d", "e", "f", "j"):
+        rows = {r.scope: r for r in coverage.worldwide()[letter]}
+        print(f"  {letter}.root: global {rows['global'].pct:.0f}% vs "
+              f"local {rows['local'].pct:.0f}% coverage")
+        assert rows["local"].pct < rows["global"].pct

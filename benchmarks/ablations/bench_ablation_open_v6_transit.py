@@ -1,0 +1,71 @@
+"""Ablation: the AS6939-like open-IPv6 transit.
+
+The paper traces its strongest IPv6 anomalies to one AS.  This ablation
+rebuilds South American/African attachments with and without the open-v6
+provider and measures the RTT effect directly — isolating the mechanism
+behind Figure 6's i.root/l.root asymmetries.
+"""
+
+import statistics
+
+from repro.geo.cities import city
+from repro.netsim.attachment import Attachment
+from repro.netsim.latency import route_rtt_ms
+from repro.netsim.transit import OPEN_V6_TRANSIT, TRANSIT_BY_ASN
+
+
+def rtts_for(fabric, letter: str, iatas, transits) -> float:
+    selector = fabric.selector(seed=3, expected_rounds=10)
+    rtts = []
+    for i, iata in enumerate(iatas):
+        att = Attachment(
+            asn=66000 + i,
+            city=city(iata),
+            transits_v4=transits,
+            transits_v6=transits,
+        )
+        route = selector.best(att, letter, 6)
+        rtts.append(route_rtt_ms(route, last_mile_ms=4.0, request_key=i))
+    return statistics.mean(rtts)
+
+
+def test_ablation_open_v6_transit_south_america(benchmark, results):
+    sa_cities = ["GRU", "EZE", "SCL", "BOG", "LIM"]
+    regional = (TRANSIT_BY_ASN[61832], TRANSIT_BY_ASN[3356])
+    open_v6 = (OPEN_V6_TRANSIT,)
+
+    def build():
+        return (
+            rtts_for(results.fabric, "i", sa_cities, regional),
+            rtts_for(results.fabric, "i", sa_cities, open_v6),
+        )
+
+    with_regional, with_open_v6 = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("Ablation: i.root IPv6 RTT from South America")
+    print(f"  via regional/tier-1 transit: {with_regional:6.1f} ms")
+    print(f"  via open-v6 transit only:    {with_open_v6:6.1f} ms")
+    # The open-v6 provider has no SA PoPs: it hauls traffic out of the
+    # continent, inflating RTT (paper: i.root SA v6 +100% over v4).
+    assert with_open_v6 > with_regional * 1.5
+
+
+def test_ablation_open_v6_transit_north_america(benchmark, results):
+    na_cities = ["IAD", "ORD", "DEN", "SEA", "DFW"]
+    budget = (TRANSIT_BY_ASN[174],)
+    open_v6 = (OPEN_V6_TRANSIT,)
+
+    def build():
+        return (
+            rtts_for(results.fabric, "i", na_cities, budget),
+            rtts_for(results.fabric, "i", na_cities, open_v6),
+        )
+
+    with_budget, with_open_v6 = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print("Ablation: i.root IPv6 RTT from North America")
+    print(f"  via budget transit:       {with_budget:6.1f} ms")
+    print(f"  via open-v6 transit only: {with_open_v6:6.1f} ms")
+    # At home (dense PoPs), the open-v6 provider is competitive (paper:
+    # i.root NA v6 26% *below* v4, via AS6939).
+    assert with_open_v6 < with_budget * 1.3

@@ -1,0 +1,52 @@
+"""Ablation: does a subset of root servers generalise? (paper §8)
+
+The paper cautions that conclusions drawn from a few letters do not
+transfer to the whole RSS.  This ablation measures it: across 4-letter
+subsets (the size of Schmidt et al.'s study), subset-level medians of
+catchment churn and the IPv6-excess ratio scatter widely around the
+all-letter values.
+"""
+
+from repro.analysis.variability import VariabilityAnalysis
+
+
+def test_ablation_subset_generalisation(benchmark, results):
+    analysis = VariabilityAnalysis(results.collector, results.vps)
+
+    def build():
+        return analysis.subset_spread(k=4, max_subsets=40)
+
+    full, subsets = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print()
+    print("Ablation: 4-letter subset statistics vs the full RSS")
+    print(f"  full RSS: median changes v4={full.median_changes_v4:g} "
+          f"v6={full.median_changes_v6:g} v6-excess={full.v6_excess:.2f}")
+    for metric in ("changes_v4", "changes_v6", "v6_excess"):
+        lo, hi = VariabilityAnalysis.relative_spread(full, subsets, metric)
+        print(f"  {metric:<12} subset/full ratio spans [{lo:.2f}, {hi:.2f}]")
+
+    # The §8 point: subsets can be badly off in either direction.
+    lo, hi = VariabilityAnalysis.relative_spread(full, subsets, "changes_v4")
+    assert lo < 0.75 or hi > 1.33, "subsets unexpectedly homogeneous"
+    # And the v6-excess conclusion can flip depending on the subset.
+    lo_x, hi_x = VariabilityAnalysis.relative_spread(full, subsets, "v6_excess")
+    assert hi_x / lo_x > 1.3
+
+
+def test_ablation_single_letter_extremes(benchmark, results):
+    """The b-vs-g contrast as the degenerate k=1 case."""
+    analysis = VariabilityAnalysis(results.collector, results.vps)
+
+    def build():
+        return {
+            letter: analysis.subset_stats([letter])
+            for letter in ("b", "g", "f", "m")
+        }
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    for letter, s in stats.items():
+        print(f"  {letter}.root alone: changes v4={s.median_changes_v4:g} "
+              f"v6={s.median_changes_v6:g}")
+    assert stats["g"].median_changes_v4 > 2 * stats["b"].median_changes_v4

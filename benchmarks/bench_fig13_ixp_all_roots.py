@@ -1,0 +1,32 @@
+"""F13 — Figure 13: IXP traffic shares across all thirteen letters.
+
+Shape expectation (paper Appendix D): exchange traffic is dominated by a
+few letters, especially k.root and d.root.
+"""
+
+from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.geo.continents import Continent
+from repro.passive.ixp import regional_aggregate
+from repro.util.tables import Table
+from repro.util.timeutil import parse_ts
+
+WINDOW = (parse_ts("2023-11-01"), parse_ts("2023-11-15"))
+
+
+def test_fig13_ixp_all_roots(benchmark, ixp_captures):
+    def build():
+        aggregate = regional_aggregate(ixp_captures, Continent.EUROPE, *WINDOW)
+        return TrafficShiftAnalysis(aggregate).letter_shares(*WINDOW)
+
+    shares = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print()
+    table = Table(["Root", "share %"], float_digits=2)
+    for letter in sorted(shares, key=shares.get, reverse=True):
+        table.add_row([letter, 100 * shares[letter]])
+    print(table.render("Figure 13: EU IXP traffic share per letter"))
+
+    ordered = sorted(shares, key=shares.get, reverse=True)
+    assert set(ordered[:2]) == {"k", "d"}  # the paper's dominant letters
+    assert shares["k"] + shares["d"] > 0.3
+    assert sum(shares.values()) > 0.99

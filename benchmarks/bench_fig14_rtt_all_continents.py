@@ -1,0 +1,42 @@
+"""F14/F15 — Figures 14 and 15: RTT violin/box data for all six
+continents, every letter and both families (the appendix versions of
+Figure 6).
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_figure6
+from repro.analysis.rtt import RttAnalysis
+from repro.geo.continents import Continent
+
+
+def test_fig14_fig15_rtt_all_continents(benchmark, results):
+    rtt = RttAnalysis(results.collector, results.vps)
+    addresses = [sa.address for sa in results.collector.addresses]
+    continents = list(Continent)
+
+    def build():
+        cells = {}
+        for address in addresses:
+            for continent in continents:
+                summary = rtt.summary(address, continent)
+                if summary is not None:
+                    cells[(address, continent)] = summary
+        return cells
+
+    cells = benchmark(build)
+    print()
+    print(render_figure6(rtt, continents, addresses, {}))
+
+    # Every continent has data (the ring covers all six regions).
+    covered = {continent for (_a, continent) in cells}
+    assert covered == set(continents)
+
+    # Violin data: densities normalised wherever a cell has samples.
+    sample_addr, sample_continent = next(iter(cells))
+    _edges, densities = rtt.violin_bins(sample_addr, sample_continent)
+    assert np.isclose(densities.sum(), 1.0)
+
+    # Sanity on magnitudes: medians within the plot's 1..1000 ms range.
+    for summary in cells.values():
+        assert 0.1 < summary.p50 < 1500.0

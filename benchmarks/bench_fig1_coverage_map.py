@@ -1,0 +1,42 @@
+"""F1 — Figure 1: VP locations and f.root instance coverage map.
+
+Regenerates the map data: VP counts per continent (Fig. 1a) and, for
+f.root, every site with its observed/not-observed flag (Fig. 1b),
+summarised per continent.
+"""
+
+from repro.analysis.coverage import CoverageAnalysis
+from repro.geo.continents import Continent
+from repro.util.tables import Table
+
+
+def test_fig1_coverage_map(benchmark, results):
+    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    site_map = benchmark(coverage.site_map, "f")
+
+    vp_counts = {}
+    for vp in results.vps:
+        vp_counts[vp.continent] = vp_counts.get(vp.continent, 0) + 1
+    table_a = Table(["Region", "#VPs"])
+    for continent in Continent:
+        table_a.add_row([str(continent), vp_counts.get(continent, 0)])
+    print()
+    print(table_a.render("Figure 1a: VP locations (per continent)"))
+
+    table_b = Table(["Region", "Global obs/total", "Local obs/total"])
+    for continent in Continent:
+        g_total = g_obs = l_total = l_obs = 0
+        for site, observed in site_map:
+            if site.continent is not continent:
+                continue
+            if site.is_global:
+                g_total += 1
+                g_obs += observed
+            else:
+                l_total += 1
+                l_obs += observed
+        table_b.add_row([str(continent), f"{g_obs}/{g_total}", f"{l_obs}/{l_total}"])
+    print(table_b.render("Figure 1b: f.root instances observed"))
+
+    observed = sum(1 for _s, seen in site_map if seen)
+    assert 0 < observed < len(site_map)  # good but incomplete coverage

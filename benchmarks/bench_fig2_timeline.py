@@ -1,0 +1,43 @@
+"""F2 — Figure 2: measurement timeline and root zone events.
+
+Regenerates the calendar: campaign span, the two 15-minute
+high-resolution windows, and the root zone events (ZONEMD placeholder,
+ZONEMD validatable, b.root change) — verifying each event falls in the
+measurement phase the paper shows.
+"""
+
+from repro.rss.operators import B_ROOT_CHANGE_TS
+from repro.util.timeutil import MINUTE, format_day
+from repro.vantage.scheduler import (
+    CAMPAIGN_END,
+    CAMPAIGN_START,
+    HIGH_RES_WINDOWS,
+    MeasurementSchedule,
+)
+from repro.zone.rootzone import ZONEMD_PLACEHOLDER_DATE, ZONEMD_VALIDATABLE_DATE
+
+
+def test_fig2_timeline(benchmark):
+    schedule = MeasurementSchedule()
+    rounds = benchmark(schedule.round_count)
+
+    print()
+    print("Figure 2: Measurement timeline and root zone events")
+    print(f"  campaign: {format_day(CAMPAIGN_START)} .. {format_day(CAMPAIGN_END)} "
+          f"({rounds} rounds)")
+    for lo, hi in HIGH_RES_WINDOWS:
+        print(f"  15-min window: {format_day(lo)} .. {format_day(hi)}")
+    print(f"  ZONEMD added to root zone:  {format_day(ZONEMD_PLACEHOLDER_DATE)}")
+    print(f"  ZONEMD validates:           {format_day(ZONEMD_VALIDATABLE_DATE)}")
+    print(f"  b.root IP change:           {format_day(B_ROOT_CHANGE_TS)}")
+
+    # The ZONEMD roll-out happens inside the first high-resolution
+    # window, the b.root change inside the second (paper Fig. 2).
+    (w1_lo, w1_hi), (w2_lo, w2_hi) = HIGH_RES_WINDOWS
+    assert w1_lo <= ZONEMD_PLACEHOLDER_DATE < w1_hi
+    assert w2_lo <= B_ROOT_CHANGE_TS < w2_hi
+    assert schedule.interval_at(ZONEMD_PLACEHOLDER_DATE) == 15 * MINUTE
+    assert schedule.interval_at(B_ROOT_CHANGE_TS) == 15 * MINUTE
+    # 174 days at 30 minutes (8,352 rounds) plus the two 15-minute
+    # windows' extra rounds (40 days doubled): ~10,272 total.
+    assert 10_000 <= rounds <= 10_500

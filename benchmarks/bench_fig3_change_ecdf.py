@@ -1,0 +1,30 @@
+"""F3 — Figure 3: complementary eCDF of catchment change events for
+{b, g}.root.
+
+Shape expectations (paper §4.2): b.root's routing is considerably more
+stable than g.root's despite both deploying 6 sites; g.root churns more
+over IPv6 than IPv4; the per-VP distribution is heavy-tailed.
+"""
+
+from repro.analysis.report import render_figure3
+from repro.analysis.stability import StabilityAnalysis
+
+
+def test_fig3_change_ecdf(benchmark, results):
+    stability = benchmark(StabilityAnalysis, results.collector)
+    print()
+    print(render_figure3(stability))
+
+    b_v4 = stability.median_changes("b", 4, "new")
+    b_v6 = stability.median_changes("b", 6, "new")
+    g_v4 = stability.median_changes("g", 4)
+    g_v6 = stability.median_changes("g", 6)
+    print(f"medians: b v4={b_v4:g} v6={b_v6:g} | g v4={g_v4:g} v6={g_v6:g} "
+          f"(paper: b 8/8, g 36/64)")
+
+    assert g_v4 > 2 * b_v4  # same site count, very different stability
+    assert g_v6 > g_v4  # the IPv6 excess
+    assert abs(b_v4 - b_v6) <= max(3.0, 0.5 * max(b_v4, b_v6))
+    # Heavy tail: some VPs see far more changes than the median.
+    series = stability.series_for("g")[0]
+    assert max(series.changes_per_vp) > 2 * series.median_changes()

@@ -1,0 +1,33 @@
+"""F4 — Figure 4 and §5: reduced redundancy due to shared last hops (RQ1).
+
+Shape expectations: co-location is prevalent (paper: ~70% of VPs observe
+>= 2 co-located letters), concentrated at big exchanges, with moderate
+per-continent averages (~0.7 - 1.3).
+"""
+
+from repro.analysis.colocation import ColocationAnalysis
+from repro.analysis.report import render_figure4
+from repro.geo.continents import Continent
+
+
+def test_fig4_reduced_redundancy(benchmark, results):
+    colocation = benchmark(
+        ColocationAnalysis, results.collector, results.vps
+    )
+    print()
+    print(render_figure4(colocation))
+
+    frac = colocation.fraction_with_colocation()
+    print(f"VPs observing >=2 co-located letters: {100 * frac:.1f}% (paper ~70%)")
+    assert frac > 0.5  # co-location is prevalent
+    assert 2 <= colocation.max_observed_colocation() <= 13
+
+    # Averages stay moderate: sharing exists, but shallow for most VPs.
+    for continent in (Continent.EUROPE, Continent.NORTH_AMERICA):
+        for family in (4, 6):
+            avg = colocation.average(continent, family)
+            assert avg is not None and 0.1 < avg < 4.0, (continent, family)
+
+    # Histograms account for every view.
+    views4 = [v for v in colocation.views() if v.family == 4]
+    assert sum(sum(colocation.histogram(c, 4)) for c in Continent) == len(views4)

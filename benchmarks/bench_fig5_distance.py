@@ -1,0 +1,38 @@
+"""F5 — Figure 5: distance to closest global site vs distance to the
+actual site, per request, for b.root (new) and m.root.
+
+Shape expectations (paper §6): ~78-82% of requests are routed to their
+closest global instance or to an even closer local one; most clients see
+under 1,000 km of extra distance, a minority face large detours.
+"""
+
+from repro.analysis.distance import DistanceAnalysis
+from repro.analysis.report import render_figure5
+from repro.rss.operators import root_server
+
+
+def test_fig5_distance_inflation(benchmark, results):
+    distance = DistanceAnalysis(results.collector)
+    b = root_server("b")
+    m = root_server("m")
+    addresses = [b.ipv4, b.ipv6, m.ipv4, m.ipv6]
+
+    grids = benchmark(lambda: [distance.grid(a) for a in addresses])
+    assert len(grids) == 4
+
+    print()
+    print(render_figure5(distance, addresses))
+
+    for address in addresses:
+        frac = distance.fraction_optimal(address)
+        print(f"  {address}: {100 * frac:.1f}% optimal-or-closer (paper ~78-82%)")
+        assert frac > 0.6, address
+
+    under_1000 = distance.fraction_clients_under(b.ipv4, km=1000.0)
+    print(f"  b.root v4 clients with <1,000 km extra: {100 * under_1000:.1f}% "
+          f"(paper 79.5%)")
+    assert under_1000 > 0.5
+    # m.root: families behave similarly (paper: "only small differences").
+    assert abs(
+        distance.fraction_optimal(m.ipv4) - distance.fraction_optimal(m.ipv6)
+    ) < 0.25

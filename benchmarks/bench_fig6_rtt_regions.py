@@ -1,0 +1,68 @@
+"""F6 — Figure 6: RTTs of requests by continent (Africa, South America,
+North America, Europe), per letter and address family.
+
+Shape expectations (paper §6): per-family RTT differences vary by region
+and letter in non-obvious ways; the open-v6 transit lowers i.root's
+North American IPv6 RTTs but *raises* RTTs in regions it hauls out of
+continent (i.root South America, l.root Africa).
+"""
+
+from repro.analysis.paths import PathAnalysis
+from repro.analysis.report import render_figure6, render_path_breakdown
+from repro.analysis.rtt import RttAnalysis
+from repro.geo.continents import Continent
+from repro.rss.operators import root_server
+
+FIG6_CONTINENTS = [
+    Continent.AFRICA,
+    Continent.SOUTH_AMERICA,
+    Continent.NORTH_AMERICA,
+    Continent.EUROPE,
+]
+
+
+def test_fig6_rtt_by_region(benchmark, results):
+    rtt = RttAnalysis(results.collector, results.vps)
+    addresses = [sa.address for sa in results.collector.addresses]
+
+    summaries = benchmark(
+        lambda: [
+            rtt.summary(a, c) for a in addresses for c in FIG6_CONTINENTS
+        ]
+    )
+    assert any(s is not None for s in summaries)
+
+    print()
+    print(render_figure6(rtt, FIG6_CONTINENTS, addresses, {}))
+
+    # Europe is the best-served region for the Europe-dense letter k.
+    k = root_server("k")
+    eu = rtt.summary(k.ipv4, Continent.EUROPE)
+    sa = rtt.summary(k.ipv4, Continent.SOUTH_AMERICA)
+    assert eu is not None and sa is not None and eu.p50 < sa.p50
+
+    # The paper's i.root asymmetry: IPv6 is competitive in North America
+    # (46.2 vs 62.6 ms — the open-v6 transit is dense there) but markedly
+    # more expensive in South America (out-of-continent hauling, >2x).
+    ratio_na = rtt.family_ratio("i", Continent.NORTH_AMERICA)
+    ratio_sa = rtt.family_ratio("i", Continent.SOUTH_AMERICA)
+    print(f"i.root v6/v4 mean ratio: NA {ratio_na:.2f} (paper ~0.74), "
+          f"SA {ratio_sa:.2f} (paper >2)")
+    assert ratio_na is not None and ratio_na < 1.2
+    assert ratio_sa is not None and ratio_sa > 1.1
+    assert ratio_sa > ratio_na
+
+    # l.root Africa: the open-v6 transit drags v6 out of continent
+    # (paper: average 62.5 ms via the AS6939-like paths).
+    ratio_af = rtt.family_ratio("l", Continent.AFRICA)
+    print(f"l.root Africa v6/v4 mean ratio: {ratio_af:.2f} (paper >1)")
+    assert ratio_af is not None and ratio_af > 1.0
+
+    # §6 path drill-down: the AS6939-like network carries more of the
+    # IPv6 paths than the IPv4 paths in the affected regions.
+    paths = PathAnalysis(results.collector, results.vps)
+    print()
+    for continent in (Continent.SOUTH_AMERICA, Continent.AFRICA):
+        print(render_path_breakdown(paths, continent, "i"))
+        v4_share, v6_share = paths.family_share_contrast(6939, continent, "i")
+        assert v6_share >= v4_share, continent

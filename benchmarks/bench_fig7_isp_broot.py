@@ -1,0 +1,44 @@
+"""F7 — Figure 7 and the §6 headline ratios: ISP traffic to b.root's four
+subnets before/after the renumbering.
+
+Shape expectations: pre-change, the old subnets carry the traffic with a
+small (~0.8%) testing trickle on the new ones; post-change the new IPv4
+subnet dominates; in-family shift ratios land near the paper's 87.1%
+(IPv4) and 96.3% (IPv6), with IPv6 the more eager family.
+"""
+
+from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis.report import render_traffic_series
+from repro.util.timeutil import parse_ts
+
+
+def test_fig7_isp_broot_traffic(benchmark, isp_pre_change_day, isp_post_change_month):
+    pre = TrafficShiftAnalysis(isp_pre_change_day)
+    post = TrafficShiftAnalysis(isp_post_change_month)
+
+    series = benchmark(post.broot_series)
+    print()
+    print(render_traffic_series(
+        "Figure 7 (middle): ISP b.root traffic 2024-02-05 .. 2024-03-04",
+        series,
+    ))
+
+    trickle = pre.new_address_share_before_change(
+        parse_ts("2023-10-08"), parse_ts("2023-10-09")
+    )
+    print(f"pre-change new-subnet share: {100 * trickle:.2f}% (paper 0.8%)")
+    assert trickle < 0.05
+
+    ratios = post.shift_ratios(parse_ts("2024-02-05"), parse_ts("2024-03-04"))
+    print(f"in-family shift: v4 {100 * ratios.v4_shifted:.1f}% (paper 87.1%), "
+          f"v6 {100 * ratios.v6_shifted:.1f}% (paper 96.3%)")
+    assert 0.75 < ratios.v4_shifted < 0.95
+    assert 0.90 < ratios.v6_shifted <= 1.0
+    assert ratios.v6_shifted > ratios.v4_shifted
+
+    # Post-change, the new IPv4 subnet receives the majority of b traffic
+    # (paper: 76.2%), and the old IPv4 subnet still rivals the new IPv6.
+    window = (parse_ts("2024-02-05"), parse_ts("2024-03-04"))
+    subset = list(post.b_addresses.values())
+    v4new = post.series.window_share(post.b_addresses["V4new"], *window, subset)
+    assert v4new > 0.5

@@ -1,0 +1,30 @@
+"""F8 — Figure 8: mean number of unique client subnets per day versus
+per-client flow volume, at the ISP.
+
+Shape expectation (paper §6): the *old* b.root IPv6 subnet sees an
+outsized share of clients contacting it only about once per day — the
+RFC 8109 priming fingerprint — while the new subnets see ordinary
+volume distributions.
+"""
+
+from repro.analysis.clientbehavior import ClientBehaviorAnalysis
+from repro.analysis.report import render_figure8
+
+
+def test_fig8_clients_per_day(benchmark, isp_post_change_month):
+    behavior = ClientBehaviorAnalysis(isp_post_change_month)
+    signal = benchmark(behavior.priming_signal)
+
+    print()
+    for family in (4, 6):
+        print(render_figure8(behavior, family))
+    print(f"single-daily-contact fractions: "
+          + ", ".join(f"{k}={100 * v:.1f}%" for k, v in sorted(signal.items())))
+
+    # The priming conjecture: old v6 subnet's once-a-day mass dominates.
+    assert signal["V6old"] > signal["V6new"]
+    assert signal["V6old"] > signal["V4new"]
+
+    # Old subnets still see many distinct clients (reluctant + primers).
+    old_v6 = behavior.by_family(6)["b.root (old)"]
+    assert old_v6.mean_clients_per_day() > 0

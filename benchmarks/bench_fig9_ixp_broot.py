@@ -1,0 +1,41 @@
+"""F9 — Figure 9: IPv6 traffic to b.root's old and new subnets at the
+EU and NA exchanges around the renumbering.
+
+Shape expectation (paper §6): European IXPs shift the majority of their
+b.root IPv6 traffic to the new subnet (~60.8%) while North American ones
+lag far behind (~16.5%).
+"""
+
+from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis.report import render_traffic_series
+from repro.geo.continents import Continent
+from repro.passive.ixp import regional_aggregate
+from repro.util.timeutil import parse_ts
+
+WINDOW = (parse_ts("2023-12-08"), parse_ts("2023-12-28"))
+
+
+def test_fig9_ixp_v6_shift(benchmark, ixp_captures):
+    def build():
+        out = {}
+        for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
+            aggregate = regional_aggregate(ixp_captures, region, *WINDOW)
+            out[region] = TrafficShiftAnalysis(aggregate)
+        return out
+
+    analyses = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    shares = {}
+    print()
+    for region, analysis in analyses.items():
+        series = analysis.broot_series(families=(6,))
+        print(render_traffic_series(f"Figure 9 ({region}): IPv6 b.root traffic", series))
+        new = analysis.b_addresses["V6new"]
+        old = analysis.b_addresses["V6old"]
+        shares[region] = analysis.series.window_share(new, *WINDOW, [new, old])
+        print(f"  shifted share: {100 * shares[region]:.1f}%")
+
+    print(f"(paper: Europe 60.8%, North America 16.5%)")
+    assert shares[Continent.EUROPE] > 0.45
+    assert shares[Continent.NORTH_AMERICA] < 0.40
+    assert shares[Continent.EUROPE] > shares[Continent.NORTH_AMERICA] + 0.15

@@ -1,0 +1,42 @@
+"""T3 — Table 3: distribution of vantage points per region.
+
+Regenerates the VP/country/network counts per region; the scaled ring
+preserves the paper's proportions (Europe-heavy, thin Africa/South
+America coverage).
+"""
+
+from repro.geo.continents import Continent
+from repro.util.rng import RngFactory
+from repro.util.tables import Table
+from repro.vantage.ring import REGION_PLAN, RingConfig, build_ring
+
+
+def test_table3_vantage_points(benchmark):
+    ring = benchmark(build_ring, RngFactory(2024), RingConfig(scale=1.0))
+
+    by_region = {}
+    for vp in ring:
+        stats = by_region.setdefault(vp.continent, {"vps": 0, "cc": set(), "asn": set()})
+        stats["vps"] += 1
+        stats["cc"].add(vp.country)
+        stats["asn"].add(vp.asn)
+
+    table = Table(["Region", "#VPs", "Countries", "Networks", "Paper #VPs"])
+    for continent in Continent:
+        stats = by_region[continent]
+        table.add_row(
+            [
+                str(continent),
+                stats["vps"],
+                len(stats["cc"]),
+                len(stats["asn"]),
+                REGION_PLAN[continent][0],
+            ]
+        )
+    print()
+    print(table.render("Table 3: Distribution of vantage points per region"))
+
+    assert len(ring) == 675
+    for continent, (expected_vps, _cc, _nets) in REGION_PLAN.items():
+        assert by_region[continent]["vps"] == expected_vps
+    assert len({vp.asn for vp in ring}) > 400  # ~523 networks in the paper

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Co-location audit — the paper's RQ1 workflow as an operator tool.
+
+Builds the routing fabric, takes a census of which letters share
+facilities (ground truth an operator cannot directly see), then shows
+what the traceroute-based second-to-last-hop method recovers for a set
+of vantage points — including the lower-bound effect of unanswered hops.
+
+Run:  python examples/colocation_audit.py
+"""
+
+from collections import Counter
+
+from repro.netsim.topology import NetworkFabric
+from repro.rss.sites import build_site_catalog
+from repro.util.rng import RngFactory
+from repro.util.tables import Table
+from repro.vantage.ring import RingConfig, build_ring
+
+
+def main() -> None:
+    rng = RngFactory(31)
+    catalog = build_site_catalog(rng)
+    fabric = NetworkFabric(catalog, rng)
+
+    print("=== Ground truth: letters per facility (top 10) ===")
+    census = fabric.colocation_census()
+    table = Table(["Facility", "Letters", "Exchange?"])
+    for facility_id, n_letters in sorted(census.items(), key=lambda kv: -kv[1])[:10]:
+        facility = fabric.facilities[facility_id]
+        table.add_row(
+            [facility_id, n_letters, facility.ixp.name if facility.ixp else "-"]
+        )
+    print(table.render())
+
+    print("\n=== What vantage points observe (second-to-last hops) ===")
+    ring = build_ring(rng, RingConfig(scale=0.08))
+    selector = fabric.selector(seed=31, expected_rounds=100)
+
+    reduced = Counter()
+    shared_facilities = Counter()
+    for vp in ring:
+        for family in (4, 6):
+            hops = [
+                selector.best(vp.attachment, letter, family).facility.facility_id
+                for letter in "abcdefghijklm"
+            ]
+            redundancy = len(hops) - len(set(hops))
+            reduced[redundancy] += 1
+            for facility_id, count in Counter(hops).items():
+                if count > 1:
+                    shared_facilities[facility_id] += 1
+
+    print("reduced redundancy histogram (VP x family views):")
+    for value in sorted(reduced):
+        print(f"  {value:2d}: {'#' * reduced[value]} {reduced[value]}")
+
+    total_views = sum(reduced.values())
+    with_sharing = total_views - reduced[0]
+    print(f"\nviews observing co-location: {100 * with_sharing / total_views:.1f}% "
+          f"(paper: ~70% of clients see >=2 co-located letters)")
+
+    print("\nfacilities most often observed as shared last hops:")
+    for facility_id, count in shared_facilities.most_common(5):
+        facility = fabric.facilities[facility_id]
+        kind = facility.ixp.name if facility.ixp else "private DC"
+        print(f"  {facility_id} ({kind}): shared in {count} views")
+
+    print("\nDiversifying last-hop infrastructure at the busiest facilities")
+    print("above would directly reduce these numbers (paper §5 takeaway).")
+
+
+if __name__ == "__main__":
+    main()

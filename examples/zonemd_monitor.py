@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Zone integrity monitoring — the paper's RQ3 workflow as a tool.
+
+Plays the role of a resolver operator keeping a local root zone copy
+(RFC 8806): pull the zone over AXFR and from the IANA/CZDS channels,
+fully validate each copy (RRSIGs + ZONEMD), and demonstrate that a
+single flipped bit in a transfer is caught — including the exact
+corrupted record, as in the paper's Figure 10.
+
+Run:  python examples/zonemd_monitor.py
+"""
+
+from repro.analysis.zonemd_audit import ZonemdAudit
+from repro.dns.name import ROOT_NAME
+from repro.dnssec.validate import validate_zone
+from repro.dnssec.zonemd import verify_zonemd
+from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone
+from repro.util.timeutil import format_ts, parse_ts
+from repro.zone.distribution import ZoneDistributor
+from repro.zone.rootzone import RootZoneBuilder
+from repro.zone.sources import CzdsSource, IanaSource
+
+
+def check(label: str, zone, now: int) -> None:
+    report = validate_zone(zone.records, ROOT_NAME, now=now)
+    zonemd_status, detail = verify_zonemd(zone.records, ROOT_NAME)
+    state = "OK" if report.valid else f"INVALID ({report.issues[0].error.value})"
+    print(f"  {label:<28} serial={zone.serial}  RRSIG+ZONEMD: {state}; "
+          f"ZONEMD {zonemd_status.name}: {detail}")
+
+
+def main() -> None:
+    builder = RootZoneBuilder(seed=42)
+    distributor = ZoneDistributor(builder)
+    now = parse_ts("2023-12-15T12:00:00")
+
+    print(f"Monitoring the root zone at {format_ts(now)}\n")
+    print("Clean copies from the three channels:")
+    axfr_zone = distributor.zone_at_site("monitor", now)
+    check("AXFR from a root server", axfr_zone, now)
+    check("IANA website download", IanaSource(distributor).download(now).zone, now)
+    check("CZDS daily snapshot", CzdsSource(distributor).download(now).zone, now)
+
+    print("\nNow a transfer that suffered a single bitflip in memory:")
+    event = BitflipEvent(vp_id=0, start_ts=now - 10, end_ts=now + 10)
+    corrupted, report = flip_bit_in_zone(axfr_zone, event, now)
+    check("AXFR with flipped bit", corrupted, now)
+    print(f"\n  flip location: {report.description}")
+    print(f"  reference record: {report.before_text[:100]}")
+    print(f"  received record:  {report.after_text[:100]}")
+
+    print("\nComparing against a clean copy with the same SOA (Figure 10):")
+    from repro.vantage.collector import TransferObservation
+    from repro.rss.operators import address_owner
+
+    obs = TransferObservation(
+        vp_id=0, true_ts=now, observed_ts=now,
+        address=address_owner("199.7.91.13"),
+        serial=corrupted.serial, zone=corrupted, fault="bitflip",
+        fault_detail=report.description,
+    )
+    audit = ZonemdAudit([obs])
+    for before, after in audit.bitflip_diff(obs, axfr_zone):
+        print(f"  - {before[:110]}")
+        print(f"  + {after[:110]}")
+
+    print("\nZONEMD catches what DNSSEC alone cannot: flips in unsigned")
+    print("delegation/glue records also change the zone digest.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim for environments whose pip cannot do PEP 660 editable
+installs (no `wheel` package offline). `pip install -e .` falls back to
+`setup.py develop` when invoked with --no-use-pep517."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""The paper's analysis pipeline.
+
+One module per result family, mapping directly onto the paper's tables
+and figures (see DESIGN.md's experiment index):
+
+* :mod:`coverage`       — Tables 1/4, Figures 1/11 (site coverage)
+* :mod:`stability`      — Figure 3 (catchment change events)
+* :mod:`colocation`     — Figure 4, §5 (reduced redundancy, RQ1)
+* :mod:`distance`       — Figure 5 (distance inflation)
+* :mod:`rtt`            — Figures 6/14/15 (RTT by region and family)
+* :mod:`trafficshift`   — Figures 7/9/12/13, §6 (b.root adoption, RQ2)
+* :mod:`clientbehavior` — Figure 8 (clients/day, priming signal)
+* :mod:`zonemd_audit`   — Table 2, Figure 10, §7 (integrity, RQ3)
+* :mod:`report`         — plain-text rendering of all of the above
+"""
+
+from repro.analysis.coverage import CoverageAnalysis, CoverageRow
+from repro.analysis.stability import StabilityAnalysis
+from repro.analysis.colocation import ColocationAnalysis
+from repro.analysis.distance import DistanceAnalysis
+from repro.analysis.rtt import RttAnalysis
+from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis.clientbehavior import ClientBehaviorAnalysis
+from repro.analysis.zonemd_audit import ZonemdAudit
+from repro.analysis.paths import PathAnalysis
+from repro.analysis.rssac import RssacMetrics
+from repro.analysis.variability import VariabilityAnalysis
+
+__all__ = [
+    "PathAnalysis",
+    "RssacMetrics",
+    "VariabilityAnalysis",
+    "CoverageAnalysis",
+    "CoverageRow",
+    "StabilityAnalysis",
+    "ColocationAnalysis",
+    "DistanceAnalysis",
+    "RttAnalysis",
+    "TrafficShiftAnalysis",
+    "ClientBehaviorAnalysis",
+    "ZonemdAudit",
+]

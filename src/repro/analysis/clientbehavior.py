@@ -1,0 +1,86 @@
+"""Client contact-frequency analysis (paper §6, Figure 8).
+
+For each root service address: the distribution of per-client daily flow
+counts.  The priming signal is the mass of clients contacting the *old*
+b.root IPv6 subnet about once per day — IPv6-capable stacks re-prime
+(RFC 8109) against the old address and otherwise leave it alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.passive.traces import FlowAggregate
+from repro.rss.operators import ServiceAddress, all_service_addresses
+from repro.util.stats import Ecdf
+
+
+@dataclass(frozen=True)
+class ClientFlowDistribution:
+    """Per-client daily flow counts for one address (Figure 8 series)."""
+
+    address: ServiceAddress
+    flows_per_client: Tuple[float, ...]
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """(flows/day, fraction of clients with <= that many) points."""
+        if not self.flows_per_client:
+            return []
+        ecdf = Ecdf(self.flows_per_client)
+        return [(x, 1.0 - y) for x, y in ecdf.points()]
+
+    def fraction_single_daily_contact(self, threshold: float = 1.5) -> float:
+        """Clients touching the address at most ~once per day — the
+        priming fingerprint."""
+        if not self.flows_per_client:
+            return 0.0
+        few = sum(1 for f in self.flows_per_client if f <= threshold)
+        return few / len(self.flows_per_client)
+
+    def mean_clients_per_day(self) -> int:
+        return len(self.flows_per_client)
+
+
+class ClientBehaviorAnalysis:
+    """Figure 8 over one capture aggregate."""
+
+    def __init__(self, aggregate: FlowAggregate) -> None:
+        self.aggregate = aggregate
+        self.addresses = all_service_addresses()
+
+    def distribution(self, address: str) -> ClientFlowDistribution:
+        """The per-client flow distribution for one address."""
+        sa = next(a for a in self.addresses if a.address == address)
+        flows = tuple(sorted(self.aggregate.mean_daily_flows_per_client(address)))
+        return ClientFlowDistribution(address=sa, flows_per_client=flows)
+
+    def by_family(self, family: int) -> Dict[str, ClientFlowDistribution]:
+        """All addresses of one family, keyed by display label."""
+        out: Dict[str, ClientFlowDistribution] = {}
+        for sa in self.addresses:
+            if sa.family != family:
+                continue
+            out[sa.label] = self.distribution(sa.address)
+        return out
+
+    def priming_signal(self) -> Dict[str, float]:
+        """Single-daily-contact fractions for b.root's four subnets.
+
+        The paper's conjecture holds when the old IPv6 subnet's value
+        clearly exceeds the new IPv6 subnet's.
+        """
+        from repro.rss.operators import root_server
+
+        b = root_server("b")
+        labels = {
+            "V4new": b.ipv4,
+            "V4old": b.old_ipv4,
+            "V6new": b.ipv6,
+            "V6old": b.old_ipv6,
+        }
+        return {
+            label: self.distribution(addr).fraction_single_daily_contact()
+            for label, addr in labels.items()
+            if addr is not None
+        }

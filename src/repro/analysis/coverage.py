@@ -1,0 +1,122 @@
+"""Site coverage analysis (paper §4.2, Tables 1/4, Figures 1/11).
+
+Matches the CHAOS identity strings observed during the campaign against
+the published site catalog (root-servers.org ground truth), and reports
+per letter — worldwide and per region — how many global/local sites the
+VPs reached.  Unmappable identifiers (unpublished sites, metro-coded
+letters) are counted separately, mirroring the paper's 135 unmapped of
+1,604 observed identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.geo.continents import Continent
+from repro.rss.operators import ROOT_LETTERS
+from repro.rss.sites import Site, SiteCatalog
+
+
+@dataclass(frozen=True)
+class CoverageRow:
+    """One (letter, scope) coverage cell: sites, covered, percentage."""
+
+    letter: str
+    scope: str  # "global", "local" or "total"
+    sites: int
+    covered: int
+
+    @property
+    def pct(self) -> Optional[float]:
+        """Coverage percentage (None when the letter has no such sites)."""
+        if self.sites == 0:
+            return None
+        return 100.0 * self.covered / self.sites
+
+
+class CoverageAnalysis:
+    """Identity-to-site matching plus coverage accounting."""
+
+    def __init__(
+        self,
+        catalog: SiteCatalog,
+        observed_identities: Dict[str, Dict[str, int]],
+    ) -> None:
+        self.catalog = catalog
+        self.observed_identities = observed_identities
+        self.covered_sites: Dict[str, Set[str]] = {}
+        self.unmapped: Dict[str, List[str]] = {}
+        self._match()
+
+    def _match(self) -> None:
+        for letter, identities in self.observed_identities.items():
+            covered: Set[str] = set()
+            unmapped: List[str] = []
+            for identity in identities:
+                site = self.catalog.map_identity(identity)
+                if site is None:
+                    unmapped.append(identity)
+                else:
+                    covered.add(site.key)
+            self.covered_sites[letter] = covered
+            self.unmapped[letter] = unmapped
+
+    # -- stats ----------------------------------------------------------------------
+
+    def observed_identifier_count(self) -> Tuple[int, int]:
+        """(total observed identifiers, unmapped identifiers)."""
+        total = sum(len(ids) for ids in self.observed_identities.values())
+        unmapped = sum(len(u) for u in self.unmapped.values())
+        return total, unmapped
+
+    def _rows_for(
+        self, letter: str, sites: List[Site]
+    ) -> List[CoverageRow]:
+        covered = self.covered_sites.get(letter, set())
+        global_sites = [s for s in sites if s.is_global]
+        local_sites = [s for s in sites if not s.is_global]
+        rows = []
+        for scope, subset in (
+            ("global", global_sites),
+            ("local", local_sites),
+            ("total", sites),
+        ):
+            rows.append(
+                CoverageRow(
+                    letter=letter,
+                    scope=scope,
+                    sites=len(subset),
+                    covered=sum(1 for s in subset if s.key in covered),
+                )
+            )
+        return rows
+
+    def worldwide(self) -> Dict[str, List[CoverageRow]]:
+        """Table 1: per letter, global/local/total coverage worldwide."""
+        return {
+            letter: self._rows_for(letter, self.catalog.of_letter(letter))
+            for letter in ROOT_LETTERS
+        }
+
+    def per_region(self) -> Dict[Continent, Dict[str, List[CoverageRow]]]:
+        """Table 4: the same, broken down by continent."""
+        out: Dict[Continent, Dict[str, List[CoverageRow]]] = {}
+        for continent in Continent:
+            per_letter: Dict[str, List[CoverageRow]] = {}
+            for letter in ROOT_LETTERS:
+                sites = [
+                    s
+                    for s in self.catalog.of_letter(letter)
+                    if s.continent is continent
+                ]
+                per_letter[letter] = self._rows_for(letter, sites)
+            out[continent] = per_letter
+        return out
+
+    def site_map(self, letter: str) -> List[Tuple[Site, bool]]:
+        """Figure 1b/11 data: every site of *letter* with observed flag."""
+        covered = self.covered_sites.get(letter, set())
+        return [
+            (site, site.key in covered) for site in self.catalog.of_letter(letter)
+        ]

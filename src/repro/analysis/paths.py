@@ -1,0 +1,123 @@
+"""Path-level analysis: which upstream ASes carry the requests, and at
+what latency (paper §6's per-AS drill-down).
+
+The paper explains every regional IPv4/IPv6 RTT asymmetry through path
+composition: e.g. "paths via AS6939 having a lower average latency for
+IPv6 (23.4 ms) than for IPv4 (221.4 ms), while AS6939 is also more
+frequent for IPv6 paths".  This module computes exactly those two
+quantities — per-AS path share and per-AS mean RTT — per region, letter
+and family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.continents import Continent
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.node import VantagePoint
+
+#: Pseudo-ASN bucket for peer/local (non-transit) paths.
+PEER_PATH = 0
+
+
+@dataclass(frozen=True)
+class AsPathStats:
+    """One upstream's role in a (region, letter, family) cell."""
+
+    asn: int
+    share: float  # fraction of the cell's requests through this AS
+    mean_rtt_ms: float
+    requests: int
+
+    @property
+    def label(self) -> str:
+        return "peer/local" if self.asn == PEER_PATH else f"AS{self.asn}"
+
+
+class PathAnalysis:
+    """Per-AS path shares and latencies over the sampled probe table."""
+
+    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
+        self.collector = collector
+        self.columns = collector.probe_columns()
+        continents = list(Continent)
+        self._continent_list = continents
+        vp_cont = np.zeros(max((vp.vp_id for vp in vps), default=0) + 1, dtype=np.int8)
+        for vp in vps:
+            vp_cont[vp.vp_id] = continents.index(vp.continent)
+        self._vp_cont = vp_cont
+
+    def _mask(
+        self,
+        continent: Optional[Continent],
+        letter: Optional[str],
+        family: Optional[int],
+    ) -> np.ndarray:
+        mask = np.ones(len(self.columns["vp"]), dtype=bool)
+        if continent is not None:
+            cont_idx = self._continent_list.index(continent)
+            mask &= self._vp_cont[self.columns["vp"]] == cont_idx
+        if letter is not None or family is not None:
+            addr_ok = np.zeros(len(self.collector.addresses), dtype=bool)
+            for i, sa in enumerate(self.collector.addresses):
+                if letter is not None and sa.letter != letter:
+                    continue
+                if family is not None and sa.family != family:
+                    continue
+                addr_ok[i] = True
+            mask &= addr_ok[self.columns["addr"]]
+        return mask
+
+    def as_breakdown(
+        self,
+        continent: Optional[Continent] = None,
+        letter: Optional[str] = None,
+        family: Optional[int] = None,
+    ) -> List[AsPathStats]:
+        """Per-AS share and mean RTT for a cell, descending by share."""
+        mask = self._mask(continent, letter, family)
+        transits = self.columns["transit"][mask]
+        rtts = self.columns["rtt"][mask]
+        total = len(transits)
+        if total == 0:
+            return []
+        out: List[AsPathStats] = []
+        for asn in np.unique(transits):
+            sub = transits == asn
+            out.append(
+                AsPathStats(
+                    asn=int(asn),
+                    share=float(np.sum(sub)) / total,
+                    mean_rtt_ms=float(np.mean(rtts[sub])),
+                    requests=int(np.sum(sub)),
+                )
+            )
+        out.sort(key=lambda s: -s.share)
+        return out
+
+    def share_of(
+        self,
+        asn: int,
+        continent: Optional[Continent] = None,
+        letter: Optional[str] = None,
+        family: Optional[int] = None,
+    ) -> float:
+        """One AS's path share in a cell (0 when the cell is empty)."""
+        for stats in self.as_breakdown(continent, letter, family):
+            if stats.asn == asn:
+                return stats.share
+        return 0.0
+
+    def family_share_contrast(
+        self, asn: int, continent: Continent, letter: Optional[str] = None
+    ) -> Tuple[float, float]:
+        """(v4 share, v6 share) of one AS in a region — the paper's
+        'AS6939 is more frequent for IPv6 paths' measurement."""
+        return (
+            self.share_of(asn, continent, letter, 4),
+            self.share_of(asn, continent, letter, 6),
+        )

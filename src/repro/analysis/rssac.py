@@ -1,0 +1,139 @@
+"""RSSAC047-style service metrics.
+
+RSSAC037 (the governance model the paper's intro cites) and RSSAC047
+define the measurable service levels of the root server system.  Three
+of them fall naturally out of this simulation and complement the paper's
+analyses:
+
+* **response latency** — per letter, the distribution of query RTTs
+  (RSSAC047 threshold: correct responses within 250 ms for UDP),
+* **publication latency** — how long after a zone publication every
+  site serves the new serial (staleness faults violate this),
+* **serial currency** — the fraction of observed transfers serving the
+  newest (or immediately previous) publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rss.operators import ROOT_LETTERS
+from repro.util.timeutil import Timestamp
+from repro.vantage.collector import CampaignCollector, TransferObservation
+from repro.zone.distribution import ZoneDistributor
+from repro.zone.serial import serial_compare
+
+#: RSSAC047's UDP response-time threshold.
+RESPONSE_LATENCY_THRESHOLD_MS = 250.0
+
+
+@dataclass(frozen=True)
+class ResponseLatency:
+    """Per-letter response latency metrics."""
+
+    letter: str
+    samples: int
+    p50_ms: float
+    p95_ms: float
+    within_threshold: float  # fraction <= 250 ms
+
+
+class RssacMetrics:
+    """Service metrics over a campaign's samples."""
+
+    def __init__(
+        self, collector: CampaignCollector, distributor: Optional[ZoneDistributor] = None
+    ) -> None:
+        self.collector = collector
+        self.distributor = distributor
+        self.columns = collector.probe_columns()
+
+    # -- response latency ---------------------------------------------------------
+
+    def response_latency(self, letter: str) -> Optional[ResponseLatency]:
+        """RTT distribution for one letter (current-generation address)."""
+        addr_ok = np.zeros(len(self.collector.addresses), dtype=bool)
+        for i, sa in enumerate(self.collector.addresses):
+            if sa.letter == letter and sa.generation != "old":
+                addr_ok[i] = True
+        mask = addr_ok[self.columns["addr"]]
+        rtts = self.columns["rtt"][mask]
+        if len(rtts) == 0:
+            return None
+        return ResponseLatency(
+            letter=letter,
+            samples=int(len(rtts)),
+            p50_ms=float(np.percentile(rtts, 50)),
+            p95_ms=float(np.percentile(rtts, 95)),
+            within_threshold=float(np.mean(rtts <= RESPONSE_LATENCY_THRESHOLD_MS)),
+        )
+
+    def all_response_latencies(self) -> List[ResponseLatency]:
+        out = []
+        for letter in ROOT_LETTERS:
+            metrics = self.response_latency(letter)
+            if metrics is not None:
+                out.append(metrics)
+        return out
+
+    # -- publication latency -------------------------------------------------------
+
+    def publication_latency(
+        self, site_keys: List[str], at_ts: Timestamp
+    ) -> Dict[str, Optional[int]]:
+        """Per site: seconds behind the newest publication at *at_ts*
+        (None = the site is frozen and arbitrarily stale)."""
+        if self.distributor is None:
+            raise RuntimeError("publication latency needs the distributor")
+        newest_ts, _edition = self.distributor.latest_publication(at_ts)
+        out: Dict[str, Optional[int]] = {}
+        for site_key in site_keys:
+            if self.distributor.is_frozen(site_key):
+                out[site_key] = None
+                continue
+            pub = self.distributor.site_publication(site_key, at_ts)
+            out[site_key] = max(0, newest_ts - pub.publication_ts)
+        return out
+
+    # -- serial currency ----------------------------------------------------------------
+
+    def serial_currency(
+        self, transfers: List[TransferObservation], allowed_lag: int = 2
+    ) -> Tuple[float, List[TransferObservation]]:
+        """(fraction current, stale observations).
+
+        A transfer is *current* if its serial is within *allowed_lag*
+        publications of the newest at observation time.
+        """
+        if self.distributor is None:
+            raise RuntimeError("serial currency needs the distributor")
+        if not transfers:
+            raise ValueError("no transfer observations")
+        stale: List[TransferObservation] = []
+        current = 0
+        for obs in transfers:
+            newest_ts, edition = self.distributor.latest_publication(obs.true_ts)
+            newest_zone = self.distributor.zone_for_publication(newest_ts, edition)
+            if serial_compare(obs.serial, newest_zone.serial) >= 0:
+                current += 1
+                continue
+            # Walk back up to allowed_lag publications.
+            behind = 0
+            ts = newest_ts - 1
+            ok = False
+            while behind < allowed_lag:
+                prev_ts, prev_edition = self.distributor.latest_publication(ts)
+                prev_zone = self.distributor.zone_for_publication(prev_ts, prev_edition)
+                if obs.serial == prev_zone.serial:
+                    ok = True
+                    break
+                behind += 1
+                ts = prev_ts - 1
+            if ok:
+                current += 1
+            else:
+                stale.append(obs)
+        return current / len(transfers), stale

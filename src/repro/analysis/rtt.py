@@ -1,0 +1,109 @@
+"""RTT analysis by continent, letter and address family
+(paper §6, Figures 6/14/15).
+
+Summarises the sampled request RTTs as the per-(region, letter, family)
+distributions the violin/box figures plot, and computes the per-family
+comparisons the paper highlights (e.g. a.root South America v4 > v6;
+i.root North America v6 26 % below v4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.continents import Continent
+from repro.rss.operators import ServiceAddress
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.node import VantagePoint
+
+
+@dataclass(frozen=True)
+class RttSummary:
+    """Distribution summary for one (region, address) cell."""
+
+    address: ServiceAddress
+    continent: Continent
+    count: int
+    mean: float
+    std: float
+    p10: float
+    p50: float
+    p90: float
+
+    @property
+    def label(self) -> str:
+        return self.address.label
+
+
+class RttAnalysis:
+    """Figures 6/14/15 over the sampled probe table."""
+
+    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
+        self.collector = collector
+        self.columns = collector.probe_columns()
+        # vp -> continent index for vectorised grouping
+        continents = list(Continent)
+        self._continent_list = continents
+        vp_cont = np.zeros(max((vp.vp_id for vp in vps), default=0) + 1, dtype=np.int8)
+        for vp in vps:
+            vp_cont[vp.vp_id] = continents.index(vp.continent)
+        self._vp_cont = vp_cont
+
+    def _cell(self, address: str, continent: Continent) -> np.ndarray:
+        addr_idx = self.collector.addr_index[address]
+        mask = self.columns["addr"] == addr_idx
+        cont_idx = self._continent_list.index(continent)
+        mask &= self._vp_cont[self.columns["vp"]] == cont_idx
+        return self.columns["rtt"][mask]
+
+    def summary(self, address: str, continent: Continent) -> Optional[RttSummary]:
+        """Distribution summary, or None with no observations."""
+        rtts = self._cell(address, continent)
+        if len(rtts) == 0:
+            return None
+        sa = self.collector.addresses[self.collector.addr_index[address]]
+        return RttSummary(
+            address=sa,
+            continent=continent,
+            count=int(len(rtts)),
+            mean=float(np.mean(rtts)),
+            std=float(np.std(rtts)),
+            p10=float(np.percentile(rtts, 10)),
+            p50=float(np.percentile(rtts, 50)),
+            p90=float(np.percentile(rtts, 90)),
+        )
+
+    def violin_bins(
+        self, address: str, continent: Continent, n_bins: int = 24
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(log-spaced bin edges in ms, densities) — violin plot data."""
+        rtts = self._cell(address, continent)
+        if len(rtts) == 0:
+            raise ValueError(f"no observations for {address} in {continent}")
+        edges = np.logspace(0, 3, n_bins + 1)
+        hist, _ = np.histogram(np.clip(rtts, 1.0, 1000.0), bins=edges)
+        return edges, hist / hist.sum()
+
+    def family_ratio(
+        self, letter: str, continent: Continent, generation: str = "current"
+    ) -> Optional[float]:
+        """mean(v6) / mean(v4) for one letter in one region — the paper's
+        per-family asymmetry metric (e.g. < 1 for i.root North America,
+        > 2 for i.root South America)."""
+        v4 = v6 = None
+        for sa in self.collector.addresses:
+            if sa.letter != letter or sa.generation != generation:
+                continue
+            summary = self.summary(sa.address, continent)
+            if summary is None:
+                return None
+            if sa.family == 4:
+                v4 = summary.mean
+            else:
+                v6 = summary.mean
+        if not v4 or v6 is None:
+            return None
+        return v6 / v4

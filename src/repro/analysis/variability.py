@@ -1,0 +1,144 @@
+"""Subset-generalisation analysis (paper §8, "Variability of the Root
+Server System").
+
+The paper's methodological conclusion: "a subset of root servers does
+not generalize to the RSS or even anycast in general" — studies like
+Schmidt et al.'s four-letter analysis can land far from the all-letter
+picture.  This module quantifies that: for k-letter subsets, how far do
+subset-level statistics (median catchment changes, median RTT, IPv6
+excess) deviate from the all-letter values?
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.rtt import RttAnalysis
+from repro.analysis.stability import StabilityAnalysis
+from repro.geo.continents import Continent
+from repro.rss.operators import ROOT_LETTERS
+from repro.util.stats import median
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.node import VantagePoint
+
+
+@dataclass(frozen=True)
+class SubsetStats:
+    """One letter subset's aggregate statistics."""
+
+    letters: Tuple[str, ...]
+    median_changes_v4: float
+    median_changes_v6: float
+    median_rtt_ms: Optional[float]
+
+    @property
+    def v6_excess(self) -> float:
+        """v6/v4 change ratio — the RQ2 statistic a study would report."""
+        return self.median_changes_v6 / max(self.median_changes_v4, 0.5)
+
+
+class VariabilityAnalysis:
+    """How much do k-letter subsets disagree with the full RSS?"""
+
+    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
+        self.collector = collector
+        self.vps = vps
+        self.stability = StabilityAnalysis(collector)
+        self.rtt = RttAnalysis(collector, vps)
+
+    def _letter_median_changes(self, letter: str, family: int) -> Optional[float]:
+        for series in self.stability.series_for(letter):
+            if series.address.family != family:
+                continue
+            if series.address.generation == "old":
+                continue
+            return series.median_changes()
+        return None
+
+    def _letter_median_rtt(self, letter: str) -> Optional[float]:
+        values: List[float] = []
+        for continent in Continent:
+            for sa in self.collector.addresses:
+                if sa.letter != letter or sa.generation == "old":
+                    continue
+                summary = self.rtt.summary(sa.address, continent)
+                if summary is not None:
+                    values.extend([summary.p50] * max(1, summary.count // 100))
+        return median(values) if values else None
+
+    def subset_stats(self, letters: Sequence[str]) -> SubsetStats:
+        """Aggregate statistics over one letter subset."""
+        changes_v4 = [
+            c for c in (self._letter_median_changes(l, 4) for l in letters)
+            if c is not None
+        ]
+        changes_v6 = [
+            c for c in (self._letter_median_changes(l, 6) for l in letters)
+            if c is not None
+        ]
+        rtts = [
+            r for r in (self._letter_median_rtt(l) for l in letters) if r is not None
+        ]
+        if not changes_v4 or not changes_v6:
+            raise ValueError(f"no stability data for subset {letters}")
+        return SubsetStats(
+            letters=tuple(letters),
+            median_changes_v4=median(changes_v4),
+            median_changes_v6=median(changes_v6),
+            median_rtt_ms=median(rtts) if rtts else None,
+        )
+
+    def full_stats(self) -> SubsetStats:
+        """The all-letter reference values."""
+        return self.subset_stats(list(ROOT_LETTERS))
+
+    def subset_spread(
+        self, k: int, max_subsets: int = 60
+    ) -> Tuple[SubsetStats, List[SubsetStats]]:
+        """(full-set stats, stats for up to *max_subsets* k-subsets).
+
+        Subsets are enumerated deterministically (lexicographic combi-
+        nations, evenly strided) so results are reproducible.
+        """
+        if not 1 <= k <= len(ROOT_LETTERS):
+            raise ValueError(f"k out of range: {k}")
+        combos = list(itertools.combinations(ROOT_LETTERS, k))
+        stride = max(1, len(combos) // max_subsets)
+        chosen = combos[::stride][:max_subsets]
+        return self.full_stats(), [self.subset_stats(c) for c in chosen]
+
+    @staticmethod
+    def relative_spread(
+        full: SubsetStats, subsets: List[SubsetStats], metric: str
+    ) -> Tuple[float, float]:
+        """(min, max) of subset metric relative to the full-set value.
+
+        ``metric`` is one of ``changes_v4``, ``changes_v6``, ``rtt``,
+        ``v6_excess``.  A wide interval is the §8 warning sign.
+        """
+        def value(stats: SubsetStats) -> Optional[float]:
+            if metric == "changes_v4":
+                return stats.median_changes_v4
+            if metric == "changes_v6":
+                return stats.median_changes_v6
+            if metric == "rtt":
+                return stats.median_rtt_ms
+            if metric == "v6_excess":
+                return stats.v6_excess
+            raise ValueError(f"unknown metric {metric!r}")
+
+        reference = value(full)
+        if reference is None or reference == 0:
+            raise ValueError(f"no reference value for {metric!r}")
+        ratios = [
+            v / reference
+            for v in (value(s) for s in subsets)
+            if v is not None
+        ]
+        if not ratios:
+            raise ValueError(f"no subset values for {metric!r}")
+        return min(ratios), max(ratios)

@@ -1,0 +1,223 @@
+"""Zone integrity audit (paper §7, Table 2, Figure 10 — RQ3).
+
+Validates every recorded transfer observation the way the paper used
+``ldnsutils``: full RRSIG validation against the root DNSKEYs plus
+ZONEMD verification, evaluated at the *first and last* observation
+timestamps of each distinct zone copy (signatures are time-nonced, so
+skewed VP clocks produce temporal errors on good zones).
+
+Also audits the out-of-band CZDS/IANA download channels against the
+roll-out schedule, and produces the Figure 10 bitflip diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.name import ROOT_NAME
+from repro.dnssec.validate import ValidationError, validate_zone
+from repro.dnssec.zonemd import verify_zonemd, ZonemdStatus
+from repro.util.timeutil import Timestamp, format_ts
+from repro.vantage.collector import TransferObservation
+from repro.zone.sources import ZoneDownload
+
+
+@dataclass
+class AuditFinding:
+    """One Table 2 row: a distinct non-validating zone observation group."""
+
+    reason: str
+    serials: Tuple[int, ...]
+    first_obs: Timestamp
+    last_obs: Timestamp
+    observations: int
+    servers: Tuple[str, ...]
+    vp_ids: Tuple[int, ...]
+    fault: str = ""
+
+    @property
+    def n_soa(self) -> int:
+        return len(self.serials)
+
+
+_REASON_LABEL = {
+    ValidationError.SIG_NOT_INCEPTED: "Sig. not incepted",
+    ValidationError.SIG_EXPIRED: "Signature expired",
+    ValidationError.BOGUS_SIGNATURE: "Bogus Signature",
+    ValidationError.NO_RRSIG: "Missing RRSIG",
+    ValidationError.NO_DNSKEY: "Missing DNSKEY",
+    ValidationError.UNKNOWN_KEY_TAG: "Unknown key tag",
+}
+
+
+def _dominant_reason(errors: List[ValidationError]) -> str:
+    """Table 2 groups each bad zone under its leading error class."""
+    priority = [
+        ValidationError.SIG_NOT_INCEPTED,
+        ValidationError.SIG_EXPIRED,
+        ValidationError.BOGUS_SIGNATURE,
+        ValidationError.UNKNOWN_KEY_TAG,
+        ValidationError.NO_RRSIG,
+        ValidationError.NO_DNSKEY,
+    ]
+    for candidate in priority:
+        if candidate in errors:
+            return _REASON_LABEL[candidate]
+    return "unknown"
+
+
+@dataclass
+class SourceAuditRow:
+    """Validation outcome of one out-of-band zone download."""
+
+    source: str
+    retrieved_at: Timestamp
+    serial: int
+    zonemd_status: ZonemdStatus
+    rrsig_valid: bool
+
+    @property
+    def fully_valid(self) -> bool:
+        return self.rrsig_valid and self.zonemd_status is ZonemdStatus.VALID
+
+
+class ZonemdAudit:
+    """The RQ3 audit over transfer observations and source downloads."""
+
+    def __init__(self, transfers: List[TransferObservation]) -> None:
+        self.transfers = transfers
+        #: id(zone) -> (content errors, signature validity envelope).
+        #: Content checks (digests, HMACs) are time-independent; only the
+        #: RRSIG validity window comparison depends on the validation
+        #: time, so each distinct zone copy is expensive exactly once.
+        self._zone_cache: Dict[int, Tuple[List[ValidationError], Tuple[int, int]]] = {}
+
+    def _analyse_zone(self, zone) -> Tuple[List[ValidationError], Tuple[int, int]]:
+        key = id(zone)
+        cached = self._zone_cache.get(key)
+        if cached is not None:
+            return cached
+        from repro.dns.constants import RRType
+        from repro.dns.rdata import RRSIG
+
+        inceptions = []
+        expirations = []
+        for rec in zone.records:
+            if rec.rrtype == RRType.RRSIG and isinstance(rec.rdata, RRSIG):
+                inceptions.append(rec.rdata.inception)
+                expirations.append(rec.rdata.expiration)
+        if inceptions:
+            envelope = (max(inceptions), min(expirations))
+            midpoint = (envelope[0] + envelope[1]) // 2
+        else:
+            envelope = (0, 0)
+            midpoint = 0
+        report = validate_zone(
+            zone.records, ROOT_NAME, now=midpoint, check_zonemd=True
+        )
+        content_errors = [issue.error for issue in report.issues]
+        result = (content_errors, envelope)
+        self._zone_cache[key] = result
+        return result
+
+    def _errors_at(self, zone, now: int) -> List[ValidationError]:
+        content_errors, (max_inception, min_expiration) = self._analyse_zone(zone)
+        errors = list(content_errors)
+        if now < max_inception:
+            errors.append(ValidationError.SIG_NOT_INCEPTED)
+        elif now > min_expiration:
+            errors.append(ValidationError.SIG_EXPIRED)
+        return errors
+
+    # -- AXFR audit (Table 2) ------------------------------------------------------
+
+    def validate_transfers(self) -> Tuple[List[AuditFinding], int]:
+        """Validate all observations; returns (findings, valid count).
+
+        Observations are validated at their *observed* timestamps (VP
+        clock view).  Non-validating copies are grouped per (VP, server,
+        dominant reason, fault) — the granularity of Table 2's rows.
+        """
+        valid = 0
+        groups: Dict[Tuple[int, str, str, str], List[Tuple[TransferObservation, List[ValidationError]]]] = {}
+        for obs in self.transfers:
+            errors = self._errors_at(obs.zone, obs.observed_ts)
+            if not errors:
+                valid += 1
+                continue
+            reason = _dominant_reason(errors)
+            key = (obs.vp_id, obs.address.label, reason, obs.fault)
+            groups.setdefault(key, []).append((obs, errors))
+
+        findings: List[AuditFinding] = []
+        for (vp_id, server, reason, fault), items in sorted(groups.items()):
+            observations = [obs for obs, _errors in items]
+            findings.append(
+                AuditFinding(
+                    reason=reason,
+                    serials=tuple(sorted({o.serial for o in observations})),
+                    first_obs=min(o.observed_ts for o in observations),
+                    last_obs=max(o.observed_ts for o in observations),
+                    observations=len(observations),
+                    servers=(server,),
+                    vp_ids=(vp_id,),
+                    fault=fault,
+                )
+            )
+        findings.sort(key=lambda f: (f.reason, f.first_obs))
+        return findings, valid
+
+    # -- Figure 10 -------------------------------------------------------------------
+
+    def bitflip_examples(self) -> List[Tuple[TransferObservation, str]]:
+        """(observation, fault description) for bitflipped transfers."""
+        return [
+            (obs, obs.fault_detail)
+            for obs in self.transfers
+            if obs.fault == "bitflip"
+        ]
+
+    def bitflip_diff(self, obs: TransferObservation, reference_zone) -> List[Tuple[str, str]]:
+        """Figure 10: (reference line, corrupted line) pairs for records
+        that differ between the corrupted transfer and a clean copy of
+        the same serial (the paper's comparison against an ICANN
+        download with the same SOA)."""
+        if obs.fault != "bitflip":
+            raise ValueError("observation is not bitflipped")
+        ref_lines = {r.to_text() for r in reference_zone.records}
+        bad_lines = {r.to_text() for r in obs.zone.records}
+        removed = sorted(ref_lines - bad_lines)
+        added = sorted(bad_lines - ref_lines)
+        return list(zip(removed, added))
+
+    # -- out-of-band sources (§4.2 validation / §7) --------------------------------
+
+    @staticmethod
+    def audit_downloads(downloads: List[ZoneDownload]) -> List[SourceAuditRow]:
+        """Validate CZDS/IANA downloads at their retrieval times."""
+        rows: List[SourceAuditRow] = []
+        for dl in downloads:
+            report = validate_zone(
+                dl.zone.records, ROOT_NAME, now=dl.retrieved_at, check_zonemd=False
+            )
+            status, _detail = verify_zonemd(dl.zone.records, ROOT_NAME)
+            rows.append(
+                SourceAuditRow(
+                    source=dl.source,
+                    retrieved_at=dl.retrieved_at,
+                    serial=dl.zone.serial,
+                    zonemd_status=status,
+                    rrsig_valid=report.valid,
+                )
+            )
+        return rows
+
+    @staticmethod
+    def first_validating_download(rows: List[SourceAuditRow]) -> Optional[SourceAuditRow]:
+        """The first download whose ZONEMD verifies (the paper:
+        2023-12-06T20:30 UTC for IANA, 2023-12-07+ files for CZDS)."""
+        for row in sorted(rows, key=lambda r: r.retrieved_at):
+            if row.fully_valid:
+                return row
+        return None

@@ -1,0 +1,226 @@
+"""Command-line tools.
+
+Three entry points, mirroring the workflows a downstream user runs:
+
+* ``rootsim-study`` — run a campaign preset and print the headline
+  results (optionally exporting the dataset),
+* ``rootsim-dig`` — a dig-alike against the simulated root system,
+* ``rootsim-zonecheck`` — build/fetch a root zone copy for a date and
+  fully validate it (with an optional bitflip demo).
+
+All tools are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.timeutil import format_ts, parse_ts
+
+
+def _build_world(seed: int):
+    """A small shared world for dig/zonecheck: fabric + deployments."""
+    from repro.netsim.topology import NetworkFabric
+    from repro.rss.operators import ROOT_SERVERS
+    from repro.rss.server import RootServerDeployment
+    from repro.rss.sites import build_site_catalog
+    from repro.util.rng import RngFactory
+    from repro.zone.distribution import ZoneDistributor
+    from repro.zone.rootzone import RootZoneBuilder
+
+    rng = RngFactory(seed)
+    catalog = build_site_catalog(rng)
+    fabric = NetworkFabric(catalog, rng)
+    distributor = ZoneDistributor(RootZoneBuilder(seed=seed))
+    deployments = {
+        letter: RootServerDeployment(
+            ROOT_SERVERS[letter], catalog.of_letter(letter), distributor
+        )
+        for letter in ROOT_SERVERS
+    }
+    return fabric, deployments, distributor
+
+
+# --- rootsim-dig -----------------------------------------------------------------
+
+
+def dig_main(argv: Optional[List[str]] = None) -> int:
+    """Query the simulated root system, dig-style."""
+    parser = argparse.ArgumentParser(
+        prog="rootsim-dig",
+        description="dig against the simulated root server system",
+    )
+    parser.add_argument("server", help="root service address, e.g. @198.41.0.4")
+    parser.add_argument("qname", help="query name, e.g. . or world.")
+    parser.add_argument("qtype", nargs="?", default="NS", help="query type")
+    parser.add_argument("--chaos", action="store_true", help="CHAOS class query")
+    parser.add_argument("--dnssec", action="store_true", help="set the DO bit")
+    parser.add_argument("--from-city", default="FRA", help="client city (IATA)")
+    parser.add_argument("--at", default="2023-12-10T12:00:00", help="query time")
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+
+    from repro.dns.constants import RRClass, RRType
+    from repro.dns.edns import add_edns
+    from repro.dns.message import Message
+    from repro.dns.name import Name
+    from repro.geo.cities import city
+    from repro.netsim.attachment import Attachment
+    from repro.netsim.transit import TRANSIT_CATALOG
+    from repro.resolver.netclient import RootNetworkClient
+
+    if not args.server.startswith("@"):
+        parser.error("server must start with @")
+    address = args.server[1:]
+    ts = parse_ts(args.at)
+
+    fabric, deployments, _distributor = _build_world(args.seed)
+    attachment = Attachment(
+        asn=64999,
+        city=city(args.from_city),
+        transits_v4=(TRANSIT_CATALOG[2], TRANSIT_CATALOG[3]),
+        transits_v6=(TRANSIT_CATALOG[0], TRANSIT_CATALOG[2]),
+    )
+    client = RootNetworkClient(
+        attachment, fabric.selector(seed=args.seed, expected_rounds=100), deployments, 0
+    )
+
+    qclass = RRClass.CH if args.chaos else RRClass.IN
+    query = Message.make_query(
+        Name.from_text(args.qname), RRType.from_text(args.qtype), qclass
+    )
+    if args.dnssec:
+        add_edns(query, dnssec_ok=True)
+    outcome = client.query(address, query, ts)
+
+    response = outcome.response
+    print(f";; {args.qname} {qclass.name} {args.qtype} @{address} "
+          f"(from {args.from_city}, {format_ts(ts)})")
+    print(f";; ->>HEADER<<- rcode: {response.header.rcode.name}, "
+          f"aa: {int(response.header.aa)}, answers: {len(response.answers)}, "
+          f"authority: {len(response.authority)}")
+    for section, records in (("ANSWER", response.answers), ("AUTHORITY", response.authority)):
+        if records:
+            print(f";; {section} SECTION:")
+            for record in records:
+                print(record.to_text())
+    print(f";; SERVER: {address} ({outcome.letter}.root, site {outcome.site_key})")
+    print(f";; Query time: {outcome.rtt_ms:.1f} ms")
+    return 0
+
+
+# --- rootsim-zonecheck ------------------------------------------------------------
+
+
+def zonecheck_main(argv: Optional[List[str]] = None) -> int:
+    """Validate a root zone copy for a given date."""
+    parser = argparse.ArgumentParser(
+        prog="rootsim-zonecheck",
+        description="build and fully validate a simulated root zone copy",
+    )
+    parser.add_argument("--at", default="2023-12-10T12:00:00", help="zone date")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--bitflip", action="store_true",
+        help="flip one bit before validating (detection demo)",
+    )
+    parser.add_argument("--dump", metavar="FILE", help="write master file")
+    args = parser.parse_args(argv)
+
+    from repro.dns.name import ROOT_NAME
+    from repro.dnssec.validate import validate_zone
+    from repro.dnssec.zonemd import verify_zonemd
+    from repro.zone.distribution import ZoneDistributor
+    from repro.zone.rootzone import RootZoneBuilder
+    from repro.zone.zonefile import render_zone_text
+
+    ts = parse_ts(args.at)
+    distributor = ZoneDistributor(RootZoneBuilder(seed=args.seed))
+    zone = distributor.zone_at_site("zonecheck", ts)
+    if args.bitflip:
+        from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone
+
+        event = BitflipEvent(vp_id=0, start_ts=ts - 1, end_ts=ts + 1)
+        zone, report = flip_bit_in_zone(zone, event, ts)
+        print(f";; injected bitflip: {report.description}")
+
+    print(f";; zone serial {zone.serial} ({len(zone)} records) at {format_ts(ts)}")
+    report = validate_zone(zone.records, ROOT_NAME, now=ts, check_zonemd=False)
+    print(f";; DNSSEC: {'valid' if report.valid else 'INVALID'} "
+          f"({report.rrsets_checked} RRsets checked)")
+    for issue in report.issues[:5]:
+        print(f";;   {issue.error.value} at {issue.name.to_text()}")
+    status, detail = verify_zonemd(zone.records, ROOT_NAME)
+    print(f";; ZONEMD: {status.name} — {detail}")
+
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(render_zone_text(zone))
+        print(f";; zone written to {args.dump}")
+    return 0 if report.valid and status.name in ("VALID", "ABSENT", "UNSUPPORTED_ALGORITHM") else 1
+
+
+# --- rootsim-study ------------------------------------------------------------------
+
+
+def study_main(argv: Optional[List[str]] = None) -> int:
+    """Run a campaign preset and print headline results."""
+    parser = argparse.ArgumentParser(
+        prog="rootsim-study",
+        description="run a simulated root measurement campaign",
+    )
+    parser.add_argument(
+        "--preset", choices=("quick", "standard", "paper"), default="quick"
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--export", metavar="DIR", help="export the dataset")
+    args = parser.parse_args(argv)
+
+    from repro.analysis import (
+        ColocationAnalysis,
+        CoverageAnalysis,
+        StabilityAnalysis,
+        ZonemdAudit,
+    )
+    from repro.core import RootStudy, StudyConfig
+
+    config = {
+        "quick": StudyConfig.quick,
+        "standard": StudyConfig.standard,
+        "paper": StudyConfig.paper_scale,
+    }[args.preset](seed=args.seed)
+
+    print(f"building study: preset={args.preset} seed={args.seed}")
+    study = RootStudy(config)
+    print(f"  {len(study.vps)} VPs, {len(study.catalog)} sites, "
+          f"{study.schedule.round_count()} rounds")
+    results = study.run()
+    summary = results.summary()
+    print(f"  {summary['queries']:,} queries, {summary['transfers']:,} transfers")
+
+    colocation = ColocationAnalysis(results.collector, results.vps)
+    print(f"RQ1  co-location >=2 letters: "
+          f"{100 * colocation.fraction_with_colocation():.1f}% of VPs")
+    stability = StabilityAnalysis(results.collector)
+    print(f"RQ2  median changes: b.root v4="
+          f"{stability.median_changes('b', 4, 'new'):g} "
+          f"g.root v4={stability.median_changes('g', 4):g} "
+          f"v6={stability.median_changes('g', 6):g}")
+    findings, valid = ZonemdAudit(results.collector.transfers).validate_transfers()
+    print(f"RQ3  transfer audit: {valid} valid, {len(findings)} finding groups")
+    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    total, unmapped = coverage.observed_identifier_count()
+    print(f"coverage: {total} identifiers observed, {unmapped} unmapped")
+
+    if args.export:
+        from repro.vantage.export import export_dataset
+
+        path = export_dataset(results.collector, args.export)
+        print(f"dataset exported to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution helper
+    sys.exit(study_main())

@@ -1,0 +1,10 @@
+"""Study orchestration: configuration presets, world construction
+(zone machinery + routing fabric + RSS deployments + VP ring), campaign
+execution, and the results bundle the analysis layer consumes.
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import RootStudy
+from repro.core.results import StudyResults
+
+__all__ = ["StudyConfig", "RootStudy", "StudyResults"]

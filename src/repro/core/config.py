@@ -1,0 +1,85 @@
+"""Study configuration.
+
+The paper's campaign (675 VPs, 30-minute intervals, 174 days) is the
+``paper_scale`` preset; ``standard`` and ``quick`` scale the VP count and
+the measurement interval down proportionally (the regional mix, event
+calendar and fault classes are preserved) so tests and benchmarks run in
+seconds to minutes rather than hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.timeutil import Timestamp
+from repro.vantage.ring import RingConfig
+from repro.vantage.scheduler import CAMPAIGN_END, CAMPAIGN_START
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """All knobs of one study run."""
+
+    seed: int = 2024
+    ring_scale: float = 0.3
+    ring_min_per_region: int = 4
+    interval_scale: float = 12.0  # 30 min -> 6 h base interval
+    campaign_start: Timestamp = CAMPAIGN_START
+    campaign_end: Timestamp = CAMPAIGN_END
+    rtt_sample_every: int = 2
+    traceroute_sample_every: int = 4
+    axfr_sample_every: int = 8
+    clean_transfer_keep_one_in: int = 2000
+    include_faults: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ring_scale <= 0:
+            raise ValueError(f"ring_scale must be positive: {self.ring_scale}")
+        if self.interval_scale <= 0:
+            raise ValueError(f"interval_scale must be positive: {self.interval_scale}")
+        if self.campaign_end <= self.campaign_start:
+            raise ValueError("campaign_end must be after campaign_start")
+
+    @property
+    def ring_config(self) -> RingConfig:
+        return RingConfig(
+            scale=self.ring_scale, min_per_region=self.ring_min_per_region
+        )
+
+    # -- presets -------------------------------------------------------------------
+
+    @classmethod
+    def quick(cls, seed: int = 2024) -> "StudyConfig":
+        """~100 VPs, 12-hour base interval: seconds-scale runs."""
+        return cls(
+            seed=seed,
+            ring_scale=0.15,
+            interval_scale=24.0,
+            rtt_sample_every=1,
+            traceroute_sample_every=2,
+            axfr_sample_every=4,
+            clean_transfer_keep_one_in=500,
+        )
+
+    @classmethod
+    def standard(cls, seed: int = 2024) -> "StudyConfig":
+        """~200 VPs, 6-hour base interval: the benchmark default."""
+        return cls(seed=seed)
+
+    @classmethod
+    def paper_scale(cls, seed: int = 2024) -> "StudyConfig":
+        """The full 675-VP, 30-minute campaign (minutes-long run)."""
+        return cls(
+            seed=seed,
+            ring_scale=1.0,
+            ring_min_per_region=1,
+            interval_scale=1.0,
+            rtt_sample_every=8,
+            traceroute_sample_every=16,
+            axfr_sample_every=32,
+            clean_transfer_keep_one_in=20000,
+        )
+
+    def with_seed(self, seed: int) -> "StudyConfig":
+        """Same configuration under a different seed."""
+        return replace(self, seed=seed)

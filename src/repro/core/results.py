@@ -1,0 +1,47 @@
+"""The bundle a finished study hands to the analysis layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import StudyConfig
+from repro.faults.plan import FaultPlan
+from repro.netsim.topology import NetworkFabric
+from repro.rss.server import RootServerDeployment
+from repro.rss.sites import SiteCatalog
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.node import VantagePoint
+from repro.vantage.scheduler import MeasurementSchedule
+from repro.zone.distribution import ZoneDistributor
+
+
+@dataclass
+class StudyResults:
+    """Everything the per-table/figure analyses need, in one place."""
+
+    config: StudyConfig
+    schedule: MeasurementSchedule
+    vps: List[VantagePoint]
+    catalog: SiteCatalog
+    fabric: NetworkFabric
+    deployments: Dict[str, RootServerDeployment]
+    distributor: ZoneDistributor
+    fault_plan: FaultPlan
+    collector: CampaignCollector
+
+    def vp_by_id(self, vp_id: int) -> VantagePoint:
+        """Look up a VP (ids are dense, list-indexed)."""
+        vp = self.vps[vp_id]
+        if vp.vp_id != vp_id:  # defensive: ids must stay dense
+            raise RuntimeError("vp ids are not dense")
+        return vp
+
+    def summary(self) -> Dict[str, object]:
+        """Human-readable study fingerprint."""
+        out: Dict[str, object] = dict(self.collector.summary())
+        out["vps"] = len(self.vps)
+        out["networks"] = len({vp.asn for vp in self.vps})
+        out["countries"] = len({vp.country for vp in self.vps})
+        out["sites"] = len(self.catalog)
+        return out

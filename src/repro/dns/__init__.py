@@ -1,0 +1,40 @@
+"""A from-scratch DNS implementation: names, resource records, wire-format
+messages, and the canonical forms needed by DNSSEC and ZONEMD.
+
+This substrate exists because the paper's measurement and validation
+pipeline operates on real DNS artefacts — dig-style queries, AXFR streams,
+RRSIG/ZONEMD records.  Only the subset of the protocol the study exercises
+is implemented, but that subset is implemented per-RFC (1035, 4034, 8976).
+"""
+
+from repro.dns.constants import RRClass, RRType, Rcode, Opcode
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.records import ResourceRecord, RRset
+from repro.dns.message import Header, Message, Question
+from repro.dns.edns import EdnsOptions, add_edns, get_edns, wants_dnssec
+from repro.dns.compress import CompressionContext, compress_names
+from repro.dns.tcpframe import deframe_stream, frame_stream
+from repro.dns import rdata
+
+__all__ = [
+    "RRClass",
+    "RRType",
+    "Rcode",
+    "Opcode",
+    "Name",
+    "ROOT_NAME",
+    "ResourceRecord",
+    "RRset",
+    "Header",
+    "Message",
+    "Question",
+    "EdnsOptions",
+    "add_edns",
+    "get_edns",
+    "wants_dnssec",
+    "CompressionContext",
+    "compress_names",
+    "frame_stream",
+    "deframe_stream",
+    "rdata",
+]

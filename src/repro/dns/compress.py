@@ -1,0 +1,71 @@
+"""DNS name compression (RFC 1035 §4.1.4) — the writer side.
+
+The decoder in :mod:`repro.dns.name` always understood compression
+pointers; this module implements the *encoding* side: a compression
+context that replaces name suffixes already emitted in the message with
+2-octet pointers.  Root zone AXFR payloads compress dramatically (every
+owner shares the root suffix, every NS target shares ``root-servers.net``
+or ``nic.<tld>``), which is what lets real servers pack thousands of
+records per message.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.dns.name import Name
+
+#: Pointers are 14-bit: offsets beyond this cannot be referenced.
+MAX_POINTER_OFFSET = 0x3FFF
+
+
+class CompressionContext:
+    """Tracks name suffixes already written into a message."""
+
+    def __init__(self) -> None:
+        #: lowercased label tuple -> offset of its first occurrence
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+
+    def write_name(self, name: Name, out: bytearray) -> None:
+        """Append *name* to *out*, compressed against prior content.
+
+        Compression is case-insensitive on matching (per RFC 1035
+        §4.1.4) but the emitted labels keep their original case.
+        """
+        labels = name.labels
+        lowered = tuple(l.lower() for l in labels)
+        for i in range(len(labels)):
+            suffix = lowered[i:]
+            pointer = self._offsets.get(suffix)
+            if pointer is not None:
+                out.extend(struct.pack("!H", 0xC000 | pointer))
+                return
+            offset = len(out)
+            if offset <= MAX_POINTER_OFFSET:
+                self._offsets[suffix] = offset
+            out.append(len(labels[i]))
+            out.extend(labels[i])
+        out.append(0)
+
+
+def compress_names(names: list, initial: bytes = b"") -> bytes:
+    """Encode a sequence of names into one buffer with compression.
+
+    *initial* is prefix content (e.g. a message header) that offsets are
+    measured against.  Convenience for tests and size accounting.
+    """
+    out = bytearray(initial)
+    context = CompressionContext()
+    for name in names:
+        context.write_name(name, out)
+    return bytes(out)
+
+
+def compression_ratio(names: list) -> float:
+    """Bytes saved by compression vs uncompressed encoding (0..1)."""
+    uncompressed = sum(len(n.to_wire()) for n in names)
+    if uncompressed == 0:
+        return 0.0
+    compressed = len(compress_names(names))
+    return 1.0 - compressed / uncompressed

@@ -1,0 +1,93 @@
+"""DNS protocol constants (RFC 1035 and successors).
+
+Values are the IANA-assigned numbers so wire encodings are authentic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record types used by the study's measurement suite."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    ZONEMD = 63
+    AXFR = 252
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        """Parse a type mnemonic (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR type: {text!r}") from None
+
+
+class RRClass(enum.IntEnum):
+    """Record classes; CHAOS is used for server-identity queries."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRClass":
+        """Parse a class mnemonic (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR class: {text!r}") from None
+
+
+class Opcode(enum.IntEnum):
+    """Message opcodes."""
+
+    QUERY = 0
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Rcode(enum.IntEnum):
+    """Response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+#: ZONEMD scheme: SIMPLE (RFC 8976 §2.2.1).
+ZONEMD_SCHEME_SIMPLE = 1
+
+#: ZONEMD hash algorithms (RFC 8976 §2.2.2 and the private-use range the
+#: root zone used during the non-validatable roll-out phase).
+ZONEMD_ALG_SHA384 = 1
+ZONEMD_ALG_SHA512 = 2
+ZONEMD_ALG_PRIVATE = 240  # private-use; deployed 2023-09-13 .. 2023-12-06
+
+#: DNSKEY flags.
+DNSKEY_FLAG_ZONE = 0x0100
+DNSKEY_FLAG_SEP = 0x0001  # KSK marker
+
+#: DNSSEC algorithm number we emulate (RSASHA256); see DESIGN.md for the
+#: HMAC-based substitution of the public-key primitive.
+DNSSEC_ALG_RSASHA256 = 8
+
+#: Standard DNS port.
+DNS_PORT = 53

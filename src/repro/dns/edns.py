@@ -1,0 +1,98 @@
+"""EDNS(0) — RFC 6891.
+
+The measurement suite runs ``dig +dnssec``, which attaches an OPT
+pseudo-record advertising the buffer size and setting the DO bit; the
+simulated servers answer with RRSIGs only when DO is set, mirroring real
+behaviour.  The OPT record abuses the RR fields: CLASS carries the
+requestor's UDP payload size and TTL packs extended RCODE, version and
+the flag bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.message import Message
+from repro.dns.name import ROOT_NAME
+from repro.dns.rdata import OPT
+from repro.dns.records import ResourceRecord
+
+#: DO ("DNSSEC OK") flag bit within the OPT TTL field.
+EDNS_FLAG_DO = 0x8000
+
+#: Common advertised payload sizes.
+DEFAULT_PAYLOAD_SIZE = 1232  # the DNS-flag-day recommendation
+CLASSIC_PAYLOAD_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class EdnsOptions:
+    """Parsed view of a message's OPT record."""
+
+    payload_size: int
+    version: int
+    dnssec_ok: bool
+    extended_rcode: int = 0
+
+    def to_record(self) -> ResourceRecord:
+        """Encode into the OPT pseudo-record."""
+        ttl = (self.extended_rcode & 0xFF) << 24
+        ttl |= (self.version & 0xFF) << 16
+        if self.dnssec_ok:
+            ttl |= EDNS_FLAG_DO
+        return ResourceRecord(
+            name=ROOT_NAME,
+            rrtype=RRType.OPT,
+            rrclass=self.payload_size,  # type: ignore[arg-type]
+            ttl=ttl,
+            rdata=OPT(),
+        )
+
+    @classmethod
+    def from_record(cls, record: ResourceRecord) -> "EdnsOptions":
+        if record.rrtype != RRType.OPT:
+            raise ValueError(f"not an OPT record: {record.rrtype}")
+        ttl = record.ttl
+        return cls(
+            payload_size=int(record.rrclass),
+            version=(ttl >> 16) & 0xFF,
+            dnssec_ok=bool(ttl & EDNS_FLAG_DO),
+            extended_rcode=(ttl >> 24) & 0xFF,
+        )
+
+
+def add_edns(
+    message: Message,
+    payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    dnssec_ok: bool = False,
+) -> Message:
+    """Attach an OPT record (idempotent: replaces an existing one)."""
+    strip_edns(message)
+    options = EdnsOptions(
+        payload_size=payload_size, version=0, dnssec_ok=dnssec_ok
+    )
+    message.additional.append(options.to_record())
+    return message
+
+
+def get_edns(message: Message) -> Optional[EdnsOptions]:
+    """The message's EDNS options, or None for a plain DNS message."""
+    for record in message.additional:
+        if record.rrtype == RRType.OPT:
+            return EdnsOptions.from_record(record)
+    return None
+
+
+def strip_edns(message: Message) -> None:
+    """Remove any OPT records from the additional section."""
+    message.additional = [
+        r for r in message.additional if r.rrtype != RRType.OPT
+    ]
+
+
+def wants_dnssec(message: Message) -> bool:
+    """Did the client set the DO bit (``dig +dnssec``)?"""
+    options = get_edns(message)
+    return options is not None and options.dnssec_ok

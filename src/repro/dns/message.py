@@ -1,0 +1,187 @@
+"""DNS messages: header, question, full wire codec.
+
+Good enough to round-trip everything the measurement suite sends and the
+simulated root servers answer: ordinary queries, CHAOS identity queries,
+and multi-record AXFR response streams.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dns.constants import Opcode, RRClass, RRType, Rcode
+from repro.dns.name import Name
+from repro.dns.records import ResourceRecord
+
+#: Header flag bit masks.
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+FLAG_AD = 0x0020
+FLAG_CD = 0x0010
+
+
+@dataclass
+class Header:
+    """The 12-octet DNS message header."""
+
+    msg_id: int = 0
+    qr: bool = False
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = False
+    ra: bool = False
+    ad: bool = False
+    cd: bool = False
+    rcode: Rcode = Rcode.NOERROR
+
+    def flags_word(self) -> int:
+        word = 0
+        if self.qr:
+            word |= FLAG_QR
+        word |= (int(self.opcode) & 0xF) << 11
+        if self.aa:
+            word |= FLAG_AA
+        if self.tc:
+            word |= FLAG_TC
+        if self.rd:
+            word |= FLAG_RD
+        if self.ra:
+            word |= FLAG_RA
+        if self.ad:
+            word |= FLAG_AD
+        if self.cd:
+            word |= FLAG_CD
+        word |= int(self.rcode) & 0xF
+        return word
+
+    @classmethod
+    def from_flags_word(cls, msg_id: int, word: int) -> "Header":
+        return cls(
+            msg_id=msg_id,
+            qr=bool(word & FLAG_QR),
+            opcode=Opcode((word >> 11) & 0xF),
+            aa=bool(word & FLAG_AA),
+            tc=bool(word & FLAG_TC),
+            rd=bool(word & FLAG_RD),
+            ra=bool(word & FLAG_RA),
+            ad=bool(word & FLAG_AD),
+            cd=bool(word & FLAG_CD),
+            rcode=Rcode(word & 0xF),
+        )
+
+
+@dataclass(frozen=True)
+class Question:
+    """One question-section entry."""
+
+    qname: Name
+    qtype: RRType
+    qclass: RRClass = RRClass.IN
+
+    def to_wire(self) -> bytes:
+        return self.qname.to_wire() + struct.pack("!HH", int(self.qtype), int(self.qclass))
+
+    @classmethod
+    def from_wire(cls, wire: bytes, offset: int) -> Tuple["Question", int]:
+        qname, pos = Name.from_wire(wire, offset)
+        qtype, qclass = struct.unpack_from("!HH", wire, pos)
+        return cls(qname, RRType(qtype), RRClass(qclass)), pos + 4
+
+
+@dataclass
+class Message:
+    """A complete DNS message."""
+
+    header: Header = field(default_factory=Header)
+    questions: List[Question] = field(default_factory=list)
+    answers: List[ResourceRecord] = field(default_factory=list)
+    authority: List[ResourceRecord] = field(default_factory=list)
+    additional: List[ResourceRecord] = field(default_factory=list)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def make_query(
+        cls,
+        qname: Name,
+        qtype: RRType,
+        qclass: RRClass = RRClass.IN,
+        msg_id: int = 0,
+        rd: bool = False,
+    ) -> "Message":
+        """Build a query message (what ``dig`` sends)."""
+        return cls(
+            header=Header(msg_id=msg_id, rd=rd),
+            questions=[Question(qname, qtype, qclass)],
+        )
+
+    def make_response(self, rcode: Rcode = Rcode.NOERROR, aa: bool = True) -> "Message":
+        """Skeleton response echoing this query's id and question."""
+        return Message(
+            header=Header(
+                msg_id=self.header.msg_id, qr=True, aa=aa, rd=self.header.rd, rcode=rcode
+            ),
+            questions=list(self.questions),
+        )
+
+    @property
+    def question(self) -> Optional[Question]:
+        """First question, or None."""
+        return self.questions[0] if self.questions else None
+
+    # -- codec ----------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Serialise to wire format (uncompressed names)."""
+        out = bytearray()
+        out.extend(
+            struct.pack(
+                "!HHHHHH",
+                self.header.msg_id,
+                self.header.flags_word(),
+                len(self.questions),
+                len(self.answers),
+                len(self.authority),
+                len(self.additional),
+            )
+        )
+        for q in self.questions:
+            out.extend(q.to_wire())
+        for section in (self.answers, self.authority, self.additional):
+            for rec in section:
+                out.extend(rec.to_wire())
+        return bytes(out)
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        """Parse a complete message from wire format."""
+        if len(wire) < 12:
+            raise ValueError("message shorter than header")
+        msg_id, flags, qd, an, ns, ar = struct.unpack_from("!HHHHHH", wire, 0)
+        msg = cls(header=Header.from_flags_word(msg_id, flags))
+        pos = 12
+        for _ in range(qd):
+            q, pos = Question.from_wire(wire, pos)
+            msg.questions.append(q)
+        for count, section in ((an, msg.answers), (ns, msg.authority), (ar, msg.additional)):
+            for _ in range(count):
+                rec, pos = ResourceRecord.from_wire(wire, pos)
+                section.append(rec)
+        if pos != len(wire):
+            raise ValueError(f"{len(wire) - pos} trailing octets after message")
+        return msg
+
+    # -- convenience ------------------------------------------------------------
+
+    def answer_rrs(self, rrtype: RRType) -> List[ResourceRecord]:
+        """Answer-section records of the given type."""
+        return [r for r in self.answers if r.rrtype == rrtype]
+
+    def __len__(self) -> int:
+        return len(self.to_wire())

@@ -1,0 +1,46 @@
+"""DNSSEC machinery: keys, RRSIG sign/validate, NSEC chains and the
+RFC 8976 ZONEMD zone digest whose roll-out the paper's RQ3 studies.
+
+Cryptographic substitution (see DESIGN.md): without an RSA/ECDSA library
+offline, signatures are HMAC-SHA256 keyed by the DNSKEY public-key field.
+Every *structural* part of DNSSEC — canonical forms, key tags,
+inception/expiration windows, digest comparison, the full error taxonomy —
+is implemented per-RFC, so the validation pipeline behaves exactly like
+``ldns-verify-zone`` against real zones: any flipped bit, stale signature
+or skewed clock produces the same class of validation error.
+"""
+
+from repro.dnssec.keys import ZoneKey, KeyPair, generate_keypair
+from repro.dnssec.sign import sign_rrset, sign_zone_records
+from repro.dnssec.validate import (
+    ValidationError,
+    ValidationIssue,
+    ValidationReport,
+    validate_rrset,
+    validate_zone,
+)
+from repro.dnssec.zonemd import (
+    compute_zone_digest,
+    make_zonemd_record,
+    verify_zonemd,
+    ZonemdStatus,
+)
+from repro.dnssec.nsec import build_nsec_chain
+
+__all__ = [
+    "ZoneKey",
+    "KeyPair",
+    "generate_keypair",
+    "sign_rrset",
+    "sign_zone_records",
+    "ValidationError",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_rrset",
+    "validate_zone",
+    "compute_zone_digest",
+    "make_zonemd_record",
+    "verify_zonemd",
+    "ZonemdStatus",
+    "build_nsec_chain",
+]

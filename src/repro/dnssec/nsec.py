@@ -1,0 +1,69 @@
+"""NSEC chain construction (RFC 4034 §4).
+
+The root zone carries a complete NSEC chain; the paper's Figure 10 bitflip
+specifically hit an RRSIG covering an NSEC record of ``world.``, so the
+simulated zone needs an authentic chain for the fault-injection experiment
+to reproduce that artefact class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import NSEC
+from repro.dns.records import ResourceRecord
+
+
+def build_nsec_chain(
+    records: Iterable[ResourceRecord],
+    apex: Name,
+    ttl: int = 86400,
+) -> List[ResourceRecord]:
+    """Build the NSEC records linking every owner name in canonical order.
+
+    Each NSEC lists the types present at its owner (plus NSEC and RRSIG,
+    which will exist after signing), and points to the canonically next
+    name; the last wraps to the apex.
+    """
+    types_at: Dict[Name, Set[int]] = {}
+    for rec in records:
+        types_at.setdefault(rec.name, set()).add(int(rec.rrtype))
+    if apex not in types_at:
+        raise ValueError("zone records lack the apex")
+
+    ordered = sorted(types_at.keys(), key=lambda n: n.canonical_key())
+    chain: List[ResourceRecord] = []
+    for i, owner in enumerate(ordered):
+        next_name = ordered[(i + 1) % len(ordered)]
+        present: Tuple[int, ...] = tuple(
+            sorted(types_at[owner] | {int(RRType.NSEC), int(RRType.RRSIG)})
+        )
+        rdata = NSEC(next_name=next_name, types=present)
+        chain.append(ResourceRecord(owner, RRType.NSEC, RRClass.IN, ttl, rdata))
+    return chain
+
+
+def verify_nsec_chain(records: Iterable[ResourceRecord], apex: Name) -> List[str]:
+    """Check chain closure; returns a list of problems (empty if sound)."""
+    nsecs = [
+        r for r in records if r.rrtype == RRType.NSEC
+    ]
+    problems: List[str] = []
+    if not nsecs:
+        return ["zone has no NSEC records"]
+    owners = sorted((r.name for r in nsecs), key=lambda n: n.canonical_key())
+    by_owner = {r.name: r for r in nsecs}
+    if apex not in by_owner:
+        problems.append("no NSEC at apex")
+    for i, owner in enumerate(owners):
+        expected_next = owners[(i + 1) % len(owners)]
+        rdata = by_owner[owner].rdata
+        assert isinstance(rdata, NSEC)
+        if rdata.next_name != expected_next:
+            problems.append(
+                f"NSEC at {owner.to_text()} points to "
+                f"{rdata.next_name.to_text()}, expected {expected_next.to_text()}"
+            )
+    return problems

@@ -1,0 +1,164 @@
+"""KSK rollover machinery: the schedule and an RFC 5011 tracker.
+
+The paper's related work (Mueller et al.) analysed the root's first KSK
+rollover; this module makes rollovers a first-class event the simulated
+zone can undergo, plus the client side: RFC 5011 "automated updates of
+trust anchors" — new SEP keys are trusted only after an add-hold-down
+period of continuous observation, and revoked keys are dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dns.constants import DNSKEY_FLAG_SEP
+from repro.dns.rdata import DNSKEY
+from repro.util.timeutil import DAY, Timestamp
+
+#: The REVOKE flag bit (RFC 5011 §2.1).
+DNSKEY_FLAG_REVOKE = 0x0080
+
+#: RFC 5011 §2.4.1: 30 days add hold-down.
+ADD_HOLD_DOWN_S = 30 * DAY
+
+
+@dataclass(frozen=True)
+class KskRolloverSchedule:
+    """The phases of a root KSK rollover (2017-18 style).
+
+    * ``publish_ts``  — the new KSK appears in the DNSKEY RRset,
+    * ``swap_ts``     — the new KSK starts signing the DNSKEY RRset,
+    * ``revoke_ts``   — the old KSK is published with the REVOKE bit,
+    * ``remove_ts``   — the old KSK disappears.
+    """
+
+    publish_ts: Timestamp
+    swap_ts: Timestamp
+    revoke_ts: Timestamp
+    remove_ts: Timestamp
+
+    def __post_init__(self) -> None:
+        stamps = (self.publish_ts, self.swap_ts, self.revoke_ts, self.remove_ts)
+        if list(stamps) != sorted(stamps) or len(set(stamps)) != 4:
+            raise ValueError("rollover phases must be strictly increasing")
+
+    def phase(self, ts: Timestamp) -> str:
+        """The rollover phase at *ts*."""
+        if ts < self.publish_ts:
+            return "pre"
+        if ts < self.swap_ts:
+            return "published"
+        if ts < self.revoke_ts:
+            return "swapped"
+        if ts < self.remove_ts:
+            return "revoked"
+        return "done"
+
+
+def revoked(key: DNSKEY) -> DNSKEY:
+    """The key with its REVOKE bit set (key tag changes, per RFC 5011)."""
+    return DNSKEY(
+        flags=key.flags | DNSKEY_FLAG_REVOKE,
+        protocol=key.protocol,
+        algorithm=key.algorithm,
+        public_key=key.public_key,
+    )
+
+
+def is_revoked(key: DNSKEY) -> bool:
+    return bool(key.flags & DNSKEY_FLAG_REVOKE)
+
+
+class AnchorState(enum.Enum):
+    """RFC 5011 key states (simplified to the observable ones)."""
+
+    PENDING = "AddPend: seen, hold-down running"
+    TRUSTED = "Valid: usable trust anchor"
+    REVOKED = "Revoked: permanently distrusted"
+
+
+@dataclass
+class _TrackedKey:
+    state: AnchorState
+    first_seen: Timestamp
+    last_seen: Timestamp
+
+
+class TrustAnchorTracker:
+    """An RFC 5011 validator's view of the root's SEP keys.
+
+    Feed it the DNSKEY RRset each time the resolver checks (at least
+    every ~half hold-down in practice); query :meth:`trusted_tags` for
+    the current anchor set.
+    """
+
+    def __init__(self, initial_anchor: DNSKEY, bootstrap_ts: Timestamp = 0) -> None:
+        if not initial_anchor.is_sep():
+            raise ValueError("trust anchor must be a SEP key")
+        self._keys: Dict[int, _TrackedKey] = {
+            initial_anchor.key_tag(): _TrackedKey(
+                state=AnchorState.TRUSTED,
+                first_seen=bootstrap_ts,
+                last_seen=bootstrap_ts,
+            )
+        }
+        self._key_material: Dict[int, DNSKEY] = {
+            initial_anchor.key_tag(): initial_anchor
+        }
+
+    def observe(self, dnskeys: List[DNSKEY], now: Timestamp) -> None:
+        """Process one observation of the apex DNSKEY RRset."""
+        seen_tags: Set[int] = set()
+        for key in dnskeys:
+            if not key.is_sep():
+                continue
+            tag = key.key_tag()
+            seen_tags.add(tag)
+            tracked = self._keys.get(tag)
+            if is_revoked(key):
+                # A revoked key's tag differs from its unrevoked tag;
+                # match on key material instead.
+                base_tag = self._match_unrevoked(key)
+                if base_tag is not None:
+                    self._keys[base_tag].state = AnchorState.REVOKED
+                    self._keys[base_tag].last_seen = now
+                continue
+            if tracked is None:
+                self._keys[tag] = _TrackedKey(
+                    state=AnchorState.PENDING, first_seen=now, last_seen=now
+                )
+                self._key_material[tag] = key
+                continue
+            tracked.last_seen = now
+            if (
+                tracked.state is AnchorState.PENDING
+                and now - tracked.first_seen >= ADD_HOLD_DOWN_S
+            ):
+                tracked.state = AnchorState.TRUSTED
+
+    def _match_unrevoked(self, revoked_key: DNSKEY) -> Optional[int]:
+        for tag, key in self._key_material.items():
+            if key.public_key == revoked_key.public_key:
+                return tag
+        return None
+
+    # -- queries --------------------------------------------------------------------
+
+    def trusted_tags(self) -> Set[int]:
+        return {
+            tag
+            for tag, tracked in self._keys.items()
+            if tracked.state is AnchorState.TRUSTED
+        }
+
+    def state_of(self, key_tag: int) -> Optional[AnchorState]:
+        tracked = self._keys.get(key_tag)
+        return None if tracked is None else tracked.state
+
+    def can_validate(self, signing_tag: int) -> bool:
+        """Would this validator accept a DNSKEY RRset signed by
+        *signing_tag*?  The would-break-the-Internet question of the
+        2018 rollover."""
+        return signing_tag in self.trusted_tags()

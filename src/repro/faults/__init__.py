@@ -1,0 +1,25 @@
+"""Fault injection.
+
+The paper's Table 2 error taxonomy arises from three real-world fault
+classes, all injectable here:
+
+* **bitflips** in transferred zones (faulty VP memory / transit / server),
+* **stale zone files** at individual sites (two d.root sites served
+  expired signatures),
+* **skewed VP clocks** (six time-related validation errors on two VPs).
+"""
+
+from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone, BitflipReport
+from repro.faults.stale import StaleZoneEvent
+from repro.faults.clock import ClockSkewPlan
+from repro.faults.plan import FaultPlan, default_fault_plan
+
+__all__ = [
+    "BitflipEvent",
+    "flip_bit_in_zone",
+    "BitflipReport",
+    "StaleZoneEvent",
+    "ClockSkewPlan",
+    "FaultPlan",
+    "default_fault_plan",
+]

@@ -1,0 +1,127 @@
+"""Bitflip injection into zone copies.
+
+The paper observed eight AXFR transfers with single-bit corruption,
+affecting three VPs and five servers; Figure 10 shows a flipped bit in an
+RRSIG over ``world.``'s NSEC, and one flip turned the TLD ``.ruhr`` into
+``.buèr`` — a potential homograph vector.  Both corruption classes are
+reproduced: flips into RRSIG signature bytes and flips into owner-name
+label bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import RRSIG, Rdata
+from repro.dns.records import ResourceRecord
+from repro.netsim.mix import mix64, mix_str
+from repro.util.timeutil import Timestamp
+from repro.zone.zone import Zone
+
+
+@dataclass(frozen=True)
+class BitflipEvent:
+    """Corruption affecting one VP's transfers during a time window."""
+
+    vp_id: int
+    start_ts: Timestamp
+    end_ts: Timestamp
+    #: Restrict to one service address (None = all transfers of the VP).
+    address: Optional[str] = None
+    #: "rrsig" flips a signature byte; "label" flips an owner-name byte.
+    kind: str = "rrsig"
+
+    def applies(self, vp_id: int, ts: Timestamp, address: str) -> bool:
+        """Does this event corrupt the given transfer?"""
+        if vp_id != self.vp_id or not self.start_ts <= ts < self.end_ts:
+            return False
+        return self.address is None or self.address == address
+
+
+@dataclass(frozen=True)
+class BitflipReport:
+    """What a flip did — feeds the Figure 10 reproduction."""
+
+    record_index: int
+    description: str
+    before_text: str
+    after_text: str
+
+
+def _flip_rrsig(record: ResourceRecord, bit_seed: int) -> Tuple[ResourceRecord, str]:
+    rdata = record.rdata
+    assert isinstance(rdata, RRSIG)
+    sig = bytearray(rdata.signature)
+    position = mix64(bit_seed, 1) % len(sig)
+    bit = mix64(bit_seed, 2) % 8
+    sig[position] ^= 1 << bit
+    flipped = RRSIG(
+        type_covered=rdata.type_covered,
+        algorithm=rdata.algorithm,
+        labels=rdata.labels,
+        original_ttl=rdata.original_ttl,
+        expiration=rdata.expiration,
+        inception=rdata.inception,
+        key_tag=rdata.key_tag,
+        signer=rdata.signer,
+        signature=bytes(sig),
+    )
+    return (
+        ResourceRecord(record.name, record.rrtype, record.rrclass, record.ttl, flipped),
+        f"RRSIG signature byte {position} bit {bit}",
+    )
+
+
+def _flip_label(record: ResourceRecord, bit_seed: int) -> Tuple[ResourceRecord, str]:
+    labels = [bytearray(l) for l in record.name.labels]
+    assert labels, "cannot flip a bit in the root name"
+    label = labels[0]
+    position = mix64(bit_seed, 3) % len(label)
+    # Flip bit 4: within ASCII letters this maps r->b style, the paper's
+    # ``.ruhr`` -> homograph class of corruption.
+    label[position] ^= 0x10
+    flipped_name = Name(bytes(l) for l in labels)
+    return (
+        ResourceRecord(flipped_name, record.rrtype, record.rrclass, record.ttl, record.rdata),
+        f"owner label byte {position} bit 4 ({record.name.to_text()} -> {flipped_name.to_text()})",
+    )
+
+
+def flip_bit_in_zone(zone: Zone, event: BitflipEvent, ts: Timestamp) -> Tuple[Zone, BitflipReport]:
+    """Return a corrupted copy of *zone* plus a report of the damage.
+
+    The flipped record is chosen deterministically from (event, ts), so a
+    given faulty transfer is reproducible.
+    """
+    bit_seed = mix64(event.vp_id, ts, mix_str(event.kind))
+    if event.kind == "rrsig":
+        indices = [
+            i for i, r in enumerate(zone.records) if r.rrtype == RRType.RRSIG
+        ]
+    elif event.kind == "label":
+        indices = [
+            i
+            for i, r in enumerate(zone.records)
+            if r.name != zone.apex and r.rrtype == RRType.NS
+        ]
+    else:
+        raise ValueError(f"unknown bitflip kind: {event.kind!r}")
+    if not indices:
+        raise ValueError(f"zone has no target records for kind {event.kind!r}")
+    index = indices[mix64(bit_seed, 9) % len(indices)]
+    record = zone.records[index]
+    if event.kind == "rrsig":
+        flipped, description = _flip_rrsig(record, bit_seed)
+    else:
+        flipped, description = _flip_label(record, bit_seed)
+    mutated = zone.copy()
+    mutated.replace_record(index, flipped)
+    return mutated, BitflipReport(
+        record_index=index,
+        description=description,
+        before_text=record.to_text(),
+        after_text=flipped.to_text(),
+    )

@@ -1,0 +1,74 @@
+"""VP clock-skew faults.
+
+Signature validity is checked against the *validation* time; a VP whose
+clock is days off produces ``signature not incepted`` (clock behind) or
+``signature expired`` (clock ahead) errors on perfectly good zones —
+the paper traced six Table 2 errors to two such VPs.
+
+Skew is episodic: real node clocks break for a stretch (NTP outage,
+battery-dead RTC after a reboot) and get fixed, so each entry carries a
+time window outside which the VP's clock is accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.util.timeutil import DAY, Timestamp, parse_ts
+
+
+@dataclass(frozen=True)
+class SkewEpisode:
+    """One broken-clock episode of one VP."""
+
+    offset_s: int  # positive = clock runs ahead
+    start_ts: Timestamp
+    end_ts: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.end_ts <= self.start_ts:
+            raise ValueError("skew episode must have positive length")
+
+    def offset_at(self, ts: Timestamp) -> int:
+        return self.offset_s if self.start_ts <= ts < self.end_ts else 0
+
+
+@dataclass(frozen=True)
+class ClockSkewPlan:
+    """vp_id -> that VP's skew episode."""
+
+    episodes: Dict[int, SkewEpisode] = field(default_factory=dict)
+
+    def offset_for(self, vp_id: int, ts: Timestamp) -> int:
+        episode = self.episodes.get(vp_id)
+        return 0 if episode is None else episode.offset_at(ts)
+
+    @property
+    def vp_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.episodes))
+
+    @classmethod
+    def paper_like(cls, behind_vp: int, ahead_vp: int) -> "ClockSkewPlan":
+        """Two faulty VPs, as in Table 2:
+
+        * one ~12 days behind for a few days in late December (signing
+          batches lead publication by at most ~11 days, so 12 days behind
+          always lands before inception — the '#SOA 5, 5 obs' row),
+        * one ~16 days behind for a day in early October (the
+          single-observation row).
+        """
+        return cls(
+            episodes={
+                behind_vp: SkewEpisode(
+                    offset_s=-12 * DAY,
+                    start_ts=parse_ts("2023-12-19"),
+                    end_ts=parse_ts("2023-12-23") + 12 * 3600,
+                ),
+                ahead_vp: SkewEpisode(
+                    offset_s=-16 * DAY,
+                    start_ts=parse_ts("2023-10-02"),
+                    end_ts=parse_ts("2023-10-04"),
+                ),
+            }
+        )

@@ -1,0 +1,134 @@
+"""The combined fault plan for a campaign.
+
+``default_fault_plan`` reproduces the *classes and rough magnitudes* of
+the paper's Table 2: a handful of bitflipped transfers across a few VPs
+and servers, two stale d.root sites (one Asian, one European), and two
+VPs with skewed clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.faults.bitflip import BitflipEvent
+from repro.faults.clock import ClockSkewPlan
+from repro.faults.stale import StaleZoneEvent
+from repro.geo.continents import Continent
+from repro.rss.sites import Site, SiteCatalog
+from repro.util.timeutil import DAY, HOUR, Timestamp, parse_ts
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All faults scheduled for one campaign."""
+
+    bitflips: Sequence[BitflipEvent] = ()
+    stale_sites: Sequence[StaleZoneEvent] = ()
+    clocks: ClockSkewPlan = field(default_factory=ClockSkewPlan)
+
+    def bitflip_for(self, vp_id: int, ts: Timestamp, address: str) -> Optional[BitflipEvent]:
+        """The bitflip event hitting this transfer, if any."""
+        for event in self.bitflips:
+            if event.applies(vp_id, ts, address):
+                return event
+        return None
+
+
+def _pick_site(catalog: SiteCatalog, letter: str, continent: Continent) -> Optional[Site]:
+    for site in catalog.of_letter(letter):
+        if site.continent is continent:
+            return site
+    return None
+
+
+def default_fault_plan(
+    catalog: SiteCatalog,
+    n_vps: int,
+    campaign_start: Timestamp = parse_ts("2023-07-03"),
+    stale_site_keys: Optional[Sequence[str]] = None,
+) -> FaultPlan:
+    """The Table 2-shaped fault schedule.
+
+    VP indices are taken modulo the population size so scaled-down rings
+    still exhibit every fault class.  *stale_site_keys* overrides the
+    auto-picked d.root sites (callers who know the catchments pass the
+    most-visited Asian and European d.root sites, like the paper's Tokyo
+    and Leeds observations).
+    """
+    flaky_vp_a = 17 % n_vps  # faulty RAM, several servers affected
+    flaky_vp_b = 211 % n_vps  # faulty RAM, single-shot events
+    flaky_vp_c = 433 % n_vps  # one label flip (the .ruhr homograph class)
+    clock_behind_vp = 101 % n_vps
+    clock_ahead_vp = 302 % n_vps
+
+    bitflips: List[BitflipEvent] = [
+        # Recurring flips on one VP across servers (paper: d(v6) 3 obs).
+        BitflipEvent(
+            vp_id=flaky_vp_a,
+            start_ts=parse_ts("2023-09-26"),
+            end_ts=parse_ts("2023-09-26") + 12 * HOUR,
+            address="2001:500:2d::d",
+        ),
+        BitflipEvent(
+            vp_id=flaky_vp_a,
+            start_ts=parse_ts("2023-10-24"),
+            end_ts=parse_ts("2023-10-24") + 12 * HOUR,
+            address="2001:500:2d::d",
+        ),
+        # Single-shot flips on a second VP against two servers.
+        BitflipEvent(
+            vp_id=flaky_vp_b,
+            start_ts=parse_ts("2023-11-18"),
+            end_ts=parse_ts("2023-11-18") + 12 * HOUR,
+            address="2001:500:12::d0d",
+        ),
+        BitflipEvent(
+            vp_id=flaky_vp_b,
+            start_ts=parse_ts("2023-11-21"),
+            end_ts=parse_ts("2023-11-21") + 12 * HOUR,
+            address="199.9.14.201",
+        ),
+        BitflipEvent(
+            vp_id=flaky_vp_b,
+            start_ts=parse_ts("2023-10-09"),
+            end_ts=parse_ts("2023-10-09") + 12 * HOUR,
+            address="2001:500:2::c",
+        ),
+        # One owner-label flip: the homograph-class corruption.
+        BitflipEvent(
+            vp_id=flaky_vp_c,
+            start_ts=parse_ts("2023-09-26"),
+            end_ts=parse_ts("2023-09-26") + 12 * HOUR,
+            address="192.112.36.4",
+            kind="label",
+        ),
+    ]
+
+    stale_sites: List[StaleZoneEvent] = []
+    if stale_site_keys is not None:
+        keys = list(stale_site_keys)
+    else:
+        keys = []
+        tokyo_like = _pick_site(catalog, "d", Continent.ASIA)
+        leeds_like = _pick_site(catalog, "d", Continent.EUROPE)
+        if tokyo_like is not None:
+            keys.append(tokyo_like.key)
+        if leeds_like is not None:
+            keys.append(leeds_like.key)
+    stale_windows = [
+        (parse_ts("2023-08-02"), parse_ts("2023-08-16") + 12 * HOUR),
+        (parse_ts("2023-09-22"), parse_ts("2023-10-06") + 14 * HOUR),
+    ]
+    for key, (freeze_from, detected_until) in zip(keys, stale_windows):
+        stale_sites.append(
+            StaleZoneEvent(
+                letter="d",
+                site_key=key,
+                freeze_from=freeze_from,
+                detected_until=detected_until,
+            )
+        )
+
+    clocks = ClockSkewPlan.paper_like(clock_behind_vp, clock_ahead_vp)
+    return FaultPlan(bitflips=bitflips, stale_sites=stale_sites, clocks=clocks)

@@ -1,0 +1,29 @@
+"""Stale-zone faults: a site stops pulling new zone copies.
+
+The paper found two d.root sites (Tokyo, 3 VPs; Leeds, 7 VPs) serving a
+zone with an expired signature — a stale local zone file (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.timeutil import Timestamp
+
+
+@dataclass(frozen=True)
+class StaleZoneEvent:
+    """One site frozen at an old zone copy for a time window."""
+
+    letter: str
+    site_key: str
+    freeze_from: Timestamp  # site keeps the zone current at this instant
+    detected_until: Timestamp  # window end (operator fixes the site)
+
+    def __post_init__(self) -> None:
+        if self.detected_until <= self.freeze_from:
+            raise ValueError("stale window must have positive length")
+
+    def active(self, ts: Timestamp) -> bool:
+        """Is the site stale at *ts*?"""
+        return self.freeze_from <= ts < self.detected_until

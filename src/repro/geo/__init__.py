@@ -1,0 +1,23 @@
+"""Geography substrate: coordinates, great-circle distance, a city catalog
+keyed by IATA codes, and country-to-continent mapping.
+
+Anycast analyses in the paper are geographic at heart (distance to closest
+site, RTT vs region), so both the network simulator and the analysis layer
+share this package.
+"""
+
+from repro.geo.coords import GeoPoint, haversine_km, fiber_rtt_ms
+from repro.geo.continents import Continent, continent_of_country
+from repro.geo.cities import City, CITY_CATALOG, city, cities_in
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "fiber_rtt_ms",
+    "Continent",
+    "continent_of_country",
+    "City",
+    "CITY_CATALOG",
+    "city",
+    "cities_in",
+]

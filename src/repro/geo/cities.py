@@ -1,0 +1,275 @@
+"""City catalog used to place anycast sites, IXPs and vantage points.
+
+Cities are keyed by IATA airport code because root server operators encode
+their site identities with IATA codes (paper §4.2: "{a,c,j,e}.root ... we
+use the IATA airport codes in the nodes' hostnames").  Coordinates are
+approximate city centres — anycast analyses care about inter-city distances
+of hundreds to thousands of kilometres, so sub-10-km error is immaterial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.geo.continents import Continent, continent_of_country
+from repro.geo.coords import GeoPoint
+
+
+@dataclass(frozen=True)
+class City:
+    """A metro area that can host network infrastructure."""
+
+    iata: str
+    name: str
+    country: str  # ISO-3166 alpha-2
+    location: GeoPoint
+
+    @property
+    def continent(self) -> Continent:
+        """Continent of the hosting country."""
+        return continent_of_country(self.country)
+
+
+def _c(iata: str, name: str, country: str, lat: float, lon: float) -> City:
+    return City(iata=iata, name=name, country=country, location=GeoPoint(lat, lon))
+
+
+_CITIES: List[City] = [
+    # --- Europe ---
+    _c("FRA", "Frankfurt", "DE", 50.11, 8.68),
+    _c("AMS", "Amsterdam", "NL", 52.37, 4.90),
+    _c("LHR", "London", "GB", 51.51, -0.13),
+    _c("CDG", "Paris", "FR", 48.86, 2.35),
+    _c("ARN", "Stockholm", "SE", 59.33, 18.07),
+    _c("OSL", "Oslo", "NO", 59.91, 10.75),
+    _c("CPH", "Copenhagen", "DK", 55.68, 12.57),
+    _c("HEL", "Helsinki", "FI", 60.17, 24.94),
+    _c("WAW", "Warsaw", "PL", 52.23, 21.01),
+    _c("PRG", "Prague", "CZ", 50.08, 14.44),
+    _c("VIE", "Vienna", "AT", 48.21, 16.37),
+    _c("ZRH", "Zurich", "CH", 47.38, 8.54),
+    _c("GVA", "Geneva", "CH", 46.20, 6.14),
+    _c("MXP", "Milan", "IT", 45.46, 9.19),
+    _c("FCO", "Rome", "IT", 41.90, 12.50),
+    _c("MAD", "Madrid", "ES", 40.42, -3.70),
+    _c("BCN", "Barcelona", "ES", 41.39, 2.17),
+    _c("LIS", "Lisbon", "PT", 38.72, -9.14),
+    _c("DUB", "Dublin", "IE", 53.35, -6.26),
+    _c("BRU", "Brussels", "BE", 50.85, 4.35),
+    _c("LUX", "Luxembourg", "LU", 49.61, 6.13),
+    _c("SVO", "Moscow", "RU", 55.76, 37.62),
+    _c("LED", "St. Petersburg", "RU", 59.93, 30.34),
+    _c("KBP", "Kyiv", "UA", 50.45, 30.52),
+    _c("OTP", "Bucharest", "RO", 44.43, 26.10),
+    _c("SOF", "Sofia", "BG", 42.70, 23.32),
+    _c("ATH", "Athens", "GR", 37.98, 23.73),
+    _c("BUD", "Budapest", "HU", 47.50, 19.04),
+    _c("BTS", "Bratislava", "SK", 48.15, 17.11),
+    _c("LJU", "Ljubljana", "SI", 46.06, 14.51),
+    _c("ZAG", "Zagreb", "HR", 45.81, 15.98),
+    _c("BEG", "Belgrade", "RS", 44.79, 20.45),
+    _c("TLL", "Tallinn", "EE", 59.44, 24.75),
+    _c("RIX", "Riga", "LV", 56.95, 24.11),
+    _c("VNO", "Vilnius", "LT", 54.69, 25.28),
+    _c("KEF", "Reykjavik", "IS", 64.13, -21.90),
+    _c("MLA", "Valletta", "MT", 35.90, 14.51),
+    _c("LCA", "Larnaca", "CY", 34.92, 33.62),
+    _c("TIA", "Tirana", "AL", 41.33, 19.82),
+    _c("SKP", "Skopje", "MK", 42.00, 21.43),
+    _c("SJJ", "Sarajevo", "BA", 43.86, 18.41),
+    _c("KIV", "Chisinau", "MD", 47.01, 28.86),
+    _c("MSQ", "Minsk", "BY", 53.90, 27.57),
+    _c("MUC", "Munich", "DE", 48.14, 11.58),
+    _c("DUS", "Duesseldorf", "DE", 51.23, 6.78),
+    _c("HAM", "Hamburg", "DE", 53.55, 9.99),
+    _c("TXL", "Berlin", "DE", 52.52, 13.41),
+    _c("MAN", "Manchester", "GB", 53.48, -2.24),
+    _c("LBA", "Leeds", "GB", 53.80, -1.55),
+    _c("EDI", "Edinburgh", "GB", 55.95, -3.19),
+    _c("MRS", "Marseille", "FR", 43.30, 5.37),
+    _c("GOT", "Gothenburg", "SE", 57.71, 11.97),
+    _c("TRD", "Trondheim", "NO", 63.43, 10.40),
+    _c("KRK", "Krakow", "PL", 50.06, 19.94),
+    _c("POZ", "Poznan", "PL", 52.41, 16.93),
+    _c("TSF", "Venice", "IT", 45.44, 12.32),
+    _c("TRN", "Turin", "IT", 45.07, 7.69),
+    _c("VLC", "Valencia", "ES", 39.47, -0.38),
+    _c("OPO", "Porto", "PT", 41.15, -8.61),
+    # --- North America ---
+    _c("IAD", "Washington DC", "US", 38.91, -77.04),
+    _c("JFK", "New York", "US", 40.71, -74.01),
+    _c("EWR", "Newark", "US", 40.74, -74.17),
+    _c("BOS", "Boston", "US", 42.36, -71.06),
+    _c("ATL", "Atlanta", "US", 33.75, -84.39),
+    _c("MIA", "Miami", "US", 25.76, -80.19),
+    _c("ORD", "Chicago", "US", 41.88, -87.63),
+    _c("DFW", "Dallas", "US", 32.78, -96.80),
+    _c("IAH", "Houston", "US", 29.76, -95.37),
+    _c("DEN", "Denver", "US", 39.74, -104.99),
+    _c("PHX", "Phoenix", "US", 33.45, -112.07),
+    _c("LAX", "Los Angeles", "US", 34.05, -118.24),
+    _c("SJC", "San Jose", "US", 37.34, -121.89),
+    _c("SFO", "San Francisco", "US", 37.77, -122.42),
+    _c("SEA", "Seattle", "US", 47.61, -122.33),
+    _c("PDX", "Portland", "US", 45.52, -122.68),
+    _c("SLC", "Salt Lake City", "US", 40.76, -111.89),
+    _c("MSP", "Minneapolis", "US", 44.98, -93.27),
+    _c("DTW", "Detroit", "US", 42.33, -83.05),
+    _c("CLT", "Charlotte", "US", 35.23, -80.84),
+    _c("MCI", "Kansas City", "US", 39.10, -94.58),
+    _c("STL", "St. Louis", "US", 38.63, -90.20),
+    _c("LAS", "Las Vegas", "US", 36.17, -115.14),
+    _c("SAN", "San Diego", "US", 32.72, -117.16),
+    _c("ANC", "Anchorage", "US", 61.22, -149.90),
+    _c("HNL", "Honolulu", "US", 21.31, -157.86),
+    _c("YYZ", "Toronto", "CA", 43.65, -79.38),
+    _c("YUL", "Montreal", "CA", 45.50, -73.57),
+    _c("YVR", "Vancouver", "CA", 49.28, -123.12),
+    _c("YYC", "Calgary", "CA", 51.05, -114.07),
+    _c("YOW", "Ottawa", "CA", 45.42, -75.70),
+    _c("YWG", "Winnipeg", "CA", 49.90, -97.14),
+    _c("MEX", "Mexico City", "MX", 19.43, -99.13),
+    _c("GDL", "Guadalajara", "MX", 20.67, -103.35),
+    _c("MTY", "Monterrey", "MX", 25.69, -100.32),
+    _c("PTY", "Panama City", "PA", 8.98, -79.52),
+    _c("SJO", "San Jose CR", "CR", 9.93, -84.08),
+    _c("GUA", "Guatemala City", "GT", 14.63, -90.51),
+    _c("SDQ", "Santo Domingo", "DO", 18.49, -69.90),
+    _c("KIN", "Kingston", "JM", 18.02, -76.80),
+    _c("POS", "Port of Spain", "TT", 10.65, -61.51),
+    _c("SJU", "San Juan", "PR", 18.47, -66.11),
+    # --- South America ---
+    _c("GRU", "Sao Paulo", "BR", -23.55, -46.63),
+    _c("GIG", "Rio de Janeiro", "BR", -22.91, -43.17),
+    _c("BSB", "Brasilia", "BR", -15.79, -47.88),
+    _c("POA", "Porto Alegre", "BR", -30.03, -51.23),
+    _c("FOR", "Fortaleza", "BR", -3.72, -38.54),
+    _c("REC", "Recife", "BR", -8.05, -34.88),
+    _c("CWB", "Curitiba", "BR", -25.43, -49.27),
+    _c("SSA", "Salvador", "BR", -12.97, -38.50),
+    _c("MAO", "Manaus", "BR", -3.12, -60.02),
+    _c("EZE", "Buenos Aires", "AR", -34.60, -58.38),
+    _c("COR", "Cordoba", "AR", -31.42, -64.18),
+    _c("SCL", "Santiago", "CL", -33.45, -70.67),
+    _c("BOG", "Bogota", "CO", 4.71, -74.07),
+    _c("MDE", "Medellin", "CO", 6.24, -75.58),
+    _c("LIM", "Lima", "PE", -12.05, -77.04),
+    _c("UIO", "Quito", "EC", -0.18, -78.47),
+    _c("GYE", "Guayaquil", "EC", -2.17, -79.92),
+    _c("MVD", "Montevideo", "UY", -34.90, -56.16),
+    _c("ASU", "Asuncion", "PY", -25.26, -57.58),
+    _c("LPB", "La Paz", "BO", -16.49, -68.12),
+    _c("CCS", "Caracas", "VE", 10.48, -66.88),
+    # --- Asia ---
+    _c("NRT", "Tokyo", "JP", 35.68, 139.69),
+    _c("KIX", "Osaka", "JP", 34.69, 135.50),
+    _c("PEK", "Beijing", "CN", 39.90, 116.41),
+    _c("PVG", "Shanghai", "CN", 31.23, 121.47),
+    _c("CAN", "Guangzhou", "CN", 23.13, 113.26),
+    _c("HKG", "Hong Kong", "HK", 22.32, 114.17),
+    _c("SIN", "Singapore", "SG", 1.35, 103.82),
+    _c("ICN", "Seoul", "KR", 37.57, 126.98),
+    _c("TPE", "Taipei", "TW", 25.03, 121.57),
+    _c("BOM", "Mumbai", "IN", 19.08, 72.88),
+    _c("DEL", "New Delhi", "IN", 28.61, 77.21),
+    _c("MAA", "Chennai", "IN", 13.08, 80.27),
+    _c("BLR", "Bangalore", "IN", 12.97, 77.59),
+    _c("CCU", "Kolkata", "IN", 22.57, 88.36),
+    _c("BKK", "Bangkok", "TH", 13.76, 100.50),
+    _c("KUL", "Kuala Lumpur", "MY", 3.14, 101.69),
+    _c("CGK", "Jakarta", "ID", -6.21, 106.85),
+    _c("MNL", "Manila", "PH", 14.60, 120.98),
+    _c("SGN", "Ho Chi Minh City", "VN", 10.82, 106.63),
+    _c("HAN", "Hanoi", "VN", 21.03, 105.85),
+    _c("DXB", "Dubai", "AE", 25.20, 55.27),
+    _c("AUH", "Abu Dhabi", "AE", 24.45, 54.38),
+    _c("TLV", "Tel Aviv", "IL", 32.09, 34.78),
+    _c("IST", "Istanbul", "TR", 41.01, 28.98),
+    _c("RUH", "Riyadh", "SA", 24.71, 46.68),
+    _c("JED", "Jeddah", "SA", 21.49, 39.19),
+    _c("DOH", "Doha", "QA", 25.29, 51.53),
+    _c("BAH", "Manama", "BH", 26.23, 50.59),
+    _c("KWI", "Kuwait City", "KW", 29.38, 47.99),
+    _c("MCT", "Muscat", "OM", 23.59, 58.41),
+    _c("KHI", "Karachi", "PK", 24.86, 67.01),
+    _c("ISB", "Islamabad", "PK", 33.68, 73.05),
+    _c("DAC", "Dhaka", "BD", 23.81, 90.41),
+    _c("CMB", "Colombo", "LK", 6.93, 79.85),
+    _c("KTM", "Kathmandu", "NP", 27.72, 85.32),
+    _c("PNH", "Phnom Penh", "KH", 11.56, 104.93),
+    _c("VTE", "Vientiane", "LA", 17.97, 102.63),
+    _c("RGN", "Yangon", "MM", 16.87, 96.20),
+    _c("ULN", "Ulaanbaatar", "MN", 47.89, 106.91),
+    _c("ALA", "Almaty", "KZ", 43.22, 76.85),
+    _c("TAS", "Tashkent", "UZ", 41.30, 69.24),
+    _c("TBS", "Tbilisi", "GE", 41.72, 44.78),
+    _c("EVN", "Yerevan", "AM", 40.18, 44.51),
+    _c("GYD", "Baku", "AZ", 40.41, 49.87),
+    _c("AMM", "Amman", "JO", 31.96, 35.95),
+    _c("BEY", "Beirut", "LB", 33.89, 35.50),
+    # --- Africa ---
+    _c("JNB", "Johannesburg", "ZA", -26.20, 28.05),
+    _c("CPT", "Cape Town", "ZA", -33.92, 18.42),
+    _c("DUR", "Durban", "ZA", -29.86, 31.03),
+    _c("NBO", "Nairobi", "KE", -1.29, 36.82),
+    _c("LOS", "Lagos", "NG", 6.52, 3.38),
+    _c("ABV", "Abuja", "NG", 9.06, 7.50),
+    _c("CAI", "Cairo", "EG", 30.04, 31.24),
+    _c("CMN", "Casablanca", "MA", 33.57, -7.59),
+    _c("DAR", "Dar es Salaam", "TZ", -6.79, 39.21),
+    _c("ACC", "Accra", "GH", 5.60, -0.19),
+    _c("DKR", "Dakar", "SN", 14.72, -17.47),
+    _c("MRU", "Port Louis", "MU", -20.16, 57.50),
+    _c("LAD", "Luanda", "AO", -8.84, 13.23),
+    _c("TUN", "Tunis", "TN", 36.81, 10.18),
+    _c("KGL", "Kigali", "RW", -1.94, 30.06),
+    _c("EBB", "Kampala", "UG", 0.35, 32.58),
+    _c("LUN", "Lusaka", "ZM", -15.39, 28.32),
+    _c("HRE", "Harare", "ZW", -17.83, 31.05),
+    _c("MPM", "Maputo", "MZ", -25.97, 32.58),
+    _c("ABJ", "Abidjan", "CI", 5.36, -4.01),
+    _c("DLA", "Douala", "CM", 4.05, 9.70),
+    _c("ADD", "Addis Ababa", "ET", 9.01, 38.75),
+    _c("ALG", "Algiers", "DZ", 36.75, 3.06),
+    # --- Oceania ---
+    _c("SYD", "Sydney", "AU", -33.87, 151.21),
+    _c("MEL", "Melbourne", "AU", -37.81, 144.96),
+    _c("BNE", "Brisbane", "AU", -27.47, 153.03),
+    _c("PER", "Perth", "AU", -31.95, 115.86),
+    _c("ADL", "Adelaide", "AU", -34.93, 138.60),
+    _c("CBR", "Canberra", "AU", -35.28, 149.13),
+    _c("AKL", "Auckland", "NZ", -36.85, 174.76),
+    _c("WLG", "Wellington", "NZ", -41.29, 174.78),
+    _c("CHC", "Christchurch", "NZ", -43.53, 172.64),
+    _c("NAN", "Nadi", "FJ", -17.76, 177.44),
+    _c("POM", "Port Moresby", "PG", -9.44, 147.18),
+    _c("NOU", "Noumea", "NC", -22.27, 166.44),
+    _c("GUM", "Hagatna", "GU", 13.48, 144.75),
+]
+
+#: All cities, keyed by IATA code.
+CITY_CATALOG: Dict[str, City] = {c.iata: c for c in _CITIES}
+
+if len(CITY_CATALOG) != len(_CITIES):  # pragma: no cover - catalog sanity
+    raise RuntimeError("duplicate IATA codes in city catalog")
+
+
+#: Cities that are major interconnection hubs (host large exchanges).
+#: Anycast deployments concentrate here; the hub list must stay a
+#: superset of the IXP catalog's cities (asserted in tests).
+HUB_CITIES: List[str] = [
+    "FRA", "AMS", "LHR", "CDG", "ARN", "VIE", "MXP", "MAD",
+    "JFK", "IAD", "ORD", "LAX", "SEA", "YYZ", "MIA", "SJC",
+    "GRU", "EZE", "NRT", "HKG", "SIN", "JNB", "NBO", "SYD",
+]
+
+
+def city(iata: str) -> City:
+    """Look up a city by IATA code (raises ``KeyError`` if unknown)."""
+    return CITY_CATALOG[iata.upper()]
+
+
+def cities_in(continent: Continent) -> List[City]:
+    """All catalog cities on *continent*, in stable (list) order."""
+    return [c for c in _CITIES if c.continent is continent]

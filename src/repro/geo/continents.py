@@ -1,0 +1,107 @@
+"""Continent taxonomy matching the paper's regional breakdowns.
+
+The paper groups results into six regions: Africa, Asia, Europe, North
+America, South America and Oceania (Tables 3/4, Figures 4/6/14/15).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class Continent(enum.Enum):
+    """The six regions used throughout the paper."""
+
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    OCEANIA = "Oceania"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: ISO-3166 alpha-2 country code -> continent, for every country that hosts
+#: a city in :mod:`repro.geo.cities` or a vantage point in the study.
+_COUNTRY_TO_CONTINENT: Dict[str, Continent] = {
+    # Africa
+    "ZA": Continent.AFRICA, "KE": Continent.AFRICA, "NG": Continent.AFRICA,
+    "EG": Continent.AFRICA, "MA": Continent.AFRICA, "TZ": Continent.AFRICA,
+    "GH": Continent.AFRICA, "SN": Continent.AFRICA, "MU": Continent.AFRICA,
+    "AO": Continent.AFRICA, "TN": Continent.AFRICA, "RW": Continent.AFRICA,
+    "UG": Continent.AFRICA, "ZM": Continent.AFRICA, "ZW": Continent.AFRICA,
+    "MZ": Continent.AFRICA, "CI": Continent.AFRICA, "CM": Continent.AFRICA,
+    "ET": Continent.AFRICA, "DZ": Continent.AFRICA,
+    # Asia
+    "JP": Continent.ASIA, "CN": Continent.ASIA, "HK": Continent.ASIA,
+    "SG": Continent.ASIA, "KR": Continent.ASIA, "TW": Continent.ASIA,
+    "IN": Continent.ASIA, "TH": Continent.ASIA, "MY": Continent.ASIA,
+    "ID": Continent.ASIA, "PH": Continent.ASIA, "VN": Continent.ASIA,
+    "AE": Continent.ASIA, "IL": Continent.ASIA, "TR": Continent.ASIA,
+    "SA": Continent.ASIA, "QA": Continent.ASIA, "BH": Continent.ASIA,
+    "KW": Continent.ASIA, "OM": Continent.ASIA, "PK": Continent.ASIA,
+    "BD": Continent.ASIA, "LK": Continent.ASIA, "NP": Continent.ASIA,
+    "KH": Continent.ASIA, "LA": Continent.ASIA, "MM": Continent.ASIA,
+    "MN": Continent.ASIA, "KZ": Continent.ASIA, "UZ": Continent.ASIA,
+    "GE": Continent.ASIA, "AM": Continent.ASIA, "AZ": Continent.ASIA,
+    "JO": Continent.ASIA, "LB": Continent.ASIA, "IQ": Continent.ASIA,
+    "IR": Continent.ASIA, "AF": Continent.ASIA, "BT": Continent.ASIA,
+    "MV": Continent.ASIA, "BN": Continent.ASIA, "MO": Continent.ASIA,
+    # Europe
+    "DE": Continent.EUROPE, "NL": Continent.EUROPE, "GB": Continent.EUROPE,
+    "FR": Continent.EUROPE, "SE": Continent.EUROPE, "NO": Continent.EUROPE,
+    "DK": Continent.EUROPE, "FI": Continent.EUROPE, "PL": Continent.EUROPE,
+    "CZ": Continent.EUROPE, "AT": Continent.EUROPE, "CH": Continent.EUROPE,
+    "IT": Continent.EUROPE, "ES": Continent.EUROPE, "PT": Continent.EUROPE,
+    "IE": Continent.EUROPE, "BE": Continent.EUROPE, "LU": Continent.EUROPE,
+    "RU": Continent.EUROPE, "UA": Continent.EUROPE, "RO": Continent.EUROPE,
+    "BG": Continent.EUROPE, "GR": Continent.EUROPE, "HU": Continent.EUROPE,
+    "SK": Continent.EUROPE, "SI": Continent.EUROPE, "HR": Continent.EUROPE,
+    "RS": Continent.EUROPE, "EE": Continent.EUROPE, "LV": Continent.EUROPE,
+    "LT": Continent.EUROPE, "IS": Continent.EUROPE, "MT": Continent.EUROPE,
+    "CY": Continent.EUROPE, "AL": Continent.EUROPE, "MK": Continent.EUROPE,
+    "BA": Continent.EUROPE, "MD": Continent.EUROPE, "BY": Continent.EUROPE,
+    "ME": Continent.EUROPE, "LI": Continent.EUROPE, "MC": Continent.EUROPE,
+    # North America (incl. Central America & Caribbean, as the paper does)
+    "US": Continent.NORTH_AMERICA, "CA": Continent.NORTH_AMERICA,
+    "MX": Continent.NORTH_AMERICA, "PA": Continent.NORTH_AMERICA,
+    "CR": Continent.NORTH_AMERICA, "GT": Continent.NORTH_AMERICA,
+    "DO": Continent.NORTH_AMERICA, "JM": Continent.NORTH_AMERICA,
+    "TT": Continent.NORTH_AMERICA, "BS": Continent.NORTH_AMERICA,
+    "HN": Continent.NORTH_AMERICA, "SV": Continent.NORTH_AMERICA,
+    "NI": Continent.NORTH_AMERICA, "BZ": Continent.NORTH_AMERICA,
+    "CU": Continent.NORTH_AMERICA, "HT": Continent.NORTH_AMERICA,
+    "PR": Continent.NORTH_AMERICA,
+    # South America
+    "BR": Continent.SOUTH_AMERICA, "AR": Continent.SOUTH_AMERICA,
+    "CL": Continent.SOUTH_AMERICA, "CO": Continent.SOUTH_AMERICA,
+    "PE": Continent.SOUTH_AMERICA, "EC": Continent.SOUTH_AMERICA,
+    "UY": Continent.SOUTH_AMERICA, "PY": Continent.SOUTH_AMERICA,
+    "BO": Continent.SOUTH_AMERICA, "VE": Continent.SOUTH_AMERICA,
+    "GY": Continent.SOUTH_AMERICA, "SR": Continent.SOUTH_AMERICA,
+    # Oceania
+    "AU": Continent.OCEANIA, "NZ": Continent.OCEANIA,
+    "FJ": Continent.OCEANIA, "PG": Continent.OCEANIA,
+    "NC": Continent.OCEANIA, "GU": Continent.OCEANIA,
+    "WS": Continent.OCEANIA, "TO": Continent.OCEANIA,
+}
+
+
+def continent_of_country(country_code: str) -> Continent:
+    """Map an ISO-3166 alpha-2 country code to its continent.
+
+    Raises :class:`KeyError` for unknown codes — silently mis-binning a
+    country would corrupt every regional analysis downstream.
+    """
+    code = country_code.upper()
+    if code not in _COUNTRY_TO_CONTINENT:
+        raise KeyError(f"unknown country code: {country_code!r}")
+    return _COUNTRY_TO_CONTINENT[code]
+
+
+def known_countries() -> Dict[str, Continent]:
+    """A copy of the full country -> continent mapping."""
+    return dict(_COUNTRY_TO_CONTINENT)

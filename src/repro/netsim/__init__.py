@@ -1,0 +1,39 @@
+"""Inter-domain routing fabric for anycast.
+
+Models the pieces of the Internet the paper's analyses consume:
+
+* IXPs and colocation facilities (shared last-hop infrastructure — RQ1),
+* transit providers with per-address-family peering policies, including
+  an AS6939-like open-IPv6 transit and an AS12956-like South-America
+  carrier (the two ASes the paper singles out in §5/§6),
+* BGP-style route selection into anycast catchments, with routing churn,
+* traceroute and RTT models feeding the co-location, stability and
+  latency analyses.
+"""
+
+from repro.netsim.facilities import Ixp, Facility, IXP_CATALOG, build_facilities
+from repro.netsim.transit import TransitProvider, TRANSIT_CATALOG, OPEN_V6_TRANSIT, SA_V4_TRANSIT
+from repro.netsim.attachment import Attachment
+from repro.netsim.routing import Route, RouteSelector
+from repro.netsim.traceroute import TracerouteHop, TracerouteResult, run_traceroute
+from repro.netsim.latency import route_rtt_ms
+from repro.netsim.topology import NetworkFabric
+
+__all__ = [
+    "Ixp",
+    "Facility",
+    "IXP_CATALOG",
+    "build_facilities",
+    "TransitProvider",
+    "TRANSIT_CATALOG",
+    "OPEN_V6_TRANSIT",
+    "SA_V4_TRANSIT",
+    "Attachment",
+    "Route",
+    "RouteSelector",
+    "TracerouteHop",
+    "TracerouteResult",
+    "run_traceroute",
+    "route_rtt_ms",
+    "NetworkFabric",
+]

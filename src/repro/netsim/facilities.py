@@ -1,0 +1,116 @@
+"""IXPs and colocation facilities.
+
+Root server instances live in facilities; a facility's edge router is the
+*second-to-last traceroute hop* for every instance inside it.  Letters
+deploying in the same facility therefore share last-hop infrastructure —
+exactly the "reduced redundancy" the paper's RQ1 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.geo.cities import City, city
+from repro.geo.continents import Continent
+
+
+@dataclass(frozen=True)
+class Ixp:
+    """An Internet exchange point."""
+
+    ixp_id: str
+    name: str
+    city: City
+    size: int  # rough member count class: 3 = major, 2 = large, 1 = regional
+
+    @property
+    def continent(self) -> Continent:
+        return self.city.continent
+
+
+def _ixp(ixp_id: str, name: str, iata: str, size: int) -> Ixp:
+    return Ixp(ixp_id=ixp_id, name=name, city=city(iata), size=size)
+
+
+#: Major exchanges; EU/NA entries double as the paper's 14 passive
+#: IXP vantage points (IXP-DNS-1).
+IXP_CATALOG: List[Ixp] = [
+    _ixp("decix-fra", "DE-CIX Frankfurt", "FRA", 3),
+    _ixp("amsix", "AMS-IX", "AMS", 3),
+    _ixp("linx", "LINX London", "LHR", 3),
+    _ixp("franceix", "France-IX Paris", "CDG", 2),
+    _ixp("netnod-sto", "Netnod Stockholm", "ARN", 2),
+    _ixp("vix", "VIX Vienna", "VIE", 1),
+    _ixp("mix-mil", "MIX Milan", "MXP", 1),
+    _ixp("espanix", "ESPANIX Madrid", "MAD", 1),
+    _ixp("decix-nyc", "DE-CIX New York", "JFK", 2),
+    _ixp("equinix-ash", "Equinix Ashburn", "IAD", 3),
+    _ixp("equinix-chi", "Equinix Chicago", "ORD", 2),
+    _ixp("any2-lax", "Any2 Los Angeles", "LAX", 2),
+    _ixp("six-sea", "SIX Seattle", "SEA", 2),
+    _ixp("torix", "TorIX Toronto", "YYZ", 1),
+    _ixp("ixbr-sp", "IX.br Sao Paulo", "GRU", 3),
+    _ixp("cabase-bue", "CABASE Buenos Aires", "EZE", 1),
+    _ixp("jpnap", "JPNAP Tokyo", "NRT", 2),
+    _ixp("hkix", "HKIX Hong Kong", "HKG", 2),
+    _ixp("sgix", "SGIX Singapore", "SIN", 2),
+    _ixp("napafrica", "NAPAfrica Johannesburg", "JNB", 2),
+    _ixp("kixp", "KIXP Nairobi", "NBO", 1),
+    _ixp("ixau-syd", "IX Australia Sydney", "SYD", 1),
+]
+
+#: The 14 EU/NA IXPs used as passive vantage points in the paper.
+PASSIVE_IXP_IDS: List[str] = [
+    "decix-fra", "amsix", "linx", "franceix", "netnod-sto", "vix",
+    "mix-mil", "espanix",
+    "decix-nyc", "equinix-ash", "equinix-chi", "any2-lax", "six-sea", "torix",
+]
+
+
+@dataclass(frozen=True)
+class Facility:
+    """A colocation facility; the unit of shared last-hop infrastructure."""
+
+    facility_id: str
+    city: City
+    ixp: Optional[Ixp]  # None = private PoP without exchange fabric
+
+    @property
+    def edge_router(self) -> str:
+        """Identifier appearing as the second-to-last traceroute hop."""
+        return f"edge.{self.facility_id}"
+
+    @property
+    def continent(self) -> Continent:
+        return self.city.continent
+
+
+def build_facilities() -> Dict[str, Facility]:
+    """Facilities: one per IXP plus one IXP-less facility per IXP city
+    and per other catalog city hosting infrastructure.
+
+    Returned keyed by ``facility_id``.  Site assignment happens in
+    :class:`repro.netsim.topology.NetworkFabric`.
+    """
+    from repro.geo.cities import CITY_CATALOG
+
+    facilities: Dict[str, Facility] = {}
+    for ixp in IXP_CATALOG:
+        fid = f"{ixp.city.iata.lower()}-ix"
+        facilities[fid] = Facility(facility_id=fid, city=ixp.city, ixp=ixp)
+    # Several private facilities per city: sites in the same metro do
+    # not automatically share an edge router (operators use various DCs).
+    for iata, c in CITY_CATALOG.items():
+        for n in (1, 2, 3, 4, 5, 6):
+            fid = f"{iata.lower()}-dc{n}"
+            facilities[fid] = Facility(facility_id=fid, city=c, ixp=None)
+    return facilities
+
+
+def ixp_by_id(ixp_id: str) -> Ixp:
+    """Look up an IXP from the catalog."""
+    for ixp in IXP_CATALOG:
+        if ixp.ixp_id == ixp_id:
+            return ixp
+    raise KeyError(f"unknown IXP: {ixp_id!r}")

@@ -1,0 +1,49 @@
+"""RTT model.
+
+A request's RTT decomposes into:
+
+* propagation along the routed path (client -> entry point -> haul ->
+  site), at the paper's ~10 ms per 1,000 km round-trip rule,
+* per-hop equipment/queueing overhead,
+* the client network's last-mile penalty,
+* request-level jitter (deterministic per request via :mod:`mix`).
+
+Path *detours* — not raw distance — are what create the paper's per-family
+RTT asymmetries, so the model takes the route's full geographic path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.geo.coords import RTT_MS_PER_KM
+
+if TYPE_CHECKING:
+    from repro.netsim.routing import Route
+
+from repro.netsim.mix import mix_float, mix_str
+
+#: Milliseconds of overhead per router hop (forwarding + queueing).
+PER_HOP_MS = 0.25
+
+#: Multiplicative jitter spread (uniform in [1 - J, 1 + 3J]; skewed up,
+#: queues add delay but never remove it below the propagation floor).
+JITTER = 0.05
+
+
+def route_rtt_ms(
+    route: "Route",
+    last_mile_ms: float,
+    request_key: int = 0,
+) -> float:
+    """The RTT a single request over *route* experiences.
+
+    *request_key* individualises jitter per request (pass e.g. a mix of
+    probe identity and timestamp); identical keys give identical RTTs.
+    """
+    propagation = route.path_km * RTT_MS_PER_KM
+    overhead = PER_HOP_MS * route.hop_count + last_mile_ms + route.extra_ms
+    base = propagation + overhead
+    u = mix_float(route.stable_key, request_key)
+    jitter_factor = 1.0 - JITTER + u * 4.0 * JITTER
+    return base * jitter_factor

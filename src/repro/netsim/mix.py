@@ -1,0 +1,39 @@
+"""Fast deterministic hashing to pseudo-random floats.
+
+The simulator needs per-request randomness (jitter, hop loss) for tens of
+millions of requests; seeding :class:`random.Random` per request would
+dominate runtime.  A splitmix64-style integer mixer gives deterministic,
+well-distributed values at a few ns each.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(*values: int) -> int:
+    """Mix integers into one 64-bit hash (splitmix64 finalizer chain)."""
+    h = 0x9E3779B97F4A7C15
+    for v in values:
+        h = (h ^ (v & _MASK)) * 0xBF58476D1CE4E5B9 & _MASK
+        h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK
+        h = h ^ (h >> 31)
+    return h
+
+
+def mix_float(*values: int) -> float:
+    """Deterministic float in [0, 1) from the mixed hash."""
+    return mix64(*values) / float(1 << 64)
+
+
+def mix_str(*parts: str) -> int:
+    """Mix strings by hashing their UTF-8 bytes (stable across runs).
+
+    Parts are domain-separated so ``("a", "b")`` and ``("ab",)`` differ.
+    """
+    acc = 0xCBF29CE484222325
+    for part in parts:
+        for byte in part.encode("utf-8"):
+            acc = ((acc ^ byte) * 0x100000001B3) & _MASK
+        acc = ((acc ^ 0x1F) * 0x100000001B3) & _MASK  # part separator
+    return mix64(acc)

@@ -1,0 +1,250 @@
+"""Anycast route selection.
+
+For a client attachment and a root service address, build the candidate
+route set (peering routes via IXP memberships, country-scoped local
+sites, transit routes via each upstream), rank it BGP-style (peering
+beats transit — local preference; then upstream preference order; then
+shortest path), and let the churn model pick the active candidate per
+measurement round.
+
+Candidate sets are static per (attachment, letter, family) and heavily
+cached; only the churn index varies over time.  This keeps the cost of a
+simulated request at well under a microsecond after warm-up, which is
+what makes multi-month campaigns with hundreds of vantage points
+tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.geo.cities import City
+from repro.geo.coords import haversine_km
+from repro.netsim.attachment import Attachment
+from repro.netsim.churn import ChurnModel
+from repro.netsim.facilities import Facility
+from repro.netsim.mix import mix_float, mix_str
+from repro.netsim.transit import TransitProvider
+from repro.rss.sites import Site
+
+if TYPE_CHECKING:
+    from repro.netsim.topology import NetworkFabric
+
+#: Synthetic origin AS per letter (purely for AS-path rendering).
+LETTER_ASN: Dict[str, int] = {
+    letter: 64500 + i for i, letter in enumerate("abcdefghijklm")
+}
+
+#: Haul legs longer than this add a visible backbone hop to traceroutes.
+HAUL_HOP_THRESHOLD_KM = 2500.0
+
+#: Probability an edge network actually imports-and-prefers a peer route
+#: it hears at an exchange.  Real operators filter and de-preference
+#: exchange routes selectively (paper §8 points at "the way operators
+#: import routes" as a driver of the observed diversity); without this,
+#: every member would reach every co-located letter over the same fabric
+#: and reduced redundancy would saturate.
+PEER_IMPORT_PROB = 0.45
+
+
+@dataclass(frozen=True)
+class Route:
+    """One resolved path from a client to an anycast site."""
+
+    site: Site
+    facility: Facility
+    via: str  # "peer" (exchange), "local" (direct/ISP-hosted) or "transit"
+    transit: Optional[TransitProvider]
+    entry_city: City
+    path_km: float  # geographic length of the routed path (one way)
+    direct_km: float  # great-circle client -> site distance
+    hop_count: int
+    as_path: Tuple[int, ...]
+    stable_key: int  # deterministic per-route key for jitter hashing
+    extra_ms: float = 0.0  # provider congestion on this path
+
+    @property
+    def second_to_last_hop(self) -> str:
+        """The facility edge router — the RQ1 co-location signal."""
+        return self.facility.edge_router
+
+
+class RouteSelector:
+    """Builds, ranks, caches and churns candidate routes."""
+
+    def __init__(self, fabric: "NetworkFabric", churn: ChurnModel) -> None:
+        self.fabric = fabric
+        self.churn = churn
+        self._candidate_cache: Dict[Tuple[int, str, str, int], List[Route]] = {}
+        self._transit_site_cache: Dict[Tuple[int, str, str], List[Tuple[float, Site]]] = {}
+
+    # -- candidate construction ---------------------------------------------------
+
+    def _peer_routes(self, att: Attachment, letter: str, family: int) -> List[Route]:
+        routes: List[Route] = []
+        for ixp_id in att.ixp_memberships(family):
+            for site in self.fabric.sites_at_ixp(ixp_id, letter):
+                facility = self.fabric.facility_of(site)
+                entry = facility.city
+                path_km = haversine_km(att.city.location, entry.location)
+                routes.append(
+                    Route(
+                        site=site,
+                        facility=facility,
+                        via="peer",
+                        transit=None,
+                        entry_city=entry,
+                        path_km=path_km,
+                        direct_km=haversine_km(att.city.location, site.city.location),
+                        hop_count=4,
+                        as_path=(att.asn, LETTER_ASN[letter]),
+                        stable_key=mix_str(f"{att.asn}|{site.key}|peer|{family}"),
+                    )
+                )
+        # Country-scoped local sites (ISP-hosted, d.root style) are a
+        # direct adjacency, not an exchange route — never import-filtered.
+        for site in self.fabric.country_local_sites(att.city.country, letter):
+            facility = self.fabric.facility_of(site)
+            path_km = haversine_km(att.city.location, site.city.location)
+            routes.append(
+                Route(
+                    site=site,
+                    facility=facility,
+                    via="local",
+                    transit=None,
+                    entry_city=site.city,
+                    path_km=path_km,
+                    direct_km=path_km,
+                    hop_count=4,
+                    as_path=(att.asn, LETTER_ASN[letter]),
+                    stable_key=mix_str(f"{att.asn}|{site.key}|local|{family}"),
+                )
+            )
+        return routes
+
+    def _transit_site_ranking(
+        self, transit: TransitProvider, entry: City, letter: str
+    ) -> List[Tuple[float, Site]]:
+        """Global sites of *letter* ranked by haul cost from *entry* over
+        *transit*'s backbone (hot-potato-ish: entry -> nearest hub to the
+        site -> site)."""
+        key = (transit.asn, entry.iata, letter)
+        if key not in self._transit_site_cache:
+            ranked: List[Tuple[float, Site]] = []
+            for site in self.fabric.global_sites(letter):
+                hub = transit.nearest_pop(site.city)
+                haul = haversine_km(entry.location, hub.location)
+                tail = haversine_km(hub.location, site.city.location)
+                # Interconnection diversity: each (provider, site) pair
+                # has its own peering/backhaul cost, so different letters
+                # exit a provider's backbone at different places rather
+                # than all converging on one hub.
+                diversity = 1600.0 * mix_float(transit.asn, mix_str(site.key), 5)
+                ranked.append((haul + tail + diversity, site))
+            ranked.sort(key=lambda pair: (pair[0], pair[1].key))
+            self._transit_site_cache[key] = ranked
+        return self._transit_site_cache[key]
+
+    def _transit_routes(self, att: Attachment, letter: str, family: int) -> List[Route]:
+        routes: List[Route] = []
+        for transit in att.transits(family):
+            entry = transit.nearest_pop(att.city)
+            access_km = haversine_km(att.city.location, entry.location)
+            ranked = self._transit_site_ranking(transit, entry, letter)
+            for haul_km, site in ranked[:2]:  # best exit + one alternate
+                facility = self.fabric.facility_of(site)
+                hub = transit.nearest_pop(site.city)
+                long_haul = haversine_km(entry.location, hub.location) > HAUL_HOP_THRESHOLD_KM
+                routes.append(
+                    Route(
+                        site=site,
+                        facility=facility,
+                        via="transit",
+                        transit=transit,
+                        entry_city=entry,
+                        path_km=access_km + haul_km,
+                        direct_km=haversine_km(att.city.location, site.city.location),
+                        hop_count=6 if long_haul else 5,
+                        as_path=(att.asn, transit.asn, LETTER_ASN[letter]),
+                        stable_key=mix_str(
+                            f"{att.asn}|{site.key}|as{transit.asn}|{family}"
+                        ),
+                        extra_ms=transit.congestion_ms(family),
+                    )
+                )
+        return routes
+
+    def candidates(self, att: Attachment, letter: str, family: int) -> List[Route]:
+        """Ranked candidate routes (best first) for one catchment decision."""
+        cache_key = (att.asn, att.city.iata, letter, family)
+        if cache_key not in self._candidate_cache:
+            peers = self._peer_routes(att, letter, family)
+            peers.sort(key=lambda r: (r.path_km, r.site.key))
+            imported = [
+                r
+                for r in peers
+                if r.via == "local"
+                or mix_float(att.asn, mix_str(r.site.key), family, 3) < PEER_IMPORT_PROB
+            ]
+            demoted = [r for r in peers if r not in imported]
+            transits = self._transit_routes(att, letter, family)
+            pref = {t.asn: i for i, t in enumerate(att.transits(family))}
+            transits.sort(
+                key=lambda r: (pref[r.transit.asn], r.path_km, r.site.key)
+            )
+            merged = imported + transits + demoted
+            if not merged:
+                raise RuntimeError(
+                    f"no route from AS{att.asn} to {letter}.root (family {family})"
+                )
+            # Deduplicate by site, keeping the best-ranked occurrence.
+            seen = set()
+            unique: List[Route] = []
+            for route in merged:
+                if route.site.key not in seen:
+                    seen.add(route.site.key)
+                    unique.append(route)
+            self._candidate_cache[cache_key] = unique
+        return self._candidate_cache[cache_key]
+
+    # -- per-round selection -------------------------------------------------------
+
+    def select(
+        self,
+        att: Attachment,
+        client_id: int,
+        letter: str,
+        family: int,
+        address: str,
+        round_no: int,
+    ) -> Route:
+        """The route (client, address) uses in measurement *round_no*."""
+        options = self.candidates(att, letter, family)
+        index = self.churn.select_index(
+            client_id, address, letter, family, round_no, len(options)
+        )
+        return options[index]
+
+    def best(self, att: Attachment, letter: str, family: int) -> Route:
+        """The steady-state (no-churn) route."""
+        return self.candidates(att, letter, family)[0]
+
+    def best_excluding(
+        self,
+        att: Attachment,
+        letter: str,
+        family: int,
+        failed_facilities: frozenset,
+    ) -> Optional[Route]:
+        """The best route avoiding sites in failed facilities.
+
+        Models the §5 failure scenario: when a facility goes dark, its
+        anycast announcements are withdrawn and traffic instantaneously
+        shifts to the next-best catchment.  Returns None when no route
+        survives (never happens for letters with >1 facility).
+        """
+        for route in self.candidates(att, letter, family):
+            if route.facility.facility_id not in failed_facilities:
+                return route
+        return None

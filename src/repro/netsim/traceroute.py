@@ -1,0 +1,106 @@
+"""Traceroute simulation.
+
+Renders a :class:`Route` into the hop list an ``mtr``/``traceroute`` run
+would record.  Hops can be silent (no ICMP reply) — the paper treats
+missed hops as unique infrastructure, making its co-location estimate a
+lower bound; the analysis layer here does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.geo.coords import RTT_MS_PER_KM, haversine_km
+from repro.netsim.attachment import Attachment
+from repro.netsim.mix import mix_float, mix_str
+from repro.netsim.routing import Route
+
+#: Probability an intermediate router does not answer probes.
+HOP_SILENT_PROB = 0.03
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One traceroute hop: identifier (None = no reply) and RTT."""
+
+    identifier: Optional[str]
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class TracerouteResult:
+    """A full traceroute to one root service address."""
+
+    target: str
+    hops: Tuple[TracerouteHop, ...]
+
+    @property
+    def second_to_last_hop(self) -> Optional[str]:
+        """The co-location signal (None when that hop was silent)."""
+        if len(self.hops) < 2:
+            return None
+        return self.hops[-2].identifier
+
+    @property
+    def destination_rtt_ms(self) -> float:
+        """RTT of the final hop — the target itself."""
+        return self.hops[-1].rtt_ms
+
+
+def _hop_identifiers(att: Attachment, route: Route) -> List[str]:
+    """The identifier sequence for a route (before reply-loss)."""
+    hops = [
+        f"gw.as{att.asn}",
+        f"border.as{att.asn}.{att.city.iata.lower()}",
+    ]
+    if route.via in ("peer", "local"):
+        if route.via == "peer" and route.facility.ixp is not None:
+            hops.append(f"fabric.{route.facility.ixp.ixp_id}")
+        else:
+            hops.append(f"pni.as{att.asn}.{route.site.city.iata.lower()}")
+    else:
+        assert route.transit is not None
+        hops.append(f"pop.as{route.transit.asn}.{route.entry_city.iata.lower()}")
+        if route.hop_count >= 6:
+            hub = route.transit.nearest_pop(route.site.city)
+            hops.append(f"core.as{route.transit.asn}.{hub.iata.lower()}")
+    hops.append(route.second_to_last_hop)
+    return hops
+
+
+def run_traceroute(
+    att: Attachment,
+    route: Route,
+    address: str,
+    destination_rtt_ms: float,
+    probe_key: int = 0,
+) -> TracerouteResult:
+    """Simulate one traceroute along *route* to *address*.
+
+    *destination_rtt_ms* is the request RTT already computed by the
+    latency model; intermediate hop RTTs interpolate toward it along the
+    geographic path.  *probe_key* varies reply loss per probe.
+    """
+    identifiers = _hop_identifiers(att, route)
+    total_hops = len(identifiers) + 1  # + destination
+    hops: List[TracerouteHop] = []
+    access_km = haversine_km(att.city.location, route.entry_city.location)
+    # Cumulative distance milestones per hop position (rough but ordered).
+    milestones = [
+        0.0,  # gw
+        min(50.0, access_km),  # AS border
+    ]
+    while len(milestones) < len(identifiers) - 1:
+        milestones.append(access_km)  # entry / core hops
+    milestones.append(route.path_km)  # facility edge
+    for position, identifier in enumerate(identifiers):
+        silent = (
+            mix_float(mix_str(identifier), probe_key, position) < HOP_SILENT_PROB
+        )
+        share = milestones[position] / route.path_km if route.path_km > 0 else 0.0
+        rtt = max(0.3, destination_rtt_ms * min(1.0, share))
+        hops.append(TracerouteHop(None if silent else identifier, rtt))
+    hops.append(TracerouteHop(address, destination_rtt_ms))
+    assert len(hops) == total_hops
+    return TracerouteResult(target=address, hops=tuple(hops))

@@ -1,0 +1,31 @@
+"""Passive traffic traces: the ISP-DNS-1 and IXP-DNS-1 dataset analogues.
+
+The paper complements active probing with sampled, anonymised flow traces
+from a large European ISP and 14 EU/NA IXPs, covering the subnets of all
+root service addresses around b.root's renumbering.  This package models
+the client/resolver populations behind those observation points — their
+query mix, RFC 8109 priming behaviour and address-change adoption — and
+the capture pipeline (sampling, /24 / /48 aggregation, normalisation).
+"""
+
+from repro.passive.clients import (
+    ClientBehavior,
+    ClientNetwork,
+    build_client_population,
+    PopulationProfile,
+)
+from repro.passive.traces import FlowAggregate, TrafficTimeSeries
+from repro.passive.isp import IspCapture
+from repro.passive.ixp import IxpCapture, build_ixp_captures
+
+__all__ = [
+    "ClientBehavior",
+    "ClientNetwork",
+    "build_client_population",
+    "PopulationProfile",
+    "FlowAggregate",
+    "TrafficTimeSeries",
+    "IspCapture",
+    "IxpCapture",
+    "build_ixp_captures",
+]

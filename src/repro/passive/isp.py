@@ -1,0 +1,194 @@
+"""The ISP-DNS-1 analogue: passive capture at a large European ISP.
+
+Generates the sampled flow traffic of the ISP's client population toward
+all root service addresses over requested windows, implementing the
+behaviour semantics from :mod:`repro.passive.clients`:
+
+* before the b.root change, the old subnets carry the traffic and the new
+  ones see only a testing trickle (paper: 0.8 % on 2023-10-08),
+* after the change, adopted clients move their in-family traffic to the
+  new address; reluctant ones stay; primers touch the old address once
+  per day,
+* v4/v6 mix: dual-stack clients send roughly a third of their root
+  queries over IPv6 (paper: old b.root saw 76-89 % v4 / 10-21 % v6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.netsim.mix import mix_float, mix_str
+from repro.passive.clients import (
+    ClientBehavior,
+    ClientNetwork,
+    LETTER_WEIGHTS_ISP,
+)
+from repro.rss.operators import ServiceAddress, all_service_addresses
+from repro.passive.traces import FlowAggregate, TrafficTimeSeries
+from repro.util.timeutil import DAY, HOUR, Timestamp
+
+#: Fraction of a dual-stack client's root traffic using IPv6.
+V6_TRAFFIC_SHARE = 0.30
+
+#: Fraction of clients that probe the not-yet-published new addresses
+#: (operators testing), and their share of traffic to it.
+TESTER_FRACTION = 0.02
+TESTER_TRAFFIC_SHARE = 0.4
+
+#: The capture cannot filter non-DNS traffic (paper §4.1: for ISP-DNS-1,
+#: 1.75 % of measured traffic was not from port 53).
+NOISE_FRACTION = 0.0175
+
+
+@dataclass(frozen=True)
+class TrafficDip:
+    """A letter's traffic dropping for a time window (upstream outage).
+
+    The paper's Figure 12 shows a.root dipping on 2024-02-26 ("should be
+    investigated in future work"); the default event list reproduces it.
+    """
+
+    letter: str
+    start_ts: Timestamp
+    end_ts: Timestamp
+    factor: float  # remaining traffic share (0.4 = 60% dip)
+
+    def scale(self, letter: str, ts: Timestamp) -> float:
+        if letter == self.letter and self.start_ts <= ts < self.end_ts:
+            return self.factor
+        return 1.0
+
+
+#: Default anomaly calendar (the Fig. 12 a.root dip).
+DEFAULT_DIPS: Tuple[TrafficDip, ...] = (
+    TrafficDip(
+        letter="a",
+        start_ts=1708905600,  # 2024-02-26
+        end_ts=1708992000,  # 2024-02-27
+        factor=0.45,
+    ),
+)
+
+
+class IspCapture:
+    """Capture point inside the ISP."""
+
+    def __init__(
+        self,
+        clients: List[ClientNetwork],
+        seed: int,
+        sampling_rate: float = 1.0,
+        letter_weights: Optional[Dict[str, float]] = None,
+        dips: Tuple[TrafficDip, ...] = DEFAULT_DIPS,
+        noise_fraction: float = NOISE_FRACTION,
+    ) -> None:
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+        if not 0.0 <= noise_fraction < 1.0:
+            raise ValueError(f"noise_fraction must be in [0, 1), got {noise_fraction}")
+        self.clients = clients
+        self.seed = seed
+        self.sampling_rate = sampling_rate
+        self.letter_weights = letter_weights or LETTER_WEIGHTS_ISP
+        self.dips = dips
+        self.noise_fraction = noise_fraction
+        self.addresses: List[ServiceAddress] = all_service_addresses()
+
+    # -- flow generation ------------------------------------------------------------
+
+    def _client_bucket_flows(
+        self, client: ClientNetwork, bucket_ts: Timestamp, bucket_seconds: int
+    ) -> float:
+        """Total root-bound flows of one client in one bucket."""
+        base = client.daily_flows * bucket_seconds / DAY
+        # Diurnal pattern for sub-daily buckets (traffic peaks in the
+        # evening, as in the paper's hourly Figure 7 panel).
+        if bucket_seconds < DAY:
+            hour = (bucket_ts % DAY) / HOUR
+            base *= 0.6 + 0.8 * max(0.0, 1.0 - abs(hour - 19.0) / 12.0)
+        noise = 0.7 + 0.6 * mix_float(self.seed, client.client_id, bucket_ts)
+        return base * noise
+
+    def _address_flows(
+        self, client: ClientNetwork, sa: ServiceAddress, bucket_ts: Timestamp, flows: float
+    ) -> float:
+        """The share of a client's bucket traffic hitting one address."""
+        weight = self.letter_weights[sa.letter]
+        for dip in self.dips:
+            weight *= dip.scale(sa.letter, bucket_ts)
+        # Unfilterable non-DNS noise rides along on every subnet.
+        weight *= 1.0 + self.noise_fraction
+        # Family split.
+        if sa.family == 6:
+            if client.prefix_v6 is None:
+                return 0.0
+            family_share = V6_TRAFFIC_SHARE
+        else:
+            family_share = (
+                1.0 - V6_TRAFFIC_SHARE if client.prefix_v6 is not None else 1.0
+            )
+        amount = flows * weight * family_share
+        if sa.generation == "current":
+            return amount
+
+        # b.root old/new logic.
+        adopted = client.has_adopted(bucket_ts, sa.family)
+        behavior = client.behavior(sa.family)
+        is_tester = (
+            mix_float(self.seed, client.client_id, 4242) < TESTER_FRACTION
+        )
+        if sa.generation == "new":
+            if adopted:
+                return amount
+            if is_tester:
+                return amount * TESTER_TRAFFIC_SHARE
+            return 0.0
+        # generation == "old"
+        if not adopted:
+            if is_tester:
+                return amount * (1.0 - TESTER_TRAFFIC_SHARE)
+            return amount
+        if behavior is ClientBehavior.PRIMER:
+            # RFC 8109 priming: ~one query per day against the old
+            # address — a sliver of a sampled flow, not the client's full
+            # b.root volume.
+            return min(amount * 0.05, 0.5)
+        return 0.0
+
+    def _client_prefix(self, client: ClientNetwork, family: int) -> Optional[str]:
+        return client.prefix_v4 if family == 4 else client.prefix_v6
+
+    # -- capture -------------------------------------------------------------------
+
+    def capture(
+        self, start: Timestamp, end: Timestamp, bucket_seconds: int = DAY
+    ) -> FlowAggregate:
+        """Capture the window [start, end) into an aggregate."""
+        if end <= start:
+            raise ValueError("capture window must have positive length")
+        aggregate = FlowAggregate(bucket_seconds=bucket_seconds)
+        bucket = start - start % bucket_seconds
+        while bucket < end:
+            for client in self.clients:
+                flows = self._client_bucket_flows(client, bucket, bucket_seconds)
+                for sa in self.addresses:
+                    amount = self._address_flows(client, sa, bucket, flows)
+                    if amount <= 0:
+                        continue
+                    sampled = amount * self.sampling_rate
+                    prefix = self._client_prefix(client, sa.family)
+                    if prefix is None:
+                        continue
+                    # Sampling may drop a client's trickle entirely.
+                    if sampled < 1.0 and mix_float(
+                        self.seed, client.client_id, bucket, sa.family, mix_str(sa.address) & 0xFFFF
+                    ) > sampled:
+                        continue
+                    aggregate.add_flows(bucket, sa.address, max(sampled, 1.0), prefix)
+            bucket += bucket_seconds
+        return aggregate
+
+    def time_series(self, aggregate: FlowAggregate) -> TrafficTimeSeries:
+        """Wrap an aggregate for normalised-share reads."""
+        return TrafficTimeSeries(aggregate, self.addresses)

@@ -1,0 +1,130 @@
+"""Flow aggregation for passive captures.
+
+Captures record *sampled, anonymised* flows: per time bucket, per root
+service address, a flow count plus the set of client prefixes seen.  The
+paper can only report *relative* traffic (privacy aggregation), so the
+read-side API normalises to shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.rss.operators import ServiceAddress
+from repro.util.timeutil import DAY, HOUR, Timestamp
+
+
+@dataclass
+class FlowAggregate:
+    """Sampled flow counts per (time bucket, service address)."""
+
+    bucket_seconds: int
+    #: (bucket_ts, address) -> flow count
+    flows: Dict[Tuple[Timestamp, str], float] = field(default_factory=dict)
+    #: (bucket_ts, address) -> distinct client prefixes
+    clients: Dict[Tuple[Timestamp, str], Set[str]] = field(default_factory=dict)
+    #: (address, client prefix) -> total flows (Figure 8 input)
+    per_client_flows: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: (address, client prefix) -> buckets with >= 1 flow
+    per_client_days: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def bucket_of(self, ts: Timestamp) -> Timestamp:
+        return ts - ts % self.bucket_seconds
+
+    def add_flows(
+        self, ts: Timestamp, address: str, count: float, client_prefix: str
+    ) -> None:
+        """Record *count* sampled flows from one client in one bucket."""
+        if count <= 0:
+            return
+        bucket = self.bucket_of(ts)
+        key = (bucket, address)
+        self.flows[key] = self.flows.get(key, 0.0) + count
+        self.clients.setdefault(key, set()).add(client_prefix)
+        ckey = (address, client_prefix)
+        self.per_client_flows[ckey] = self.per_client_flows.get(ckey, 0.0) + count
+        self.per_client_days[ckey] = self.per_client_days.get(ckey, 0) + 1
+
+    # -- read side ---------------------------------------------------------------
+
+    def buckets(self) -> List[Timestamp]:
+        """All time buckets with any traffic, ascending."""
+        return sorted({bucket for bucket, _addr in self.flows})
+
+    def series(self, address: str) -> List[Tuple[Timestamp, float]]:
+        """(bucket, flows) series for one address."""
+        return [
+            (bucket, self.flows.get((bucket, address), 0.0))
+            for bucket in self.buckets()
+        ]
+
+    def unique_clients(self, address: str) -> List[Tuple[Timestamp, int]]:
+        """(bucket, distinct clients) series for one address."""
+        return [
+            (bucket, len(self.clients.get((bucket, address), ())))
+            for bucket in self.buckets()
+        ]
+
+    def mean_daily_flows_per_client(self, address: str) -> List[float]:
+        """Per client of *address*: mean flows per active bucket —
+        the Figure 8 x-axis values."""
+        out: List[float] = []
+        for (addr, _client), total in self.per_client_flows.items():
+            if addr != address:
+                continue
+            days = self.per_client_days[(addr, _client)]
+            out.append(total / max(1, days))
+        return out
+
+
+class TrafficTimeSeries:
+    """Normalised traffic-share views over a :class:`FlowAggregate`."""
+
+    def __init__(self, aggregate: FlowAggregate, addresses: Iterable[ServiceAddress]) -> None:
+        self.aggregate = aggregate
+        self.addresses: List[ServiceAddress] = list(addresses)
+
+    def normalized_shares(
+        self, subset: Optional[List[str]] = None
+    ) -> Dict[str, List[Tuple[Timestamp, float]]]:
+        """Per address: (bucket, share-of-bucket-total) series.
+
+        *subset* restricts normalisation to the listed addresses (e.g.
+        just b.root's four subnets for Figure 7, or only IPv6 for
+        Figure 9).
+        """
+        addresses = subset if subset is not None else [
+            sa.address for sa in self.addresses
+        ]
+        buckets = self.aggregate.buckets()
+        totals: Dict[Timestamp, float] = {
+            b: sum(self.aggregate.flows.get((b, a), 0.0) for a in addresses)
+            for b in buckets
+        }
+        out: Dict[str, List[Tuple[Timestamp, float]]] = {}
+        for address in addresses:
+            series: List[Tuple[Timestamp, float]] = []
+            for bucket in buckets:
+                total = totals[bucket]
+                value = self.aggregate.flows.get((bucket, address), 0.0)
+                series.append((bucket, value / total if total > 0 else 0.0))
+            out[address] = series
+        return out
+
+    def window_share(
+        self, address: str, start: Timestamp, end: Timestamp, subset: Optional[List[str]] = None
+    ) -> float:
+        """Share of *address* within [start, end) against the subset."""
+        addresses = subset if subset is not None else [
+            sa.address for sa in self.addresses
+        ]
+        total = 0.0
+        mine = 0.0
+        for (bucket, addr), flows in self.aggregate.flows.items():
+            if not start <= bucket < end or addr not in addresses:
+                continue
+            total += flows
+            if addr == address:
+                mine += flows
+        return mine / total if total > 0 else 0.0

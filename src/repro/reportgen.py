@@ -1,0 +1,183 @@
+"""Generate every table and figure into a directory.
+
+``rootsim-report --out DIR`` runs a campaign plus the passive captures
+and writes one text file per paper artefact (table1.txt .. fig14.txt,
+ablation-style extras included), plus an index.  This is the one-command
+"regenerate the paper" path; the benchmarks wrap the same calls with
+timing and shape assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.util.timeutil import parse_ts
+
+
+def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
+    """Write every artefact for a finished *study*; returns name -> path."""
+    from repro.analysis import (
+        ClientBehaviorAnalysis,
+        ColocationAnalysis,
+        CoverageAnalysis,
+        DistanceAnalysis,
+        PathAnalysis,
+        RttAnalysis,
+        StabilityAnalysis,
+        TrafficShiftAnalysis,
+        ZonemdAudit,
+    )
+    from repro.analysis import report
+    from repro.geo.continents import Continent
+    from repro.passive.clients import ISP_PROFILE, build_client_population
+    from repro.passive.isp import IspCapture
+    from repro.passive.ixp import build_ixp_captures, regional_aggregate
+    from repro.rss.operators import root_server
+    from repro.util.rng import RngFactory
+
+    results = study.results()
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    def emit(name: str, content: str) -> None:
+        target = path / f"{name}.txt"
+        target.write_text(content + "\n")
+        written[name] = target
+
+    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    emit("table1", report.render_table1(coverage))
+    emit("table4", report.render_table4(coverage))
+
+    audit = ZonemdAudit(results.collector.transfers)
+    findings, valid = audit.validate_transfers()
+    emit("table2", report.render_table2(findings, valid))
+
+    stability = StabilityAnalysis(results.collector)
+    emit("fig3", report.render_figure3(stability))
+
+    colocation = ColocationAnalysis(results.collector, results.vps)
+    emit("fig4", report.render_figure4(colocation))
+
+    distance = DistanceAnalysis(results.collector)
+    b = root_server("b")
+    m = root_server("m")
+    emit("fig5", report.render_figure5(distance, [b.ipv4, b.ipv6, m.ipv4, m.ipv6]))
+
+    rtt = RttAnalysis(results.collector, results.vps)
+    addresses = [sa.address for sa in results.collector.addresses]
+    emit("fig6", report.render_figure6(
+        rtt,
+        [Continent.AFRICA, Continent.SOUTH_AMERICA,
+         Continent.NORTH_AMERICA, Continent.EUROPE],
+        addresses, {},
+    ))
+    emit("fig14", report.render_figure6(rtt, list(Continent), addresses, {}))
+
+    paths = PathAnalysis(results.collector, results.vps)
+    emit("paths_sec6", "\n\n".join(
+        report.render_path_breakdown(paths, continent, "i")
+        for continent in (Continent.SOUTH_AMERICA, Continent.NORTH_AMERICA)
+    ))
+
+    # Passive artefacts.
+    rng = RngFactory(seed)
+    isp = IspCapture(build_client_population(ISP_PROFILE, rng), seed=seed)
+    post = isp.capture(parse_ts("2024-02-05"), parse_ts("2024-03-04"))
+    shift = TrafficShiftAnalysis(post)
+    emit("fig7", report.render_traffic_series(
+        "Figure 7: ISP b.root traffic (2024-02-05 .. 2024-03-04)",
+        shift.broot_series(),
+    ))
+    behavior = ClientBehaviorAnalysis(post)
+    emit("fig8", "\n\n".join(
+        report.render_figure8(behavior, family) for family in (4, 6)
+    ))
+    emit("fig12", _letter_share_table(shift))
+
+    captures = build_ixp_captures(rng.fork("ixp"), seed=seed, clients_per_ixp=120)
+    window = (parse_ts("2023-12-08"), parse_ts("2023-12-28"))
+    fig9_parts: List[str] = []
+    fig13_content: Optional[str] = None
+    for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
+        aggregate = regional_aggregate(captures, region, *window)
+        regional_shift = TrafficShiftAnalysis(aggregate)
+        fig9_parts.append(report.render_traffic_series(
+            f"Figure 9 ({region}): IPv6 b.root traffic",
+            regional_shift.broot_series(families=(6,)),
+        ))
+        if region is Continent.EUROPE:
+            fig13_content = _letter_share_table(regional_shift, title="Figure 13")
+    emit("fig9", "\n\n".join(fig9_parts))
+    if fig13_content:
+        emit("fig13", fig13_content)
+
+    emit("fig10", _bitflip_report(audit, results))
+
+    index = "\n".join(
+        f"{name}: {target.name}" for name, target in sorted(written.items())
+    )
+    emit("INDEX", index)
+    return written
+
+
+def _letter_share_table(shift, title: str = "Figure 12") -> str:
+    from repro.util.tables import Table
+
+    series = shift.letter_share_series()
+    buckets = sorted({ts for s in series.values() for ts, _v in s})
+    window = (buckets[0], buckets[-1] + 1)
+    shares = shift.letter_shares(*window)
+    table = Table(["Root", "share %"], float_digits=2)
+    for letter in sorted(shares, key=shares.get, reverse=True):
+        table.add_row([letter, 100 * shares[letter]])
+    return table.render(f"{title}: traffic share per letter")
+
+
+def _bitflip_report(audit, results) -> str:
+    lines = ["Figure 10: bitflips in transferred zones"]
+    for obs, description in audit.bitflip_examples()[:5]:
+        reference = results.distributor.zone_for_publication(
+            *results.distributor.latest_publication(obs.true_ts)
+        )
+        if reference.serial != obs.serial:
+            continue
+        for before, after in audit.bitflip_diff(obs, reference):
+            lines.append(f"VP {obs.vp_id}, {obs.address.label}: {description}")
+            lines.append(f"  - {before[:110]}")
+            lines.append(f"  + {after[:110]}")
+    if len(lines) == 1:
+        lines.append("(no bitflipped transfers recorded in this run)")
+    return "\n".join(lines)
+
+
+def report_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``rootsim-report``."""
+    parser = argparse.ArgumentParser(
+        prog="rootsim-report",
+        description="regenerate every paper table/figure into a directory",
+    )
+    parser.add_argument("--out", required=True, help="output directory")
+    parser.add_argument(
+        "--preset", choices=("quick", "standard", "paper"), default="quick"
+    )
+    parser.add_argument("--seed", type=int, default=2024)
+    args = parser.parse_args(argv)
+
+    from repro.core import RootStudy, StudyConfig
+
+    config = {
+        "quick": StudyConfig.quick,
+        "standard": StudyConfig.standard,
+        "paper": StudyConfig.paper_scale,
+    }[args.preset](seed=args.seed)
+    print(f"running {args.preset} study (seed {args.seed}) ...")
+    study = RootStudy(config)
+    study.run()
+    written = generate_all(study, args.out, seed=args.seed)
+    print(f"wrote {len(written)} artefacts to {args.out}:")
+    for name in sorted(written):
+        print(f"  {name}.txt")
+    return 0

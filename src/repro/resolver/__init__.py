@@ -1,0 +1,35 @@
+"""A recursive resolver substrate.
+
+The paper's client-behaviour findings (priming against old addresses,
+reluctance to renumber, local root copies needing ZONEMD) are resolver
+phenomena.  This package implements the mechanisms:
+
+* a TTL-correct cache,
+* root hints — including *stale* hints still carrying b.root's old
+  address, the root cause of post-renumbering residual traffic,
+* RFC 8109 priming,
+* RTT-smoothed root server selection (why resolvers concentrate on
+  nearby letters),
+* an RFC 8806 "local root" that maintains a validated zone copy via
+  AXFR/IXFR with ZONEMD checking and failover between letters.
+"""
+
+from repro.resolver.cache import CacheEntry, DnsCache
+from repro.resolver.hints import RootHints, fresh_hints, stale_hints
+from repro.resolver.netclient import QueryOutcome, RootNetworkClient
+from repro.resolver.resolver import Resolution, SimResolver
+from repro.resolver.localroot import LocalRootManager, RefreshResult
+
+__all__ = [
+    "CacheEntry",
+    "DnsCache",
+    "RootHints",
+    "fresh_hints",
+    "stale_hints",
+    "QueryOutcome",
+    "RootNetworkClient",
+    "Resolution",
+    "SimResolver",
+    "LocalRootManager",
+    "RefreshResult",
+]

@@ -1,0 +1,125 @@
+"""A TTL-correct DNS cache.
+
+Entries expire at ``stored_at + ttl``; lookups report the *remaining*
+TTL, and negative results (NXDOMAIN) are cached against the zone's SOA
+minimum, per RFC 2308.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.records import ResourceRecord
+from repro.util.timeutil import Timestamp
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached RRset (or negative answer)."""
+
+    records: Tuple[ResourceRecord, ...]
+    stored_at: Timestamp
+    ttl: int
+    negative: bool = False
+
+    def expires_at(self) -> Timestamp:
+        return self.stored_at + self.ttl
+
+    def fresh_at(self, now: Timestamp) -> bool:
+        return now < self.expires_at()
+
+    def remaining_ttl(self, now: Timestamp) -> int:
+        return max(0, self.expires_at() - now)
+
+
+class DnsCache:
+    """Keyed by (owner, type, class); explicit-time API, no wall clock."""
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs capacity")
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple[Name, int, int], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(name: Name, rrtype: RRType, rrclass: RRClass) -> Tuple[Name, int, int]:
+        return (name, int(rrtype), int(rrclass))
+
+    def put(
+        self,
+        records: List[ResourceRecord],
+        now: Timestamp,
+    ) -> None:
+        """Cache an RRset (all records must share one key)."""
+        if not records:
+            raise ValueError("cannot cache an empty RRset")
+        key = self._key(records[0].name, records[0].rrtype, records[0].rrclass)
+        for record in records[1:]:
+            if self._key(record.name, record.rrtype, record.rrclass) != key:
+                raise ValueError("mixed RRset in cache put")
+        ttl = min(r.ttl for r in records)
+        self._evict_if_full()
+        self._entries[key] = CacheEntry(
+            records=tuple(records), stored_at=now, ttl=ttl
+        )
+
+    def put_negative(
+        self,
+        name: Name,
+        rrtype: RRType,
+        now: Timestamp,
+        ttl: int,
+        rrclass: RRClass = RRClass.IN,
+    ) -> None:
+        """Cache an NXDOMAIN/NODATA result (RFC 2308)."""
+        self._evict_if_full()
+        self._entries[self._key(name, rrtype, rrclass)] = CacheEntry(
+            records=(), stored_at=now, ttl=ttl, negative=True
+        )
+
+    def get(
+        self,
+        name: Name,
+        rrtype: RRType,
+        now: Timestamp,
+        rrclass: RRClass = RRClass.IN,
+    ) -> Optional[CacheEntry]:
+        """Fresh entry or None (expired entries are dropped lazily)."""
+        key = self._key(name, rrtype, rrclass)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.fresh_at(now):
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def flush(self) -> None:
+        """Drop everything (resolver restart)."""
+        self._entries.clear()
+
+    def expire_all(self, now: Timestamp) -> int:
+        """Proactively drop expired entries; returns how many."""
+        stale = [
+            key for key, entry in self._entries.items() if not entry.fresh_at(now)
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def _evict_if_full(self) -> None:
+        if len(self._entries) >= self.max_entries:
+            # Drop the entry expiring soonest.
+            victim = min(self._entries, key=lambda k: self._entries[k].expires_at())
+            del self._entries[victim]

@@ -1,0 +1,58 @@
+"""Root hints.
+
+A resolver bootstraps from a compiled-in hints file.  Hints files age:
+devices shipped before b.root's renumbering keep querying the old
+address until they re-prime or get updated — producing exactly the
+residual old-address traffic the paper measures.  ``stale_hints``
+returns the pre-change file, ``fresh_hints`` the post-change one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.rss.operators import B_ROOT_CHANGE_TS, ROOT_SERVERS
+from repro.util.timeutil import Timestamp
+
+
+@dataclass(frozen=True)
+class RootHints:
+    """letter -> (IPv4, IPv6) bootstrap addresses."""
+
+    addresses: Dict[str, Tuple[str, str]]
+    generated_at: Timestamp
+
+    def address(self, letter: str, family: int) -> str:
+        v4, v6 = self.addresses[letter]
+        if family == 4:
+            return v4
+        if family == 6:
+            return v6
+        raise ValueError(f"family must be 4 or 6, got {family}")
+
+    def all_addresses(self, family: int) -> List[str]:
+        return [self.address(letter, family) for letter in sorted(self.addresses)]
+
+    @property
+    def letters(self) -> List[str]:
+        return sorted(self.addresses)
+
+
+def hints_as_of(ts: Timestamp) -> RootHints:
+    """The hints file a device generated at *ts* would carry."""
+    addresses = {
+        letter: (server.address_for(4, ts), server.address_for(6, ts))
+        for letter, server in ROOT_SERVERS.items()
+    }
+    return RootHints(addresses=addresses, generated_at=ts)
+
+
+def stale_hints() -> RootHints:
+    """Hints predating b.root's renumbering (old b addresses)."""
+    return hints_as_of(B_ROOT_CHANGE_TS - 86400)
+
+
+def fresh_hints() -> RootHints:
+    """Hints from after the renumbering (new b addresses)."""
+    return hints_as_of(B_ROOT_CHANGE_TS + 86400)

@@ -1,0 +1,190 @@
+"""RFC 8806: running a local copy of the root zone.
+
+The paper's §7 punchline: a resolver keeping a local root copy must be
+able to *verify* it — ZONEMD enables that regardless of how the zone
+was obtained — and on failure should "implement appropriate fallback
+mechanisms such as rescheduling a zone transfer from a different root
+server".  This manager does exactly that: refresh via IXFR/AXFR on the
+SOA schedule, fully validate every new copy (RRSIGs + ZONEMD), reject
+corrupt transfers and fail over to the next letter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dns.constants import RRType
+from repro.dns.message import Message
+from repro.dns.name import ROOT_NAME
+from repro.dns.rdata import SOA
+from repro.dnssec.validate import validate_zone
+from repro.dnssec.zonemd import ZonemdStatus, verify_zonemd
+from repro.resolver.hints import RootHints
+from repro.resolver.netclient import RootNetworkClient
+from repro.util.timeutil import Timestamp
+from repro.zone.serial import serial_compare
+from repro.zone.zone import Zone
+
+
+class RefreshStatus(enum.Enum):
+    """Outcome class of one refresh attempt."""
+
+    CURRENT = "local copy already current"
+    UPDATED = "new zone copy installed"
+    REJECTED = "transfer failed validation; trying another server"
+    FAILED = "no server produced a valid copy"
+
+
+@dataclass
+class RefreshResult:
+    """One refresh attempt's audit trail."""
+
+    status: RefreshStatus
+    serial: Optional[int] = None
+    served_by: Optional[str] = None
+    rejections: List[Tuple[str, str]] = field(default_factory=list)  # (addr, why)
+
+
+class LocalRootManager:
+    """Maintains a validated local root zone copy (RFC 8806)."""
+
+    def __init__(
+        self,
+        client: RootNetworkClient,
+        hints: RootHints,
+        family: int = 4,
+        require_zonemd: bool = False,
+        prefer_ixfr: bool = True,
+    ) -> None:
+        self.client = client
+        self.hints = hints
+        self.family = family
+        #: Strict mode: reject zones whose ZONEMD cannot be verified.
+        #: (Off by default during the monitoring year — paper §7: the
+        #: operators will watch for at least a year before rejecting.)
+        self.require_zonemd = require_zonemd
+        #: Refresh incrementally (RFC 1995) when a copy is loaded.
+        self.prefer_ixfr = prefer_ixfr
+        self.zone: Optional[Zone] = None
+        self.last_refresh: Timestamp = 0
+        self.refresh_history: List[RefreshResult] = []
+        self.ixfr_refreshes = 0
+        self.axfr_refreshes = 0
+
+    # -- validation --------------------------------------------------------------------
+
+    def _validate(self, zone: Zone, now: Timestamp) -> Optional[str]:
+        """None if acceptable, else a rejection reason."""
+        report = validate_zone(zone.records, ROOT_NAME, now=now, check_zonemd=False)
+        if not report.valid:
+            return f"DNSSEC: {report.issues[0].error.value}"
+        status, detail = verify_zonemd(zone.records, ROOT_NAME)
+        if status is ZonemdStatus.MISMATCH:
+            return f"ZONEMD: {detail}"
+        if status is ZonemdStatus.SERIAL_MISMATCH:
+            return f"ZONEMD: {detail}"
+        if self.require_zonemd and status is not ZonemdStatus.VALID:
+            return f"ZONEMD required but {status.value}"
+        return None
+
+    # -- refresh ------------------------------------------------------------------------
+
+    def _remote_serial(self, address: str, now: Timestamp) -> Optional[int]:
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        outcome = self.client.query(address, query, now)
+        soas = outcome.response.answer_rrs(RRType.SOA)
+        if not soas:
+            return None
+        rdata = soas[0].rdata
+        assert isinstance(rdata, SOA)
+        return rdata.serial
+
+    def _fetch(self, address: str, now: Timestamp) -> Optional[Zone]:
+        """Fetch the current zone: IXFR when possible, AXFR otherwise."""
+        from repro.zone.ixfr import apply_deltas
+        from repro.zone.transfer import TransferError
+
+        if self.prefer_ixfr and self.zone is not None:
+            response = self.client.ixfr(address, self.zone.serial, now)
+            if response.kind == "incremental" and response.records:
+                try:
+                    updated = apply_deltas(
+                        self.zone, response.deltas, response.records[0]
+                    )
+                    self.ixfr_refreshes += 1
+                    return updated
+                except TransferError:
+                    pass  # fall back to a full transfer below
+            elif response.kind == "full" and response.records:
+                from repro.zone.zone import Zone as ZoneCls
+
+                self.axfr_refreshes += 1
+                return ZoneCls(ROOT_NAME, response.records[:-1])
+        transfer = self.client.axfr(address, now)
+        if transfer is None:
+            return None
+        self.axfr_refreshes += 1
+        return transfer.zone
+
+    def refresh(self, now: Timestamp) -> RefreshResult:
+        """One refresh cycle: SOA check, then transfer + validate, with
+        failover across letters on rejection."""
+        result = RefreshResult(status=RefreshStatus.FAILED)
+        addresses = self.hints.all_addresses(self.family)
+        for address in addresses:
+            serial = self._remote_serial(address, now)
+            if serial is None:
+                result.rejections.append((address, "no SOA answer"))
+                continue
+            if self.zone is not None and serial_compare(self.zone.serial, serial) >= 0:
+                result.status = RefreshStatus.CURRENT
+                result.serial = self.zone.serial
+                result.served_by = address
+                break
+            candidate = self._fetch(address, now)
+            if candidate is None:
+                result.rejections.append((address, "transfer refused"))
+                continue
+            rejection = self._validate(candidate, now)
+            if rejection is not None:
+                result.rejections.append((address, rejection))
+                result.status = RefreshStatus.REJECTED
+                continue
+            self.zone = candidate
+            self.last_refresh = now
+            result.status = RefreshStatus.UPDATED
+            result.serial = candidate.serial
+            result.served_by = address
+            break
+        self.refresh_history.append(result)
+        return result
+
+    def needs_refresh(self, now: Timestamp) -> bool:
+        """SOA-refresh-interval scheduling."""
+        if self.zone is None:
+            return True
+        soa = self.zone.soa()
+        assert soa is not None and isinstance(soa.rdata, SOA)
+        return now >= self.last_refresh + soa.rdata.refresh
+
+    # -- serving ------------------------------------------------------------------------
+
+    def answer_locally(self, query: Message) -> Optional[Message]:
+        """Answer a query from the local copy (None if not loaded)."""
+        if self.zone is None:
+            return None
+        from repro.rss.instance import RootInstance
+        from repro.rss.sites import Site
+        from repro.geo.cities import city
+
+        # A synthetic "site" representing the loopback instance.
+        loopback = Site(
+            letter="l",  # arbitrary; identity not used for IN answers
+            index=999,
+            city=city("FRA"),
+            is_global=False,
+            published=False,
+        )
+        return RootInstance(loopback).answer(query, self.zone)

@@ -1,0 +1,207 @@
+"""The recursive resolver: priming, caching, server selection.
+
+Implements the client-side mechanics behind the paper's findings:
+
+* **Priming (RFC 8109)**: on start (and whenever the cached root NS set
+  expires) the resolver queries ``NS .`` against a *hints* address and
+  re-learns the letters' current addresses from the zone — which is how
+  renumbered addresses propagate to clients without software updates,
+  and why devices with priming touch an old address about once a day.
+* **Server selection**: smoothed-RTT based with occasional exploration
+  (BIND/Unbound style), concentrating queries on nearby letters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.constants import RRClass, RRType, Rcode
+from repro.dns.edns import add_edns
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import NS
+from repro.dns.records import ResourceRecord
+from repro.resolver.cache import DnsCache
+from repro.resolver.hints import RootHints
+from repro.resolver.netclient import RootNetworkClient
+from repro.util.timeutil import Timestamp
+
+#: Smoothing factor for per-address RTT estimates.
+RTT_ALPHA = 0.3
+
+#: Probability of probing a non-best address (keeps estimates fresh).
+EXPLORE_PROB = 0.05
+
+
+@dataclass
+class Resolution:
+    """Outcome of one resolver lookup."""
+
+    answers: List[ResourceRecord]
+    referral: List[Name]  # delegation NS targets when not authoritative
+    rcode: Rcode
+    from_cache: bool
+    queried_address: Optional[str] = None
+    rtt_ms: Optional[float] = None
+
+    @property
+    def is_referral(self) -> bool:
+        return bool(self.referral) and not self.answers
+
+
+class SimResolver:
+    """A caching resolver wired to the simulated root."""
+
+    def __init__(
+        self,
+        client: RootNetworkClient,
+        hints: RootHints,
+        family: int = 4,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if family not in (4, 6):
+            raise ValueError(f"family must be 4 or 6, got {family}")
+        self.client = client
+        self.hints = hints
+        self.family = family
+        self.rng = rng or random.Random(0)
+        self.cache = DnsCache()
+        #: current root addresses (learned via priming; starts empty)
+        self._root_addresses: List[str] = []
+        self._root_expiry: Timestamp = 0
+        #: smoothed RTT per address
+        self._srtt: Dict[str, float] = {}
+        self.primings = 0
+        self.queries_sent = 0
+
+    # -- priming --------------------------------------------------------------------
+
+    def _prime(self, now: Timestamp) -> None:
+        """RFC 8109: learn the current root NS set + addresses."""
+        self.primings += 1
+        hint_address = self.rng.choice(self.hints.all_addresses(self.family))
+        query = Message.make_query(ROOT_NAME, RRType.NS, rd=False)
+        add_edns(query, dnssec_ok=True)
+        outcome = self.client.query(hint_address, query, now)
+        self.queries_sent += 1
+        ns_records = outcome.response.answer_rrs(RRType.NS)
+        if not ns_records:
+            raise RuntimeError("priming failed: no NS records in answer")
+        self.cache.put(ns_records, now)
+        ttl = min(r.ttl for r in ns_records)
+        self._root_expiry = now + ttl
+
+        # Resolve each letter's address of our family from the same
+        # server (the real priming response carries these as glue).
+        qtype = RRType.A if self.family == 4 else RRType.AAAA
+        addresses: List[str] = []
+        for record in ns_records:
+            assert isinstance(record.rdata, NS)
+            target = record.rdata.target
+            address_query = Message.make_query(target, qtype)
+            address_outcome = self.client.query(hint_address, address_query, now)
+            self.queries_sent += 1
+            answer = address_outcome.response.answer_rrs(qtype)
+            if answer:
+                self.cache.put(answer, now)
+                addresses.append(answer[0].rdata.address)  # type: ignore[attr-defined]
+        if not addresses:
+            raise RuntimeError("priming failed: no root addresses learned")
+        self._root_addresses = addresses
+
+    def _ensure_primed(self, now: Timestamp) -> None:
+        if not self._root_addresses or now >= self._root_expiry:
+            self._prime(now)
+
+    # -- server selection -------------------------------------------------------------
+
+    def _pick_root_address(self) -> str:
+        """Smoothed-RTT selection with epsilon exploration."""
+        unknown = [a for a in self._root_addresses if a not in self._srtt]
+        if unknown:
+            return self.rng.choice(unknown)
+        if self.rng.random() < EXPLORE_PROB:
+            return self.rng.choice(self._root_addresses)
+        return min(self._root_addresses, key=lambda a: self._srtt[a])
+
+    def _note_rtt(self, address: str, rtt_ms: float) -> None:
+        previous = self._srtt.get(address)
+        if previous is None:
+            self._srtt[address] = rtt_ms
+        else:
+            self._srtt[address] = (1 - RTT_ALPHA) * previous + RTT_ALPHA * rtt_ms
+
+    @property
+    def smoothed_rtts(self) -> Dict[str, float]:
+        return dict(self._srtt)
+
+    # -- resolution --------------------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: Name,
+        qtype: RRType,
+        now: Timestamp,
+    ) -> Resolution:
+        """Resolve against the root (answer, negative, or referral).
+
+        The simulated universe ends at the root: names inside TLDs come
+        back as referrals carrying the delegation's NS targets, which is
+        exactly the part of resolution the root serves.
+        """
+        cached = self.cache.get(qname, qtype, now)
+        if cached is not None:
+            if cached.negative:
+                return Resolution(
+                    answers=[], referral=[], rcode=Rcode.NXDOMAIN, from_cache=True
+                )
+            return Resolution(
+                answers=list(cached.records), referral=[], rcode=Rcode.NOERROR,
+                from_cache=True,
+            )
+
+        self._ensure_primed(now)
+        address = self._pick_root_address()
+        query = Message.make_query(qname, qtype)
+        add_edns(query, dnssec_ok=True)
+        outcome = self.client.query(address, query, now)
+        self.queries_sent += 1
+        self._note_rtt(address, outcome.rtt_ms)
+        response = outcome.response
+
+        if response.header.rcode == Rcode.NXDOMAIN:
+            self.cache.put_negative(qname, qtype, now, ttl=86400)
+            return Resolution(
+                answers=[], referral=[], rcode=Rcode.NXDOMAIN, from_cache=False,
+                queried_address=address, rtt_ms=outcome.rtt_ms,
+            )
+
+        answers = [r for r in response.answers if r.rrtype == qtype]
+        if answers:
+            self.cache.put(answers, now)
+            return Resolution(
+                answers=answers, referral=[], rcode=Rcode.NOERROR,
+                from_cache=False, queried_address=address, rtt_ms=outcome.rtt_ms,
+            )
+
+        referral_targets: List[Name] = []
+        for record in response.authority:
+            if record.rrtype == RRType.NS and isinstance(record.rdata, NS):
+                referral_targets.append(record.rdata.target)
+        if referral_targets:
+            self.cache.put(list(response.authority), now)
+        return Resolution(
+            answers=[], referral=referral_targets, rcode=Rcode.NOERROR,
+            from_cache=False, queried_address=address, rtt_ms=outcome.rtt_ms,
+        )
+
+    # -- introspection -----------------------------------------------------------------
+
+    def known_root_addresses(self) -> List[str]:
+        """Addresses the resolver currently believes serve the root."""
+        return list(self._root_addresses)
+
+    def uses_address(self, address: str) -> bool:
+        return address in self._root_addresses

@@ -1,0 +1,34 @@
+"""The root server system (RSS): the 13 letters, their operators and
+service addresses (including b.root's 2023 renumbering), per-letter site
+catalogs mirroring the paper's §2 deployment counts, and the behaviour of
+a root server instance (answering queries, CHAOS identity, AXFR).
+"""
+
+from repro.rss.operators import (
+    ROOT_LETTERS,
+    RootServer,
+    ROOT_SERVERS,
+    root_server,
+    B_ROOT_CHANGE_TS,
+    ServiceAddress,
+    all_service_addresses,
+)
+from repro.rss.sites import Site, SiteCatalog, build_site_catalog, SITE_PLAN
+from repro.rss.instance import RootInstance
+from repro.rss.server import RootServerDeployment
+
+__all__ = [
+    "ROOT_LETTERS",
+    "RootServer",
+    "ROOT_SERVERS",
+    "root_server",
+    "B_ROOT_CHANGE_TS",
+    "ServiceAddress",
+    "all_service_addresses",
+    "Site",
+    "SiteCatalog",
+    "build_site_catalog",
+    "SITE_PLAN",
+    "RootInstance",
+    "RootServerDeployment",
+]

@@ -1,0 +1,143 @@
+"""A root server instance: the thing a query actually reaches.
+
+Implements the answer behaviour the measurement suite (paper Appendix F)
+exercises: IN queries against the current root zone copy, CHAOS identity
+queries (``hostname.bind``/``id.server``/``version.bind``/``version.server``)
+and AXFR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dns.constants import RRClass, RRType, Rcode
+from repro.dns.edns import DEFAULT_PAYLOAD_SIZE, add_edns, wants_dnssec
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import NS, TXT
+from repro.dns.records import ResourceRecord
+from repro.rss.sites import Site
+from repro.zone.zone import Zone
+
+#: Name server software each operator reports via ``version.bind``.
+VERSION_STRINGS: Dict[str, str] = {
+    "a": "Verisign ATLAS",
+    "b": "BIND 9.18.19",
+    "c": "BIND 9.18.19",
+    "d": "BIND 9.18.19",
+    "e": "NSD 4.7.0",
+    "f": "ISC BIND",
+    "g": "BIND 9.16.44",
+    "h": "Knot DNS 3.3.2",
+    "i": "NSD 4.8.0",
+    "j": "Verisign ATLAS",
+    "k": "Knot DNS 3.3.2",
+    "l": "NSD 4.8.0",
+    "m": "BIND 9.18.19",
+}
+
+_HOSTNAME_BIND = Name.from_text("hostname.bind.")
+_ID_SERVER = Name.from_text("id.server.")
+_VERSION_BIND = Name.from_text("version.bind.")
+_VERSION_SERVER = Name.from_text("version.server.")
+_ROOT_SERVERS_NET = Name.from_text("root-servers.net.")
+
+
+def _txt_answer(query: Message, owner: Name, text: str) -> Message:
+    response = query.make_response()
+    response.answers.append(
+        ResourceRecord(owner, RRType.TXT, RRClass.CH, 0, TXT.from_string(text))
+    )
+    return response
+
+
+@dataclass
+class RootInstance:
+    """One serving instance at one site."""
+
+    site: Site
+
+    @property
+    def letter(self) -> str:
+        return self.site.letter
+
+    def identity(self) -> str:
+        """The CHAOS identity string this instance reports."""
+        return self.site.identity()
+
+    # -- query answering ---------------------------------------------------------
+
+    def answer(self, query: Message, zone: Zone) -> Message:
+        """Answer one (non-AXFR) query against *zone*."""
+        question = query.question
+        if question is None:
+            return query.make_response(rcode=Rcode.FORMERR)
+        if question.qclass == RRClass.CH:
+            return self._answer_chaos(query)
+        if question.qclass != RRClass.IN:
+            return query.make_response(rcode=Rcode.NOTIMP, aa=False)
+        return self._answer_in(query, zone)
+
+    def _answer_chaos(self, query: Message) -> Message:
+        question = query.question
+        assert question is not None
+        if question.qtype != RRType.TXT:
+            return query.make_response(rcode=Rcode.NOTIMP, aa=False)
+        qname = question.qname
+        if qname in (_HOSTNAME_BIND, _ID_SERVER):
+            return _txt_answer(query, qname, self.identity())
+        if qname in (_VERSION_BIND, _VERSION_SERVER):
+            return _txt_answer(query, qname, VERSION_STRINGS[self.letter])
+        return query.make_response(rcode=Rcode.NXDOMAIN, aa=False)
+
+    def _answer_in(self, query: Message, zone: Zone) -> Message:
+        question = query.question
+        assert question is not None
+        qname, qtype = question.qname, question.qtype
+
+        # Root servers are also authoritative for root-servers.net; the
+        # suite queries its NS RRset (Appendix F).  We synthesise the
+        # answer from the letters present in the zone's apex NS set.
+        if qname == _ROOT_SERVERS_NET and qtype == RRType.NS:
+            response = query.make_response()
+            apex_ns = zone.find_rrset(ROOT_NAME, RRType.NS)
+            assert apex_ns is not None
+            for rec in apex_ns:
+                assert isinstance(rec.rdata, NS)
+                response.answers.append(
+                    ResourceRecord(_ROOT_SERVERS_NET, RRType.NS, RRClass.IN, 3600000, rec.rdata)
+                )
+            return response
+
+        rrset = zone.find_rrset(qname, qtype)
+        if rrset is not None:
+            response = query.make_response()
+            response.answers.extend(rrset.records)
+            # RRSIGs are only attached when the client set the DO bit
+            # (``dig +dnssec`` sends EDNS with DO=1).
+            if wants_dnssec(query):
+                add_edns(response, DEFAULT_PAYLOAD_SIZE, dnssec_ok=True)
+                for rec in zone.records:
+                    if (
+                        rec.rrtype == RRType.RRSIG
+                        and rec.name == qname
+                        and rec.rdata.type_covered == int(qtype)  # type: ignore[attr-defined]
+                    ):
+                        response.answers.append(rec)
+            return response
+
+        # Name exists with other types -> NOERROR/empty; else NXDOMAIN.
+        name_exists = any(rec.name == qname for rec in zone.records)
+        if name_exists:
+            return query.make_response()
+        if qname.is_subdomain_of(ROOT_NAME) and len(qname) >= 1:
+            # Delegation? The root answers with a referral for names under
+            # a delegated TLD.
+            tld = Name(qname.labels[-1:])
+            delegation = zone.find_rrset(tld, RRType.NS)
+            if delegation is not None and qname != tld:
+                response = query.make_response(aa=False)
+                response.authority.extend(delegation.records)
+                return response
+        return query.make_response(rcode=Rcode.NXDOMAIN)

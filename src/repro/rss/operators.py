@@ -1,0 +1,127 @@
+"""The 13 root server letters, their operators and service addresses.
+
+Addresses are the real ones (paper Appendix F measurement script), with
+b.root carrying both its pre- and post-renumbering addresses; the change
+entered the root zone on 2023-11-27 (paper Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.timeutil import parse_ts
+
+#: The thirteen letters.
+ROOT_LETTERS: Tuple[str, ...] = tuple("abcdefghijklm")
+
+#: b.root's renumbering entered the root zone on 2023-11-27 (Fig. 2).
+B_ROOT_CHANGE_TS = parse_ts("2023-11-27")
+
+
+@dataclass(frozen=True)
+class ServiceAddress:
+    """One (letter, family, generation) service address."""
+
+    letter: str
+    family: int  # 4 or 6
+    address: str
+    generation: str  # "current", "old", or "new"
+
+    @property
+    def label(self) -> str:
+        """Display label like ``b.root (new)`` used by the paper's figures."""
+        if self.generation == "current":
+            return f"{self.letter}.root"
+        return f"{self.letter}.root ({self.generation})"
+
+
+@dataclass(frozen=True)
+class RootServer:
+    """One root server letter with its addresses and operator."""
+
+    letter: str
+    operator: str
+    ipv4: str
+    ipv6: str
+    old_ipv4: Optional[str] = None
+    old_ipv6: Optional[str] = None
+
+    @property
+    def name_text(self) -> str:
+        return f"{self.letter}.root-servers.net."
+
+    def addresses(self) -> List[ServiceAddress]:
+        """All service addresses, marking old/new generations."""
+        gen = "new" if self.old_ipv4 else "current"
+        out = [
+            ServiceAddress(self.letter, 4, self.ipv4, gen),
+            ServiceAddress(self.letter, 6, self.ipv6, gen),
+        ]
+        if self.old_ipv4:
+            out.append(ServiceAddress(self.letter, 4, self.old_ipv4, "old"))
+        if self.old_ipv6:
+            out.append(ServiceAddress(self.letter, 6, self.old_ipv6, "old"))
+        return out
+
+    def address_for(self, family: int, at_ts: int) -> str:
+        """The address published in the root zone at time *at_ts*.
+
+        Only b.root has a pre-change generation; before the change the old
+        address is published, after it the new one.
+        """
+        if family not in (4, 6):
+            raise ValueError(f"family must be 4 or 6, got {family}")
+        current = self.ipv4 if family == 4 else self.ipv6
+        old = self.old_ipv4 if family == 4 else self.old_ipv6
+        if old is not None and at_ts < B_ROOT_CHANGE_TS:
+            return old
+        return current
+
+
+#: The RSS as of the measurement period.  b.root: old = 199.9.14.201 /
+#: 2001:500:200::b, new = 170.247.170.2 / 2801:1b8:10::b.
+_SERVERS: List[RootServer] = [
+    RootServer("a", "Verisign", "198.41.0.4", "2001:503:ba3e::2:30"),
+    RootServer(
+        "b", "USC-ISI", "170.247.170.2", "2801:1b8:10::b",
+        old_ipv4="199.9.14.201", old_ipv6="2001:500:200::b",
+    ),
+    RootServer("c", "Cogent", "192.33.4.12", "2001:500:2::c"),
+    RootServer("d", "University of Maryland", "199.7.91.13", "2001:500:2d::d"),
+    RootServer("e", "NASA Ames", "192.203.230.10", "2001:500:a8::e"),
+    RootServer("f", "ISC", "192.5.5.241", "2001:500:2f::f"),
+    RootServer("g", "DISA", "192.112.36.4", "2001:500:12::d0d"),
+    RootServer("h", "U.S. Army Research Lab", "198.97.190.53", "2001:500:1::53"),
+    RootServer("i", "Netnod", "192.36.148.17", "2001:7fe::53"),
+    RootServer("j", "Verisign", "192.58.128.30", "2001:503:c27::2:30"),
+    RootServer("k", "RIPE NCC", "193.0.14.129", "2001:7fd::1"),
+    RootServer("l", "ICANN", "199.7.83.42", "2001:500:9f::42"),
+    RootServer("m", "WIDE Project", "202.12.27.33", "2001:dc3::35"),
+]
+
+ROOT_SERVERS: Dict[str, RootServer] = {s.letter: s for s in _SERVERS}
+
+
+def root_server(letter: str) -> RootServer:
+    """Look up a root server by letter."""
+    key = letter.lower()
+    if key not in ROOT_SERVERS:
+        raise KeyError(f"unknown root letter: {letter!r}")
+    return ROOT_SERVERS[key]
+
+
+def all_service_addresses() -> List[ServiceAddress]:
+    """Every probe target: 14 IPv4 + 14 IPv6 addresses (b.root twice)."""
+    out: List[ServiceAddress] = []
+    for server in _SERVERS:
+        out.extend(server.addresses())
+    return out
+
+
+def address_owner(address: str) -> ServiceAddress:
+    """Reverse lookup: which letter/generation does an address belong to."""
+    for sa in all_service_addresses():
+        if sa.address == address:
+            return sa
+    raise KeyError(f"not a root server address: {address!r}")

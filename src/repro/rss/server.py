@@ -1,0 +1,84 @@
+"""A letter's whole deployment: sites, instances and time-aware serving.
+
+Binds the site catalog to the zone distribution machinery so that a query
+arriving at site S at time T is answered from the zone copy S serves at T
+(including staleness faults — the paper's Table 2 d.root Tokyo/Leeds
+stale-zone observations are frozen sites here).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dns.message import Message
+from repro.dns.name import ROOT_NAME
+from repro.dns.constants import RRType
+from repro.rss.instance import RootInstance
+from repro.rss.operators import RootServer
+from repro.rss.sites import Site, SiteCatalog
+from repro.util.timeutil import Timestamp
+from repro.zone.distribution import ZoneDistributor
+from repro.zone.transfer import AxfrClient, AxfrResult, AxfrServer
+from repro.zone.zone import Zone
+
+
+class RootServerDeployment:
+    """One letter: its sites, their instances, and serving behaviour."""
+
+    def __init__(
+        self,
+        server: RootServer,
+        sites: List[Site],
+        distributor: ZoneDistributor,
+    ) -> None:
+        if not sites:
+            raise ValueError(f"{server.letter}.root needs at least one site")
+        self.server = server
+        self.sites = sites
+        self.distributor = distributor
+        self.instances: Dict[str, RootInstance] = {
+            site.key: RootInstance(site) for site in sites
+        }
+        # AXFRs of an unchanged zone copy are identical; memoise by the
+        # (cached, shared) zone object so campaign-scale transfer counts
+        # stay cheap.
+        self._axfr_cache: Dict[int, AxfrResult] = {}
+
+    @property
+    def letter(self) -> str:
+        return self.server.letter
+
+    def instance_at(self, site_key: str) -> RootInstance:
+        """The instance serving at *site_key*."""
+        if site_key not in self.instances:
+            raise KeyError(f"{self.letter}.root has no site {site_key}")
+        return self.instances[site_key]
+
+    def zone_at(self, site_key: str, ts: Timestamp) -> Zone:
+        """Zone copy served by *site_key* at *ts* (staleness-aware)."""
+        return self.distributor.zone_at_site(site_key, ts)
+
+    def answer(self, site_key: str, query: Message, ts: Timestamp) -> Message:
+        """Answer a query arriving at *site_key* at *ts*."""
+        zone = self.zone_at(site_key, ts)
+        return self.instance_at(site_key).answer(query, zone)
+
+    def serve_axfr(self, site_key: str, ts: Timestamp) -> AxfrResult:
+        """Run a complete AXFR against *site_key* at *ts*."""
+        zone = self.zone_at(site_key, ts)
+        cached = self._axfr_cache.get(id(zone))
+        if cached is None:
+            server = AxfrServer(zone)
+            query = Message.make_query(ROOT_NAME, RRType.AXFR)
+            cached = AxfrClient().transfer(server, query)
+            self._axfr_cache[id(zone)] = cached
+        return cached
+
+    def freeze_site(self, site_key: str, at_ts: Timestamp) -> None:
+        """Inject a stale-zone fault at one site."""
+        self.instance_at(site_key)  # validates membership
+        self.distributor.freeze_site(site_key, at_ts)
+
+    def unfreeze_site(self, site_key: str) -> None:
+        """Clear a stale-zone fault."""
+        self.distributor.unfreeze_site(site_key)

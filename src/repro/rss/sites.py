@@ -1,0 +1,202 @@
+"""Per-letter anycast site catalogs.
+
+The deployment plan encodes the paper's Table 4: for every letter and
+continent, how many *global* and *local* sites exist.  (The per-region
+numbers are authoritative here; the worldwide sums differ from the paper's
+Table 1 by a couple of sites for a/d/e.root — the paper's own tables carry
+the same inconsistency, see EXPERIMENTS.md.)
+
+Sites are placed deterministically in catalog cities of their continent;
+multiple sites may share a metro, as in the real RSS.  Site identities
+follow the operators' conventions (§4.2): most letters publish mappable
+instance identifiers, while {a,c,j,e}.root only expose IATA metro codes —
+and some j.root identifiers are not mappable at all (the paper could not
+map 75 j.root identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.geo.cities import City, HUB_CITIES, cities_in
+from repro.geo.continents import Continent
+from repro.util.rng import RngFactory
+
+#: Letters whose published identities are IATA metro codes only (§4.2 fn 2).
+IATA_ONLY_LETTERS = frozenset({"a", "c", "j", "e"})
+
+#: Fraction of j.root sites whose identifiers do not map to the published
+#: catalog (75 of the paper's 135 unmapped identifiers came from j.root).
+UNMAPPED_SITE_FRACTION: Dict[str, float] = {"j": 0.30, "d": 0.05, "k": 0.05}
+
+#: (global, local) site counts per letter per continent — paper Table 4.
+SITE_PLAN: Dict[str, Dict[Continent, Tuple[int, int]]] = {
+    "a": {
+        Continent.ASIA: (6, 2), Continent.EUROPE: (12, 7),
+        Continent.NORTH_AMERICA: (13, 14),
+    },
+    "b": {
+        Continent.ASIA: (1, 0), Continent.EUROPE: (1, 0),
+        Continent.NORTH_AMERICA: (3, 0), Continent.SOUTH_AMERICA: (1, 0),
+    },
+    "c": {
+        Continent.ASIA: (2, 0), Continent.EUROPE: (4, 0),
+        Continent.NORTH_AMERICA: (5, 0), Continent.SOUTH_AMERICA: (1, 0),
+    },
+    "d": {
+        Continent.AFRICA: (0, 42), Continent.ASIA: (2, 39),
+        Continent.EUROPE: (9, 39), Continent.NORTH_AMERICA: (12, 49),
+        Continent.SOUTH_AMERICA: (0, 12), Continent.OCEANIA: (0, 4),
+    },
+    "e": {
+        Continent.AFRICA: (0, 43), Continent.ASIA: (8, 34),
+        Continent.EUROPE: (33, 22), Continent.NORTH_AMERICA: (45, 30),
+        Continent.SOUTH_AMERICA: (5, 13), Continent.OCEANIA: (6, 4),
+    },
+    "f": {
+        Continent.AFRICA: (3, 25), Continent.ASIA: (13, 84),
+        Continent.EUROPE: (46, 26), Continent.NORTH_AMERICA: (54, 34),
+        Continent.SOUTH_AMERICA: (4, 40), Continent.OCEANIA: (9, 7),
+    },
+    "g": {
+        Continent.ASIA: (1, 0), Continent.EUROPE: (2, 0),
+        Continent.NORTH_AMERICA: (3, 0),
+    },
+    "h": {
+        Continent.AFRICA: (1, 0), Continent.ASIA: (3, 0),
+        Continent.EUROPE: (2, 0), Continent.NORTH_AMERICA: (4, 0),
+        Continent.SOUTH_AMERICA: (1, 0), Continent.OCEANIA: (1, 0),
+    },
+    "i": {
+        Continent.AFRICA: (3, 0), Continent.ASIA: (24, 0),
+        Continent.EUROPE: (25, 0), Continent.NORTH_AMERICA: (16, 0),
+        Continent.SOUTH_AMERICA: (10, 0), Continent.OCEANIA: (3, 0),
+    },
+    "j": {
+        Continent.AFRICA: (0, 8), Continent.ASIA: (16, 11),
+        Continent.EUROPE: (18, 34), Continent.NORTH_AMERICA: (20, 24),
+        Continent.SOUTH_AMERICA: (4, 6), Continent.OCEANIA: (3, 2),
+    },
+    "k": {
+        Continent.AFRICA: (2, 0), Continent.ASIA: (34, 9),
+        Continent.EUROPE: (44, 2), Continent.NORTH_AMERICA: (17, 0),
+        Continent.SOUTH_AMERICA: (6, 0), Continent.OCEANIA: (2, 0),
+    },
+    "l": {
+        Continent.AFRICA: (11, 0), Continent.ASIA: (25, 0),
+        Continent.EUROPE: (33, 0), Continent.NORTH_AMERICA: (22, 0),
+        Continent.SOUTH_AMERICA: (23, 0), Continent.OCEANIA: (18, 0),
+    },
+    "m": {
+        Continent.ASIA: (5, 7), Continent.EUROPE: (1, 0),
+        Continent.NORTH_AMERICA: (1, 0), Continent.OCEANIA: (0, 2),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Site:
+    """One anycast site of one letter."""
+
+    letter: str
+    index: int
+    city: City
+    is_global: bool
+    published: bool  # listed on root-servers.org (mappable identity)
+
+    def __post_init__(self) -> None:
+        # Hot-path strings (probed millions of times per campaign) are
+        # computed once; frozen dataclass, hence object.__setattr__.
+        object.__setattr__(self, "key", f"{self.letter}-{self.index:03d}")
+        iata = self.city.iata.lower()
+        if self.letter in IATA_ONLY_LETTERS:
+            identity = f"nnn1-{iata}.{self.letter}.root-servers.org"
+        else:
+            scope = "g" if self.is_global else "l"
+            identity = f"{self.letter}{self.index:03d}.{iata}-{scope}.root-servers.org"
+        object.__setattr__(self, "_identity", identity)
+
+    @property
+    def continent(self) -> Continent:
+        return self.city.continent
+
+    def identity(self) -> str:
+        """The CHAOS ``hostname.bind`` / ``id.server`` answer.
+
+        {a,c,j,e}.root expose only the IATA metro code (multiple nodes in
+        one metro are indistinguishable); other letters expose a per-site
+        instance identifier.
+        """
+        return self._identity
+
+
+class SiteCatalog:
+    """All sites of all letters plus identity-mapping helpers."""
+
+    def __init__(self, sites: Iterable[Site]) -> None:
+        self.sites: List[Site] = list(sites)
+        self._by_letter: Dict[str, List[Site]] = {}
+        for site in self.sites:
+            self._by_letter.setdefault(site.letter, []).append(site)
+        self._identity_map: Dict[str, Site] = {}
+        for site in self.sites:
+            if site.published:
+                self._identity_map.setdefault(site.identity(), site)
+
+    def of_letter(self, letter: str) -> List[Site]:
+        """Sites of one letter."""
+        return list(self._by_letter.get(letter, []))
+
+    def global_sites(self, letter: str) -> List[Site]:
+        return [s for s in self.of_letter(letter) if s.is_global]
+
+    def local_sites(self, letter: str) -> List[Site]:
+        return [s for s in self.of_letter(letter) if not s.is_global]
+
+    def map_identity(self, identity: str) -> Optional[Site]:
+        """The coverage analysis' identity -> site matching (may fail,
+        reproducing the paper's 135 unmapped identifiers)."""
+        return self._identity_map.get(identity)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+def build_site_catalog(rng_factory: RngFactory) -> SiteCatalog:
+    """Instantiate the SITE_PLAN into concrete, deterministically-placed sites."""
+    sites: List[Site] = []
+    for letter in sorted(SITE_PLAN):
+        rng = rng_factory.stream(f"sites.{letter}")
+        unmapped_fraction = UNMAPPED_SITE_FRACTION.get(letter, 0.0)
+        index = 0
+        for continent in Continent:
+            plan = SITE_PLAN[letter].get(continent)
+            if plan is None:
+                continue
+            n_global, n_local = plan
+            pool = cities_in(continent)
+            if not pool:
+                raise RuntimeError(f"no cities on {continent} for {letter}.root")
+            # Operators deploy preferentially where interconnection is
+            # dense: hub cities appear several times in the draw pool, so
+            # co-location concentrates at the big exchanges (paper §5).
+            weighted = []
+            for c in pool:
+                weighted.extend([c] * (3 if c.iata in HUB_CITIES else 1))
+            order = list(weighted)
+            rng.shuffle(order)
+            for slot in range(n_global + n_local):
+                city = order[slot % len(order)]
+                published = rng.random() >= unmapped_fraction
+                sites.append(
+                    Site(
+                        letter=letter,
+                        index=index,
+                        city=city,
+                        is_global=slot < n_global,
+                        published=published,
+                    )
+                )
+                index += 1
+    return SiteCatalog(sites)

@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG streams, simulated time, statistics
+helpers and plain-text table/plot rendering.
+
+These modules are deliberately dependency-light; everything else in
+:mod:`repro` builds on top of them.
+"""
+
+from repro.util.rng import RngFactory, derive_seed
+from repro.util.timeutil import SimClock, Timestamp, parse_ts
+from repro.util.stats import Ecdf, describe, percentile
+from repro.util.tables import Table, render_histogram
+
+__all__ = [
+    "RngFactory",
+    "derive_seed",
+    "SimClock",
+    "Timestamp",
+    "parse_ts",
+    "Ecdf",
+    "describe",
+    "percentile",
+    "Table",
+    "render_histogram",
+]

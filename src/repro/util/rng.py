@@ -1,0 +1,54 @@
+"""Deterministic named random-number streams.
+
+Every stochastic component of the simulation draws from a stream derived
+from ``(study_seed, stream_name)``.  This guarantees that adding a new
+consumer of randomness never perturbs the draws seen by existing consumers,
+so results stay reproducible across code changes that only *add* features.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(base_seed: int, name: str) -> int:
+    """Derive a child seed from a base seed and a stream name.
+
+    The derivation uses SHA-256 so that similar names (``"rtt.a"`` vs
+    ``"rtt.b"``) yield statistically independent streams.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngFactory:
+    """Factory handing out named, independent :class:`random.Random` streams.
+
+    >>> factory = RngFactory(42)
+    >>> a = factory.stream("alpha")
+    >>> b = factory.stream("beta")
+    >>> a is factory.stream("alpha")
+    True
+    """
+
+    def __init__(self, base_seed: int) -> None:
+        if not isinstance(base_seed, int):
+            raise TypeError(f"seed must be int, got {type(base_seed).__name__}")
+        self.base_seed = base_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for *name*, creating it on first use."""
+        if name not in self._streams:
+            self._streams[name] = random.Random(derive_seed(self.base_seed, name))
+        return self._streams[name]
+
+    def fork(self, name: str) -> "RngFactory":
+        """Return a new factory whose streams are independent of this one."""
+        return RngFactory(derive_seed(self.base_seed, f"fork:{name}"))
+
+    def reset(self) -> None:
+        """Drop all streams so the next access re-seeds them."""
+        self._streams.clear()

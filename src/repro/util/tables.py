@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and simple charts.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+tables as aligned columns, figures as labelled data series (plus ASCII
+histograms where that aids eyeballing).  Keeping rendering here lets the
+analysis layer return pure data structures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _fmt(cell: Cell, float_digits: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+class Table:
+    """A minimal aligned-column table builder.
+
+    >>> t = Table(["root", "#sites"])
+    >>> t.add_row(["a", 56])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], float_digits: int = 1) -> None:
+        self.headers = list(headers)
+        self.float_digits = float_digits
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Sequence[Cell]) -> None:
+        """Append one row; length must match the header."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append([_fmt(c, self.float_digits) for c in row])
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Render the table with a separator under the header."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    counts: Sequence[float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart of ``counts`` labelled by ``labels``."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must have equal length")
+    peak = max(counts) if counts else 0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max((len(l) for l in labels), default=0)
+    for label, count in zip(labels, counts):
+        bar_len = 0 if peak <= 0 else int(round(width * count / peak))
+        lines.append(f"{label.ljust(label_w)} | {'#' * bar_len} {count:g}")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Iterable[float], ys: Iterable[float], name: str, digits: int = 4
+) -> str:
+    """Render an (x, y) series as one labelled line per point."""
+    lines = [name]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:g}\t{y:.{digits}f}")
+    return "\n".join(lines)

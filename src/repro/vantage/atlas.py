@@ -1,0 +1,105 @@
+"""A RIPE-Atlas-built-ins measurement platform (paper Appendix E).
+
+The paper explains why it could not use RIPE Atlas: the built-in root
+measurements only run SOA (every 1800 s), ``hostname.bind`` (240 s),
+``id.server`` (1800 s) and version queries (43200 s) — no AXFR, no
+A/AAAA for the root addresses, no old/new b.root distinction.  This
+module simulates a campaign restricted to exactly those built-ins, so
+the difference in scientific reach (which analyses survive) can be
+measured rather than argued — see the corresponding ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netsim.routing import RouteSelector
+from repro.rss.operators import ServiceAddress
+from repro.util.timeutil import MINUTE, Timestamp
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.node import VantagePoint
+
+#: The built-in measurement intervals (seconds), from the paper's
+#: Appendix E / atlas.ripe.net docs.
+BUILTIN_INTERVALS: Dict[str, int] = {
+    "soa": 1800,
+    "hostname.bind": 240,
+    "id.server": 1800,
+    "version.bind": 43200,
+    "version.server": 43200,
+}
+
+
+@dataclass
+class AtlasCampaignResult:
+    """What an Atlas-built-ins campaign yields."""
+
+    collector: CampaignCollector
+    queries: int
+
+    @property
+    def has_transfers(self) -> bool:
+        """Atlas built-ins never AXFR — RQ3 is out of reach."""
+        return self.collector.transfer_total > 0
+
+    def distinguishes_b_generations(self) -> bool:
+        """Old/new b.root addresses are not separately measured."""
+        counts = self.collector.change_counts()
+        generations = {
+            self.collector.addresses[addr_idx].generation
+            for _vp, addr_idx in counts
+            if self.collector.addresses[addr_idx].letter == "b"
+        }
+        return {"old", "new"} <= generations
+
+
+class AtlasPlatform:
+    """Runs the built-in suite only (identity + SOA; no AXFR, no
+    per-generation b.root probing)."""
+
+    def __init__(self, selector: RouteSelector) -> None:
+        self.selector = selector
+
+    def run(
+        self,
+        vps: List[VantagePoint],
+        addresses: List[ServiceAddress],
+        start: Timestamp,
+        end: Timestamp,
+        interval_scale: float = 1.0,
+    ) -> AtlasCampaignResult:
+        """Simulate the built-ins over [start, end).
+
+        Only *current-generation* addresses are measured (the built-ins
+        target the published NS set), and only identity/SOA-class
+        observables are collected.
+        """
+        collector = CampaignCollector()
+        queries = 0
+        identity_interval = max(
+            MINUTE, int(BUILTIN_INTERVALS["hostname.bind"] * interval_scale)
+        )
+        measured = [
+            (idx, sa)
+            for idx, sa in enumerate(collector.addresses)
+            if sa.generation != "old"
+        ]
+        round_no = 0
+        ts = start
+        while ts < end:
+            for vp in vps:
+                for addr_idx, sa in measured:
+                    route = self.selector.select(
+                        vp.attachment, vp.vp_id, sa.letter, sa.family,
+                        sa.address, round_no,
+                    )
+                    collector.note_site(vp.vp_id, addr_idx, route.site.key)
+                    collector.note_identity(sa.letter, route.site.identity())
+                    # hostname.bind + the slower built-ins amortised.
+                    queries += 2
+            collector.rounds_processed += 1
+            round_no += 1
+            ts += identity_interval
+        collector.queries_simulated = queries
+        return AtlasCampaignResult(collector=collector, queries=queries)

@@ -1,0 +1,261 @@
+"""Streaming campaign data collection.
+
+A paper-scale campaign produces ~158 M probe events; storing each as an
+object would not fit in memory.  The collector therefore keeps:
+
+* **stability counters** — per (VP, service address): consecutive-round
+  site-change counts (all the Figure 3 analysis needs),
+* **sampled probe rows** — columnar vp/ts/address/site/RTT/distance data
+  (Figures 5, 6, 14, 15 are statistical, sampling is sufficient),
+* **sampled traceroute rows** — second-to-last hop observations (RQ1),
+* **observed identities** — per letter, the CHAOS identity strings seen
+  (coverage, Tables 1/4),
+* **transfer observations** — aggregate counts for clean AXFRs plus full
+  zone references for the interesting ones (faulted, stale, skewed-clock
+  VPs) that the ZONEMD audit (Table 2) validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.rss.operators import ServiceAddress, all_service_addresses
+from repro.zone.zone import Zone
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One sampled probe row (reader-side view)."""
+
+    vp_id: int
+    ts: int
+    address: ServiceAddress
+    site_key: str
+    rtt_ms: float
+    direct_km: float
+    closest_global_km: float
+    via_peer: bool
+
+
+@dataclass(frozen=True)
+class TracerouteSample:
+    """One sampled traceroute observation (reader-side view)."""
+
+    vp_id: int
+    ts: int
+    address: ServiceAddress
+    second_to_last_hop: Optional[str]
+
+
+@dataclass(frozen=True)
+class TransferObservation:
+    """One recorded AXFR with enough context to re-validate it."""
+
+    vp_id: int
+    true_ts: int
+    observed_ts: int  # VP clock view (skew applies here)
+    address: ServiceAddress
+    serial: int
+    zone: Zone
+    fault: str = ""  # "", "bitflip", "stale"
+    fault_detail: str = ""
+
+
+class _Interner:
+    """String -> small int interning for columnar storage."""
+
+    def __init__(self) -> None:
+        self._index: Dict[str, int] = {}
+        self.values: List[str] = []
+
+    def intern(self, value: str) -> int:
+        idx = self._index.get(value)
+        if idx is None:
+            idx = len(self.values)
+            self._index[value] = idx
+            self.values.append(value)
+        return idx
+
+    def __getitem__(self, idx: int) -> str:
+        return self.values[idx]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class CampaignCollector:
+    """Accumulates a campaign's measurement output."""
+
+    def __init__(self) -> None:
+        self.addresses: List[ServiceAddress] = all_service_addresses()
+        self.addr_index: Dict[str, int] = {
+            sa.address: i for i, sa in enumerate(self.addresses)
+        }
+        self.sites = _Interner()
+        self.hops = _Interner()
+
+        # stability: (vp_id, addr_idx) -> [last_site_idx, changes, rounds]
+        self._stability: Dict[Tuple[int, int], List[int]] = {}
+
+        # sampled probe rows (columnar)
+        self._p_vp: List[int] = []
+        self._p_ts: List[int] = []
+        self._p_addr: List[int] = []
+        self._p_site: List[int] = []
+        self._p_rtt: List[float] = []
+        self._p_direct: List[float] = []
+        self._p_closest: List[float] = []
+        self._p_peer: List[bool] = []
+        self._p_transit: List[int] = []  # upstream ASN, 0 = peer/local path
+
+        # sampled traceroute rows (columnar; hop -1 = no reply)
+        self._t_vp: List[int] = []
+        self._t_ts: List[int] = []
+        self._t_addr: List[int] = []
+        self._t_hop: List[int] = []
+
+        # coverage: letter -> identity -> observation count
+        self.identities: Dict[str, Dict[str, int]] = {}
+
+        # transfers
+        self.transfer_total = 0
+        self.transfer_clean = 0
+        self.transfers: List[TransferObservation] = []
+
+        self.rounds_processed = 0
+        self.queries_simulated = 0
+
+    # -- ingest -------------------------------------------------------------------
+
+    def note_site(self, vp_id: int, addr_idx: int, site_key: str) -> None:
+        """Per-round catchment observation; drives Figure 3."""
+        site_idx = self.sites.intern(site_key)
+        state = self._stability.get((vp_id, addr_idx))
+        if state is None:
+            self._stability[(vp_id, addr_idx)] = [site_idx, 0, 1]
+            return
+        if state[0] != site_idx:
+            state[1] += 1
+            state[0] = site_idx
+        state[2] += 1
+
+    def note_identity(self, letter: str, identity: str) -> None:
+        """A CHAOS identity answer (coverage input)."""
+        bucket = self.identities.setdefault(letter, {})
+        bucket[identity] = bucket.get(identity, 0) + 1
+
+    def add_probe_sample(
+        self,
+        vp_id: int,
+        ts: int,
+        addr_idx: int,
+        site_key: str,
+        rtt_ms: float,
+        direct_km: float,
+        closest_global_km: float,
+        via_peer: bool,
+        transit_asn: int = 0,
+    ) -> None:
+        self._p_vp.append(vp_id)
+        self._p_ts.append(ts)
+        self._p_addr.append(addr_idx)
+        self._p_site.append(self.sites.intern(site_key))
+        self._p_rtt.append(rtt_ms)
+        self._p_direct.append(direct_km)
+        self._p_closest.append(closest_global_km)
+        self._p_peer.append(via_peer)
+        self._p_transit.append(transit_asn)
+
+    def add_traceroute(
+        self, vp_id: int, ts: int, addr_idx: int, second_to_last_hop: Optional[str]
+    ) -> None:
+        self._t_vp.append(vp_id)
+        self._t_ts.append(ts)
+        self._t_addr.append(addr_idx)
+        self._t_hop.append(
+            -1 if second_to_last_hop is None else self.hops.intern(second_to_last_hop)
+        )
+
+    def count_transfer(self, clean: bool) -> None:
+        self.transfer_total += 1
+        if clean:
+            self.transfer_clean += 1
+
+    def add_transfer_observation(self, obs: TransferObservation) -> None:
+        self.transfers.append(obs)
+
+    # -- read-side ------------------------------------------------------------------
+
+    def change_counts(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """(vp_id, addr_idx) -> (changes, rounds observed)."""
+        return {
+            key: (state[1], state[2]) for key, state in self._stability.items()
+        }
+
+    def probe_columns(self) -> Dict[str, np.ndarray]:
+        """The sampled probe table as numpy columns."""
+        return {
+            "vp": np.asarray(self._p_vp, dtype=np.int32),
+            "ts": np.asarray(self._p_ts, dtype=np.int64),
+            "addr": np.asarray(self._p_addr, dtype=np.int16),
+            "site": np.asarray(self._p_site, dtype=np.int32),
+            "rtt": np.asarray(self._p_rtt, dtype=np.float32),
+            "direct_km": np.asarray(self._p_direct, dtype=np.float32),
+            "closest_km": np.asarray(self._p_closest, dtype=np.float32),
+            "peer": np.asarray(self._p_peer, dtype=bool),
+            "transit": np.asarray(self._p_transit, dtype=np.int32),
+        }
+
+    def traceroute_columns(self) -> Dict[str, np.ndarray]:
+        """The sampled traceroute table as numpy columns."""
+        return {
+            "vp": np.asarray(self._t_vp, dtype=np.int32),
+            "ts": np.asarray(self._t_ts, dtype=np.int64),
+            "addr": np.asarray(self._t_addr, dtype=np.int16),
+            "hop": np.asarray(self._t_hop, dtype=np.int32),
+        }
+
+    def probe_samples(self) -> List[ProbeSample]:
+        """Sampled probe rows as objects (small datasets / tests only)."""
+        return [
+            ProbeSample(
+                vp_id=self._p_vp[i],
+                ts=self._p_ts[i],
+                address=self.addresses[self._p_addr[i]],
+                site_key=self.sites[self._p_site[i]],
+                rtt_ms=self._p_rtt[i],
+                direct_km=self._p_direct[i],
+                closest_global_km=self._p_closest[i],
+                via_peer=self._p_peer[i],
+            )
+            for i in range(len(self._p_vp))
+        ]
+
+    def traceroute_samples(self) -> List[TracerouteSample]:
+        """Sampled traceroute rows as objects (small datasets / tests)."""
+        return [
+            TracerouteSample(
+                vp_id=self._t_vp[i],
+                ts=self._t_ts[i],
+                address=self.addresses[self._t_addr[i]],
+                second_to_last_hop=(
+                    None if self._t_hop[i] < 0 else self.hops[self._t_hop[i]]
+                ),
+            )
+            for i in range(len(self._t_vp))
+        ]
+
+    def summary(self) -> Dict[str, int]:
+        """Dataset-size fingerprint (the paper's §4.1 counts analogue)."""
+        return {
+            "rounds": self.rounds_processed,
+            "queries": self.queries_simulated,
+            "probe_samples": len(self._p_vp),
+            "traceroute_samples": len(self._t_vp),
+            "transfers": self.transfer_total,
+            "transfer_observations": len(self.transfers),
+            "stability_pairs": len(self._stability),
+        }

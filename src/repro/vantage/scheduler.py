@@ -1,0 +1,70 @@
+"""The measurement timeline (paper Figure 2).
+
+The campaign ran 2023-07-03 .. 2023-12-24 at a 30-minute interval, with
+two 15-minute high-resolution windows: around the ZONEMD placeholder
+roll-out (2023-09-08 .. 2023-10-02) and around the b.root renumbering
+(2023-11-20 .. 2023-12-06).
+
+``interval_scale`` stretches the intervals proportionally so scaled-down
+simulations keep the same *structure* (base vs high-resolution phases,
+events at the same calendar positions) at a fraction of the rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.util.timeutil import MINUTE, Timestamp, parse_ts
+
+CAMPAIGN_START = parse_ts("2023-07-03")
+CAMPAIGN_END = parse_ts("2023-12-24")
+
+#: (window start, window end) of the 15-minute high-resolution phases.
+HIGH_RES_WINDOWS: Tuple[Tuple[Timestamp, Timestamp], ...] = (
+    (parse_ts("2023-09-08"), parse_ts("2023-10-02")),
+    (parse_ts("2023-11-20"), parse_ts("2023-12-06")),
+)
+
+BASE_INTERVAL_S = 30 * MINUTE
+HIGH_RES_INTERVAL_S = 15 * MINUTE
+
+
+@dataclass(frozen=True)
+class MeasurementSchedule:
+    """Generates the campaign's measurement instants."""
+
+    start: Timestamp = CAMPAIGN_START
+    end: Timestamp = CAMPAIGN_END
+    interval_scale: float = 1.0
+    high_res_windows: Tuple[Tuple[Timestamp, Timestamp], ...] = HIGH_RES_WINDOWS
+
+    def __post_init__(self) -> None:
+        if self.interval_scale <= 0:
+            raise ValueError(f"interval_scale must be positive: {self.interval_scale}")
+        if self.end <= self.start:
+            raise ValueError("schedule end must be after start")
+
+    def interval_at(self, ts: Timestamp) -> int:
+        """The measurement interval in force at *ts*."""
+        base = BASE_INTERVAL_S
+        for lo, hi in self.high_res_windows:
+            if lo <= ts < hi:
+                base = HIGH_RES_INTERVAL_S
+                break
+        return max(MINUTE, int(base * self.interval_scale))
+
+    def instants(self) -> Iterator[Timestamp]:
+        """All measurement instants, ascending."""
+        ts = self.start
+        while ts < self.end:
+            yield ts
+            ts += self.interval_at(ts)
+
+    def rounds(self) -> List[Timestamp]:
+        """Materialised instants (convenience)."""
+        return list(self.instants())
+
+    def round_count(self) -> int:
+        """Number of rounds without materialising timestamps twice."""
+        return sum(1 for _ in self.instants())

@@ -1,0 +1,39 @@
+"""Root zone machinery: the zone container, a root-zone builder following
+the real zone's structure and the ZONEMD roll-out timeline, master-file
+serialisation, AXFR transfer, distribution to server sites, and the
+CZDS/IANA download channels the paper cross-checks (§7).
+"""
+
+from repro.zone.serial import serial_compare, serial_add, serial_for_day
+from repro.zone.zone import Zone
+from repro.zone.rootzone import RootZoneBuilder, ZONEMD_PLACEHOLDER_DATE, ZONEMD_VALIDATABLE_DATE
+from repro.zone.zonefile import parse_zone_text, render_zone_text
+from repro.zone.transfer import AxfrServer, AxfrClient, AxfrResult
+from repro.zone.ixfr import IxfrJournal, IxfrServer, ZoneDelta, apply_deltas, diff_zones
+from repro.zone.distribution import ZoneDistributor, SitePublication
+from repro.zone.sources import CzdsSource, IanaSource, ZoneDownload
+
+__all__ = [
+    "serial_compare",
+    "serial_add",
+    "serial_for_day",
+    "Zone",
+    "RootZoneBuilder",
+    "ZONEMD_PLACEHOLDER_DATE",
+    "ZONEMD_VALIDATABLE_DATE",
+    "parse_zone_text",
+    "render_zone_text",
+    "AxfrServer",
+    "AxfrClient",
+    "AxfrResult",
+    "IxfrJournal",
+    "IxfrServer",
+    "ZoneDelta",
+    "apply_deltas",
+    "diff_zones",
+    "ZoneDistributor",
+    "SitePublication",
+    "CzdsSource",
+    "IanaSource",
+    "ZoneDownload",
+]

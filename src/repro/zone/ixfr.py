@@ -1,0 +1,204 @@
+"""IXFR — incremental zone transfer (RFC 1995).
+
+Root zone consumers (and the paper's hypothetical local-root resolvers)
+prefer IXFR: instead of re-pulling ~2 MB of zone, the server ships the
+per-serial diffs.  The wire convention: the answer stream starts with
+the *new* SOA, then per covered serial step one deletion block (old SOA
+followed by removed records) and one addition block (new SOA followed by
+added records), and closes with the new SOA again.  A server that cannot
+serve the requested range falls back to a full AXFR-style stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.constants import RRType
+from repro.dns.rdata import SOA
+from repro.dns.records import ResourceRecord
+from repro.zone.serial import serial_compare
+from repro.zone.transfer import TransferError
+from repro.zone.zone import Zone
+
+
+@dataclass(frozen=True)
+class ZoneDelta:
+    """The records removed/added between two consecutive zone versions."""
+
+    old_serial: int
+    new_serial: int
+    removed: Tuple[ResourceRecord, ...]
+    added: Tuple[ResourceRecord, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.removed) + len(self.added)
+
+
+def diff_zones(old: Zone, new: Zone) -> ZoneDelta:
+    """Compute the delta between two zone copies.
+
+    SOA records are excluded from the removed/added sets — IXFR carries
+    them as block delimiters, not as payload.
+    """
+    def indexed(zone: Zone) -> Dict[bytes, ResourceRecord]:
+        return {
+            r.canonical_wire(): r
+            for r in zone.records
+            if r.rrtype != RRType.SOA
+        }
+
+    old_index = indexed(old)
+    new_index = indexed(new)
+    removed = tuple(
+        old_index[w] for w in sorted(old_index.keys() - new_index.keys())
+    )
+    added = tuple(
+        new_index[w] for w in sorted(new_index.keys() - old_index.keys())
+    )
+    return ZoneDelta(
+        old_serial=old.serial,
+        new_serial=new.serial,
+        removed=removed,
+        added=added,
+    )
+
+
+class IxfrJournal:
+    """A server-side journal of consecutive zone versions.
+
+    Holds the deltas needed to serve IXFR for any (old, new) pair within
+    the retained window; older requests fall back to full transfer.
+    """
+
+    def __init__(self, max_versions: int = 64) -> None:
+        if max_versions < 2:
+            raise ValueError("journal needs at least two versions")
+        self.max_versions = max_versions
+        self._serials: List[int] = []
+        self._zones: Dict[int, Zone] = {}
+        self._deltas: Dict[Tuple[int, int], ZoneDelta] = {}
+
+    @property
+    def serials(self) -> List[int]:
+        return list(self._serials)
+
+    @property
+    def latest(self) -> Optional[Zone]:
+        if not self._serials:
+            return None
+        return self._zones[self._serials[-1]]
+
+    def append(self, zone: Zone) -> None:
+        """Add the next zone version (serial must increase)."""
+        if self._serials:
+            last = self._serials[-1]
+            if serial_compare(last, zone.serial) >= 0:
+                raise ValueError(
+                    f"serial {zone.serial} does not advance past {last}"
+                )
+            self._deltas[(last, zone.serial)] = diff_zones(
+                self._zones[last], zone
+            )
+        self._serials.append(zone.serial)
+        self._zones[zone.serial] = zone
+        while len(self._serials) > self.max_versions:
+            dropped = self._serials.pop(0)
+            del self._zones[dropped]
+            if self._serials:
+                self._deltas.pop((dropped, self._serials[0]), None)
+
+    def deltas_between(self, old_serial: int, new_serial: int) -> Optional[List[ZoneDelta]]:
+        """The consecutive delta chain, or None if out of window."""
+        if old_serial not in self._zones or new_serial not in self._zones:
+            return None
+        start = self._serials.index(old_serial)
+        end = self._serials.index(new_serial)
+        if start > end:
+            return None
+        chain: List[ZoneDelta] = []
+        for a, b in zip(self._serials[start:end], self._serials[start + 1 : end + 1]):
+            chain.append(self._deltas[(a, b)])
+        return chain
+
+
+@dataclass
+class IxfrResponse:
+    """Outcome of an IXFR request."""
+
+    kind: str  # "incremental", "full", or "current"
+    records: List[ResourceRecord] = field(default_factory=list)
+    deltas: List[ZoneDelta] = field(default_factory=list)
+
+    @property
+    def transferred_records(self) -> int:
+        if self.kind == "incremental":
+            return sum(d.size for d in self.deltas) + 2 * len(self.deltas) + 2
+        return len(self.records)
+
+
+class IxfrServer:
+    """Serves IXFR out of a journal, falling back to full transfers."""
+
+    def __init__(self, journal: IxfrJournal) -> None:
+        self.journal = journal
+
+    def _soa_record(self, zone: Zone) -> ResourceRecord:
+        soa = zone.soa()
+        assert soa is not None
+        return soa
+
+    def respond(self, client_serial: int) -> IxfrResponse:
+        """Answer an IXFR for a client at *client_serial*."""
+        latest = self.journal.latest
+        if latest is None:
+            raise TransferError("journal is empty")
+        if client_serial == latest.serial:
+            # Up to date: single SOA answer (RFC 1995 §2).
+            return IxfrResponse(kind="current", records=[self._soa_record(latest)])
+        chain = self.journal.deltas_between(client_serial, latest.serial)
+        if chain is None:
+            # Out of window: full zone, AXFR-style.
+            soa = self._soa_record(latest)
+            body = [r for r in latest.records if r is not soa]
+            return IxfrResponse(kind="full", records=[soa] + body + [soa])
+        # Incremental: the new SOA leads the stream (RFC 1995 §4).
+        return IxfrResponse(
+            kind="incremental", deltas=chain, records=[self._soa_record(latest)]
+        )
+
+
+def apply_deltas(
+    zone: Zone, deltas: List[ZoneDelta], new_soa: ResourceRecord
+) -> Zone:
+    """Client side: apply a delta chain to a zone copy.
+
+    *new_soa* is the target version's SOA record (the one leading the
+    IXFR stream).  Raises :class:`TransferError` if a delta does not
+    match the current content — the client must then fall back to a
+    full transfer.
+    """
+    if new_soa.rrtype != RRType.SOA:
+        raise TransferError("new_soa must be an SOA record")
+    current = {r.canonical_wire(): r for r in zone.records if r.rrtype != RRType.SOA}
+    expected_serial = zone.serial
+    for delta in deltas:
+        if delta.old_serial != expected_serial:
+            raise TransferError(
+                f"delta starts at {delta.old_serial}, zone is at {expected_serial}"
+            )
+        for record in delta.removed:
+            wire = record.canonical_wire()
+            if wire not in current:
+                raise TransferError(
+                    f"delta removes unknown record {record.to_text()[:60]}"
+                )
+            del current[wire]
+        for record in delta.added:
+            current[record.canonical_wire()] = record
+        expected_serial = delta.new_serial
+    assert isinstance(new_soa.rdata, SOA)
+    if new_soa.rdata.serial != expected_serial:
+        raise TransferError("delta chain does not reach the target serial")
+    return Zone(zone.apex, [new_soa] + list(current.values()))

@@ -1,0 +1,49 @@
+"""SOA serial arithmetic (RFC 1982) and the root zone's serial convention.
+
+The root zone uses ``YYYYMMDDNN`` serials with (usually) two publications
+per day; serial comparisons must use sequence-space arithmetic to stay
+correct across wraps.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+SERIAL_BITS = 32
+SERIAL_MODULO = 1 << SERIAL_BITS
+_HALF = 1 << (SERIAL_BITS - 1)
+
+
+def serial_add(serial: int, increment: int) -> int:
+    """RFC 1982 addition; *increment* must be in [0, 2^31 - 1]."""
+    if not 0 <= increment <= _HALF - 1:
+        raise ValueError(f"increment out of range: {increment}")
+    return (serial + increment) % SERIAL_MODULO
+
+
+def serial_compare(a: int, b: int) -> int:
+    """RFC 1982 comparison: -1 if a < b, 0 if equal, +1 if a > b.
+
+    Raises ``ValueError`` for the undefined case (distance exactly 2^31).
+    """
+    if not 0 <= a < SERIAL_MODULO or not 0 <= b < SERIAL_MODULO:
+        raise ValueError("serials must be 32-bit unsigned")
+    if a == b:
+        return 0
+    if (a < b and b - a < _HALF) or (a > b and a - b > _HALF):
+        return -1
+    if (a < b and b - a > _HALF) or (a > b and a - b < _HALF):
+        return 1
+    raise ValueError(f"comparison of {a} and {b} is undefined (RFC 1982 §3.2)")
+
+
+def serial_for_day(ts: int, edition: int = 0) -> int:
+    """Root-zone-style ``YYYYMMDDNN`` serial for a Unix timestamp.
+
+    *edition* is the intra-day publication counter (the root publishes the
+    zone roughly twice a day).
+    """
+    if not 0 <= edition <= 99:
+        raise ValueError(f"edition out of range: {edition}")
+    tm = _time.gmtime(ts)
+    return (tm.tm_year * 10000 + tm.tm_mon * 100 + tm.tm_mday) * 100 + edition

@@ -1,0 +1,92 @@
+"""Out-of-band root zone sources: ICANN CZDS and the IANA website.
+
+The paper (§7) cross-checks AXFR-obtained zones against 194 CZDS files
+(2023-09-15 .. 2024-03-27) and 23,823 IANA downloads (every 15 minutes,
+2023-07-11 .. 2024-02-14), finding: CZDS files between 2023-09-21 and
+2023-12-07 carry a ZONEMD record that does not validate (the private-
+algorithm placeholder), and everything later validates.  These source
+simulators reproduce that schedule, including CZDS's once-a-day snapshot
+cadence and small publication delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.timeutil import DAY, HOUR, Timestamp, parse_ts
+from repro.zone.distribution import ZoneDistributor
+from repro.zone.rootzone import RootZoneBuilder
+from repro.zone.zone import Zone
+
+#: CZDS exposed the root zone with ZONEMD from this date (paper §7).
+CZDS_FIRST_ZONEMD = parse_ts("2023-09-21")
+
+
+@dataclass(frozen=True)
+class ZoneDownload:
+    """One downloaded zone file plus its retrieval timestamp."""
+
+    source: str
+    retrieved_at: Timestamp
+    zone: Zone
+
+
+class IanaSource:
+    """Simulates downloading the root zone file from iana.org.
+
+    IANA serves the latest published zone; downloads every 15 minutes see
+    each new serial shortly after publication.
+    """
+
+    name = "iana"
+
+    def __init__(self, distributor: ZoneDistributor, publish_delay_s: int = 30 * 60) -> None:
+        self.distributor = distributor
+        self.publish_delay_s = publish_delay_s
+
+    def download(self, at_ts: Timestamp) -> ZoneDownload:
+        """Fetch the zone file visible on the website at *at_ts*."""
+        pub_ts, edition = self.distributor.latest_publication(at_ts - self.publish_delay_s)
+        zone = self.distributor.zone_for_publication(pub_ts, edition)
+        return ZoneDownload(source=self.name, retrieved_at=at_ts, zone=zone)
+
+    def download_series(
+        self, start: Timestamp, end: Timestamp, interval_s: int = 15 * 60
+    ) -> List[ZoneDownload]:
+        """The paper's every-15-minutes polling series over [start, end)."""
+        out: List[ZoneDownload] = []
+        ts = start
+        while ts < end:
+            out.append(self.download(ts))
+            ts += interval_s
+        return out
+
+
+class CzdsSource:
+    """Simulates ICANN CZDS root zone file access (one snapshot per day)."""
+
+    name = "czds"
+
+    def __init__(self, distributor: ZoneDistributor, snapshot_hour: int = 6) -> None:
+        if not 0 <= snapshot_hour < 24:
+            raise ValueError(f"snapshot hour out of range: {snapshot_hour}")
+        self.distributor = distributor
+        self.snapshot_hour = snapshot_hour
+
+    def download(self, day_ts: Timestamp) -> ZoneDownload:
+        """The CZDS snapshot for the UTC day containing *day_ts*."""
+        day = day_ts - day_ts % DAY
+        snapshot_ts = day + self.snapshot_hour * HOUR
+        pub_ts, edition = self.distributor.latest_publication(snapshot_ts)
+        zone = self.distributor.zone_for_publication(pub_ts, edition)
+        return ZoneDownload(source=self.name, retrieved_at=snapshot_ts, zone=zone)
+
+    def download_series(self, start: Timestamp, end: Timestamp) -> List[ZoneDownload]:
+        """One snapshot per day over [start, end)."""
+        out: List[ZoneDownload] = []
+        day = start - start % DAY
+        while day < end:
+            out.append(self.download(day))
+            day += DAY
+        return out

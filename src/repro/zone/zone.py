@@ -1,0 +1,90 @@
+"""The :class:`Zone` container: an ordered multiset of records with the
+apex conveniences every other layer needs (serial, SOA, lookups).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import SOA
+from repro.dns.records import ResourceRecord, RRset, group_rrsets
+
+
+class Zone:
+    """A zone: apex name plus records (including RRSIG/NSEC/ZONEMD).
+
+    The record list preserves construction order; canonical order is
+    derived on demand by the DNSSEC/ZONEMD layers.
+    """
+
+    def __init__(self, apex: Name, records: Iterable[ResourceRecord]) -> None:
+        self.apex = apex
+        self.records: List[ResourceRecord] = list(records)
+        if self.soa() is None:
+            raise ValueError("zone must contain an apex SOA record")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ResourceRecord]:
+        return iter(self.records)
+
+    def soa(self) -> Optional[ResourceRecord]:
+        """The apex SOA record (None only during construction checks)."""
+        for rec in self.records:
+            if rec.name == self.apex and rec.rrtype == RRType.SOA:
+                return rec
+        return None
+
+    @property
+    def serial(self) -> int:
+        """The SOA serial of this zone copy."""
+        soa = self.soa()
+        assert soa is not None and isinstance(soa.rdata, SOA)
+        return soa.rdata.serial
+
+    def rrsets(self) -> List[RRset]:
+        """All RRsets in first-seen order."""
+        return group_rrsets(self.records)
+
+    def find_rrset(
+        self, name: Name, rrtype: RRType, rrclass: RRClass = RRClass.IN
+    ) -> Optional[RRset]:
+        """The RRset at (name, type, class), or None."""
+        matching = [
+            r
+            for r in self.records
+            if r.name == name and r.rrtype == rrtype and r.rrclass == rrclass
+        ]
+        return RRset(matching) if matching else None
+
+    def names(self) -> List[Name]:
+        """Distinct owner names in canonical order."""
+        seen: Dict[Name, None] = {}
+        for rec in self.records:
+            seen.setdefault(rec.name, None)
+        return sorted(seen.keys(), key=lambda n: n.canonical_key())
+
+    def delegations(self) -> List[Name]:
+        """Names with NS RRsets below the apex (the TLDs, for the root)."""
+        out: Dict[Name, None] = {}
+        for rec in self.records:
+            if rec.rrtype == RRType.NS and rec.name != self.apex:
+                out.setdefault(rec.name, None)
+        return sorted(out.keys(), key=lambda n: n.canonical_key())
+
+    def copy(self) -> "Zone":
+        """Shallow copy (records are immutable, the list is fresh)."""
+        return Zone(self.apex, list(self.records))
+
+    def replace_record(self, index: int, record: ResourceRecord) -> None:
+        """In-place record replacement (used by fault injection)."""
+        if not 0 <= index < len(self.records):
+            raise IndexError(index)
+        self.records[index] = record
+
+    def stats(self) -> Tuple[int, int, int]:
+        """(records, rrsets, owner names) — quick size fingerprint."""
+        return (len(self.records), len(self.rrsets()), len(self.names()))

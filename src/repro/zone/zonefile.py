@@ -1,0 +1,197 @@
+"""Master-file (RFC 1035 §5) serialisation and parsing.
+
+The study moves zone copies around as files (AXFR captures, CZDS and IANA
+downloads), and the bitflip analysis (paper Fig 10) diffs the *textual*
+zone representations.  The renderer emits one record per line; the parser
+accepts that format back (plus comments/blank lines), round-tripping every
+record type the root zone uses.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Callable, Dict, List, Sequence
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns import rdata as rd
+from repro.dns.records import ResourceRecord
+from repro.zone.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Malformed zone file text."""
+
+
+def render_zone_text(zone: Zone) -> str:
+    """Render a zone as master-file text, SOA first, then canonical order.
+
+    Deterministic output makes zone copies byte-comparable, which the
+    bitflip detector relies on.
+    """
+    soa = zone.soa()
+    assert soa is not None
+    rest = [r for r in zone.records if r is not soa]
+    rest.sort(key=lambda r: (r.name.canonical_key(), int(r.rrtype), r.rdata.canonical_wire()))
+    lines = [soa.to_text()]
+    lines.extend(r.to_text() for r in rest)
+    return "\n".join(lines) + "\n"
+
+
+# --- rdata text parsers ------------------------------------------------------
+
+
+def _parse_a(fields: Sequence[str]) -> rd.Rdata:
+    if len(fields) != 1:
+        raise ZoneFileError(f"A rdata wants 1 field, got {fields}")
+    return rd.A(fields[0])
+
+
+def _parse_aaaa(fields: Sequence[str]) -> rd.Rdata:
+    if len(fields) != 1:
+        raise ZoneFileError(f"AAAA rdata wants 1 field, got {fields}")
+    return rd.AAAA(fields[0])
+
+
+def _parse_ns(fields: Sequence[str]) -> rd.Rdata:
+    return rd.NS(Name.from_text(fields[0]))
+
+
+def _parse_cname(fields: Sequence[str]) -> rd.Rdata:
+    return rd.CNAME(Name.from_text(fields[0]))
+
+
+def _parse_ptr(fields: Sequence[str]) -> rd.Rdata:
+    return rd.PTR(Name.from_text(fields[0]))
+
+
+def _parse_mx(fields: Sequence[str]) -> rd.Rdata:
+    return rd.MX(int(fields[0]), Name.from_text(fields[1]))
+
+
+def _parse_soa(fields: Sequence[str]) -> rd.Rdata:
+    if len(fields) != 7:
+        raise ZoneFileError(f"SOA rdata wants 7 fields, got {len(fields)}")
+    return rd.SOA(
+        Name.from_text(fields[0]),
+        Name.from_text(fields[1]),
+        *(int(f) for f in fields[2:]),
+    )
+
+
+def _parse_txt(fields: Sequence[str]) -> rd.Rdata:
+    strings = []
+    for f in fields:
+        if len(f) >= 2 and f[0] == '"' and f[-1] == '"':
+            f = f[1:-1]
+        strings.append(f.encode("utf-8"))
+    if not strings:
+        raise ZoneFileError("TXT rdata needs at least one string")
+    return rd.TXT(tuple(strings))
+
+
+def _parse_ds(fields: Sequence[str]) -> rd.Rdata:
+    return rd.DS(int(fields[0]), int(fields[1]), int(fields[2]), bytes.fromhex("".join(fields[3:])))
+
+
+def _parse_dnskey(fields: Sequence[str]) -> rd.Rdata:
+    return rd.DNSKEY(
+        int(fields[0]), int(fields[1]), int(fields[2]),
+        base64.b64decode("".join(fields[3:])),
+    )
+
+
+def _parse_rrsig(fields: Sequence[str]) -> rd.Rdata:
+    if len(fields) < 9:
+        raise ZoneFileError(f"RRSIG rdata wants >=9 fields, got {len(fields)}")
+    covered_text = fields[0]
+    if covered_text.upper().startswith("TYPE"):
+        covered = int(covered_text[4:])
+    else:
+        covered = int(RRType.from_text(covered_text))
+    return rd.RRSIG(
+        type_covered=covered,
+        algorithm=int(fields[1]),
+        labels=int(fields[2]),
+        original_ttl=int(fields[3]),
+        expiration=int(fields[4]),
+        inception=int(fields[5]),
+        key_tag=int(fields[6]),
+        signer=Name.from_text(fields[7]),
+        signature=base64.b64decode("".join(fields[8:])),
+    )
+
+
+def _parse_nsec(fields: Sequence[str]) -> rd.Rdata:
+    next_name = Name.from_text(fields[0])
+    types = []
+    for mnemonic in fields[1:]:
+        if mnemonic.upper().startswith("TYPE"):
+            types.append(int(mnemonic[4:]))
+        else:
+            types.append(int(RRType.from_text(mnemonic)))
+    return rd.NSEC(next_name, tuple(types))
+
+
+def _parse_zonemd(fields: Sequence[str]) -> rd.Rdata:
+    return rd.ZONEMD(
+        int(fields[0]), int(fields[1]), int(fields[2]),
+        bytes.fromhex("".join(fields[3:])),
+    )
+
+
+_PARSERS: Dict[RRType, Callable[[Sequence[str]], rd.Rdata]] = {
+    RRType.A: _parse_a,
+    RRType.AAAA: _parse_aaaa,
+    RRType.NS: _parse_ns,
+    RRType.CNAME: _parse_cname,
+    RRType.PTR: _parse_ptr,
+    RRType.MX: _parse_mx,
+    RRType.SOA: _parse_soa,
+    RRType.TXT: _parse_txt,
+    RRType.DS: _parse_ds,
+    RRType.DNSKEY: _parse_dnskey,
+    RRType.RRSIG: _parse_rrsig,
+    RRType.NSEC: _parse_nsec,
+    RRType.ZONEMD: _parse_zonemd,
+}
+
+
+def parse_record_line(line: str) -> ResourceRecord:
+    """Parse one master-file line into a :class:`ResourceRecord`."""
+    fields = line.split()
+    if len(fields) < 5:
+        raise ZoneFileError(f"record line too short: {line!r}")
+    owner = Name.from_text(fields[0])
+    try:
+        ttl = int(fields[1])
+    except ValueError:
+        raise ZoneFileError(f"bad TTL in line: {line!r}") from None
+    rrclass = RRClass.from_text(fields[2])
+    rrtype = RRType.from_text(fields[3])
+    parser = _PARSERS.get(rrtype)
+    if parser is None:
+        raise ZoneFileError(f"no parser for type {rrtype.name}")
+    rdata = parser(fields[4:])
+    return ResourceRecord(owner, rrtype, rrclass, ttl, rdata)
+
+
+def parse_zone_text(text: str, apex: Name = None) -> Zone:
+    """Parse master-file text produced by :func:`render_zone_text`."""
+    records: List[ResourceRecord] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(";"):
+            continue
+        try:
+            records.append(parse_record_line(stripped))
+        except ZoneFileError as exc:
+            raise ZoneFileError(f"line {lineno}: {exc}") from None
+    if not records:
+        raise ZoneFileError("zone file contains no records")
+    if apex is None:
+        soa_owners = [r.name for r in records if r.rrtype == RRType.SOA]
+        if not soa_owners:
+            raise ZoneFileError("zone file has no SOA record")
+        apex = soa_owners[0]
+    return Zone(apex, records)

@@ -1,0 +1,271 @@
+"""Analysis pipeline over the shared campaign fixtures."""
+
+import pytest
+
+from repro.analysis import (
+    ColocationAnalysis,
+    CoverageAnalysis,
+    DistanceAnalysis,
+    RttAnalysis,
+    StabilityAnalysis,
+    ZonemdAudit,
+)
+from repro.analysis import report
+from repro.geo.continents import Continent
+from repro.rss.operators import root_server
+
+
+@pytest.fixture(scope="module")
+def coverage(full_window_study):
+    return CoverageAnalysis(
+        full_window_study.catalog, full_window_study.collector.identities
+    )
+
+
+@pytest.fixture(scope="module")
+def stability(full_window_study):
+    return StabilityAnalysis(full_window_study.collector)
+
+
+@pytest.fixture(scope="module")
+def colocation(full_window_study):
+    return ColocationAnalysis(full_window_study.collector, full_window_study.vps)
+
+
+@pytest.fixture(scope="module")
+def distance(full_window_study):
+    return DistanceAnalysis(full_window_study.collector)
+
+
+@pytest.fixture(scope="module")
+def rtt(full_window_study):
+    return RttAnalysis(full_window_study.collector, full_window_study.vps)
+
+
+@pytest.fixture(scope="module")
+def audit_results(full_window_study):
+    audit = ZonemdAudit(full_window_study.collector.transfers)
+    return audit, audit.validate_transfers()
+
+
+class TestCoverage:
+    def test_all_b_sites_covered(self, coverage):
+        rows = {r.scope: r for r in coverage.worldwide()["b"]}
+        # 6 global sites, no locals: everyone reaches them (paper: 100%).
+        assert rows["global"].sites == 6
+        assert rows["global"].covered >= 5
+
+    def test_local_coverage_lower_than_global(self, coverage):
+        for letter in ("d", "e", "f"):
+            rows = {r.scope: r for r in coverage.worldwide()[letter]}
+            assert rows["global"].pct > rows["local"].pct, letter
+
+    def test_unmapped_identifiers_exist(self, coverage):
+        total, unmapped = coverage.observed_identifier_count()
+        assert total > 0
+        assert 0 < unmapped < total * 0.3  # paper: 135 of 1,604
+
+    def test_per_region_consistent_with_worldwide(self, coverage):
+        worldwide = {
+            letter: {r.scope: r for r in rows}
+            for letter, rows in coverage.worldwide().items()
+        }
+        regional = coverage.per_region()
+        for letter in "abcdefghijklm":
+            total_sites = sum(
+                {r.scope: r for r in regional[c][letter]}["total"].sites
+                for c in Continent
+            )
+            assert total_sites == worldwide[letter]["total"].sites
+
+    def test_site_map_flags(self, coverage, full_window_study):
+        site_map = coverage.site_map("f")
+        assert len(site_map) == len(full_window_study.catalog.of_letter("f"))
+        assert any(observed for _site, observed in site_map)
+        assert any(not observed for _site, observed in site_map)
+
+    def test_render_tables(self, coverage):
+        t1 = report.render_table1(coverage)
+        assert "Table 1" in t1 and t1.count("\n") >= 14
+        t4 = report.render_table4(coverage)
+        assert "Europe" in t4 and "Africa" in t4
+
+
+class TestStability:
+    def test_g_churns_more_than_b(self, stability):
+        b = stability.median_changes("b", 4, "new")
+        g = stability.median_changes("g", 4)
+        assert g > b
+
+    def test_g_v6_exceeds_v4(self, stability):
+        assert stability.median_changes("g", 6) > stability.median_changes("g", 4)
+
+    def test_b_families_similar(self, stability):
+        v4 = stability.median_changes("b", 4, "new")
+        v6 = stability.median_changes("b", 6, "new")
+        assert abs(v4 - v6) <= max(3.0, 0.5 * max(v4, v6))
+
+    def test_heavy_tail_exists(self, stability):
+        # A stable deployment's distribution still has a long tail
+        # (paper Fig. 3: a few VPs see orders of magnitude more changes).
+        series = next(
+            s for s in stability.series_for("b") if s.address.generation == "new"
+        )
+        assert max(series.changes_per_vp) > 4 * max(1.0, series.median_changes())
+
+    def test_v6_excess_letters_match_paper(self, stability):
+        # The paper singles out c.root and h.root (besides g.root) as
+        # showing clearly more IPv6 churn.
+        excess = set(stability.letters_with_v6_excess())
+        assert {"c", "h"} <= excess
+
+    def test_ecdf_render(self, stability):
+        out = report.render_figure3(stability)
+        assert "b.root" in out and "g.root" in out
+
+
+class TestColocation:
+    def test_colocation_prevalent(self, colocation):
+        # Paper §5: ~70% of VPs observe >= 2 co-located letters.
+        assert colocation.fraction_with_colocation() > 0.5
+
+    def test_max_colocation_bounded(self, colocation):
+        assert 2 <= colocation.max_observed_colocation() <= 13
+
+    def test_histogram_totals_match_views(self, colocation):
+        views = [v for v in colocation.views() if v.family == 4]
+        total = sum(
+            sum(colocation.histogram(c, 4)) for c in Continent
+        )
+        assert total == len(views)
+
+    def test_averages_modest(self, colocation):
+        # Paper Fig. 4 averages are around 0.7 - 1.3.
+        avg = colocation.average(Continent.EUROPE, 4)
+        assert avg is not None and 0.2 < avg < 3.5
+
+    def test_render(self, colocation):
+        out = report.render_figure4(colocation)
+        assert "Reduced redundancy" in out
+
+
+class TestDistance:
+    def test_most_requests_near_optimal(self, distance):
+        b = root_server("b")
+        frac = distance.fraction_optimal(b.ipv4)
+        assert frac > 0.6  # paper: 78.2% for b.root v4
+
+    def test_grid_percentages_sum(self, distance):
+        b = root_server("b")
+        grid = distance.grid(b.ipv4)
+        assert sum(grid.cells.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_m_root_similar_between_families(self, distance):
+        m = root_server("m")
+        v4 = distance.fraction_optimal(m.ipv4)
+        v6 = distance.fraction_optimal(m.ipv6)
+        assert abs(v4 - v6) < 0.25
+
+    def test_client_extra_distance(self, distance):
+        b = root_server("b")
+        frac = distance.fraction_clients_under(b.ipv4, km=1000.0)
+        assert 0.3 < frac <= 1.0
+
+    def test_render(self, distance):
+        b = root_server("b")
+        out = report.render_figure5(distance, [b.ipv4, b.ipv6])
+        assert "Figure 5" in out
+
+
+class TestRtt:
+    def test_summaries_exist_for_populated_regions(self, rtt):
+        for letter in ("a", "k"):
+            sa = root_server(letter)
+            summary = rtt.summary(sa.ipv4, Continent.EUROPE)
+            assert summary is not None and summary.count > 0
+
+    def test_europe_rtt_lower_than_africa_for_k(self, rtt):
+        k = root_server("k")
+        eu = rtt.summary(k.ipv4, Continent.EUROPE)
+        af = rtt.summary(k.ipv4, Continent.AFRICA)
+        assert eu is not None and af is not None
+        assert eu.p50 < af.p50
+
+    def test_family_ratio_defined(self, rtt):
+        ratio = rtt.family_ratio("i", Continent.NORTH_AMERICA)
+        assert ratio is not None and ratio > 0
+
+    def test_violin_bins_normalised(self, rtt):
+        k = root_server("k")
+        _edges, densities = rtt.violin_bins(k.ipv4, Continent.EUROPE)
+        assert densities.sum() == pytest.approx(1.0)
+
+    def test_render(self, rtt, full_window_study):
+        addresses = [sa.address for sa in full_window_study.collector.addresses]
+        out = report.render_figure6(
+            rtt, [Continent.EUROPE], addresses, {}
+        )
+        assert "Europe" in out
+
+
+class TestAudit:
+    def test_findings_cover_fault_classes(self, audit_results):
+        _audit, (findings, valid) = audit_results
+        assert valid > 0
+        reasons = {f.reason for f in findings}
+        assert "Bogus Signature" in reasons  # bitflips
+        faults = {f.fault for f in findings}
+        assert "bitflip" in faults
+
+    def test_clock_skew_produces_temporal_errors(self, audit_results):
+        _audit, (findings, _valid) = audit_results
+        temporal = [
+            f for f in findings
+            if f.reason in ("Sig. not incepted", "Signature expired") and not f.fault
+        ]
+        assert temporal  # the two skewed VPs
+
+    def test_stale_sites_produce_expired(self, audit_results):
+        _audit, (findings, _valid) = audit_results
+        stale = [f for f in findings if f.fault == "stale"]
+        assert stale
+        assert any(f.reason == "Signature expired" for f in stale)
+
+    def test_bitflip_examples_and_diff(self, audit_results, full_window_study):
+        audit, _results = audit_results
+        examples = audit.bitflip_examples()
+        assert examples
+        obs, description = examples[0]
+        assert description
+        reference = full_window_study.distributor.zone_for_publication(
+            *full_window_study.distributor.latest_publication(obs.true_ts)
+        )
+        if reference.serial == obs.serial:
+            diff = audit.bitflip_diff(obs, reference)
+            assert len(diff) == 1  # exactly one record differs (Fig. 10)
+
+    def test_render_table2(self, audit_results):
+        _audit, (findings, valid) = audit_results
+        out = report.render_table2(findings, valid)
+        assert "Table 2" in out
+
+
+class TestSourceAudit:
+    def test_rollout_schedule_visible(self, full_window_study):
+        from repro.zone.sources import IanaSource
+        from repro.util.timeutil import parse_ts
+
+        source = IanaSource(full_window_study.distributor)
+        downloads = []
+        for day in ("2023-08-15", "2023-10-15", "2023-12-15"):
+            downloads.append(source.download(parse_ts(day + "T12:00:00")))
+        rows = ZonemdAudit.audit_downloads(downloads)
+        from repro.dnssec.zonemd import ZonemdStatus
+
+        assert rows[0].zonemd_status is ZonemdStatus.ABSENT
+        assert rows[1].zonemd_status is ZonemdStatus.UNSUPPORTED_ALGORITHM
+        assert rows[2].zonemd_status is ZonemdStatus.VALID
+        assert all(r.rrsig_valid for r in rows)
+        first = ZonemdAudit.first_validating_download(rows)
+        assert first is rows[2]
+        assert "Out-of-band" in report.render_source_audit(rows)

@@ -1,0 +1,115 @@
+"""The plain-text report renderers (every table/figure printer)."""
+
+import pytest
+
+from repro.analysis import (
+    ClientBehaviorAnalysis,
+    ColocationAnalysis,
+    CoverageAnalysis,
+    DistanceAnalysis,
+    PathAnalysis,
+    RttAnalysis,
+    StabilityAnalysis,
+)
+from repro.analysis import report
+from repro.analysis.zonemd_audit import AuditFinding
+from repro.geo.continents import Continent
+from repro.rss.operators import root_server
+
+
+@pytest.fixture(scope="module")
+def world(full_window_study):
+    return full_window_study
+
+
+class TestTableRenderers:
+    def test_table1_has_13_letters(self, world):
+        coverage = CoverageAnalysis(world.catalog, world.collector.identities)
+        out = report.render_table1(coverage)
+        for letter in "abcdefghijklm":
+            assert f"\n{letter:>4}" in out or out.splitlines()[0], letter
+        assert len(out.splitlines()) == 16  # title + header + rule + 13
+
+    def test_table2_empty_findings(self):
+        out = report.render_table2([], valid_count=100)
+        assert "Table 2" in out
+        assert "100" in out
+
+    def test_table2_row_fields(self):
+        finding = AuditFinding(
+            reason="Bogus Signature",
+            serials=(2023121000, 2023121001),
+            first_obs=1702200000,
+            last_obs=1702300000,
+            observations=3,
+            servers=("d.root",),
+            vp_ids=(7,),
+            fault="bitflip",
+        )
+        out = report.render_table2([finding], valid_count=5)
+        assert "Bogus Signature" in out
+        assert finding.n_soa == 2
+        assert "d.root" in out
+
+    def test_table4_every_region(self, world):
+        coverage = CoverageAnalysis(world.catalog, world.collector.identities)
+        out = report.render_table4(coverage)
+        for continent in Continent:
+            assert str(continent) in out
+
+
+class TestFigureRenderers:
+    def test_figure3(self, world):
+        out = report.render_figure3(StabilityAnalysis(world.collector))
+        assert "median=" in out
+        assert "ccdf=" in out
+
+    def test_figure4(self, world):
+        out = report.render_figure4(
+            ColocationAnalysis(world.collector, world.vps)
+        )
+        assert "co-located" in out
+        assert "IPv4" in out and "IPv6" in out
+
+    def test_figure5(self, world):
+        b = root_server("b")
+        out = report.render_figure5(DistanceAnalysis(world.collector), [b.ipv4])
+        assert "routed to closest" in out
+
+    def test_figure6(self, world):
+        rtt = RttAnalysis(world.collector, world.vps)
+        addresses = [sa.address for sa in world.collector.addresses[:6]]
+        out = report.render_figure6(rtt, [Continent.EUROPE], addresses, {})
+        assert "Europe" in out
+        assert "p50" in out
+
+    def test_figure8(self, rng_factory):
+        from repro.passive.clients import ISP_PROFILE, build_client_population
+        from repro.passive.isp import IspCapture
+        from repro.util.timeutil import parse_ts
+
+        clients = build_client_population(
+            ISP_PROFILE, rng_factory.fork("report-test")
+        )[:300]
+        capture = IspCapture(clients, seed=3).capture(
+            parse_ts("2024-02-05"), parse_ts("2024-02-08")
+        )
+        out = report.render_figure8(ClientBehaviorAnalysis(capture), family=6)
+        assert "IPv6" in out
+
+    def test_traffic_series(self):
+        series = {
+            "V4new": [(1700000000, 0.7), (1700086400, 0.75)],
+            "V4old": [(1700000000, 0.3), (1700086400, 0.25)],
+        }
+        out = report.render_traffic_series("T", series)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "V4new" in lines[1] and "V4old" in lines[1]
+        assert len(lines) == 4
+
+    def test_path_breakdown(self, world):
+        paths = PathAnalysis(world.collector, world.vps)
+        out = report.render_path_breakdown(paths, Continent.EUROPE, "k")
+        assert "IPv4" in out and "IPv6" in out
+        assert "share" in out

@@ -1,0 +1,62 @@
+"""Subset-generalisation analysis (§8)."""
+
+import pytest
+
+from repro.analysis.variability import SubsetStats, VariabilityAnalysis
+from repro.rss.operators import ROOT_LETTERS
+
+
+@pytest.fixture(scope="module")
+def analysis(full_window_study):
+    return VariabilityAnalysis(
+        full_window_study.collector, full_window_study.vps
+    )
+
+
+class TestSubsetStats:
+    def test_full_stats(self, analysis):
+        full = analysis.full_stats()
+        assert full.letters == tuple(ROOT_LETTERS)
+        assert full.median_changes_v4 > 0
+        assert full.median_rtt_ms is not None
+
+    def test_single_letter_matches_stability(self, analysis):
+        g = analysis.subset_stats(["g"])
+        assert g.median_changes_v4 == analysis.stability.median_changes("g", 4)
+
+    def test_v6_excess_defined(self, analysis):
+        stats = analysis.subset_stats(["g", "c", "h"])
+        assert stats.v6_excess > 1.0  # the paper's v6-churn letters
+
+    def test_invalid_subset_rejected(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.subset_stats(["z"])
+
+
+class TestSpread:
+    def test_spread_deterministic(self, analysis):
+        a = analysis.subset_spread(k=4, max_subsets=10)
+        b = analysis.subset_spread(k=4, max_subsets=10)
+        assert [s.letters for s in a[1]] == [s.letters for s in b[1]]
+
+    def test_subset_count_bounded(self, analysis):
+        _full, subsets = analysis.subset_spread(k=3, max_subsets=15)
+        assert 0 < len(subsets) <= 15
+        assert all(len(s.letters) == 3 for s in subsets)
+
+    def test_relative_spread_brackets_one(self, analysis):
+        full, subsets = analysis.subset_spread(k=4, max_subsets=20)
+        lo, hi = VariabilityAnalysis.relative_spread(full, subsets, "changes_v4")
+        assert lo <= 1.05 and hi >= 0.95
+        assert lo <= hi
+
+    def test_k_validation(self, analysis):
+        with pytest.raises(ValueError):
+            analysis.subset_spread(k=0)
+        with pytest.raises(ValueError):
+            analysis.subset_spread(k=14)
+
+    def test_unknown_metric_rejected(self, analysis):
+        full, subsets = analysis.subset_spread(k=2, max_subsets=5)
+        with pytest.raises(ValueError):
+            VariabilityAnalysis.relative_spread(full, subsets, "nope")

@@ -1,0 +1,54 @@
+"""Package-level surface: version, public imports, no cycles."""
+
+import importlib
+
+import pytest
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.cli",
+    "repro.core",
+    "repro.dns",
+    "repro.dnssec",
+    "repro.faults",
+    "repro.geo",
+    "repro.netsim",
+    "repro.passive",
+    "repro.reportgen",
+    "repro.resolver",
+    "repro.rss",
+    "repro.util",
+    "repro.vantage",
+    "repro.zone",
+]
+
+
+class TestPackage:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("module", PUBLIC_MODULES)
+    def test_imports_cleanly(self, module):
+        importlib.import_module(module)
+
+    def test_every_public_module_has_docstring(self):
+        for module_name in PUBLIC_MODULES:
+            module = importlib.import_module(module_name)
+            assert module.__doc__, module_name
+            assert len(module.__doc__.strip()) > 40, module_name
+
+    def test_analysis_exports(self):
+        from repro import analysis
+
+        for name in analysis.__all__:
+            assert hasattr(analysis, name), name
+
+    def test_resolver_exports(self):
+        from repro import resolver
+
+        for name in resolver.__all__:
+            assert hasattr(resolver, name), name

@@ -1,0 +1,45 @@
+"""The rootsim-report artefact generator."""
+
+import pytest
+
+from repro.reportgen import generate_all
+
+EXPECTED_ARTEFACTS = {
+    "table1", "table2", "table4",
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig12", "fig13", "fig14", "paths_sec6", "INDEX",
+}
+
+
+@pytest.fixture(scope="module")
+def generated(full_window_study, tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    written = generate_all(full_window_study, str(out), seed=1234)
+    return written
+
+
+class TestGenerateAll:
+    def test_every_artefact_written(self, generated):
+        assert set(generated) == EXPECTED_ARTEFACTS
+        for path in generated.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_index_lists_files(self, generated):
+        index = generated["INDEX"].read_text()
+        for name in EXPECTED_ARTEFACTS - {"INDEX"}:
+            assert name in index
+
+    def test_table1_shape(self, generated):
+        content = generated["table1"].read_text()
+        assert "Table 1" in content
+        assert content.count("\n") >= 15
+
+    def test_fig7_has_four_series(self, generated):
+        content = generated["fig7"].read_text()
+        for label in ("V4new", "V4old", "V6new", "V6old"):
+            assert label in content
+
+    def test_fig10_shows_diff(self, generated):
+        content = generated["fig10"].read_text()
+        assert "Figure 10" in content

@@ -1,0 +1,147 @@
+"""Name compression (writer side) and EDNS(0)."""
+
+import pytest
+
+from repro.dns.compress import CompressionContext, compress_names, compression_ratio
+from repro.dns.constants import RRClass, RRType, Rcode
+from repro.dns.edns import (
+    DEFAULT_PAYLOAD_SIZE,
+    EdnsOptions,
+    add_edns,
+    get_edns,
+    strip_edns,
+    wants_dnssec,
+)
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+
+
+class TestCompression:
+    def test_repeated_name_becomes_pointer(self):
+        name = Name.from_text("a.root-servers.net.")
+        wire = compress_names([name, name])
+        # first occurrence full (20 bytes), second a 2-byte pointer
+        assert len(wire) == len(name.to_wire()) + 2
+
+    def test_shared_suffix_compressed(self):
+        a = Name.from_text("a.root-servers.net.")
+        b = Name.from_text("b.root-servers.net.")
+        wire = compress_names([a, b])
+        assert len(wire) == len(a.to_wire()) + 2 + 2  # label 'b' + pointer
+
+    def test_decoder_roundtrip(self):
+        names = [
+            Name.from_text("a.root-servers.net."),
+            Name.from_text("b.root-servers.net."),
+            Name.from_text("ns1.nic.world."),
+            Name.from_text("world."),
+        ]
+        wire = compress_names(names)
+        offset = 0
+        decoded = []
+        for _ in names:
+            name, offset = Name.from_wire(wire, offset)
+            decoded.append(name)
+        assert decoded == names
+
+    def test_case_insensitive_matching_preserves_case(self):
+        upper = Name.from_text("WORLD.")
+        lower = Name.from_text("world.")
+        wire = compress_names([upper, lower])
+        first, offset = Name.from_wire(wire, 0)
+        second, _ = Name.from_wire(wire, offset)
+        assert first.labels[0] == b"WORLD"  # original case kept
+        assert second == lower  # pointer resolves to the first
+
+    def test_root_name_is_single_zero(self):
+        wire = compress_names([ROOT_NAME, ROOT_NAME])
+        assert wire == b"\x00\x00"  # root never gets a pointer
+
+    def test_ratio_on_zone_owner_names(self, validatable_zone):
+        names = [r.name for r in validatable_zone.records]
+        ratio = compression_ratio(names)
+        assert ratio > 0.3  # root zone names compress well
+
+    def test_offsets_respect_initial_prefix(self):
+        name = Name.from_text("example.")
+        out = bytearray(b"\x00" * 12)  # header-sized prefix
+        context = CompressionContext()
+        context.write_name(name, out)
+        context.write_name(name, out)
+        decoded, _ = Name.from_wire(bytes(out), 12 + len(name.to_wire()))
+        assert decoded == name
+
+
+class TestEdns:
+    def test_add_and_get(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS)
+        add_edns(query, payload_size=4096, dnssec_ok=True)
+        options = get_edns(query)
+        assert options is not None
+        assert options.payload_size == 4096
+        assert options.dnssec_ok
+        assert options.version == 0
+
+    def test_wants_dnssec(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS)
+        assert not wants_dnssec(query)
+        add_edns(query, dnssec_ok=True)
+        assert wants_dnssec(query)
+        add_edns(query, dnssec_ok=False)  # idempotent replace
+        assert not wants_dnssec(query)
+        assert len(query.additional) == 1
+
+    def test_strip(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS)
+        add_edns(query)
+        strip_edns(query)
+        assert get_edns(query) is None
+
+    def test_wire_roundtrip(self):
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        add_edns(query, payload_size=1232, dnssec_ok=True)
+        decoded = Message.from_wire(query.to_wire())
+        options = get_edns(decoded)
+        assert options is not None
+        assert options.payload_size == DEFAULT_PAYLOAD_SIZE
+        assert options.dnssec_ok
+
+    def test_options_record_roundtrip(self):
+        options = EdnsOptions(payload_size=512, version=0, dnssec_ok=False)
+        assert EdnsOptions.from_record(options.to_record()) == options
+
+    def test_from_non_opt_rejected(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS)
+        with pytest.raises(ValueError):
+            EdnsOptions.from_record(
+                # abuse: question not a record; build a simple NS record
+                __import__("repro.dns.records", fromlist=["ResourceRecord"]).ResourceRecord(
+                    ROOT_NAME, RRType.NS, RRClass.IN, 1,
+                    __import__("repro.dns.rdata", fromlist=["NS"]).NS(ROOT_NAME),
+                )
+            )
+
+
+class TestServerDnssecBehaviour:
+    def test_rrsig_only_with_do_bit(self, site_catalog, zone_builder):
+        from repro.rss.operators import root_server
+        from repro.rss.server import RootServerDeployment
+        from repro.util.timeutil import parse_ts
+        from repro.zone.distribution import ZoneDistributor
+
+        deployment = RootServerDeployment(
+            root_server("k"), site_catalog.of_letter("k"), ZoneDistributor(zone_builder)
+        )
+        site_key = deployment.sites[0].key
+        ts = parse_ts("2023-12-10T12:00:00")
+
+        plain = Message.make_query(ROOT_NAME, RRType.SOA)
+        answer_plain = deployment.answer(site_key, plain, ts)
+        assert not answer_plain.answer_rrs(RRType.RRSIG)
+
+        dnssec = Message.make_query(ROOT_NAME, RRType.SOA)
+        add_edns(dnssec, dnssec_ok=True)
+        answer_do = deployment.answer(site_key, dnssec, ts)
+        assert answer_do.answer_rrs(RRType.RRSIG)
+        options = get_edns(answer_do)
+        assert options is not None and options.dnssec_ok

@@ -1,0 +1,92 @@
+"""DNS message codec."""
+
+import pytest
+
+from repro.dns.constants import Opcode, RRClass, RRType, Rcode
+from repro.dns.message import FLAG_AA, FLAG_QR, Header, Message, Question
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import A, NS, TXT
+from repro.dns.records import ResourceRecord
+
+
+class TestHeader:
+    def test_flags_roundtrip(self):
+        header = Header(msg_id=7, qr=True, aa=True, rd=True, rcode=Rcode.NXDOMAIN)
+        got = Header.from_flags_word(7, header.flags_word())
+        assert got == header
+
+    def test_qr_bit_position(self):
+        assert Header(qr=True).flags_word() & FLAG_QR
+
+    def test_aa_bit_position(self):
+        assert Header(aa=True).flags_word() & FLAG_AA
+
+    def test_opcode_encoded(self):
+        word = Header(opcode=Opcode.NOTIFY).flags_word()
+        assert (word >> 11) & 0xF == 4
+
+
+class TestMessageCodec:
+    def test_query_roundtrip(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS, msg_id=99)
+        got = Message.from_wire(query.to_wire())
+        assert got.header.msg_id == 99
+        assert got.question.qname.is_root()
+        assert got.question.qtype == RRType.NS
+
+    def test_chaos_query_roundtrip(self):
+        query = Message.make_query(
+            Name.from_text("hostname.bind."), RRType.TXT, RRClass.CH
+        )
+        got = Message.from_wire(query.to_wire())
+        assert got.question.qclass == RRClass.CH
+
+    def test_response_with_answers_roundtrip(self):
+        query = Message.make_query(ROOT_NAME, RRType.NS)
+        response = query.make_response()
+        response.answers.append(
+            ResourceRecord(
+                ROOT_NAME, RRType.NS, RRClass.IN, 518400,
+                NS(Name.from_text("a.root-servers.net.")),
+            )
+        )
+        response.additional.append(
+            ResourceRecord(
+                Name.from_text("a.root-servers.net."), RRType.A, RRClass.IN,
+                518400, A("198.41.0.4"),
+            )
+        )
+        got = Message.from_wire(response.to_wire())
+        assert len(got.answers) == 1
+        assert len(got.additional) == 1
+        assert got.answers[0].rdata == response.answers[0].rdata
+
+    def test_response_echoes_id_and_question(self):
+        query = Message.make_query(ROOT_NAME, RRType.SOA, msg_id=1234)
+        response = query.make_response()
+        assert response.header.msg_id == 1234
+        assert response.header.qr
+        assert response.questions == query.questions
+
+    def test_trailing_garbage_rejected(self):
+        wire = Message.make_query(ROOT_NAME, RRType.NS).to_wire() + b"\x00"
+        with pytest.raises(ValueError):
+            Message.from_wire(wire)
+
+    def test_short_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message.from_wire(b"\x00" * 11)
+
+    def test_answer_rrs_filters_by_type(self):
+        msg = Message()
+        msg.answers.append(
+            ResourceRecord(ROOT_NAME, RRType.NS, RRClass.IN, 1,
+                           NS(Name.from_text("a.example.")))
+        )
+        msg.answers.append(
+            ResourceRecord(ROOT_NAME, RRType.TXT, RRClass.IN, 1,
+                           TXT.from_string("x"))
+        )
+        assert len(msg.answer_rrs(RRType.NS)) == 1
+        assert len(msg.answer_rrs(RRType.TXT)) == 1
+        assert len(msg.answer_rrs(RRType.A)) == 0

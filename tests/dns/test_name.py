@@ -1,0 +1,136 @@
+"""Domain name encoding, parsing and canonical ordering."""
+
+import pytest
+
+from repro.dns.name import Name, NameError_, ROOT_NAME
+
+
+class TestParsing:
+    def test_root_from_dot(self):
+        assert Name.from_text(".").is_root()
+
+    def test_root_text_form(self):
+        assert ROOT_NAME.to_text() == "."
+
+    def test_simple_name(self):
+        name = Name.from_text("www.example.com.")
+        assert name.labels == (b"www", b"example", b"com")
+
+    def test_trailing_dot_optional(self):
+        assert Name.from_text("example.com") == Name.from_text("example.com.")
+
+    def test_escaped_dot_in_label(self):
+        name = Name.from_text(r"a\.b.example.")
+        assert name.labels[0] == b"a.b"
+
+    def test_decimal_escape(self):
+        name = Name.from_text(r"a\065.example.")
+        assert name.labels[0] == b"aA"
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_text("example\\")
+
+    def test_oversized_label_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_text("a" * 64 + ".example.")
+
+    def test_oversized_name_rejected(self):
+        labels = ".".join("a" * 63 for _ in range(5))
+        with pytest.raises(NameError_):
+            Name.from_text(labels + ".")
+
+
+class TestWire:
+    def test_root_wire_is_single_zero(self):
+        assert ROOT_NAME.to_wire() == b"\x00"
+
+    def test_wire_roundtrip(self):
+        name = Name.from_text("ns1.nic.world.")
+        decoded, end = Name.from_wire(name.to_wire())
+        assert decoded == name
+        assert end == len(name.to_wire())
+
+    def test_compression_pointer_followed(self):
+        # "example.com." at offset 0, then a pointer to it at offset 13.
+        base = Name.from_text("example.com.").to_wire()
+        wire = base + b"\xc0\x00"
+        decoded, end = Name.from_wire(wire, len(base))
+        assert decoded == Name.from_text("example.com.")
+        assert end == len(wire)
+
+    def test_forward_pointer_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_wire(b"\xc0\x05")
+
+    def test_truncated_name_rejected(self):
+        with pytest.raises(NameError_):
+            Name.from_wire(b"\x05abc")
+
+    def test_pointer_with_prefix_label(self):
+        base = Name.from_text("example.com.").to_wire()
+        wire = base + b"\x03www\xc0\x00"
+        decoded, end = Name.from_wire(wire, len(base))
+        assert decoded == Name.from_text("www.example.com.")
+        assert end == len(wire)
+
+
+class TestCanonical:
+    def test_case_insensitive_equality(self):
+        assert Name.from_text("EXAMPLE.com.") == Name.from_text("example.COM.")
+
+    def test_hash_case_insensitive(self):
+        assert hash(Name.from_text("A.b.")) == hash(Name.from_text("a.B."))
+
+    def test_canonical_wire_lowercases(self):
+        assert Name.from_text("WWW.Example.").canonical_wire() == (
+            Name.from_text("www.example.").to_wire()
+        )
+
+    def test_rfc4034_ordering_example(self):
+        # RFC 4034 §6.1's canonical ordering example.
+        ordered_texts = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "Z.a.example.",
+            "zABC.a.EXAMPLE.",
+            "z.example.",
+        ]
+        names = [Name.from_text(t) for t in ordered_texts]
+        assert sorted(names, key=lambda n: n.canonical_key()) == names
+
+    def test_root_sorts_first(self):
+        names = [Name.from_text("com."), ROOT_NAME, Name.from_text("a.com.")]
+        assert sorted(names, key=lambda n: n.canonical_key())[0].is_root()
+
+
+class TestStructure:
+    def test_parent(self):
+        assert Name.from_text("www.example.com.").parent() == Name.from_text(
+            "example.com."
+        )
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(NameError_):
+            ROOT_NAME.parent()
+
+    def test_subdomain(self):
+        assert Name.from_text("a.b.com.").is_subdomain_of(Name.from_text("com."))
+        assert not Name.from_text("com.").is_subdomain_of(Name.from_text("a.com."))
+
+    def test_everything_is_subdomain_of_root(self):
+        assert Name.from_text("x.y.").is_subdomain_of(ROOT_NAME)
+
+    def test_concatenate(self):
+        combined = Name.from_text("www.").concatenate(Name.from_text("example.com."))
+        assert combined == Name.from_text("www.example.com.")
+
+    def test_len_counts_labels(self):
+        assert len(Name.from_text("a.b.c.")) == 3
+        assert len(ROOT_NAME) == 0
+
+    def test_immutable(self):
+        name = Name.from_text("example.")
+        with pytest.raises(AttributeError):
+            name.anything = 1

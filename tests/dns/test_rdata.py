@@ -1,0 +1,180 @@
+"""RDATA types: wire round-trips, text forms, validation."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns import rdata as rd
+
+
+def roundtrip(rdata):
+    wire = rdata.to_wire()
+    return type(rdata).decode(wire, 0, len(wire))
+
+
+class TestAddresses:
+    def test_a_roundtrip(self):
+        a = rd.A("198.41.0.4")
+        assert roundtrip(a) == a
+
+    def test_a_wire_is_packed(self):
+        assert rd.A("1.2.3.4").to_wire() == b"\x01\x02\x03\x04"
+
+    def test_a_rejects_bad_address(self):
+        with pytest.raises(ValueError):
+            rd.A("300.1.1.1")
+
+    def test_a_wrong_rdlength_rejected(self):
+        with pytest.raises(rd.RdataError):
+            rd.A.decode(b"\x01\x02\x03", 0, 3)
+
+    def test_aaaa_roundtrip(self):
+        aaaa = rd.AAAA("2001:500:200::b")
+        assert roundtrip(aaaa) == aaaa
+
+    def test_aaaa_normalises_text(self):
+        assert rd.AAAA("2001:0500:0200::000b").address == "2001:500:200::b"
+
+    def test_aaaa_text(self):
+        assert rd.AAAA("2001:7fe::53").to_text() == "2001:7fe::53"
+
+
+class TestNamesInRdata:
+    def test_ns_roundtrip(self):
+        ns = rd.NS(Name.from_text("a.root-servers.net."))
+        assert roundtrip(ns) == ns
+
+    def test_ns_canonical_lowercases(self):
+        upper = rd.NS(Name.from_text("A.ROOT-SERVERS.NET."))
+        lower = rd.NS(Name.from_text("a.root-servers.net."))
+        assert upper.canonical_wire() == lower.canonical_wire()
+
+    def test_mx_roundtrip(self):
+        mx = rd.MX(10, Name.from_text("mail.example."))
+        assert roundtrip(mx) == mx
+
+    def test_soa_roundtrip(self):
+        soa = rd.SOA(
+            Name.from_text("a.root-servers.net."),
+            Name.from_text("nstld.verisign-grs.com."),
+            2023112700, 1800, 900, 604800, 86400,
+        )
+        assert roundtrip(soa) == soa
+
+    def test_soa_text_fields(self):
+        soa = rd.SOA(
+            Name.from_text("m."), Name.from_text("r."), 1, 2, 3, 4, 5
+        )
+        assert soa.to_text().split()[2:] == ["1", "2", "3", "4", "5"]
+
+
+class TestTxt:
+    def test_single_string_roundtrip(self):
+        txt = rd.TXT.from_string("io.ams.k.root-servers.org")
+        assert roundtrip(txt) == txt
+
+    def test_long_string_split(self):
+        txt = rd.TXT.from_string("x" * 300)
+        assert len(txt.strings) == 2
+        assert txt.single_text() == "x" * 300
+
+    def test_empty_forbidden(self):
+        with pytest.raises(rd.RdataError):
+            rd.TXT(())
+
+    def test_oversize_string_forbidden(self):
+        with pytest.raises(rd.RdataError):
+            rd.TXT((b"x" * 256,))
+
+
+class TestDnskey:
+    def test_roundtrip(self):
+        key = rd.DNSKEY(257, 3, 8, b"\x01\x02\x03\x04" * 8)
+        assert roundtrip(key) == key
+
+    def test_key_tag_stable(self):
+        key = rd.DNSKEY(256, 3, 8, bytes(range(32)))
+        assert key.key_tag() == rd.DNSKEY(256, 3, 8, bytes(range(32))).key_tag()
+
+    def test_key_tag_varies_with_key(self):
+        a = rd.DNSKEY(256, 3, 8, b"a" * 32)
+        b = rd.DNSKEY(256, 3, 8, b"b" * 32)
+        assert a.key_tag() != b.key_tag()
+
+    def test_sep_flag(self):
+        assert rd.DNSKEY(257, 3, 8, b"k").is_sep()
+        assert not rd.DNSKEY(256, 3, 8, b"k").is_sep()
+
+
+class TestRrsig:
+    def make(self):
+        return rd.RRSIG(
+            type_covered=int(RRType.NSEC),
+            algorithm=8,
+            labels=1,
+            original_ttl=86400,
+            expiration=1701406800,
+            inception=1700283600,
+            key_tag=46780,
+            signer=Name.from_text("."),
+            signature=b"\xaa" * 32,
+        )
+
+    def test_roundtrip(self):
+        sig = self.make()
+        assert roundtrip(sig) == sig
+
+    def test_signed_data_prefix_excludes_signature(self):
+        sig = self.make()
+        prefix = sig.signed_data_prefix()
+        assert not prefix.endswith(sig.signature)
+        assert len(prefix) == len(sig.to_wire()) - len(sig.signature)
+
+    def test_text_mentions_covered_type(self):
+        assert self.make().to_text().startswith("NSEC ")
+
+
+class TestNsec:
+    def test_roundtrip_with_bitmap(self):
+        nsec = rd.NSEC(
+            Name.from_text("world."),
+            (int(RRType.NS), int(RRType.DS), int(RRType.RRSIG), int(RRType.NSEC)),
+        )
+        got = roundtrip(nsec)
+        assert got.next_name == nsec.next_name
+        assert set(got.types) == set(nsec.types)
+
+    def test_high_type_window(self):
+        nsec = rd.NSEC(Name.from_text("a."), (1, 300))
+        assert set(roundtrip(nsec).types) == {1, 300}
+
+    def test_text_lists_mnemonics(self):
+        nsec = rd.NSEC(Name.from_text("a."), (int(RRType.NS),))
+        assert "NS" in nsec.to_text()
+
+
+class TestZonemd:
+    def test_roundtrip(self):
+        z = rd.ZONEMD(2023120600, 1, 1, b"\x12" * 48)
+        assert roundtrip(z) == z
+
+    def test_digest_too_short_rejected(self):
+        with pytest.raises(rd.RdataError):
+            rd.ZONEMD(1, 1, 1, b"\x00" * 11)
+
+    def test_text_contains_serial_and_hex(self):
+        z = rd.ZONEMD(42, 1, 1, b"\xab" * 12)
+        text = z.to_text()
+        assert text.startswith("42 1 1 ")
+        assert "AB" * 12 in text
+
+
+class TestGeneric:
+    def test_unknown_type_parsed_as_generic(self):
+        got = rd.Rdata.parse(65280, b"\xde\xad\xbe\xef", 0, 4)
+        assert isinstance(got, rd.Generic)
+        assert got.data == b"\xde\xad\xbe\xef"
+
+    def test_generic_text_rfc3597(self):
+        generic = rd.Generic(65280, b"\x01\x02")
+        assert generic.to_text() == "\\# 2 0102"

@@ -1,0 +1,109 @@
+"""Resource records and RRsets."""
+
+import pytest
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import A, NS
+from repro.dns.records import ResourceRecord, RRset, group_rrsets
+
+
+def ns(target: str, owner: str = ".", ttl: int = 518400) -> ResourceRecord:
+    return ResourceRecord(
+        Name.from_text(owner), RRType.NS, RRClass.IN, ttl, NS(Name.from_text(target))
+    )
+
+
+class TestResourceRecord:
+    def test_wire_roundtrip(self):
+        record = ns("a.root-servers.net.")
+        decoded, end = ResourceRecord.from_wire(record.to_wire(), 0)
+        assert decoded.name == record.name
+        assert decoded.rdata == record.rdata
+        assert decoded.ttl == record.ttl
+        assert end == len(record.to_wire())
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ns("a.example.", ttl=-1)
+
+    def test_canonical_wire_lowercases_owner(self):
+        upper = ResourceRecord(
+            Name.from_text("WORLD."), RRType.NS, RRClass.IN, 1,
+            NS(Name.from_text("ns1.nic.world.")),
+        )
+        lower = ResourceRecord(
+            Name.from_text("world."), RRType.NS, RRClass.IN, 1,
+            NS(Name.from_text("ns1.nic.world.")),
+        )
+        assert upper.canonical_wire() == lower.canonical_wire()
+
+    def test_canonical_wire_ttl_override(self):
+        record = ns("a.example.", ttl=100)
+        assert record.canonical_wire(200) != record.canonical_wire()
+        assert record.canonical_wire(100) == record.canonical_wire()
+
+    def test_canonical_wire_memoised(self):
+        record = ns("a.example.")
+        assert record.canonical_wire() is record.canonical_wire()
+
+    def test_to_text_fields(self):
+        fields = ns("a.root-servers.net.").to_text().split("\t")
+        assert fields[0] == "."
+        assert fields[2] == "IN"
+        assert fields[3] == "NS"
+
+
+class TestRRset:
+    def test_groups_same_key(self):
+        rrset = RRset([ns("a.example."), ns("b.example.")])
+        assert len(rrset) == 2
+        assert rrset.rrtype == RRType.NS
+
+    def test_rejects_mixed_keys(self):
+        a = ns("a.example.")
+        other = ResourceRecord(
+            Name.from_text("com."), RRType.NS, RRClass.IN, 1,
+            NS(Name.from_text("x.example.")),
+        )
+        with pytest.raises(ValueError):
+            RRset([a, other])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RRset([])
+
+    def test_ttl_is_minimum(self):
+        rrset = RRset([ns("a.example.", ttl=100), ns("b.example.", ttl=50)])
+        assert rrset.ttl == 50
+
+    def test_canonical_records_sorted_by_rdata(self):
+        rrset = RRset([ns("zz.example."), ns("aa.example.")])
+        ordered = rrset.canonical_records()
+        assert ordered[0].rdata.canonical_wire() < ordered[1].rdata.canonical_wire()
+
+    def test_canonical_wire_is_concatenation(self):
+        rrset = RRset([ns("b.example."), ns("a.example.")])
+        wire = rrset.canonical_wire()
+        parts = [r.canonical_wire() for r in rrset.canonical_records()]
+        assert wire == b"".join(parts)
+
+
+class TestGrouping:
+    def test_group_rrsets_partitions(self):
+        a1 = ns("a.example.")
+        a2 = ns("b.example.")
+        glue = ResourceRecord(
+            Name.from_text("a.example."), RRType.A, RRClass.IN, 1, A("192.0.2.1")
+        )
+        groups = group_rrsets([a1, glue, a2])
+        assert len(groups) == 2
+        assert {len(g) for g in groups} == {1, 2}
+
+    def test_group_preserves_first_seen_order(self):
+        glue = ResourceRecord(
+            Name.from_text("x."), RRType.A, RRClass.IN, 1, A("192.0.2.1")
+        )
+        groups = group_rrsets([ns("a.example."), glue])
+        assert groups[0].rrtype == RRType.NS
+        assert groups[1].rrtype == RRType.A

@@ -1,0 +1,83 @@
+"""NSEC chain construction and verification."""
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import NS, NSEC, SOA
+from repro.dns.records import ResourceRecord
+from repro.dnssec.nsec import build_nsec_chain, verify_nsec_chain
+
+
+def records_for(*tlds: str):
+    out = [
+        ResourceRecord(
+            ROOT_NAME, RRType.SOA, RRClass.IN, 86400,
+            SOA(Name.from_text("m."), Name.from_text("r."), 1, 2, 3, 4, 5),
+        )
+    ]
+    for tld in tlds:
+        out.append(
+            ResourceRecord(
+                Name.from_text(f"{tld}."), RRType.NS, RRClass.IN, 172800,
+                NS(Name.from_text(f"ns1.nic.{tld}.")),
+            )
+        )
+    return out
+
+
+class TestBuildChain:
+    def test_one_nsec_per_owner(self):
+        records = records_for("com", "org", "world")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        assert len(chain) == 4  # apex + 3 TLDs
+
+    def test_chain_closes(self):
+        records = records_for("com", "org", "world")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        assert verify_nsec_chain(records + chain, ROOT_NAME) == []
+
+    def test_canonical_order_links(self):
+        records = records_for("org", "com")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        by_owner = {r.name: r.rdata for r in chain}
+        apex_nsec = by_owner[ROOT_NAME]
+        assert isinstance(apex_nsec, NSEC)
+        # Canonically, com < org; apex points at com.
+        assert apex_nsec.next_name == Name.from_text("com.")
+
+    def test_last_wraps_to_apex(self):
+        records = records_for("com", "org")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        by_owner = {r.name: r.rdata for r in chain}
+        assert by_owner[Name.from_text("org.")].next_name == ROOT_NAME
+
+    def test_type_bitmap_includes_present_types(self):
+        records = records_for("com")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        apex = next(r.rdata for r in chain if r.name == ROOT_NAME)
+        assert int(RRType.SOA) in apex.types
+        assert int(RRType.NSEC) in apex.types
+        assert int(RRType.RRSIG) in apex.types
+
+
+class TestVerifyChain:
+    def test_detects_broken_link(self):
+        records = records_for("com", "org")
+        chain = build_nsec_chain(records, ROOT_NAME)
+        # Corrupt one link.
+        broken = []
+        for record in chain:
+            if record.name == ROOT_NAME:
+                rdata = record.rdata
+                broken.append(
+                    ResourceRecord(
+                        record.name, record.rrtype, record.rrclass, record.ttl,
+                        NSEC(Name.from_text("zzz."), rdata.types),
+                    )
+                )
+            else:
+                broken.append(record)
+        problems = verify_nsec_chain(records + broken, ROOT_NAME)
+        assert problems
+
+    def test_detects_missing_chain(self):
+        assert verify_nsec_chain(records_for("com"), ROOT_NAME)

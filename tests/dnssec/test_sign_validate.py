@@ -1,0 +1,205 @@
+"""RRSIG signing and full-zone validation, including the Table 2 error
+taxonomy (bogus / not-incepted / expired)."""
+
+import pytest
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import NS, RRSIG, SOA
+from repro.dns.records import ResourceRecord, RRset
+from repro.dnssec.keys import generate_keypair, verify_bytes
+from repro.dnssec.sign import sign_rrset, sign_zone_records
+from repro.dnssec.validate import ValidationError, validate_rrset, validate_zone
+
+INCEPTION = 1_700_000_000
+EXPIRATION = INCEPTION + 13 * 86400
+GOOD_TIME = INCEPTION + 86400
+
+
+@pytest.fixture(scope="module")
+def ksk():
+    return generate_keypair(b"test-ksk", is_ksk=True)
+
+
+@pytest.fixture(scope="module")
+def zsk():
+    return generate_keypair(b"test-zsk", is_ksk=False)
+
+
+def apex_ns_rrset() -> RRset:
+    return RRset(
+        [
+            ResourceRecord(
+                ROOT_NAME, RRType.NS, RRClass.IN, 518400,
+                NS(Name.from_text(f"{l}.root-servers.net.")),
+            )
+            for l in "ab"
+        ]
+    )
+
+
+class TestKeys:
+    def test_keypair_deterministic(self):
+        a = generate_keypair(b"seed", is_ksk=False)
+        b = generate_keypair(b"seed", is_ksk=False)
+        assert a.dnskey == b.dnskey
+
+    def test_ksk_has_sep_flag(self, ksk, zsk):
+        assert ksk.dnskey.is_sep()
+        assert not zsk.dnskey.is_sep()
+
+    def test_sign_verify_roundtrip(self, zsk):
+        sig = zsk.sign_bytes(b"hello")
+        assert verify_bytes(zsk.dnskey, b"hello", sig)
+        assert not verify_bytes(zsk.dnskey, b"hello!", sig)
+
+
+class TestSignRrset:
+    def test_signature_record_shape(self, zsk):
+        rrset = apex_ns_rrset()
+        sig = sign_rrset(rrset, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        assert sig.rrtype == RRType.RRSIG
+        rdata = sig.rdata
+        assert isinstance(rdata, RRSIG)
+        assert rdata.type_covered == int(RRType.NS)
+        assert rdata.key_tag == zsk.key_tag
+        assert rdata.labels == 0  # root owner
+
+    def test_invalid_window_rejected(self, zsk):
+        with pytest.raises(ValueError):
+            sign_rrset(apex_ns_rrset(), zsk, ROOT_NAME, EXPIRATION, INCEPTION)
+
+    def test_validates(self, zsk):
+        rrset = apex_ns_rrset()
+        sig = sign_rrset(rrset, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        keys = {zsk.key_tag: zsk.dnskey}
+        assert validate_rrset(rrset, [sig], keys, GOOD_TIME) == []
+
+    def test_rdata_order_does_not_matter(self, zsk):
+        forward = apex_ns_rrset()
+        backward = RRset(list(reversed(forward.records)))
+        sig_f = sign_rrset(forward, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        sig_b = sign_rrset(backward, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        assert sig_f.rdata.signature == sig_b.rdata.signature
+
+
+class TestValidateRrset:
+    def _signed(self, zsk):
+        rrset = apex_ns_rrset()
+        sig = sign_rrset(rrset, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        keys = {zsk.key_tag: zsk.dnskey}
+        return rrset, sig, keys
+
+    def test_not_incepted(self, zsk):
+        rrset, sig, keys = self._signed(zsk)
+        issues = validate_rrset(rrset, [sig], keys, INCEPTION - 10)
+        assert issues[0].error is ValidationError.SIG_NOT_INCEPTED
+
+    def test_expired(self, zsk):
+        rrset, sig, keys = self._signed(zsk)
+        issues = validate_rrset(rrset, [sig], keys, EXPIRATION + 10)
+        assert issues[0].error is ValidationError.SIG_EXPIRED
+
+    def test_bogus_after_content_change(self, zsk):
+        rrset, sig, keys = self._signed(zsk)
+        tampered = RRset(
+            [rrset.records[0]]
+            + [
+                ResourceRecord(
+                    ROOT_NAME, RRType.NS, RRClass.IN, 518400,
+                    NS(Name.from_text("evil.example.")),
+                )
+            ]
+        )
+        issues = validate_rrset(tampered, [sig], keys, GOOD_TIME)
+        assert issues[0].error is ValidationError.BOGUS_SIGNATURE
+
+    def test_bogus_after_signature_bitflip(self, zsk):
+        rrset, sig, keys = self._signed(zsk)
+        rdata = sig.rdata
+        flipped = RRSIG(
+            rdata.type_covered, rdata.algorithm, rdata.labels,
+            rdata.original_ttl, rdata.expiration, rdata.inception,
+            rdata.key_tag, rdata.signer,
+            bytes([rdata.signature[0] ^ 0x01]) + rdata.signature[1:],
+        )
+        bad_sig = ResourceRecord(sig.name, sig.rrtype, sig.rrclass, sig.ttl, flipped)
+        issues = validate_rrset(rrset, [bad_sig], keys, GOOD_TIME)
+        assert issues[0].error is ValidationError.BOGUS_SIGNATURE
+
+    def test_missing_rrsig(self, zsk):
+        rrset, _sig, keys = self._signed(zsk)
+        issues = validate_rrset(rrset, [], keys, GOOD_TIME)
+        assert issues[0].error is ValidationError.NO_RRSIG
+
+    def test_unknown_key_tag(self, zsk, ksk):
+        rrset, sig, _keys = self._signed(zsk)
+        issues = validate_rrset(rrset, [sig], {ksk.key_tag: ksk.dnskey}, GOOD_TIME)
+        assert issues[0].error is ValidationError.UNKNOWN_KEY_TAG
+
+    def test_any_valid_signature_wins(self, zsk, ksk):
+        rrset = apex_ns_rrset()
+        good = sign_rrset(rrset, zsk, ROOT_NAME, INCEPTION, EXPIRATION)
+        expired = sign_rrset(rrset, ksk, ROOT_NAME, INCEPTION - 10_000, INCEPTION - 1)
+        keys = {zsk.key_tag: zsk.dnskey, ksk.key_tag: ksk.dnskey}
+        assert validate_rrset(rrset, [expired, good], keys, GOOD_TIME) == []
+
+
+class TestValidateZone:
+    def _zone_records(self, zsk, ksk):
+        soa = ResourceRecord(
+            ROOT_NAME, RRType.SOA, RRClass.IN, 86400,
+            SOA(Name.from_text("m."), Name.from_text("r."), 1, 2, 3, 4, 5),
+        )
+        dnskeys = [
+            ResourceRecord(ROOT_NAME, RRType.DNSKEY, RRClass.IN, 172800, ksk.dnskey),
+            ResourceRecord(ROOT_NAME, RRType.DNSKEY, RRClass.IN, 172800, zsk.dnskey),
+        ]
+        delegation = ResourceRecord(
+            Name.from_text("world."), RRType.NS, RRClass.IN, 172800,
+            NS(Name.from_text("ns1.nic.world.")),
+        )
+        return [soa] + dnskeys + [delegation]
+
+    def test_signed_zone_validates(self, zsk, ksk):
+        records = sign_zone_records(
+            self._zone_records(zsk, ksk), zsk, ksk, ROOT_NAME, INCEPTION, EXPIRATION
+        )
+        report = validate_zone(records, ROOT_NAME, GOOD_TIME, check_zonemd=False)
+        assert report.valid
+        assert report.rrsets_checked >= 2
+
+    def test_delegations_unsigned_and_accepted(self, zsk, ksk):
+        records = sign_zone_records(
+            self._zone_records(zsk, ksk), zsk, ksk, ROOT_NAME, INCEPTION, EXPIRATION
+        )
+        covered = {
+            r.rdata.type_covered for r in records if r.rrtype == RRType.RRSIG
+        }
+        assert int(RRType.NS) not in covered  # only the delegation NS exists
+        report = validate_zone(records, ROOT_NAME, GOOD_TIME, check_zonemd=False)
+        assert report.valid
+
+    def test_dnskey_signed_by_ksk(self, zsk, ksk):
+        records = sign_zone_records(
+            self._zone_records(zsk, ksk), zsk, ksk, ROOT_NAME, INCEPTION, EXPIRATION
+        )
+        dnskey_sigs = [
+            r.rdata for r in records
+            if r.rrtype == RRType.RRSIG
+            and r.rdata.type_covered == int(RRType.DNSKEY)
+        ]
+        assert len(dnskey_sigs) == 1
+        assert dnskey_sigs[0].key_tag == ksk.key_tag
+
+    def test_missing_dnskey_reported(self, zsk, ksk):
+        records = [
+            r
+            for r in sign_zone_records(
+                self._zone_records(zsk, ksk), zsk, ksk, ROOT_NAME, INCEPTION, EXPIRATION
+            )
+            if r.rrtype != RRType.DNSKEY
+        ]
+        report = validate_zone(records, ROOT_NAME, GOOD_TIME, check_zonemd=False)
+        assert not report.valid
+        assert report.issues[0].error is ValidationError.NO_DNSKEY

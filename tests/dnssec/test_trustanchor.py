@@ -1,0 +1,175 @@
+"""KSK rollover schedule, revoked keys, and the RFC 5011 tracker."""
+
+import pytest
+
+from repro.dnssec.keys import generate_keypair
+from repro.dnssec.trustanchor import (
+    ADD_HOLD_DOWN_S,
+    AnchorState,
+    DNSKEY_FLAG_REVOKE,
+    KskRolloverSchedule,
+    TrustAnchorTracker,
+    is_revoked,
+    revoked,
+)
+from repro.util.timeutil import DAY, parse_ts
+
+
+@pytest.fixture(scope="module")
+def old_ksk():
+    return generate_keypair(b"roll-old", is_ksk=True)
+
+
+@pytest.fixture(scope="module")
+def new_ksk():
+    return generate_keypair(b"roll-new", is_ksk=True)
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return KskRolloverSchedule(
+        publish_ts=parse_ts("2023-08-01"),
+        swap_ts=parse_ts("2023-10-01"),
+        revoke_ts=parse_ts("2023-11-15"),
+        remove_ts=parse_ts("2024-01-01"),
+    )
+
+
+class TestSchedule:
+    def test_phases(self, schedule):
+        assert schedule.phase(parse_ts("2023-07-01")) == "pre"
+        assert schedule.phase(parse_ts("2023-09-01")) == "published"
+        assert schedule.phase(parse_ts("2023-10-15")) == "swapped"
+        assert schedule.phase(parse_ts("2023-12-01")) == "revoked"
+        assert schedule.phase(parse_ts("2024-02-01")) == "done"
+
+    def test_order_enforced(self):
+        with pytest.raises(ValueError):
+            KskRolloverSchedule(10, 5, 20, 30)
+        with pytest.raises(ValueError):
+            KskRolloverSchedule(10, 10, 20, 30)
+
+
+class TestRevocation:
+    def test_revoked_sets_flag_and_changes_tag(self, old_ksk):
+        rev = revoked(old_ksk.dnskey)
+        assert is_revoked(rev)
+        assert rev.flags & DNSKEY_FLAG_REVOKE
+        assert rev.key_tag() != old_ksk.dnskey.key_tag()
+        assert rev.public_key == old_ksk.dnskey.public_key
+
+
+class TestTracker:
+    def test_bootstrap_anchor_trusted(self, old_ksk):
+        tracker = TrustAnchorTracker(old_ksk.dnskey)
+        assert tracker.trusted_tags() == {old_ksk.dnskey.key_tag()}
+        assert tracker.can_validate(old_ksk.dnskey.key_tag())
+
+    def test_non_sep_anchor_rejected(self):
+        zsk = generate_keypair(b"roll-zsk", is_ksk=False)
+        with pytest.raises(ValueError):
+            TrustAnchorTracker(zsk.dnskey)
+
+    def test_new_key_needs_hold_down(self, old_ksk, new_ksk):
+        tracker = TrustAnchorTracker(old_ksk.dnskey)
+        t0 = parse_ts("2023-08-01")
+        rrset = [old_ksk.dnskey, new_ksk.dnskey]
+        tracker.observe(rrset, t0)
+        assert tracker.state_of(new_ksk.dnskey.key_tag()) is AnchorState.PENDING
+        assert not tracker.can_validate(new_ksk.dnskey.key_tag())
+        # Seen again after 10 days: still pending.
+        tracker.observe(rrset, t0 + 10 * DAY)
+        assert not tracker.can_validate(new_ksk.dnskey.key_tag())
+        # After the 30-day hold-down: trusted.
+        tracker.observe(rrset, t0 + ADD_HOLD_DOWN_S)
+        assert tracker.can_validate(new_ksk.dnskey.key_tag())
+
+    def test_revocation_distrusts_old_key(self, old_ksk, new_ksk):
+        tracker = TrustAnchorTracker(old_ksk.dnskey)
+        t0 = parse_ts("2023-08-01")
+        tracker.observe([old_ksk.dnskey, new_ksk.dnskey], t0)
+        tracker.observe([old_ksk.dnskey, new_ksk.dnskey], t0 + ADD_HOLD_DOWN_S)
+        tracker.observe(
+            [revoked(old_ksk.dnskey), new_ksk.dnskey], t0 + 40 * DAY
+        )
+        assert not tracker.can_validate(old_ksk.dnskey.key_tag())
+        assert tracker.can_validate(new_ksk.dnskey.key_tag())
+        assert tracker.state_of(old_ksk.dnskey.key_tag()) is AnchorState.REVOKED
+
+    def test_zsk_ignored(self, old_ksk):
+        tracker = TrustAnchorTracker(old_ksk.dnskey)
+        zsk = generate_keypair(b"roll-zsk-2", is_ksk=False)
+        tracker.observe([old_ksk.dnskey, zsk.dnskey], 100)
+        assert tracker.state_of(zsk.dnskey.key_tag()) is None
+
+
+class TestBuilderRollover:
+    @pytest.fixture(scope="class")
+    def rolling_builder(self, schedule):
+        from repro.zone.rootzone import RootZoneBuilder
+
+        return RootZoneBuilder(
+            seed=77, tlds=["com", "org", "world"], ksk_rollover=schedule
+        )
+
+    def _sep_keys(self, zone):
+        from repro.dns.constants import RRType
+        from repro.dns.name import ROOT_NAME
+
+        rrset = zone.find_rrset(ROOT_NAME, RRType.DNSKEY)
+        return [r.rdata for r in rrset if r.rdata.is_sep()]
+
+    def test_pre_phase_single_ksk(self, rolling_builder):
+        zone = rolling_builder.build(parse_ts("2023-07-10T16:00:00"))
+        assert len(self._sep_keys(zone)) == 1
+
+    def test_published_phase_two_ksks(self, rolling_builder):
+        zone = rolling_builder.build(parse_ts("2023-08-15T16:00:00"))
+        assert len(self._sep_keys(zone)) == 2
+
+    def test_revoked_phase_marks_old(self, rolling_builder):
+        zone = rolling_builder.build(parse_ts("2023-12-01T16:00:00"))
+        seps = self._sep_keys(zone)
+        assert len(seps) == 2
+        assert sum(1 for k in seps if is_revoked(k)) == 1
+
+    def test_done_phase_new_only(self, rolling_builder):
+        zone = rolling_builder.build(parse_ts("2024-01-15T16:00:00"))
+        seps = self._sep_keys(zone)
+        assert len(seps) == 1
+        assert seps[0] == rolling_builder.ksk_next.dnskey
+
+    def test_zone_validates_in_every_phase(self, rolling_builder):
+        from repro.dns.name import ROOT_NAME
+        from repro.dnssec.validate import validate_zone
+
+        for when in (
+            "2023-07-10T16:00:00", "2023-08-15T16:00:00",
+            "2023-10-15T16:00:00", "2023-12-01T16:00:00",
+            "2024-01-15T16:00:00",
+        ):
+            ts = parse_ts(when)
+            zone = rolling_builder.build(ts)
+            report = validate_zone(zone.records, ROOT_NAME, now=ts)
+            assert report.valid, (when, report.issues[:2])
+
+    def test_rfc5011_client_survives_the_roll(self, rolling_builder, schedule):
+        """End-to-end: a validator bootstrapped on the old anchor tracks
+        the DNSKEY RRset through the roll and can still validate after
+        the swap — the Mueller et al. success story."""
+        from repro.dns.constants import RRType
+        from repro.dns.name import ROOT_NAME
+        from repro.util.timeutil import DAY
+
+        tracker = TrustAnchorTracker(
+            rolling_builder.ksk.dnskey, bootstrap_ts=schedule.publish_ts - 30 * DAY
+        )
+        ts = schedule.publish_ts
+        while ts < schedule.remove_ts + 10 * DAY:
+            zone = rolling_builder.build(ts)
+            rrset = zone.find_rrset(ROOT_NAME, RRType.DNSKEY)
+            tracker.observe([r.rdata for r in rrset], ts)
+            active_tag = rolling_builder.active_ksk(ts).key_tag
+            if ts >= schedule.swap_ts:
+                assert tracker.can_validate(active_tag), ts
+            ts += 5 * DAY

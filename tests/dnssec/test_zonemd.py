@@ -1,0 +1,143 @@
+"""ZONEMD (RFC 8976) computation and verification."""
+
+import pytest
+
+from repro.dns.constants import (
+    RRClass,
+    RRType,
+    ZONEMD_ALG_PRIVATE,
+    ZONEMD_ALG_SHA384,
+    ZONEMD_ALG_SHA512,
+)
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import NS, SOA, ZONEMD
+from repro.dns.records import ResourceRecord
+from repro.dnssec.zonemd import (
+    ZonemdStatus,
+    compute_zone_digest,
+    make_zonemd_record,
+    verify_zonemd,
+)
+
+
+def soa(serial: int = 42) -> ResourceRecord:
+    return ResourceRecord(
+        ROOT_NAME, RRType.SOA, RRClass.IN, 86400,
+        SOA(Name.from_text("m."), Name.from_text("r."), serial, 2, 3, 4, 5),
+    )
+
+
+def delegation(tld: str) -> ResourceRecord:
+    return ResourceRecord(
+        Name.from_text(f"{tld}."), RRType.NS, RRClass.IN, 172800,
+        NS(Name.from_text(f"ns1.nic.{tld}.")),
+    )
+
+
+class TestDigest:
+    def test_deterministic(self):
+        records = [soa(), delegation("world"), delegation("ruhr")]
+        assert compute_zone_digest(records, ROOT_NAME) == compute_zone_digest(
+            records, ROOT_NAME
+        )
+
+    def test_record_order_irrelevant(self):
+        a = [soa(), delegation("world"), delegation("ruhr")]
+        b = [delegation("ruhr"), soa(), delegation("world")]
+        assert compute_zone_digest(a, ROOT_NAME) == compute_zone_digest(b, ROOT_NAME)
+
+    def test_duplicates_excluded(self):
+        base = [soa(), delegation("world")]
+        doubled = base + [delegation("world")]
+        assert compute_zone_digest(base, ROOT_NAME) == compute_zone_digest(
+            doubled, ROOT_NAME
+        )
+
+    def test_content_changes_digest(self):
+        a = [soa(), delegation("world")]
+        b = [soa(), delegation("w0rld")]
+        assert compute_zone_digest(a, ROOT_NAME) != compute_zone_digest(b, ROOT_NAME)
+
+    def test_apex_zonemd_excluded_from_input(self):
+        records = [soa(), delegation("world")]
+        with_placeholder = records + [
+            ResourceRecord(
+                ROOT_NAME, RRType.ZONEMD, RRClass.IN, 86400,
+                ZONEMD(42, 1, 1, b"\x00" * 48),
+            )
+        ]
+        assert compute_zone_digest(records, ROOT_NAME) == compute_zone_digest(
+            with_placeholder, ROOT_NAME
+        )
+
+    def test_sha512_supported(self):
+        records = [soa(), delegation("world")]
+        digest = compute_zone_digest(records, ROOT_NAME, ZONEMD_ALG_SHA512)
+        assert len(digest) == 64
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            compute_zone_digest([soa()], ROOT_NAME, 99)
+
+
+class TestVerify:
+    def _zone_with_zonemd(self, alg=ZONEMD_ALG_SHA384):
+        records = [soa(), delegation("world"), delegation("ruhr")]
+        records.append(make_zonemd_record(records, ROOT_NAME, 42, hash_algorithm=alg))
+        return records
+
+    def test_valid(self):
+        status, _ = verify_zonemd(self._zone_with_zonemd(), ROOT_NAME)
+        assert status is ZonemdStatus.VALID
+
+    def test_absent(self):
+        status, _ = verify_zonemd([soa()], ROOT_NAME)
+        assert status is ZonemdStatus.ABSENT
+
+    def test_private_algorithm_inconclusive(self):
+        records = self._zone_with_zonemd(alg=ZONEMD_ALG_PRIVATE)
+        status, _ = verify_zonemd(records, ROOT_NAME)
+        assert status is ZonemdStatus.UNSUPPORTED_ALGORITHM
+
+    def test_serial_mismatch(self):
+        records = [soa(7), delegation("world")]
+        records.append(make_zonemd_record(records, ROOT_NAME, soa_serial=8))
+        status, _ = verify_zonemd(records, ROOT_NAME)
+        assert status is ZonemdStatus.SERIAL_MISMATCH
+
+    def test_mismatch_after_mutation(self):
+        records = self._zone_with_zonemd()
+        records.append(delegation("inserted"))
+        status, detail = verify_zonemd(records, ROOT_NAME)
+        assert status is ZonemdStatus.MISMATCH
+        assert "computed" in detail
+
+    def test_mismatch_after_single_bitflip(self):
+        records = self._zone_with_zonemd()
+        # Flip one bit in a delegation target name.
+        victim_index = next(
+            i for i, r in enumerate(records)
+            if r.rrtype == RRType.NS and r.name == Name.from_text("world.")
+        )
+        flipped = ResourceRecord(
+            records[victim_index].name, RRType.NS, RRClass.IN,
+            records[victim_index].ttl, NS(Name.from_text("ns1.nic.worle.")),
+        )
+        records[victim_index] = flipped
+        status, _ = verify_zonemd(records, ROOT_NAME)
+        assert status is ZonemdStatus.MISMATCH
+
+
+class TestBuilderIntegration:
+    def test_built_zone_zonemd_status_matches_rollout(self, zone_builder):
+        from repro.util.timeutil import parse_ts
+
+        cases = [
+            ("2023-08-01T12:00:00", ZonemdStatus.ABSENT),
+            ("2023-10-01T12:00:00", ZonemdStatus.UNSUPPORTED_ALGORITHM),
+            ("2023-12-10T12:00:00", ZonemdStatus.VALID),
+        ]
+        for when, expected in cases:
+            zone = zone_builder.build(parse_ts(when))
+            status, _ = verify_zonemd(zone.records, ROOT_NAME)
+            assert status is expected, when

@@ -1,0 +1,142 @@
+"""Fault injectors: bitflips, stale zones, clock skew, and the plan."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import ROOT_NAME
+from repro.dnssec.validate import ValidationError, validate_zone
+from repro.dnssec.zonemd import ZonemdStatus, verify_zonemd
+from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone
+from repro.faults.clock import ClockSkewPlan, SkewEpisode
+from repro.faults.plan import default_fault_plan
+from repro.faults.stale import StaleZoneEvent
+from repro.util.timeutil import DAY, parse_ts
+
+DEC_TS = parse_ts("2023-12-10T16:00:00")
+
+
+class TestBitflip:
+    def event(self, kind="rrsig"):
+        return BitflipEvent(
+            vp_id=3, start_ts=DEC_TS - 100, end_ts=DEC_TS + 100,
+            address="199.7.91.13", kind=kind,
+        )
+
+    def test_applies_matching_window_and_address(self):
+        event = self.event()
+        assert event.applies(3, DEC_TS, "199.7.91.13")
+        assert not event.applies(4, DEC_TS, "199.7.91.13")
+        assert not event.applies(3, DEC_TS + 200, "199.7.91.13")
+        assert not event.applies(3, DEC_TS, "198.41.0.4")
+
+    def test_address_wildcard(self):
+        event = BitflipEvent(vp_id=3, start_ts=0, end_ts=10, address=None)
+        assert event.applies(3, 5, "anything")
+
+    def test_rrsig_flip_changes_one_record(self, validatable_zone):
+        mutated, report = flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        assert mutated is not validatable_zone
+        differing = [
+            i
+            for i, (a, b) in enumerate(zip(validatable_zone.records, mutated.records))
+            if a.canonical_wire() != b.canonical_wire()
+        ]
+        assert differing == [report.record_index]
+        assert mutated.records[report.record_index].rrtype == RRType.RRSIG
+
+    def test_rrsig_flip_breaks_validation(self, validatable_zone):
+        mutated, _report = flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        zone_report = validate_zone(mutated.records, ROOT_NAME, now=DEC_TS)
+        assert not zone_report.valid
+        errors = {i.error for i in zone_report.issues}
+        assert ValidationError.BOGUS_SIGNATURE in errors
+
+    def test_rrsig_flip_breaks_zonemd(self, validatable_zone):
+        mutated, _ = flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        status, _ = verify_zonemd(mutated.records, ROOT_NAME)
+        assert status is ZonemdStatus.MISMATCH
+
+    def test_label_flip_renames_tld(self, validatable_zone):
+        mutated, report = flip_bit_in_zone(
+            validatable_zone, self.event(kind="label"), DEC_TS
+        )
+        record = mutated.records[report.record_index]
+        original = validatable_zone.records[report.record_index]
+        assert record.name != original.name
+        assert "->" in report.description
+
+    def test_flip_deterministic(self, validatable_zone):
+        a, ra = flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        b, rb = flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        assert ra == rb
+
+    def test_original_zone_untouched(self, validatable_zone):
+        before = [r.canonical_wire() for r in validatable_zone.records]
+        flip_bit_in_zone(validatable_zone, self.event(), DEC_TS)
+        after = [r.canonical_wire() for r in validatable_zone.records]
+        assert before == after
+
+    def test_unknown_kind_rejected(self, validatable_zone):
+        with pytest.raises(ValueError):
+            flip_bit_in_zone(
+                validatable_zone, self.event(kind="weird"), DEC_TS
+            )
+
+
+class TestStale:
+    def test_window_semantics(self):
+        event = StaleZoneEvent("d", "d-001", 100, 200)
+        assert not event.active(99)
+        assert event.active(100)
+        assert event.active(199)
+        assert not event.active(200)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            StaleZoneEvent("d", "d-001", 200, 200)
+
+
+class TestClockSkew:
+    def test_episode_window(self):
+        episode = SkewEpisode(offset_s=-5 * DAY, start_ts=100, end_ts=200)
+        assert episode.offset_at(150) == -5 * DAY
+        assert episode.offset_at(50) == 0
+        assert episode.offset_at(250) == 0
+
+    def test_plan_lookup(self):
+        plan = ClockSkewPlan.paper_like(behind_vp=1, ahead_vp=2)
+        assert plan.vp_ids == (1, 2)
+        inside = parse_ts("2023-12-22")
+        assert plan.offset_for(1, inside) < 0
+        assert plan.offset_for(1, parse_ts("2023-08-01")) == 0
+        assert plan.offset_for(99, inside) == 0
+
+
+class TestDefaultPlan:
+    def test_every_fault_class_present(self, site_catalog):
+        plan = default_fault_plan(site_catalog, n_vps=500)
+        assert plan.bitflips
+        assert plan.stale_sites
+        assert plan.clocks.vp_ids
+
+    def test_scales_to_small_rings(self, site_catalog):
+        plan = default_fault_plan(site_catalog, n_vps=10)
+        for event in plan.bitflips:
+            assert 0 <= event.vp_id < 10
+
+    def test_stale_override(self, site_catalog):
+        keys = [site_catalog.of_letter("d")[0].key]
+        plan = default_fault_plan(site_catalog, n_vps=10, stale_site_keys=keys)
+        assert [e.site_key for e in plan.stale_sites] == keys
+
+    def test_label_flip_scheduled(self, site_catalog):
+        plan = default_fault_plan(site_catalog, n_vps=500)
+        kinds = {e.kind for e in plan.bitflips}
+        assert kinds == {"rrsig", "label"}
+
+    def test_bitflip_for_lookup(self, site_catalog):
+        plan = default_fault_plan(site_catalog, n_vps=500)
+        event = plan.bitflips[0]
+        mid = (event.start_ts + event.end_ts) // 2
+        assert plan.bitflip_for(event.vp_id, mid, event.address) is event
+        assert plan.bitflip_for(event.vp_id + 1, mid, event.address) is None

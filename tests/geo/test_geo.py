@@ -1,0 +1,77 @@
+"""Geography: coordinates, distances, cities, continents."""
+
+import pytest
+
+from repro.geo.cities import CITY_CATALOG, HUB_CITIES, City, cities_in, city
+from repro.geo.continents import Continent, continent_of_country, known_countries
+from repro.geo.coords import GeoPoint, fiber_rtt_ms, haversine_km
+
+
+class TestCoords:
+    def test_zero_distance(self):
+        p = GeoPoint(50.0, 8.0)
+        assert haversine_km(p, p) == 0.0
+
+    def test_known_distance_frankfurt_amsterdam(self):
+        d = haversine_km(city("FRA").location, city("AMS").location)
+        assert 300 < d < 420  # ~365 km
+
+    def test_antipodal_close_to_half_circumference(self):
+        d = haversine_km(GeoPoint(0, 0), GeoPoint(0, 180))
+        assert 19_900 < d < 20_100
+
+    def test_symmetry(self):
+        a, b = city("NRT").location, city("GRU").location
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_coordinate_validation(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_fiber_rtt_rule_of_thumb(self):
+        # Paper §6: every 1,000 km induces ~10 ms of delay.
+        assert fiber_rtt_ms(1000.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            fiber_rtt_ms(-1.0)
+
+
+class TestContinents:
+    def test_paper_regions_complete(self):
+        assert {c.value for c in Continent} == {
+            "Africa", "Asia", "Europe", "North America", "South America", "Oceania",
+        }
+
+    def test_lookup(self):
+        assert continent_of_country("DE") is Continent.EUROPE
+        assert continent_of_country("br") is Continent.SOUTH_AMERICA
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            continent_of_country("XX")
+
+    def test_known_countries_copy(self):
+        mapping = known_countries()
+        mapping["DE"] = Continent.ASIA
+        assert continent_of_country("DE") is Continent.EUROPE
+
+
+class TestCities:
+    def test_catalog_unique_iata(self):
+        assert len(CITY_CATALOG) >= 180
+
+    def test_lookup_case_insensitive(self):
+        assert city("fra") is city("FRA")
+
+    def test_every_city_country_known(self):
+        for c in CITY_CATALOG.values():
+            assert isinstance(c.continent, Continent)
+
+    def test_cities_in_every_continent(self):
+        for continent in Continent:
+            assert cities_in(continent), continent
+
+    def test_hub_cities_exist(self):
+        for iata in HUB_CITIES:
+            assert iata in CITY_CATALOG

@@ -1,0 +1,99 @@
+"""Latency model and traceroute rendering."""
+
+import pytest
+
+from repro.geo.cities import city
+from repro.netsim.attachment import Attachment
+from repro.netsim.latency import route_rtt_ms
+from repro.netsim.mix import mix64, mix_float, mix_str
+from repro.netsim.topology import NetworkFabric
+from repro.netsim.traceroute import run_traceroute
+from repro.netsim.transit import TRANSIT_CATALOG
+
+
+@pytest.fixture(scope="module")
+def fabric(site_catalog, rng_factory):
+    return NetworkFabric(site_catalog, rng_factory.fork("latency-tests"))
+
+
+@pytest.fixture(scope="module")
+def sample_route(fabric):
+    selector = fabric.selector(seed=7, expected_rounds=100)
+    att = Attachment(
+        asn=65500, city=city("NBO"),
+        transits_v4=(TRANSIT_CATALOG[6],), transits_v6=(TRANSIT_CATALOG[0],),
+    )
+    return att, selector.best(att, "l", 6)
+
+
+class TestMix:
+    def test_mix64_deterministic(self):
+        assert mix64(1, 2, 3) == mix64(1, 2, 3)
+
+    def test_mix64_sensitive_to_order(self):
+        assert mix64(1, 2) != mix64(2, 1)
+
+    def test_mix_float_range(self):
+        values = [mix_float(i, 99) for i in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # roughly uniform
+        assert 0.4 < sum(values) / len(values) < 0.6
+
+    def test_mix_str_stable(self):
+        assert mix_str("edge.fra-ix") == mix_str("edge.fra-ix")
+        assert mix_str("a", "b") != mix_str("ab")
+
+
+class TestRtt:
+    def test_rtt_at_least_propagation_floor(self, sample_route):
+        _att, route = sample_route
+        rtt = route_rtt_ms(route, last_mile_ms=2.0, request_key=1)
+        assert rtt >= route.path_km * 0.01 * 0.9  # jitter floor is 1-J
+
+    def test_rtt_deterministic_per_request_key(self, sample_route):
+        _att, route = sample_route
+        assert route_rtt_ms(route, 2.0, 42) == route_rtt_ms(route, 2.0, 42)
+        assert route_rtt_ms(route, 2.0, 42) != route_rtt_ms(route, 2.0, 43)
+
+    def test_last_mile_additive(self, sample_route):
+        _att, route = sample_route
+        low = route_rtt_ms(route, 0.0, 1)
+        high = route_rtt_ms(route, 20.0, 1)
+        assert high > low
+
+
+class TestTraceroute:
+    def test_hop_structure(self, sample_route):
+        att, route = sample_route
+        result = run_traceroute(att, route, "2001:500:9f::42", 80.0, probe_key=1)
+        identifiers = [h.identifier for h in result.hops]
+        assert identifiers[-1] == "2001:500:9f::42"
+        assert identifiers[0] == f"gw.as{att.asn}"
+        # second-to-last is the facility edge (or silent)
+        stlh = result.second_to_last_hop
+        assert stlh is None or stlh == route.second_to_last_hop
+
+    def test_destination_rtt_preserved(self, sample_route):
+        att, route = sample_route
+        result = run_traceroute(att, route, "x", 123.0, probe_key=2)
+        assert result.destination_rtt_ms == 123.0
+
+    def test_hop_rtts_nondecreasing_to_destination(self, sample_route):
+        att, route = sample_route
+        result = run_traceroute(att, route, "x", 90.0, probe_key=3)
+        assert result.hops[0].rtt_ms <= result.hops[-1].rtt_ms
+
+    def test_transit_route_shows_provider_pop(self, sample_route):
+        att, route = sample_route
+        assert route.via == "transit"
+        result = run_traceroute(att, route, "x", 90.0, probe_key=4)
+        labels = [h.identifier for h in result.hops if h.identifier]
+        assert any(l.startswith(f"pop.as{route.transit.asn}.") for l in labels)
+
+    def test_some_hops_go_silent(self, sample_route):
+        att, route = sample_route
+        silent = 0
+        for key in range(300):
+            result = run_traceroute(att, route, "x", 90.0, probe_key=key)
+            silent += sum(1 for h in result.hops if h.identifier is None)
+        assert silent > 0  # ~3% loss materialises over 300 probes

@@ -1,0 +1,93 @@
+"""Client population behaviour models."""
+
+import pytest
+
+from repro.passive.clients import (
+    ClientBehavior,
+    ISP_PROFILE,
+    IXP_EU_PROFILE,
+    IXP_NA_PROFILE,
+    PopulationProfile,
+    build_client_population,
+)
+from repro.rss.operators import B_ROOT_CHANGE_TS
+from repro.util.rng import RngFactory
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="module")
+def isp_clients(rng_factory):
+    return build_client_population(ISP_PROFILE, rng_factory.fork("clients-test"))
+
+
+class TestProfiles:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            PopulationProfile("x", 10, 1.5, 0.5, 0.5, 0.5, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            PopulationProfile("x", 0, 0.5, 0.5, 0.5, 0.5, 0.5, 1.0)
+
+    def test_regional_asymmetry_encoded(self):
+        # EU switches more v6 traffic than NA (paper Fig. 9).
+        assert IXP_EU_PROFILE.switch_fraction_v6 > IXP_NA_PROFILE.switch_fraction_v6
+
+    def test_isp_v6_more_eager_than_v4(self):
+        assert ISP_PROFILE.switch_fraction_v6 > ISP_PROFILE.switch_fraction_v4
+
+
+class TestPopulation:
+    def test_population_size(self, isp_clients):
+        assert len(isp_clients) == ISP_PROFILE.n_clients
+
+    def test_prefix_anonymisation(self, isp_clients):
+        for client in isp_clients[:50]:
+            assert client.prefix_v4.endswith(".0/24")
+            if client.prefix_v6 is not None:
+                assert client.prefix_v6.endswith("::/48")
+
+    def test_dual_stack_share(self, isp_clients):
+        dual = sum(1 for c in isp_clients if c.prefix_v6 is not None)
+        assert abs(dual / len(isp_clients) - ISP_PROFILE.ipv6_share) < 0.05
+
+    def test_v4_only_clients_have_no_v6_behavior(self, isp_clients):
+        for client in isp_clients:
+            if client.prefix_v6 is None:
+                assert client.behavior(6) is None
+
+    def test_heavy_tailed_volumes(self, isp_clients):
+        volumes = sorted(c.daily_flows for c in isp_clients)
+        top1pct = volumes[int(len(volumes) * 0.99):]
+        assert sum(top1pct) > sum(volumes) * 0.2  # tail dominates
+
+    def test_adoption_after_change(self, isp_clients):
+        switcher = next(
+            c for c in isp_clients if c.behavior_v4 is ClientBehavior.SWITCHER
+        )
+        assert switcher.adoption_ts >= B_ROOT_CHANGE_TS
+        assert not switcher.has_adopted(B_ROOT_CHANGE_TS - DAY, 4)
+        assert switcher.has_adopted(switcher.adoption_ts, 4)
+
+    def test_reluctant_never_adopts(self, isp_clients):
+        reluctant = next(
+            c for c in isp_clients if c.behavior_v4 is ClientBehavior.RELUCTANT
+        )
+        assert not reluctant.has_adopted(B_ROOT_CHANGE_TS + 1000 * DAY, 4)
+
+    def test_deterministic(self):
+        a = build_client_population(ISP_PROFILE, RngFactory(77))
+        b = build_client_population(ISP_PROFILE, RngFactory(77))
+        assert [c.daily_flows for c in a] == [c.daily_flows for c in b]
+        assert [c.behavior_v4 for c in a] == [c.behavior_v4 for c in b]
+
+    def test_traffic_weighted_reluctance_calibrated(self, rng_factory):
+        clients = build_client_population(
+            IXP_NA_PROFILE, rng_factory.fork("strata-test")
+        )
+        total = sum(c.daily_flows for c in clients if c.prefix_v6 is not None)
+        reluctant = sum(
+            c.daily_flows
+            for c in clients
+            if c.prefix_v6 is not None and c.behavior_v6 is ClientBehavior.RELUCTANT
+        )
+        target = 1.0 - IXP_NA_PROFILE.switch_fraction_v6
+        assert abs(reluctant / total - target) < 0.08

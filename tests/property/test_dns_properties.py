@@ -1,0 +1,124 @@
+"""Property-based tests on the DNS core data structures."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.message import Header, Message
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, NSEC, TXT, ZONEMD
+from repro.dns.records import ResourceRecord
+
+label_st = st.text(
+    alphabet=string.ascii_letters + string.digits + "-", min_size=1, max_size=20
+).filter(lambda s: not s.startswith("-"))
+
+name_st = st.lists(label_st, min_size=0, max_size=5).map(
+    lambda labels: Name(tuple(l.encode() for l in labels))
+)
+
+ipv4_st = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(str(b) for b in t)
+)
+
+ipv6_st = st.tuples(*[st.integers(0, 0xFFFF)] * 8).map(
+    lambda t: ":".join(f"{w:x}" for w in t)
+)
+
+
+class TestNameProperties:
+    @given(name_st)
+    @settings(max_examples=200)
+    def test_wire_roundtrip(self, name):
+        decoded, end = Name.from_wire(name.to_wire())
+        assert decoded == name
+        assert end == len(name.to_wire())
+
+    @given(name_st)
+    @settings(max_examples=200)
+    def test_text_roundtrip(self, name):
+        assert Name.from_text(name.to_text()) == name
+
+    @given(name_st)
+    def test_canonical_wire_idempotent(self, name):
+        lowered = name.lowered()
+        assert lowered.canonical_wire() == name.canonical_wire()
+        assert lowered.lowered() == lowered
+
+    @given(name_st, name_st)
+    def test_ordering_total(self, a, b):
+        # canonical order is a total order: exactly one of <, ==, > holds.
+        ka, kb = a.canonical_key(), b.canonical_key()
+        assert (ka < kb) + (ka == kb) + (ka > kb) == 1
+
+    @given(name_st, name_st)
+    def test_concatenate_subdomain(self, prefix, suffix):
+        try:
+            combined = prefix.concatenate(suffix)
+        except ValueError:
+            return  # exceeded 255 octets — fine
+        assert combined.is_subdomain_of(suffix)
+
+    @given(name_st)
+    def test_hash_consistent_with_eq(self, name):
+        clone = Name.from_text(name.to_text())
+        assert clone == name
+        assert hash(clone) == hash(name)
+
+
+class TestRdataProperties:
+    @given(ipv4_st)
+    def test_a_roundtrip(self, address):
+        rdata = A(address)
+        assert A.decode(rdata.to_wire(), 0, 4) == rdata
+
+    @given(ipv6_st)
+    def test_aaaa_roundtrip(self, address):
+        rdata = AAAA(address)
+        assert AAAA.decode(rdata.to_wire(), 0, 16) == rdata
+
+    @given(st.lists(st.binary(min_size=0, max_size=255), min_size=1, max_size=4))
+    def test_txt_roundtrip(self, strings):
+        rdata = TXT(tuple(strings))
+        wire = rdata.to_wire()
+        assert TXT.decode(wire, 0, len(wire)) == rdata
+
+    @given(st.sets(st.integers(1, 500), min_size=0, max_size=20), name_st)
+    def test_nsec_bitmap_roundtrip(self, types, next_name):
+        rdata = NSEC(next_name, tuple(sorted(types)))
+        wire = rdata.to_wire()
+        decoded = NSEC.decode(wire, 0, len(wire))
+        assert set(decoded.types) == types
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.binary(min_size=12, max_size=64),
+    )
+    def test_zonemd_roundtrip(self, serial, digest):
+        rdata = ZONEMD(serial, 1, 1, digest)
+        wire = rdata.to_wire()
+        assert ZONEMD.decode(wire, 0, len(wire)) == rdata
+
+
+class TestMessageProperties:
+    @given(
+        st.integers(0, 0xFFFF),
+        name_st,
+        st.sampled_from([RRType.A, RRType.NS, RRType.SOA, RRType.TXT, RRType.ZONEMD]),
+        st.sampled_from([RRClass.IN, RRClass.CH]),
+    )
+    @settings(max_examples=200)
+    def test_query_roundtrip(self, msg_id, qname, qtype, qclass):
+        query = Message.make_query(qname, qtype, qclass, msg_id=msg_id)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.header.msg_id == msg_id
+        assert decoded.question.qname == qname
+        assert decoded.question.qtype == qtype
+        assert decoded.question.qclass == qclass
+
+    @given(st.integers(0, 0xFFFF), st.booleans(), st.booleans(), st.booleans())
+    def test_header_flags_roundtrip(self, msg_id, qr, aa, rd):
+        header = Header(msg_id=msg_id, qr=qr, aa=aa, rd=rd)
+        decoded = Header.from_flags_word(msg_id, header.flags_word())
+        assert decoded == header

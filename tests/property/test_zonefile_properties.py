@@ -1,0 +1,103 @@
+"""Property-based tests: master-file rendering round-trips arbitrary
+record mixes, and the zone container's invariants hold."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import A, AAAA, NS, SOA, TXT
+from repro.dns.records import ResourceRecord
+from repro.zone.zone import Zone
+from repro.zone.zonefile import parse_zone_text, render_zone_text
+
+label_st = st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1, max_size=12)
+
+tld_name_st = label_st.map(lambda l: Name.from_text(f"{l}."))
+
+ipv4_st = st.tuples(*[st.integers(0, 255)] * 4).map(
+    lambda t: ".".join(str(b) for b in t)
+)
+
+ipv6_st = st.tuples(*[st.integers(0, 0xFFFF)] * 8).map(
+    lambda t: ":".join(f"{w:x}" for w in t)
+)
+
+ttl_st = st.integers(0, 10_000_000)
+
+
+@st.composite
+def record_st(draw):
+    owner = draw(tld_name_st)
+    kind = draw(st.sampled_from(["NS", "A", "AAAA", "TXT"]))
+    ttl = draw(ttl_st)
+    if kind == "NS":
+        return ResourceRecord(
+            owner, RRType.NS, RRClass.IN, ttl, NS(draw(tld_name_st))
+        )
+    if kind == "A":
+        return ResourceRecord(owner, RRType.A, RRClass.IN, ttl, A(draw(ipv4_st)))
+    if kind == "AAAA":
+        return ResourceRecord(owner, RRType.AAAA, RRClass.IN, ttl, AAAA(draw(ipv6_st)))
+    text = draw(st.text(alphabet=string.ascii_letters + string.digits, min_size=1, max_size=40))
+    return ResourceRecord(owner, RRType.TXT, RRClass.IN, ttl, TXT.from_string(text))
+
+
+@st.composite
+def zone_st(draw):
+    soa = ResourceRecord(
+        ROOT_NAME, RRType.SOA, RRClass.IN, 86400,
+        SOA(
+            Name.from_text("m."), Name.from_text("r."),
+            draw(st.integers(0, 2**32 - 1)), 1800, 900, 604800, 86400,
+        ),
+    )
+    records = draw(st.lists(record_st(), min_size=0, max_size=20))
+    return Zone(ROOT_NAME, [soa] + records)
+
+
+class TestZonefileProperties:
+    @given(zone_st())
+    @settings(max_examples=60, deadline=None)
+    def test_render_parse_roundtrip(self, zone):
+        text = render_zone_text(zone)
+        parsed = parse_zone_text(text)
+        original = sorted(r.canonical_wire() for r in zone.records)
+        roundtripped = sorted(r.canonical_wire() for r in parsed.records)
+        assert roundtripped == original
+
+    @given(zone_st())
+    @settings(max_examples=30, deadline=None)
+    def test_render_deterministic(self, zone):
+        assert render_zone_text(zone) == render_zone_text(zone)
+
+    @given(zone_st())
+    @settings(max_examples=30, deadline=None)
+    def test_serial_preserved(self, zone):
+        parsed = parse_zone_text(render_zone_text(zone))
+        assert parsed.serial == zone.serial
+
+
+class TestZoneProperties:
+    @given(zone_st())
+    @settings(max_examples=30, deadline=None)
+    def test_names_sorted_canonically(self, zone):
+        names = zone.names()
+        keys = [n.canonical_key() for n in names]
+        assert keys == sorted(keys)
+
+    @given(zone_st())
+    @settings(max_examples=30, deadline=None)
+    def test_stats_consistent(self, zone):
+        records, rrsets, owners = zone.stats()
+        assert records == len(zone.records)
+        assert rrsets <= records
+        assert owners <= rrsets
+
+    @given(zone_st())
+    @settings(max_examples=30, deadline=None)
+    def test_copy_independent(self, zone):
+        clone = zone.copy()
+        clone.records.pop()
+        assert len(clone) == len(zone) - 1

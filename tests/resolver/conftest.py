@@ -1,0 +1,44 @@
+"""Resolver test fixtures: a network client wired to a small world."""
+
+import pytest
+
+from repro.netsim.attachment import Attachment
+from repro.netsim.topology import NetworkFabric
+from repro.netsim.transit import TRANSIT_CATALOG
+from repro.geo.cities import city
+from repro.resolver.netclient import RootNetworkClient
+from repro.rss.operators import ROOT_SERVERS
+from repro.rss.server import RootServerDeployment
+from repro.zone.distribution import ZoneDistributor
+
+
+@pytest.fixture(scope="package")
+def resolver_world(site_catalog, zone_builder, rng_factory):
+    fabric = NetworkFabric(site_catalog, rng_factory.fork("resolver-tests"))
+    distributor = ZoneDistributor(zone_builder)
+    deployments = {
+        letter: RootServerDeployment(
+            ROOT_SERVERS[letter], site_catalog.of_letter(letter), distributor
+        )
+        for letter in ROOT_SERVERS
+    }
+    selector = fabric.selector(seed=5, expected_rounds=100_000)
+    return fabric, deployments, selector, distributor
+
+
+@pytest.fixture()
+def make_client(resolver_world):
+    _fabric, deployments, selector, _distributor = resolver_world
+
+    def factory(iata: str = "FRA", client_id: int = 1) -> RootNetworkClient:
+        attachment = Attachment(
+            asn=64900 + client_id,
+            city=city(iata),
+            transits_v4=(TRANSIT_CATALOG[2], TRANSIT_CATALOG[3]),
+            transits_v6=(TRANSIT_CATALOG[2],),
+        )
+        return RootNetworkClient(
+            attachment, selector, deployments, client_id=client_id
+        )
+
+    return factory

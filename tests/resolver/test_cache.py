@@ -1,0 +1,98 @@
+"""The resolver cache: TTL semantics, negative caching, eviction."""
+
+import pytest
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name
+from repro.dns.rdata import A
+from repro.dns.records import ResourceRecord
+from repro.resolver.cache import DnsCache
+
+
+def a_record(owner: str, address: str = "192.0.2.1", ttl: int = 300) -> ResourceRecord:
+    return ResourceRecord(
+        Name.from_text(owner), RRType.A, RRClass.IN, ttl, A(address)
+    )
+
+
+class TestPositiveCaching:
+    def test_hit_within_ttl(self):
+        cache = DnsCache()
+        cache.put([a_record("x.example.")], now=1000)
+        entry = cache.get(Name.from_text("x.example."), RRType.A, now=1200)
+        assert entry is not None
+        assert entry.remaining_ttl(1200) == 100
+
+    def test_miss_after_expiry(self):
+        cache = DnsCache()
+        cache.put([a_record("x.example.")], now=1000)
+        assert cache.get(Name.from_text("x.example."), RRType.A, now=1300) is None
+        assert len(cache) == 0  # lazily dropped
+
+    def test_ttl_is_rrset_minimum(self):
+        cache = DnsCache()
+        cache.put(
+            [a_record("x.example.", ttl=300), a_record("x.example.", "192.0.2.2", ttl=60)],
+            now=0,
+        )
+        entry = cache.get(Name.from_text("x.example."), RRType.A, now=0)
+        assert entry.ttl == 60
+
+    def test_mixed_rrset_rejected(self):
+        cache = DnsCache()
+        with pytest.raises(ValueError):
+            cache.put([a_record("x.example."), a_record("y.example.")], now=0)
+
+    def test_empty_put_rejected(self):
+        with pytest.raises(ValueError):
+            DnsCache().put([], now=0)
+
+    def test_hit_miss_counters(self):
+        cache = DnsCache()
+        cache.put([a_record("x.example.")], now=0)
+        cache.get(Name.from_text("x.example."), RRType.A, now=1)
+        cache.get(Name.from_text("y.example."), RRType.A, now=1)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+
+class TestNegativeCaching:
+    def test_negative_entry(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("nope."), RRType.A, now=0, ttl=900)
+        entry = cache.get(Name.from_text("nope."), RRType.A, now=100)
+        assert entry is not None and entry.negative
+
+    def test_negative_expires(self):
+        cache = DnsCache()
+        cache.put_negative(Name.from_text("nope."), RRType.A, now=0, ttl=900)
+        assert cache.get(Name.from_text("nope."), RRType.A, now=901) is None
+
+
+class TestMaintenance:
+    def test_flush(self):
+        cache = DnsCache()
+        cache.put([a_record("x.example.")], now=0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_expire_all(self):
+        cache = DnsCache()
+        cache.put([a_record("x.example.", ttl=10)], now=0)
+        cache.put([a_record("y.example.", ttl=1000)], now=0)
+        dropped = cache.expire_all(now=500)
+        assert dropped == 1
+        assert len(cache) == 1
+
+    def test_eviction_at_capacity(self):
+        cache = DnsCache(max_entries=2)
+        cache.put([a_record("a.example.", ttl=10)], now=0)
+        cache.put([a_record("b.example.", ttl=1000)], now=0)
+        cache.put([a_record("c.example.", ttl=1000)], now=0)
+        assert len(cache) == 2
+        # the soonest-expiring entry was evicted
+        assert cache.get(Name.from_text("a.example."), RRType.A, now=1) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            DnsCache(max_entries=0)

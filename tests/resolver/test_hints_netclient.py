@@ -1,0 +1,86 @@
+"""Root hints files and the network client."""
+
+import pytest
+
+from repro.dns.constants import RRType, RRClass
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+from repro.resolver.hints import fresh_hints, hints_as_of, stale_hints
+from repro.rss.operators import B_ROOT_CHANGE_TS, root_server
+from repro.util.timeutil import DAY, parse_ts
+
+
+class TestHints:
+    def test_thirteen_letters(self):
+        hints = fresh_hints()
+        assert len(hints.letters) == 13
+        assert len(hints.all_addresses(4)) == 13
+        assert len(hints.all_addresses(6)) == 13
+
+    def test_stale_vs_fresh_differ_only_in_b(self):
+        stale = stale_hints()
+        fresh = fresh_hints()
+        for letter in stale.letters:
+            if letter == "b":
+                assert stale.address("b", 4) != fresh.address("b", 4)
+                assert stale.address("b", 6) != fresh.address("b", 6)
+            else:
+                assert stale.address(letter, 4) == fresh.address(letter, 4)
+
+    def test_generated_at_boundary(self):
+        before = hints_as_of(B_ROOT_CHANGE_TS - 1)
+        after = hints_as_of(B_ROOT_CHANGE_TS)
+        b = root_server("b")
+        assert before.address("b", 4) == b.old_ipv4
+        assert after.address("b", 4) == b.ipv4
+
+    def test_invalid_family(self):
+        with pytest.raises(ValueError):
+            fresh_hints().address("a", 7)
+
+
+class TestNetclient:
+    NOW = parse_ts("2023-12-10T12:00:00")
+
+    def test_query_outcome_fields(self, make_client):
+        client = make_client(client_id=60)
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        outcome = client.query("198.41.0.4", query, self.NOW)
+        assert outcome.letter == "a"
+        assert outcome.rtt_ms > 0
+        assert outcome.site_key.startswith("a-")
+        assert outcome.response.answers
+
+    def test_old_b_address_still_answers(self, make_client):
+        client = make_client(client_id=61)
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        outcome = client.query("199.9.14.201", query, self.NOW)
+        assert outcome.letter == "b"
+        assert outcome.response.answers
+
+    def test_unknown_address_rejected(self, make_client):
+        client = make_client(client_id=62)
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        with pytest.raises(KeyError):
+            client.query("8.8.8.8", query, self.NOW)
+
+    def test_rtts_vary_across_letters(self, make_client):
+        client = make_client(client_id=63)
+        query = Message.make_query(ROOT_NAME, RRType.SOA)
+        rtts = {
+            letter: client.query(
+                root_server(letter).ipv4, query, self.NOW
+            ).rtt_ms
+            for letter in "abcdefghijklm"
+        }
+        assert len(set(round(v, 3) for v in rtts.values())) > 3
+
+    def test_axfr_returns_validatable_zone(self, make_client):
+        from repro.dns.name import ROOT_NAME as apex
+        from repro.dnssec.validate import validate_zone
+
+        client = make_client(client_id=64)
+        result = client.axfr("193.0.14.129", self.NOW)
+        assert result is not None
+        report = validate_zone(result.zone.records, apex, now=self.NOW)
+        assert report.valid

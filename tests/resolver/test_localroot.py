@@ -1,0 +1,106 @@
+"""RFC 8806 local root: refresh, validation, failover."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+from repro.resolver.hints import fresh_hints
+from repro.resolver.localroot import LocalRootManager, RefreshStatus
+from repro.util.timeutil import DAY, parse_ts
+
+NOW = parse_ts("2023-12-10T12:00:00")
+
+
+class TestRefresh:
+    def test_initial_refresh_installs_zone(self, make_client):
+        manager = LocalRootManager(make_client(client_id=20), fresh_hints())
+        result = manager.refresh(NOW)
+        assert result.status is RefreshStatus.UPDATED
+        assert manager.zone is not None
+        assert result.serial == manager.zone.serial
+
+    def test_current_when_no_new_serial(self, make_client):
+        manager = LocalRootManager(make_client(client_id=21), fresh_hints())
+        manager.refresh(NOW)
+        result = manager.refresh(NOW + 60)
+        assert result.status is RefreshStatus.CURRENT
+
+    def test_updates_on_new_publication(self, make_client):
+        manager = LocalRootManager(make_client(client_id=22), fresh_hints())
+        manager.refresh(NOW)
+        first_serial = manager.zone.serial
+        result = manager.refresh(NOW + DAY)
+        assert result.status is RefreshStatus.UPDATED
+        assert manager.zone.serial > first_serial
+
+    def test_needs_refresh_follows_soa_refresh(self, make_client):
+        manager = LocalRootManager(make_client(client_id=23), fresh_hints())
+        assert manager.needs_refresh(NOW)
+        manager.refresh(NOW)
+        assert not manager.needs_refresh(NOW + 60)
+        assert manager.needs_refresh(NOW + 1801)  # SOA refresh = 1800s
+
+    def test_require_zonemd_accepts_validatable_era(self, make_client):
+        manager = LocalRootManager(
+            make_client(client_id=24), fresh_hints(), require_zonemd=True
+        )
+        result = manager.refresh(NOW)
+        assert result.status is RefreshStatus.UPDATED
+
+    def test_require_zonemd_rejects_pre_rollout_zone(self, make_client):
+        manager = LocalRootManager(
+            make_client(client_id=25), fresh_hints(), require_zonemd=True
+        )
+        early = parse_ts("2023-08-01T12:00:00")  # no ZONEMD in the zone yet
+        result = manager.refresh(early)
+        assert result.status in (RefreshStatus.REJECTED, RefreshStatus.FAILED)
+        assert manager.zone is None
+        assert result.rejections
+
+
+class TestFailover:
+    def test_rejects_corrupt_transfer_and_fails_over(self, make_client, monkeypatch):
+        from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone
+
+        client = make_client(client_id=26)
+        manager = LocalRootManager(client, fresh_hints())
+
+        original_axfr = client.axfr
+        corrupted_addresses = {fresh_hints().address("a", 4)}
+
+        def flaky_axfr(address, ts):
+            result = original_axfr(address, ts)
+            if result is not None and address in corrupted_addresses:
+                event = BitflipEvent(vp_id=0, start_ts=ts - 1, end_ts=ts + 1)
+                mutated, _report = flip_bit_in_zone(result.zone, event, ts)
+                result = type(result)(
+                    zone=mutated, serial=mutated.serial,
+                    messages=result.messages, records=result.records,
+                    shared=False,
+                )
+            return result
+
+        monkeypatch.setattr(client, "axfr", flaky_axfr)
+        result = manager.refresh(NOW)
+        # a.root's transfer is rejected; the manager moves on and installs
+        # a clean copy from the next letter (the paper's §7 fallback).
+        assert result.status is RefreshStatus.UPDATED
+        assert result.rejections
+        assert result.rejections[0][0] in corrupted_addresses
+        assert result.served_by not in corrupted_addresses
+
+
+class TestLocalServing:
+    def test_answers_from_local_copy(self, make_client):
+        manager = LocalRootManager(make_client(client_id=27), fresh_hints())
+        manager.refresh(NOW)
+        query = Message.make_query(Name.from_text("world."), RRType.NS)
+        answer = manager.answer_locally(query)
+        assert answer is not None and answer.answers
+
+    def test_no_zone_no_answer(self, make_client):
+        manager = LocalRootManager(make_client(client_id=28), fresh_hints())
+        assert manager.answer_locally(
+            Message.make_query(ROOT_NAME, RRType.NS)
+        ) is None

@@ -1,0 +1,71 @@
+"""Network-client IXFR and the local-root incremental refresh path."""
+
+import pytest
+
+from repro.resolver.hints import fresh_hints
+from repro.resolver.localroot import LocalRootManager, RefreshStatus
+from repro.util.timeutil import DAY, parse_ts
+
+NOW = parse_ts("2023-12-10T12:00:00")
+
+
+class TestNetclientIxfr:
+    def test_current_serial_gets_soa_only(self, make_client):
+        client = make_client(client_id=40)
+        transfer = client.axfr(fresh_hints().address("k", 4), NOW)
+        response = client.ixfr(
+            fresh_hints().address("k", 4), transfer.zone.serial, NOW
+        )
+        # The distributor's newest publication may be the same copy the
+        # site served (no lag at this instant) — then "current"; with a
+        # fresher publication upstream we get deltas.
+        assert response.kind in ("current", "incremental")
+
+    def test_stale_client_gets_deltas(self, make_client):
+        client = make_client(client_id=41)
+        address = fresh_hints().address("k", 4)
+        old = client.axfr(address, NOW)
+        response = client.ixfr(address, old.zone.serial, NOW + 2 * DAY)
+        assert response.kind == "incremental"
+        assert response.deltas
+        assert response.transferred_records < len(old.zone) // 2
+
+    def test_ancient_serial_full_fallback(self, make_client):
+        client = make_client(client_id=42)
+        address = fresh_hints().address("k", 4)
+        response = client.ixfr(address, 2001010100, NOW)
+        # Either a reconstructed window covers it or we get a full zone;
+        # both are protocol-legal. A journal of 256 versions spans ~128
+        # days, so a 2001 serial is far out of window.
+        assert response.kind == "full"
+
+
+class TestLocalRootIxfr:
+    def test_incremental_refresh_used(self, make_client):
+        manager = LocalRootManager(make_client(client_id=43), fresh_hints())
+        manager.refresh(NOW)
+        assert manager.axfr_refreshes == 1
+        result = manager.refresh(NOW + DAY)
+        assert result.status is RefreshStatus.UPDATED
+        assert manager.ixfr_refreshes == 1
+
+    def test_incremental_result_validates(self, make_client):
+        from repro.dns.name import ROOT_NAME
+        from repro.dnssec.validate import validate_zone
+
+        manager = LocalRootManager(make_client(client_id=44), fresh_hints())
+        manager.refresh(NOW)
+        manager.refresh(NOW + DAY)
+        report = validate_zone(
+            manager.zone.records, ROOT_NAME, now=NOW + DAY
+        )
+        assert report.valid
+
+    def test_ixfr_disabled_falls_back_to_axfr(self, make_client):
+        manager = LocalRootManager(
+            make_client(client_id=45), fresh_hints(), prefer_ixfr=False
+        )
+        manager.refresh(NOW)
+        manager.refresh(NOW + DAY)
+        assert manager.ixfr_refreshes == 0
+        assert manager.axfr_refreshes == 2

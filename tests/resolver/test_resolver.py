@@ -1,0 +1,115 @@
+"""The recursive resolver: priming, selection, caching, referrals."""
+
+import pytest
+
+from repro.dns.constants import RRType, Rcode
+from repro.dns.name import Name
+from repro.resolver.hints import fresh_hints, stale_hints
+from repro.resolver.resolver import SimResolver
+from repro.rss.operators import B_ROOT_CHANGE_TS, root_server
+from repro.util.timeutil import DAY, parse_ts
+
+AFTER_CHANGE = parse_ts("2023-12-10T12:00:00")
+BEFORE_CHANGE = parse_ts("2023-11-01T12:00:00")
+
+
+class TestPriming:
+    def test_priming_learns_13_addresses(self, make_client):
+        resolver = SimResolver(make_client(), fresh_hints())
+        resolver.resolve(Name.from_text("com."), RRType.NS, AFTER_CHANGE)
+        assert len(resolver.known_root_addresses()) == 13
+        assert resolver.primings == 1
+
+    def test_stale_hints_learn_new_address_via_priming(self, make_client):
+        """The RFC 8109 mechanism: a device with pre-renumbering hints
+        still ends up using the *new* b.root address, because priming
+        reads the current glue from the zone."""
+        resolver = SimResolver(make_client(client_id=2), stale_hints())
+        resolver.resolve(Name.from_text("com."), RRType.NS, AFTER_CHANGE)
+        b = root_server("b")
+        assert resolver.uses_address(b.ipv4)
+        assert not resolver.uses_address(b.old_ipv4)
+        # ...but the hint query itself touched the old address (the
+        # once-per-prime residual traffic the paper measures).
+        assert b.old_ipv4 in stale_hints().all_addresses(4)
+
+    def test_before_change_priming_learns_old_address(self, make_client):
+        resolver = SimResolver(make_client(client_id=3), stale_hints())
+        resolver.resolve(Name.from_text("com."), RRType.NS, BEFORE_CHANGE)
+        b = root_server("b")
+        assert resolver.uses_address(b.old_ipv4)
+
+    def test_reprime_after_ns_ttl(self, make_client):
+        resolver = SimResolver(make_client(client_id=4), fresh_hints())
+        resolver.resolve(Name.from_text("com."), RRType.NS, AFTER_CHANGE)
+        assert resolver.primings == 1
+        # root NS TTL is 518400s (6 days): within it, no re-prime.
+        resolver.resolve(Name.from_text("org."), RRType.NS, AFTER_CHANGE + DAY)
+        assert resolver.primings == 1
+        resolver.resolve(Name.from_text("net."), RRType.NS, AFTER_CHANGE + 7 * DAY)
+        assert resolver.primings == 2
+
+
+class TestResolution:
+    def test_tld_ns_answer(self, make_client):
+        resolver = SimResolver(make_client(client_id=5), fresh_hints())
+        result = resolver.resolve(Name.from_text("world."), RRType.NS, AFTER_CHANGE)
+        assert result.rcode == Rcode.NOERROR
+        assert result.answers
+        assert not result.from_cache
+
+    def test_cache_hit_on_second_lookup(self, make_client):
+        resolver = SimResolver(make_client(client_id=6), fresh_hints())
+        first = resolver.resolve(Name.from_text("world."), RRType.NS, AFTER_CHANGE)
+        sent = resolver.queries_sent
+        second = resolver.resolve(Name.from_text("world."), RRType.NS, AFTER_CHANGE + 60)
+        assert second.from_cache
+        assert resolver.queries_sent == sent
+        assert [r.rdata for r in second.answers] == [r.rdata for r in first.answers]
+
+    def test_nxdomain_negative_cached(self, make_client):
+        resolver = SimResolver(make_client(client_id=7), fresh_hints())
+        qname = Name.from_text("doesnotexist.")
+        first = resolver.resolve(qname, RRType.A, AFTER_CHANGE)
+        assert first.rcode == Rcode.NXDOMAIN
+        second = resolver.resolve(qname, RRType.A, AFTER_CHANGE + 60)
+        assert second.rcode == Rcode.NXDOMAIN
+        assert second.from_cache
+
+    def test_names_under_tld_get_referral(self, make_client):
+        resolver = SimResolver(make_client(client_id=8), fresh_hints())
+        result = resolver.resolve(
+            Name.from_text("www.example.com."), RRType.A, AFTER_CHANGE
+        )
+        assert result.is_referral
+        assert any("nic.com" in t.to_text() for t in result.referral)
+
+    def test_invalid_family_rejected(self, make_client):
+        with pytest.raises(ValueError):
+            SimResolver(make_client(), fresh_hints(), family=5)
+
+
+class TestServerSelection:
+    def test_rtts_accumulate(self, make_client):
+        resolver = SimResolver(make_client(client_id=9), fresh_hints())
+        for i, tld in enumerate(("com", "org", "net", "de", "uk", "fr", "jp")):
+            resolver.resolve(Name.from_text(f"{tld}."), RRType.NS, AFTER_CHANGE + i)
+        assert len(resolver.smoothed_rtts) >= 5
+
+    def test_selection_converges_to_fast_servers(self, make_client):
+        resolver = SimResolver(make_client(client_id=10), fresh_hints())
+        # Warm up all estimates with many distinct lookups.
+        tlds = list("abcdefghij")
+        for i in range(120):
+            resolver.resolve(
+                Name.from_text(f"x{i}.not-a-tld-{i}."), RRType.A, AFTER_CHANGE + i
+            )
+        srtt = resolver.smoothed_rtts
+        if len(srtt) < 13:
+            pytest.skip("not all addresses probed in this run")
+        best = min(srtt.values())
+        # The most-queried address should be among the fastest; count
+        # queries indirectly by picking the current best and asserting it
+        # is near the observed minimum.
+        chosen = resolver._pick_root_address()
+        assert srtt[chosen] <= best * 2.0

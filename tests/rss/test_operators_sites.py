@@ -1,0 +1,137 @@
+"""Root server letters, addresses and the site catalog."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.rss.operators import (
+    B_ROOT_CHANGE_TS,
+    ROOT_LETTERS,
+    address_owner,
+    all_service_addresses,
+    root_server,
+)
+from repro.rss.sites import IATA_ONLY_LETTERS, SITE_PLAN, build_site_catalog
+from repro.util.timeutil import DAY
+
+
+class TestOperators:
+    def test_thirteen_letters(self):
+        assert len(ROOT_LETTERS) == 13
+        assert "".join(ROOT_LETTERS) == "abcdefghijklm"
+
+    def test_known_addresses(self):
+        assert root_server("a").ipv4 == "198.41.0.4"
+        assert root_server("k").ipv6 == "2001:7fd::1"
+        assert root_server("m").ipv4 == "202.12.27.33"
+
+    def test_b_has_old_and_new(self):
+        b = root_server("b")
+        assert b.old_ipv4 == "199.9.14.201"
+        assert b.ipv4 == "170.247.170.2"
+        assert b.old_ipv6 == "2001:500:200::b"
+        assert b.ipv6 == "2801:1b8:10::b"
+
+    def test_28_probe_targets(self):
+        addresses = all_service_addresses()
+        assert len(addresses) == 28  # 14 v4 + 14 v6
+        assert len({sa.address for sa in addresses}) == 28
+
+    def test_address_for_flips_at_change(self):
+        b = root_server("b")
+        assert b.address_for(4, B_ROOT_CHANGE_TS - DAY) == b.old_ipv4
+        assert b.address_for(4, B_ROOT_CHANGE_TS) == b.ipv4
+        assert b.address_for(6, B_ROOT_CHANGE_TS + DAY) == b.ipv6
+
+    def test_address_for_non_b_static(self):
+        a = root_server("a")
+        assert a.address_for(4, 0) == a.address_for(4, 2_000_000_000)
+
+    def test_address_owner_reverse_lookup(self):
+        sa = address_owner("199.9.14.201")
+        assert sa.letter == "b" and sa.generation == "old"
+        with pytest.raises(KeyError):
+            address_owner("8.8.8.8")
+
+    def test_unknown_letter_rejected(self):
+        with pytest.raises(KeyError):
+            root_server("z")
+
+    def test_labels(self):
+        assert address_owner("170.247.170.2").label == "b.root (new)"
+        assert address_owner("198.41.0.4").label == "a.root"
+
+
+class TestSitePlan:
+    def test_plan_matches_paper_totals(self):
+        # Worldwide global-site counts from the paper (§2 / Table 4 sums).
+        expected_global = {
+            "b": 6, "c": 12, "d": 23, "e": 97, "f": 129, "g": 6,
+            "h": 12, "i": 81, "j": 61, "k": 105, "l": 132, "m": 7,
+        }
+        for letter, expected in expected_global.items():
+            total = sum(pair[0] for pair in SITE_PLAN[letter].values())
+            assert total == expected, letter
+
+    def test_no_local_sites_for_single_scope_letters(self):
+        for letter in "bcghil":
+            assert all(pair[1] == 0 for pair in SITE_PLAN[letter].values()), letter
+
+    def test_m_focusses_asia_pacific(self):
+        plan = SITE_PLAN["m"]
+        inside = sum(
+            sum(plan.get(c, (0, 0))) for c in (Continent.ASIA, Continent.OCEANIA)
+        )
+        outside = sum(
+            sum(pair) for c, pair in plan.items()
+            if c not in (Continent.ASIA, Continent.OCEANIA)
+        )
+        assert outside == 2  # "only 2 sites outside the region"
+        assert inside > outside
+
+
+class TestCatalog:
+    def test_catalog_counts_match_plan(self, site_catalog):
+        for letter, plan in SITE_PLAN.items():
+            expected = sum(g + l for g, l in plan.values())
+            assert len(site_catalog.of_letter(letter)) == expected, letter
+
+    def test_sites_on_planned_continents(self, site_catalog):
+        for letter, plan in SITE_PLAN.items():
+            for site in site_catalog.of_letter(letter):
+                assert site.continent in plan, (letter, site.key)
+
+    def test_site_keys_unique(self, site_catalog):
+        keys = [s.key for s in site_catalog.sites]
+        assert len(keys) == len(set(keys))
+
+    def test_identity_conventions(self, site_catalog):
+        for letter in IATA_ONLY_LETTERS:
+            site = site_catalog.of_letter(letter)[0]
+            assert site.identity().startswith("nnn1-")
+        d_site = site_catalog.of_letter("d")[0]
+        assert d_site.identity().startswith("d")
+
+    def test_iata_letters_share_metro_identity(self, site_catalog):
+        # Sites of an IATA-only letter in the same metro are
+        # indistinguishable (paper §4.2 footnote 2).
+        by_city = {}
+        for site in site_catalog.of_letter("e"):
+            by_city.setdefault(site.city.iata, []).append(site)
+        multi = [sites for sites in by_city.values() if len(sites) > 1]
+        if not multi:
+            pytest.skip("no multi-site metro for e.root in this draw")
+        sites = multi[0]
+        assert len({s.identity() for s in sites}) == 1
+
+    def test_identity_mapping_roundtrip(self, site_catalog):
+        site = next(s for s in site_catalog.of_letter("k") if s.published)
+        assert site_catalog.map_identity(site.identity()) is not None
+
+    def test_unpublished_sites_unmappable(self, site_catalog):
+        unpublished = [s for s in site_catalog.of_letter("j") if not s.published]
+        assert unpublished, "j.root should have unmapped identifiers"
+        for site in unpublished[:5]:
+            mapped = site_catalog.map_identity(site.identity())
+            # Either unmapped, or shadowed by a published site with the
+            # same metro identity (IATA-only letters).
+            assert mapped is None or mapped.key != site.key

@@ -1,0 +1,135 @@
+"""Root server instance/deployment behaviour: query answering, CHAOS
+identities, AXFR serving and staleness."""
+
+import pytest
+
+from repro.dns.constants import RRClass, RRType, Rcode
+from repro.dns.message import Message
+from repro.dns.name import Name, ROOT_NAME
+from repro.rss.instance import VERSION_STRINGS, RootInstance
+from repro.rss.operators import root_server
+from repro.rss.server import RootServerDeployment
+from repro.util.timeutil import DAY, parse_ts
+from repro.zone.distribution import ZoneDistributor
+
+DEC_TS = parse_ts("2023-12-10T16:00:00")
+
+
+@pytest.fixture(scope="module")
+def deployment(site_catalog, zone_builder):
+    distributor = ZoneDistributor(zone_builder)
+    return RootServerDeployment(
+        root_server("d"), site_catalog.of_letter("d"), distributor
+    )
+
+
+@pytest.fixture(scope="module")
+def site_key(deployment):
+    return deployment.sites[0].key
+
+
+def query(qname: str, qtype: RRType, qclass: RRClass = RRClass.IN) -> Message:
+    return Message.make_query(Name.from_text(qname), qtype, qclass)
+
+
+class TestChaosQueries:
+    def test_hostname_bind(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("hostname.bind.", RRType.TXT, RRClass.CH), DEC_TS)
+        identity = answer.answers[0].rdata.single_text()
+        assert identity == deployment.instance_at(site_key).identity()
+
+    def test_id_server_same_identity(self, deployment, site_key):
+        a = deployment.answer(site_key, query("hostname.bind.", RRType.TXT, RRClass.CH), DEC_TS)
+        b = deployment.answer(site_key, query("id.server.", RRType.TXT, RRClass.CH), DEC_TS)
+        assert a.answers[0].rdata.single_text() == b.answers[0].rdata.single_text()
+
+    def test_version_bind(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("version.bind.", RRType.TXT, RRClass.CH), DEC_TS)
+        assert answer.answers[0].rdata.single_text() == VERSION_STRINGS["d"]
+
+    def test_unknown_chaos_name_nxdomain(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("nope.bind.", RRType.TXT, RRClass.CH), DEC_TS)
+        assert answer.header.rcode == Rcode.NXDOMAIN
+
+    def test_chaos_non_txt_notimpl(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("hostname.bind.", RRType.A, RRClass.CH), DEC_TS)
+        assert answer.header.rcode == Rcode.NOTIMP
+
+
+class TestInQueries:
+    def test_apex_ns(self, deployment, site_key):
+        answer = deployment.answer(site_key, query(".", RRType.NS), DEC_TS)
+        assert len(answer.answers) >= 13  # 13 NS + RRSIG
+
+    def test_root_servers_net_ns(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("root-servers.net.", RRType.NS), DEC_TS)
+        assert len(answer.answers) == 13
+
+    def test_glue_a_lookup(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("b.root-servers.net.", RRType.A), DEC_TS)
+        records = answer.answer_rrs(RRType.A)
+        assert records and records[0].rdata.address == "170.247.170.2"
+
+    def test_dnssec_rrsig_attached_with_do_bit(self, deployment, site_key):
+        from repro.dns.edns import add_edns
+
+        dnssec_query = query(".", RRType.SOA)
+        add_edns(dnssec_query, dnssec_ok=True)
+        answer = deployment.answer(site_key, dnssec_query, DEC_TS)
+        assert answer.answer_rrs(RRType.RRSIG)
+
+    def test_no_rrsig_without_do_bit(self, deployment, site_key):
+        answer = deployment.answer(site_key, query(".", RRType.SOA), DEC_TS)
+        assert not answer.answer_rrs(RRType.RRSIG)
+
+    def test_zonemd_query(self, deployment, site_key):
+        answer = deployment.answer(site_key, query(".", RRType.ZONEMD), DEC_TS)
+        assert answer.answer_rrs(RRType.ZONEMD)
+
+    def test_txt_for_root_server_name_empty_noerror(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("a.root-servers.net.", RRType.TXT), DEC_TS)
+        assert answer.header.rcode == Rcode.NOERROR
+        assert not answer.answers
+
+    def test_nonexistent_tld_nxdomain(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("doesnotexist.", RRType.A), DEC_TS)
+        assert answer.header.rcode == Rcode.NXDOMAIN
+
+    def test_name_under_delegation_gets_referral(self, deployment, site_key):
+        answer = deployment.answer(site_key, query("www.example.com.", RRType.A), DEC_TS)
+        assert answer.header.rcode == Rcode.NOERROR
+        assert answer.authority
+        assert answer.authority[0].rrtype == RRType.NS
+        assert not answer.header.aa
+
+
+class TestAxfrServing:
+    def test_axfr_serial_matches_publication(self, deployment, site_key):
+        # One hour past the 16:00 publication (sites pull with a lag).
+        result = deployment.serve_axfr(site_key, DEC_TS + 3600)
+        assert result.serial == 2023121001
+
+    def test_axfr_cached_for_same_zone(self, deployment, site_key):
+        a = deployment.serve_axfr(site_key, DEC_TS)
+        b = deployment.serve_axfr(site_key, DEC_TS + 60)
+        assert a is b
+
+    def test_frozen_site_serves_stale_zone(self, deployment, site_key):
+        other = deployment.sites[1].key
+        deployment.freeze_site(site_key, DEC_TS)
+        try:
+            stale = deployment.serve_axfr(site_key, DEC_TS + 10 * DAY)
+            fresh = deployment.serve_axfr(other, DEC_TS + 10 * DAY)
+            assert stale.serial < fresh.serial
+        finally:
+            deployment.unfreeze_site(site_key)
+
+    def test_unknown_site_rejected(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.instance_at("zz-999")
+
+    def test_empty_deployment_rejected(self, zone_builder):
+        with pytest.raises(ValueError):
+            RootServerDeployment(
+                root_server("b"), [], ZoneDistributor(zone_builder)
+            )

@@ -1,0 +1,115 @@
+"""VP population (Table 3 shape) and the Figure 2 measurement schedule."""
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.util.rng import RngFactory
+from repro.util.timeutil import MINUTE, parse_ts
+from repro.vantage.ring import REGION_PLAN, RingConfig, build_ring
+from repro.vantage.scheduler import (
+    BASE_INTERVAL_S,
+    CAMPAIGN_END,
+    CAMPAIGN_START,
+    HIGH_RES_INTERVAL_S,
+    HIGH_RES_WINDOWS,
+    MeasurementSchedule,
+)
+
+
+class TestRing:
+    def test_full_scale_is_675_vps(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=1.0))
+        assert len(ring) == 675
+
+    def test_table3_regional_distribution(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=1.0))
+        by_continent = {}
+        for vp in ring:
+            by_continent[vp.continent] = by_continent.get(vp.continent, 0) + 1
+        for continent, (expected, _c, _n) in REGION_PLAN.items():
+            assert by_continent[continent] == expected, continent
+
+    def test_network_sharing(self):
+        # 675 VPs in ~523 networks: some ASes host several nodes.
+        ring = build_ring(RngFactory(1), RingConfig(scale=1.0))
+        networks = {vp.asn for vp in ring}
+        assert 400 <= len(networks) <= 560
+
+    def test_country_diversity(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=1.0))
+        countries = {vp.country for vp in ring}
+        assert len(countries) >= 30  # paper: 62 with a larger city pool
+
+    def test_scaling_preserves_mix(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=0.2))
+        by_continent = {}
+        for vp in ring:
+            by_continent[vp.continent] = by_continent.get(vp.continent, 0) + 1
+        assert by_continent[Continent.EUROPE] > by_continent[Continent.AFRICA]
+        # every region is represented even when scaled down
+        assert set(by_continent) == set(REGION_PLAN)
+
+    def test_deterministic(self):
+        a = build_ring(RngFactory(5), RingConfig(scale=0.1))
+        b = build_ring(RngFactory(5), RingConfig(scale=0.1))
+        assert [vp.name for vp in a] == [vp.name for vp in b]
+
+    def test_every_vp_has_dual_stack_transit(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=0.1))
+        for vp in ring:
+            assert vp.attachment.transits(4)
+            assert vp.attachment.transits(6)
+
+    def test_vp_ids_dense(self):
+        ring = build_ring(RngFactory(1), RingConfig(scale=0.1))
+        assert [vp.vp_id for vp in ring] == list(range(len(ring)))
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            from repro.core import StudyConfig
+
+            StudyConfig(ring_scale=0)
+
+
+class TestSchedule:
+    def test_campaign_dates(self):
+        assert CAMPAIGN_START == parse_ts("2023-07-03")
+        assert CAMPAIGN_END == parse_ts("2023-12-24")
+
+    def test_base_interval_30min(self):
+        schedule = MeasurementSchedule()
+        assert schedule.interval_at(parse_ts("2023-08-15")) == 30 * MINUTE
+
+    def test_high_res_windows_15min(self):
+        schedule = MeasurementSchedule()
+        assert schedule.interval_at(parse_ts("2023-09-15")) == 15 * MINUTE
+        assert schedule.interval_at(parse_ts("2023-11-25")) == 15 * MINUTE
+
+    def test_windows_match_paper(self):
+        (w1, w2) = HIGH_RES_WINDOWS
+        assert w1 == (parse_ts("2023-09-08"), parse_ts("2023-10-02"))
+        assert w2 == (parse_ts("2023-11-20"), parse_ts("2023-12-06"))
+
+    def test_round_count_full_campaign(self):
+        schedule = MeasurementSchedule()
+        count = schedule.round_count()
+        # 174 days at >= 30 min, plus extra rounds in the two windows.
+        base = (CAMPAIGN_END - CAMPAIGN_START) // BASE_INTERVAL_S
+        extra = sum((hi - lo) // (30 * MINUTE) for lo, hi in HIGH_RES_WINDOWS)
+        assert base < count <= base + extra + 2
+
+    def test_instants_ascending(self):
+        schedule = MeasurementSchedule(interval_scale=48.0)
+        instants = schedule.rounds()
+        assert instants == sorted(instants)
+        assert instants[0] == CAMPAIGN_START
+
+    def test_interval_scale(self):
+        schedule = MeasurementSchedule(interval_scale=2.0)
+        assert schedule.interval_at(parse_ts("2023-08-15")) == 60 * MINUTE
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementSchedule(start=10, end=5)
+        with pytest.raises(ValueError):
+            MeasurementSchedule(interval_scale=0)

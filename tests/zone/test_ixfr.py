@@ -1,0 +1,139 @@
+"""IXFR incremental transfers: diffs, journal, server, client apply."""
+
+import pytest
+
+from repro.util.timeutil import DAY, parse_ts
+from repro.zone.ixfr import (
+    IxfrJournal,
+    IxfrServer,
+    apply_deltas,
+    diff_zones,
+)
+from repro.zone.transfer import TransferError
+
+
+@pytest.fixture(scope="module")
+def versions(zone_builder):
+    """Four consecutive zone versions spanning the b.root change."""
+    stamps = [
+        parse_ts("2023-11-25T16:00:00"),
+        parse_ts("2023-11-26T16:00:00"),
+        parse_ts("2023-11-27T16:00:00"),  # b.root glue flips here
+        parse_ts("2023-11-28T16:00:00"),
+    ]
+    return [zone_builder.build(ts) for ts in stamps]
+
+
+class TestDiff:
+    def test_diff_excludes_soa(self, versions):
+        delta = diff_zones(versions[0], versions[1])
+        assert all(r.rrtype.name != "SOA" for r in delta.removed + delta.added)
+
+    def test_consecutive_days_differ_in_signatures_only_or_little(self, versions):
+        # Within one signing batch the static body is shared; consecutive
+        # editions differ only in SOA (excluded) and its RRSIG + ZONEMD.
+        delta = diff_zones(versions[0], versions[1])
+        assert 0 < delta.size < 20
+
+    def test_renumbering_changes_b_glue(self, versions):
+        delta = diff_zones(versions[1], versions[2])
+        removed_texts = " ".join(r.to_text() for r in delta.removed)
+        added_texts = " ".join(r.to_text() for r in delta.added)
+        assert "199.9.14.201" in removed_texts
+        assert "170.247.170.2" in added_texts
+
+    def test_identical_zones_empty_delta(self, versions):
+        delta = diff_zones(versions[0], versions[0])
+        assert delta.size == 0
+
+
+class TestJournal:
+    def test_append_and_serials(self, versions):
+        journal = IxfrJournal()
+        for zone in versions:
+            journal.append(zone)
+        assert journal.serials == [z.serial for z in versions]
+        assert journal.latest is versions[-1]
+
+    def test_non_advancing_serial_rejected(self, versions):
+        journal = IxfrJournal()
+        journal.append(versions[1])
+        with pytest.raises(ValueError):
+            journal.append(versions[1])
+        with pytest.raises(ValueError):
+            journal.append(versions[0])
+
+    def test_delta_chain(self, versions):
+        journal = IxfrJournal()
+        for zone in versions:
+            journal.append(zone)
+        chain = journal.deltas_between(versions[0].serial, versions[3].serial)
+        assert chain is not None and len(chain) == 3
+
+    def test_out_of_window_none(self, versions):
+        journal = IxfrJournal(max_versions=2)
+        for zone in versions:
+            journal.append(zone)
+        assert journal.deltas_between(versions[0].serial, versions[3].serial) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            IxfrJournal(max_versions=1)
+
+
+class TestServerClient:
+    @pytest.fixture()
+    def server(self, versions):
+        journal = IxfrJournal()
+        for zone in versions:
+            journal.append(zone)
+        return IxfrServer(journal)
+
+    def test_current_client_gets_soa_only(self, server, versions):
+        response = server.respond(versions[-1].serial)
+        assert response.kind == "current"
+        assert len(response.records) == 1
+
+    def test_incremental_response(self, server, versions):
+        response = server.respond(versions[0].serial)
+        assert response.kind == "incremental"
+        assert len(response.deltas) == 3
+        # incremental is far smaller than a full transfer
+        assert response.transferred_records < len(versions[-1]) // 2
+
+    def test_out_of_window_falls_back_to_full(self, server, versions):
+        response = server.respond(1999010100)
+        assert response.kind == "full"
+        assert response.records[0].rrtype.name == "SOA"
+        assert response.records[-1].rrtype.name == "SOA"
+
+    def test_incremental_carries_target_soa(self, server, versions):
+        response = server.respond(versions[0].serial)
+        assert response.records
+        soa = response.records[0]
+        assert soa.rrtype.name == "SOA"
+        assert soa.rdata.serial == versions[-1].serial
+
+    def test_client_apply_reaches_target(self, server, versions):
+        response = server.respond(versions[0].serial)
+        updated = apply_deltas(versions[0], response.deltas, response.records[0])
+        assert updated.serial == versions[-1].serial
+        expected = sorted(r.canonical_wire() for r in versions[-1].records)
+        actual = sorted(r.canonical_wire() for r in updated.records)
+        assert actual == expected
+
+    def test_apply_rejects_wrong_start(self, server, versions):
+        response = server.respond(versions[1].serial)
+        with pytest.raises(TransferError):
+            apply_deltas(versions[0], response.deltas, response.records[0])
+
+    def test_applied_zone_still_validates(self, server, versions):
+        from repro.dns.name import ROOT_NAME
+        from repro.dnssec.validate import validate_zone
+
+        response = server.respond(versions[0].serial)
+        updated = apply_deltas(versions[0], response.deltas, response.records[0])
+        report = validate_zone(
+            updated.records, ROOT_NAME, now=parse_ts("2023-11-28T17:00:00")
+        )
+        assert report.valid

@@ -1,0 +1,64 @@
+"""RFC 1982 serial arithmetic and root-zone serial convention."""
+
+import pytest
+
+from repro.util.timeutil import parse_ts
+from repro.zone.serial import SERIAL_MODULO, serial_add, serial_compare, serial_for_day
+
+
+class TestSerialAdd:
+    def test_simple(self):
+        assert serial_add(10, 5) == 15
+
+    def test_wraps(self):
+        assert serial_add(SERIAL_MODULO - 1, 1) == 0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            serial_add(0, -1)
+
+    def test_rejects_oversized_increment(self):
+        with pytest.raises(ValueError):
+            serial_add(0, 1 << 31)
+
+
+class TestSerialCompare:
+    def test_equal(self):
+        assert serial_compare(5, 5) == 0
+
+    def test_simple_order(self):
+        assert serial_compare(1, 2) == -1
+        assert serial_compare(2, 1) == 1
+
+    def test_wrapped_order(self):
+        # 4294967295 + 2 wraps to 1; 1 is "greater" in sequence space.
+        assert serial_compare(SERIAL_MODULO - 1, 1) == -1
+        assert serial_compare(1, SERIAL_MODULO - 1) == 1
+
+    def test_undefined_distance_raises(self):
+        with pytest.raises(ValueError):
+            serial_compare(0, 1 << 31)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            serial_compare(-1, 0)
+        with pytest.raises(ValueError):
+            serial_compare(0, SERIAL_MODULO)
+
+
+class TestRootSerial:
+    def test_yyyymmddnn_format(self):
+        assert serial_for_day(parse_ts("2023-11-27"), 0) == 2023112700
+
+    def test_edition_increments(self):
+        ts = parse_ts("2023-11-27")
+        assert serial_for_day(ts, 1) == serial_for_day(ts, 0) + 1
+
+    def test_edition_range_checked(self):
+        with pytest.raises(ValueError):
+            serial_for_day(parse_ts("2023-11-27"), 100)
+
+    def test_serials_monotone_across_days(self):
+        a = serial_for_day(parse_ts("2023-11-27"), 1)
+        b = serial_for_day(parse_ts("2023-11-28"), 0)
+        assert serial_compare(a, b) == -1

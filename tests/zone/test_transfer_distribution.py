@@ -1,0 +1,131 @@
+"""AXFR transfer protocol and zone distribution/staleness."""
+
+import pytest
+
+from repro.dns.constants import RRType, Rcode
+from repro.dns.message import Message
+from repro.dns.name import ROOT_NAME
+from repro.util.timeutil import DAY, parse_ts
+from repro.zone.distribution import PUBLICATION_OFFSETS, ZoneDistributor
+from repro.zone.transfer import (
+    RECORDS_PER_MESSAGE,
+    AxfrClient,
+    AxfrServer,
+    TransferError,
+)
+
+DEC_TS = parse_ts("2023-12-10T16:00:00")
+
+
+def axfr_query() -> Message:
+    return Message.make_query(ROOT_NAME, RRType.AXFR)
+
+
+class TestAxfr:
+    def test_transfer_roundtrip(self, validatable_zone):
+        result = AxfrClient().transfer(AxfrServer(validatable_zone), axfr_query())
+        assert result.serial == validatable_zone.serial
+        assert result.records == len(validatable_zone) + 1  # trailing SOA
+        assert result.shared
+
+    def test_stream_soa_envelope(self, validatable_zone):
+        messages = list(AxfrServer(validatable_zone).stream(axfr_query()))
+        answers = [r for m in messages for r in m.answers]
+        assert answers[0].rrtype == RRType.SOA
+        assert answers[-1].rrtype == RRType.SOA
+        assert len(messages) == -(-len(answers) // RECORDS_PER_MESSAGE)
+
+    def test_refusing_server(self, validatable_zone):
+        server = AxfrServer(validatable_zone, allow_axfr=False)
+        result = AxfrClient().transfer(server, axfr_query())
+        assert result.refused
+
+    def test_non_axfr_query_rejected(self, validatable_zone):
+        with pytest.raises(TransferError):
+            list(AxfrServer(validatable_zone).stream(
+                Message.make_query(ROOT_NAME, RRType.NS)
+            ))
+
+
+class TestDistribution:
+    def test_two_publications_per_day(self):
+        pubs = ZoneDistributor.publications_between(
+            parse_ts("2023-12-10"), parse_ts("2023-12-12")
+        )
+        assert len(pubs) == 2 * len(PUBLICATION_OFFSETS)
+
+    def test_latest_publication_before(self):
+        pub_ts, edition = ZoneDistributor.latest_publication(DEC_TS)
+        assert pub_ts <= DEC_TS
+        assert edition in (0, 1)
+
+    def test_latest_publication_wraps_to_previous_day(self):
+        early = parse_ts("2023-12-10T01:00:00")
+        pub_ts, _ = ZoneDistributor.latest_publication(early)
+        assert pub_ts < parse_ts("2023-12-10")
+
+    def test_zone_cache_shared(self, zone_builder):
+        distributor = ZoneDistributor(zone_builder)
+        a = distributor.zone_at_site("x-001", DEC_TS)
+        b = distributor.zone_at_site("y-002", DEC_TS)
+        assert a is b
+        assert distributor.cache_size() == 1
+
+    def test_propagation_lag(self, zone_builder):
+        distributor = ZoneDistributor(zone_builder, propagation_lag_s=3600)
+        pub_ts, _ = ZoneDistributor.latest_publication(DEC_TS)
+        just_after = pub_ts + 60
+        pub = distributor.site_publication("s", just_after)
+        assert pub.publication_ts < pub_ts  # new copy not yet propagated
+
+    def test_freeze_and_unfreeze(self, zone_builder):
+        distributor = ZoneDistributor(zone_builder)
+        freeze_at = parse_ts("2023-12-01T12:00:00")
+        distributor.freeze_site("d-001", freeze_at)
+        assert distributor.is_frozen("d-001")
+        stale = distributor.zone_at_site("d-001", DEC_TS + 5 * DAY)
+        fresh = distributor.zone_at_site("other", DEC_TS + 5 * DAY)
+        assert stale.serial < fresh.serial
+        distributor.unfreeze_site("d-001")
+        assert not distributor.is_frozen("d-001")
+        thawed = distributor.zone_at_site("d-001", DEC_TS + 5 * DAY)
+        assert thawed.serial == fresh.serial
+
+    def test_frozen_site_marked_stale(self, zone_builder):
+        distributor = ZoneDistributor(zone_builder)
+        distributor.freeze_site("d-001", DEC_TS)
+        assert distributor.site_publication("d-001", DEC_TS + DAY).stale
+        assert not distributor.site_publication("d-002", DEC_TS + DAY).stale
+
+
+class TestSources:
+    def test_iana_series_cadence(self, zone_builder):
+        from repro.zone.sources import IanaSource
+
+        distributor = ZoneDistributor(zone_builder)
+        source = IanaSource(distributor)
+        series = source.download_series(
+            parse_ts("2023-12-10"), parse_ts("2023-12-10") + 2 * 3600
+        )
+        assert len(series) == 8  # every 15 minutes over 2 hours
+
+    def test_iana_sees_new_serial_soon_after_publication(self, zone_builder):
+        from repro.zone.sources import IanaSource
+
+        distributor = ZoneDistributor(zone_builder)
+        source = IanaSource(distributor, publish_delay_s=1800)
+        pub_ts, _ = ZoneDistributor.latest_publication(DEC_TS)
+        before = source.download(pub_ts + 60)
+        after = source.download(pub_ts + 3600)
+        assert before.zone.serial < after.zone.serial
+
+    def test_czds_one_snapshot_per_day(self, zone_builder):
+        from repro.zone.sources import CzdsSource
+
+        distributor = ZoneDistributor(zone_builder)
+        source = CzdsSource(distributor)
+        series = source.download_series(
+            parse_ts("2023-12-10"), parse_ts("2023-12-13")
+        )
+        assert len(series) == 3
+        assert len({dl.zone.serial for dl in series}) == 3

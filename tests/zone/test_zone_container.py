@@ -1,0 +1,76 @@
+"""The Zone container's API surface."""
+
+import pytest
+
+from repro.dns.constants import RRClass, RRType
+from repro.dns.name import Name, ROOT_NAME
+from repro.dns.rdata import A, NS, SOA
+from repro.dns.records import ResourceRecord
+from repro.zone.zone import Zone
+
+
+def soa_record(serial: int = 1) -> ResourceRecord:
+    return ResourceRecord(
+        ROOT_NAME, RRType.SOA, RRClass.IN, 86400,
+        SOA(Name.from_text("m."), Name.from_text("r."), serial, 2, 3, 4, 5),
+    )
+
+
+def ns_record(tld: str) -> ResourceRecord:
+    return ResourceRecord(
+        Name.from_text(f"{tld}."), RRType.NS, RRClass.IN, 172800,
+        NS(Name.from_text(f"ns1.nic.{tld}.")),
+    )
+
+
+class TestConstruction:
+    def test_requires_soa(self):
+        with pytest.raises(ValueError):
+            Zone(ROOT_NAME, [ns_record("com")])
+
+    def test_serial_property(self):
+        zone = Zone(ROOT_NAME, [soa_record(2023120600)])
+        assert zone.serial == 2023120600
+
+    def test_len_and_iter(self):
+        zone = Zone(ROOT_NAME, [soa_record(), ns_record("com")])
+        assert len(zone) == 2
+        assert len(list(zone)) == 2
+
+
+class TestLookups:
+    @pytest.fixture()
+    def zone(self):
+        return Zone(
+            ROOT_NAME,
+            [soa_record(), ns_record("com"), ns_record("org"),
+             ResourceRecord(
+                 Name.from_text("ns1.nic.com."), RRType.A, RRClass.IN,
+                 172800, A("192.0.2.1"),
+             )],
+        )
+
+    def test_find_rrset(self, zone):
+        rrset = zone.find_rrset(Name.from_text("com."), RRType.NS)
+        assert rrset is not None and len(rrset) == 1
+
+    def test_find_missing_returns_none(self, zone):
+        assert zone.find_rrset(Name.from_text("nope."), RRType.NS) is None
+
+    def test_delegations_sorted(self, zone):
+        delegations = [n.to_text() for n in zone.delegations()]
+        assert delegations == ["com.", "org."]
+
+    def test_names_include_glue_owners(self, zone):
+        names = {n.to_text() for n in zone.names()}
+        assert "ns1.nic.com." in names
+
+    def test_replace_record_bounds_checked(self, zone):
+        with pytest.raises(IndexError):
+            zone.replace_record(99, soa_record())
+
+    def test_copy_preserves_but_isolates(self, zone):
+        clone = zone.copy()
+        clone.replace_record(1, ns_record("net"))
+        assert zone.find_rrset(Name.from_text("com."), RRType.NS) is not None
+        assert clone.find_rrset(Name.from_text("net."), RRType.NS) is not None

@@ -1,0 +1,73 @@
+"""Master-file serialisation round-trips."""
+
+import pytest
+
+from repro.dns.constants import RRType
+from repro.dns.name import ROOT_NAME
+from repro.zone.zonefile import (
+    ZoneFileError,
+    parse_record_line,
+    parse_zone_text,
+    render_zone_text,
+)
+
+
+class TestRenderParse:
+    def test_full_zone_roundtrip(self, validatable_zone):
+        text = render_zone_text(validatable_zone)
+        parsed = parse_zone_text(text)
+        original = sorted(r.canonical_wire() for r in validatable_zone.records)
+        roundtripped = sorted(r.canonical_wire() for r in parsed.records)
+        assert roundtripped == original
+
+    def test_soa_first_line(self, validatable_zone):
+        first = render_zone_text(validatable_zone).splitlines()[0]
+        assert "\tSOA\t" in first
+
+    def test_rendering_deterministic(self, validatable_zone):
+        assert render_zone_text(validatable_zone) == render_zone_text(validatable_zone)
+
+    def test_comments_and_blanks_ignored(self, validatable_zone):
+        text = "; comment\n\n" + render_zone_text(validatable_zone)
+        parsed = parse_zone_text(text)
+        assert len(parsed) == len(validatable_zone)
+
+    def test_parsed_zone_revalidates(self, validatable_zone):
+        from repro.dnssec.validate import validate_zone
+        from repro.util.timeutil import parse_ts
+
+        parsed = parse_zone_text(render_zone_text(validatable_zone))
+        report = validate_zone(
+            parsed.records, ROOT_NAME, now=parse_ts("2023-12-10T16:00:00")
+        )
+        assert report.valid
+
+
+class TestRecordLine:
+    def test_parse_a(self):
+        record = parse_record_line("host.example.\t3600\tIN\tA\t192.0.2.1")
+        assert record.rrtype == RRType.A
+
+    def test_parse_rejects_short_line(self):
+        with pytest.raises(ZoneFileError):
+            parse_record_line("oops.")
+
+    def test_parse_rejects_bad_ttl(self):
+        with pytest.raises(ZoneFileError):
+            parse_record_line("a.\tsoon\tIN\tA\t192.0.2.1")
+
+    def test_parse_rejects_unknown_type(self):
+        with pytest.raises(ValueError):
+            parse_record_line("a.\t60\tIN\tNOPE\tx")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ZoneFileError, match="line 2"):
+            parse_zone_text("; fine\nbroken line here\n")
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("; nothing\n")
+
+    def test_missing_soa_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone_text("a.\t60\tIN\tA\t192.0.2.1\n")
