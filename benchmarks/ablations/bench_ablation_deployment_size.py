@@ -44,13 +44,11 @@ def test_ablation_deployment_size_vs_distance(benchmark, results):
     assert large < small * 0.6
 
 
-def test_ablation_stability_not_size(benchmark, results):
+def test_ablation_stability_not_size(benchmark, results, analyze):
     """Same size, different churn: the b-vs-g contrast is driven by the
     per-letter dynamics targets, mirroring the paper's observation that
     deployment size alone does not predict stability."""
-    from repro.analysis.stability import StabilityAnalysis
-
-    stability = benchmark(StabilityAnalysis, results.collector)
+    stability = benchmark(analyze, "stability", results)
     b = stability.median_changes("b", 4, "new")
     g = stability.median_changes("g", 4)
     print()

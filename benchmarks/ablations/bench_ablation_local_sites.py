@@ -10,7 +10,6 @@ Tables 1/4 (local sites are only visible to nearby VPs).
 
 import statistics
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.rss.sites import SITE_PLAN
 
 
@@ -59,12 +58,10 @@ def test_ablation_local_site_benefit(benchmark, results):
     assert max(gains) > 25.0
 
 
-def test_ablation_local_site_coverage_cost(benchmark, results):
+def test_ablation_local_site_coverage_cost(benchmark, results, analyze):
     """The flip side (Tables 1/4): local sites are hard for a VP fleet
     to observe — local coverage trails global coverage everywhere."""
-    coverage = benchmark(
-        CoverageAnalysis, results.catalog, results.collector.identities
-    )
+    coverage = benchmark(analyze, "coverage", results)
     print()
     for letter in ("d", "e", "f", "j"):
         rows = {r.scope: r for r in coverage.worldwide()[letter]}

@@ -6,12 +6,11 @@ old/new split), and coarser identity cadence.  This ablation runs both
 platforms over the same world and measures what survives.
 """
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.util.timeutil import parse_ts
 from repro.vantage.atlas import AtlasPlatform
 
 
-def test_ablation_platform_choice(benchmark, results, study):
+def test_ablation_platform_choice(benchmark, results, study, analyze):
     window = (parse_ts("2023-11-20"), parse_ts("2023-11-27"))
     vps = results.vps[:40]
 
@@ -26,8 +25,10 @@ def test_ablation_platform_choice(benchmark, results, study):
     print()
     print("Ablation: what the Atlas built-ins would have captured")
     # 1. Coverage works on both platforms (identities are built in).
-    atlas_coverage = CoverageAnalysis(results.catalog, atlas.collector.identities)
-    nlnog_coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    atlas_coverage = analyze(
+        "coverage", catalog=results.catalog, identities=atlas.collector.identities
+    )
+    nlnog_coverage = analyze("coverage", results)
     atlas_total, _ = atlas_coverage.observed_identifier_count()
     nlnog_total, _ = nlnog_coverage.observed_identifier_count()
     print(f"  identities observed: Atlas built-ins {atlas_total}, "

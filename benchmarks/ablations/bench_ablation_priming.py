@@ -9,8 +9,7 @@ priming from reluctance.
 
 from dataclasses import replace
 
-from repro.analysis.clientbehavior import ClientBehaviorAnalysis
-from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis import registry
 from repro.passive.clients import ISP_PROFILE, build_client_population
 from repro.passive.isp import IspCapture
 from repro.util.rng import RngFactory
@@ -28,9 +27,9 @@ def measure(primer_share: float):
     )
     clients = build_client_population(profile, RngFactory(11))
     capture = IspCapture(clients, seed=11).capture(*WINDOW)
-    shift = TrafficShiftAnalysis(capture)
+    shift = registry.run("trafficshift", aggregate=capture)
     ratios = shift.shift_ratios(*WINDOW)
-    behavior = ClientBehaviorAnalysis(capture)
+    behavior = registry.run("clientbehavior", aggregate=capture)
     old_v6 = behavior.distribution(shift.b_addresses["V6old"])
     return ratios.v6_shifted, old_v6.mean_clients_per_day()
 

@@ -6,7 +6,7 @@ degrades, validating that the privacy-driven aggregation does not
 distort the headline ratios.
 """
 
-from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis import registry
 from repro.passive.clients import IXP_EU_PROFILE, build_client_population
 from repro.passive.isp import IspCapture
 from repro.passive.clients import LETTER_WEIGHTS_IXP
@@ -21,7 +21,7 @@ def shifted_share(clients, sampling_rate: float) -> float:
         clients, seed=13, sampling_rate=sampling_rate,
         letter_weights=LETTER_WEIGHTS_IXP,
     ).capture(*WINDOW)
-    shift = TrafficShiftAnalysis(capture)
+    shift = registry.run("trafficshift", aggregate=capture)
     return shift.shift_ratios(*WINDOW).v6_shifted
 
 

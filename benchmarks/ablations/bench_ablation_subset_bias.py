@@ -10,8 +10,8 @@ all-letter values.
 from repro.analysis.variability import VariabilityAnalysis
 
 
-def test_ablation_subset_generalisation(benchmark, results):
-    analysis = VariabilityAnalysis(results.collector, results.vps)
+def test_ablation_subset_generalisation(benchmark, results, analyze):
+    analysis = analyze("variability", results)
 
     def build():
         return analysis.subset_spread(k=4, max_subsets=40)
@@ -34,9 +34,9 @@ def test_ablation_subset_generalisation(benchmark, results):
     assert hi_x / lo_x > 1.3
 
 
-def test_ablation_single_letter_extremes(benchmark, results):
+def test_ablation_single_letter_extremes(benchmark, results, analyze):
     """The b-vs-g contrast as the degenerate k=1 case."""
-    analysis = VariabilityAnalysis(results.collector, results.vps)
+    analysis = analyze("variability", results)
 
     def build():
         return {

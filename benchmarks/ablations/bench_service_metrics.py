@@ -6,13 +6,13 @@ across sites, and serial currency — with the stale d.root sites from the
 Table 2 fault plan showing up as the currency violations.
 """
 
-from repro.analysis.rssac import RESPONSE_LATENCY_THRESHOLD_MS, RssacMetrics
+from repro.analysis.rssac import RESPONSE_LATENCY_THRESHOLD_MS
 from repro.util.tables import Table
 from repro.util.timeutil import parse_ts
 
 
-def test_service_metrics(benchmark, results):
-    metrics = RssacMetrics(results.collector, results.distributor)
+def test_service_metrics(benchmark, results, analyze):
+    metrics = analyze("rssac", results)
 
     latencies = benchmark(metrics.all_response_latencies)
 

@@ -6,11 +6,10 @@ copy of the same serial (the paper compared against an ICANN download
 with the same SOA).
 """
 
-from repro.analysis.zonemd_audit import ZonemdAudit
 
 
-def test_fig10_bitflip_diff(benchmark, results):
-    audit = ZonemdAudit(results.collector.transfers)
+def test_fig10_bitflip_diff(benchmark, results, analyze):
+    audit = analyze("zonemd_audit", results)
     examples = benchmark(audit.bitflip_examples)
     assert examples, "the fault plan schedules bitflipped transfers"
 

@@ -4,13 +4,12 @@ The per-letter analogue of Figure 1b: every site with observed /
 not-observed status, summarised per continent.
 """
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.geo.continents import Continent
 from repro.util.tables import Table
 
 
-def test_fig11_all_roots_coverage_maps(benchmark, results):
-    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+def test_fig11_all_roots_coverage_maps(benchmark, results, analyze):
+    coverage = analyze("coverage", results)
     maps = benchmark(
         lambda: {letter: coverage.site_map(letter) for letter in "abcdefghijklm"}
     )

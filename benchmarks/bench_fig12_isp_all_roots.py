@@ -5,14 +5,15 @@ all letters; b.root's share hardly changes despite the address change
 (4.90% before vs 4.46% after).
 """
 
-from repro.analysis.trafficshift import TrafficShiftAnalysis
 from repro.util.tables import Table
 from repro.util.timeutil import parse_ts
 
 
-def test_fig12_isp_all_roots(benchmark, isp_pre_change_day, isp_post_change_month):
-    pre = TrafficShiftAnalysis(isp_pre_change_day)
-    post = TrafficShiftAnalysis(isp_post_change_month)
+def test_fig12_isp_all_roots(
+    benchmark, isp_pre_change_day, isp_post_change_month, analyze
+):
+    pre = analyze("trafficshift", aggregate=isp_pre_change_day)
+    post = analyze("trafficshift", aggregate=isp_post_change_month)
 
     pre_shares = pre.letter_shares(parse_ts("2023-10-07"), parse_ts("2023-10-09"))
     post_shares = benchmark(

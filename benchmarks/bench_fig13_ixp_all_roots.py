@@ -4,7 +4,6 @@ Shape expectation (paper Appendix D): exchange traffic is dominated by a
 few letters, especially k.root and d.root.
 """
 
-from repro.analysis.trafficshift import TrafficShiftAnalysis
 from repro.geo.continents import Continent
 from repro.passive.ixp import regional_aggregate
 from repro.util.tables import Table
@@ -13,10 +12,10 @@ from repro.util.timeutil import parse_ts
 WINDOW = (parse_ts("2023-11-01"), parse_ts("2023-11-15"))
 
 
-def test_fig13_ixp_all_roots(benchmark, ixp_captures):
+def test_fig13_ixp_all_roots(benchmark, ixp_captures, analyze):
     def build():
         aggregate = regional_aggregate(ixp_captures, Continent.EUROPE, *WINDOW)
-        return TrafficShiftAnalysis(aggregate).letter_shares(*WINDOW)
+        return analyze("trafficshift", aggregate=aggregate).letter_shares(*WINDOW)
 
     shares = benchmark.pedantic(build, rounds=1, iterations=1)
 

@@ -6,12 +6,11 @@ Figure 6).
 import numpy as np
 
 from repro.analysis.report import render_figure6
-from repro.analysis.rtt import RttAnalysis
 from repro.geo.continents import Continent
 
 
-def test_fig14_fig15_rtt_all_continents(benchmark, results):
-    rtt = RttAnalysis(results.collector, results.vps)
+def test_fig14_fig15_rtt_all_continents(benchmark, results, analyze):
+    rtt = analyze("rtt", results)
     addresses = [sa.address for sa in results.collector.addresses]
     continents = list(Continent)
 

@@ -5,13 +5,12 @@ f.root, every site with its observed/not-observed flag (Fig. 1b),
 summarised per continent.
 """
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.geo.continents import Continent
 from repro.util.tables import Table
 
 
-def test_fig1_coverage_map(benchmark, results):
-    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+def test_fig1_coverage_map(benchmark, results, analyze):
+    coverage = analyze("coverage", results)
     site_map = benchmark(coverage.site_map, "f")
 
     vp_counts = {}

@@ -7,11 +7,10 @@ over IPv6 than IPv4; the per-VP distribution is heavy-tailed.
 """
 
 from repro.analysis.report import render_figure3
-from repro.analysis.stability import StabilityAnalysis
 
 
-def test_fig3_change_ecdf(benchmark, results):
-    stability = benchmark(StabilityAnalysis, results.collector)
+def test_fig3_change_ecdf(benchmark, results, analyze):
+    stability = benchmark(analyze, "stability", results)
     print()
     print(render_figure3(stability))
 

@@ -5,15 +5,12 @@ Shape expectations: co-location is prevalent (paper: ~70% of VPs observe
 per-continent averages (~0.7 - 1.3).
 """
 
-from repro.analysis.colocation import ColocationAnalysis
 from repro.analysis.report import render_figure4
 from repro.geo.continents import Continent
 
 
-def test_fig4_reduced_redundancy(benchmark, results):
-    colocation = benchmark(
-        ColocationAnalysis, results.collector, results.vps
-    )
+def test_fig4_reduced_redundancy(benchmark, results, analyze):
+    colocation = benchmark(analyze, "colocation", results)
     print()
     print(render_figure4(colocation))
 

@@ -6,13 +6,12 @@ closest global instance or to an even closer local one; most clients see
 under 1,000 km of extra distance, a minority face large detours.
 """
 
-from repro.analysis.distance import DistanceAnalysis
 from repro.analysis.report import render_figure5
 from repro.rss.operators import root_server
 
 
-def test_fig5_distance_inflation(benchmark, results):
-    distance = DistanceAnalysis(results.collector)
+def test_fig5_distance_inflation(benchmark, results, analyze):
+    distance = analyze("distance", results)
     b = root_server("b")
     m = root_server("m")
     addresses = [b.ipv4, b.ipv6, m.ipv4, m.ipv6]

@@ -7,9 +7,7 @@ North American IPv6 RTTs but *raises* RTTs in regions it hauls out of
 continent (i.root South America, l.root Africa).
 """
 
-from repro.analysis.paths import PathAnalysis
 from repro.analysis.report import render_figure6, render_path_breakdown
-from repro.analysis.rtt import RttAnalysis
 from repro.geo.continents import Continent
 from repro.rss.operators import root_server
 
@@ -21,8 +19,8 @@ FIG6_CONTINENTS = [
 ]
 
 
-def test_fig6_rtt_by_region(benchmark, results):
-    rtt = RttAnalysis(results.collector, results.vps)
+def test_fig6_rtt_by_region(benchmark, results, analyze):
+    rtt = analyze("rtt", results)
     addresses = [sa.address for sa in results.collector.addresses]
 
     summaries = benchmark(
@@ -60,7 +58,7 @@ def test_fig6_rtt_by_region(benchmark, results):
 
     # §6 path drill-down: the AS6939-like network carries more of the
     # IPv6 paths than the IPv4 paths in the affected regions.
-    paths = PathAnalysis(results.collector, results.vps)
+    paths = analyze("paths", results)
     print()
     for continent in (Continent.SOUTH_AMERICA, Continent.AFRICA):
         print(render_path_breakdown(paths, continent, "i"))

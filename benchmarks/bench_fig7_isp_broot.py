@@ -7,14 +7,15 @@ subnet dominates; in-family shift ratios land near the paper's 87.1%
 (IPv4) and 96.3% (IPv6), with IPv6 the more eager family.
 """
 
-from repro.analysis.trafficshift import TrafficShiftAnalysis
 from repro.analysis.report import render_traffic_series
 from repro.util.timeutil import parse_ts
 
 
-def test_fig7_isp_broot_traffic(benchmark, isp_pre_change_day, isp_post_change_month):
-    pre = TrafficShiftAnalysis(isp_pre_change_day)
-    post = TrafficShiftAnalysis(isp_post_change_month)
+def test_fig7_isp_broot_traffic(
+    benchmark, isp_pre_change_day, isp_post_change_month, analyze
+):
+    pre = analyze("trafficshift", aggregate=isp_pre_change_day)
+    post = analyze("trafficshift", aggregate=isp_post_change_month)
 
     series = benchmark(post.broot_series)
     print()

@@ -7,12 +7,11 @@ RFC 8109 priming fingerprint — while the new subnets see ordinary
 volume distributions.
 """
 
-from repro.analysis.clientbehavior import ClientBehaviorAnalysis
 from repro.analysis.report import render_figure8
 
 
-def test_fig8_clients_per_day(benchmark, isp_post_change_month):
-    behavior = ClientBehaviorAnalysis(isp_post_change_month)
+def test_fig8_clients_per_day(benchmark, isp_post_change_month, analyze):
+    behavior = analyze("clientbehavior", aggregate=isp_post_change_month)
     signal = benchmark(behavior.priming_signal)
 
     print()

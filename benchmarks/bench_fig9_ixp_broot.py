@@ -6,7 +6,6 @@ b.root IPv6 traffic to the new subnet (~60.8%) while North American ones
 lag far behind (~16.5%).
 """
 
-from repro.analysis.trafficshift import TrafficShiftAnalysis
 from repro.analysis.report import render_traffic_series
 from repro.geo.continents import Continent
 from repro.passive.ixp import regional_aggregate
@@ -15,12 +14,12 @@ from repro.util.timeutil import parse_ts
 WINDOW = (parse_ts("2023-12-08"), parse_ts("2023-12-28"))
 
 
-def test_fig9_ixp_v6_shift(benchmark, ixp_captures):
+def test_fig9_ixp_v6_shift(benchmark, ixp_captures, analyze):
     def build():
         out = {}
         for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
             aggregate = regional_aggregate(ixp_captures, region, *WINDOW)
-            out[region] = TrafficShiftAnalysis(aggregate)
+            out[region] = analyze("trafficshift", aggregate=aggregate)
         return out
 
     analyses = benchmark.pedantic(build, rounds=1, iterations=1)

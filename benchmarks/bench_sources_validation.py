@@ -7,7 +7,7 @@ throughout (the paper found no issues in these channels).
 """
 
 from repro.analysis.report import render_source_audit
-from repro.analysis.zonemd_audit import ZonemdAudit
+from repro.analysis import registry
 from repro.dnssec.zonemd import ZonemdStatus
 from repro.util.timeutil import DAY, format_ts, parse_ts
 from repro.zone.rootzone import ZONEMD_VALIDATABLE_DATE
@@ -28,7 +28,7 @@ def test_sources_validation_schedule(benchmark, results):
     def build():
         downloads = [iana.download(day + 12 * 3600) for day in sample_days]
         downloads += [czds.download(day) for day in sample_days]
-        return ZonemdAudit.audit_downloads(downloads)
+        return registry.get("zonemd_audit").audit_downloads(downloads)
 
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
     print()

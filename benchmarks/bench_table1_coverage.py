@@ -6,14 +6,11 @@ many the campaign's vantage points observed.  Expected shape (paper):
 lower local-site coverage for the local-heavy deployments (d, e, f).
 """
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.analysis.report import render_table1
 
 
-def test_table1_coverage(benchmark, results):
-    coverage = benchmark(
-        CoverageAnalysis, results.catalog, results.collector.identities
-    )
+def test_table1_coverage(benchmark, results, analyze):
+    coverage = benchmark(analyze, "coverage", results)
     print()
     print(render_table1(coverage))
     total, unmapped = coverage.observed_identifier_count()

@@ -6,11 +6,10 @@ Everything else validates.
 """
 
 from repro.analysis.report import render_table2
-from repro.analysis.zonemd_audit import ZonemdAudit
 
 
-def test_table2_zonemd_errors(benchmark, results):
-    audit = ZonemdAudit(results.collector.transfers)
+def test_table2_zonemd_errors(benchmark, results, analyze):
+    audit = analyze("zonemd_audit", results)
     findings, valid = benchmark(audit.validate_transfers)
     print()
     print(render_table2(findings, valid))

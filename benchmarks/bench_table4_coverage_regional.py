@@ -5,13 +5,12 @@ Europe shows the best coverage (the ring is Europe-heavy), local-site
 coverage trails global everywhere it exists.
 """
 
-from repro.analysis.coverage import CoverageAnalysis
 from repro.analysis.report import render_table4
 from repro.geo.continents import Continent
 
 
-def test_table4_regional_coverage(benchmark, results):
-    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+def test_table4_regional_coverage(benchmark, results, analyze):
+    coverage = analyze("coverage", results)
     per_region = benchmark(coverage.per_region)
     print()
     print(render_table4(coverage))

@@ -3,6 +3,12 @@
 One campaign and one set of passive captures are built per session and
 shared read-only by every benchmark; each bench then times its *analysis*
 step and prints the regenerated table/figure rows.
+
+Analyses are constructed by name through the ``analyze`` fixture (the
+registry surface in :mod:`repro.analysis.registry`), never by
+hand-wiring constructors: ``analyze("stability", results)`` for
+campaign-side analyses, ``analyze("trafficshift", aggregate=capture)``
+for passive ones.
 """
 
 from __future__ import annotations
@@ -49,6 +55,15 @@ def study():
 @pytest.fixture(scope="session")
 def results(study):
     return study.results()
+
+
+@pytest.fixture(scope="session")
+def analyze():
+    """Construct an analysis by registry name: ``analyze(name, results)``
+    or ``analyze(name, aggregate=capture)`` for passive analyses."""
+    from repro.analysis import registry
+
+    return registry.run
 
 
 @pytest.fixture(scope="session")

@@ -12,8 +12,14 @@ and figures (see DESIGN.md's experiment index):
 * :mod:`clientbehavior` — Figure 8 (clients/day, priming signal)
 * :mod:`zonemd_audit`   — Table 2, Figure 10, §7 (integrity, RQ3)
 * :mod:`report`         — plain-text rendering of all of the above
+
+Every analysis conforms to the :class:`~repro.analysis.base.Analysis`
+protocol (``name``, ``requires``, ``run(results)``) and is reachable by
+name through :mod:`repro.analysis.registry` — the CLI, report generator
+and benchmarks construct analyses only through that registry.
 """
 
+from repro.analysis.base import Analysis, RegisteredAnalysis
 from repro.analysis.coverage import CoverageAnalysis, CoverageRow
 from repro.analysis.stability import StabilityAnalysis
 from repro.analysis.colocation import ColocationAnalysis
@@ -25,8 +31,12 @@ from repro.analysis.zonemd_audit import ZonemdAudit
 from repro.analysis.paths import PathAnalysis
 from repro.analysis.rssac import RssacMetrics
 from repro.analysis.variability import VariabilityAnalysis
+from repro.analysis import registry
 
 __all__ = [
+    "Analysis",
+    "RegisteredAnalysis",
+    "registry",
     "PathAnalysis",
     "RssacMetrics",
     "VariabilityAnalysis",

@@ -1,0 +1,117 @@
+"""The ``Analysis`` protocol and the shared construction machinery.
+
+Every analysis class declares
+
+* ``name`` — its registry key (``repro.analysis.registry.get(name)``),
+* ``requires`` — the input keys its constructor takes, positionally
+  (a trailing ``?`` marks an optional input, passed as ``None`` when
+  absent),
+
+and inherits :class:`RegisteredAnalysis.run`, which resolves those keys
+against a results bundle (or explicit keyword inputs) and instantiates
+the class.  Drivers — the CLI, the report generator, the benchmarks —
+construct analyses only through this surface, never by hand-wiring
+constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+#: Input keys derived from a results bundle (everything else must be
+#: passed explicitly, e.g. a passive-capture ``aggregate``).
+BUNDLE_KEYS: Tuple[str, ...] = (
+    "vps",
+    "catalog",
+    "fabric",
+    "distributor",
+    "deployments",
+    "schedule",
+    "config",
+    "fault_plan",
+)
+
+
+def build_context(results: Any = None, **inputs: Any) -> Dict[str, Any]:
+    """Resolve the available analysis inputs.
+
+    *results* may be a :class:`~repro.core.results.StudyResults` bundle,
+    a bare collector, or a reloaded dataset; explicit keyword *inputs*
+    always win.  Derived keys: ``identities`` and ``transfers`` come off
+    the collector when present.
+    """
+    context: Dict[str, Any] = dict(inputs)
+    if results is None:
+        return context
+    collector = getattr(results, "collector", None)
+    if collector is None and hasattr(results, "probe_columns"):
+        collector = results  # a bare collector / loaded dataset
+    if collector is not None:
+        context.setdefault("collector", collector)
+        if hasattr(collector, "identities"):
+            context.setdefault("identities", collector.identities)
+        if hasattr(collector, "transfers"):
+            context.setdefault("transfers", collector.transfers)
+    for key in BUNDLE_KEYS:
+        if hasattr(results, key):
+            context.setdefault(key, getattr(results, key))
+    return context
+
+
+def requirement_key(requirement: str) -> Tuple[str, bool]:
+    """Split a ``requires`` entry into (input key, optional?)."""
+    if requirement.endswith("?"):
+        return requirement[:-1], True
+    return requirement, False
+
+
+@runtime_checkable
+class Analysis(Protocol):
+    """What the registry expects of every analysis class."""
+
+    name: ClassVar[str]
+    requires: ClassVar[Tuple[str, ...]]
+
+    @classmethod
+    def run(cls, results: Any = None, **inputs: Any) -> "Analysis": ...
+
+
+class RegisteredAnalysis:
+    """Mixin turning a plain analysis class into a registry citizen.
+
+    Subclasses set ``name`` and ``requires``; ``requires`` must list the
+    constructor's positional parameters by input key, in order.
+    """
+
+    name: ClassVar[str] = ""
+    requires: ClassVar[Tuple[str, ...]] = ()
+
+    @classmethod
+    def run(cls, results: Any = None, **inputs: Any):
+        """Instantiate this analysis from a results bundle and/or
+        explicit inputs."""
+        context = build_context(results, **inputs)
+        args = []
+        missing = []
+        for requirement in cls.requires:
+            key, optional = requirement_key(requirement)
+            if key in context:
+                args.append(context[key])
+            elif optional:
+                args.append(None)
+            else:
+                missing.append(key)
+        if missing:
+            raise KeyError(
+                f"analysis {cls.name!r} is missing required inputs {missing}; "
+                f"available: {sorted(context)}"
+            )
+        return cls(*args)
+
+    @classmethod
+    def satisfied_by(cls, context: Dict[str, Any]) -> bool:
+        """Whether *context* covers every non-optional requirement."""
+        return all(
+            requirement_key(r)[0] in context or requirement_key(r)[1]
+            for r in cls.requires
+        )

@@ -8,6 +8,8 @@ b.root IPv6 subnet about once per day — IPv6-capable stacks re-prime
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -42,8 +44,11 @@ class ClientFlowDistribution:
         return len(self.flows_per_client)
 
 
-class ClientBehaviorAnalysis:
+class ClientBehaviorAnalysis(RegisteredAnalysis):
     """Figure 8 over one capture aggregate."""
+
+    name = "clientbehavior"
+    requires = ("aggregate",)
 
     def __init__(self, aggregate: FlowAggregate) -> None:
         self.aggregate = aggregate

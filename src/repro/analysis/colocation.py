@@ -9,6 +9,8 @@ the estimate a lower bound — the paper's §5 convention.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,8 +40,11 @@ class VpColocation:
         return self.reduced_redundancy + 1
 
 
-class ColocationAnalysis:
+class ColocationAnalysis(RegisteredAnalysis):
     """Figure 4 and the §5 headline statistics."""
+
+    name = "colocation"
+    requires = ("collector", "vps")
 
     def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
         self.collector = collector

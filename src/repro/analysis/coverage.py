@@ -10,6 +10,8 @@ letters) are counted separately, mirroring the paper's 135 unmapped of
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -35,8 +37,11 @@ class CoverageRow:
         return 100.0 * self.covered / self.sites
 
 
-class CoverageAnalysis:
+class CoverageAnalysis(RegisteredAnalysis):
     """Identity-to-site matching plus coverage accounting."""
+
+    name = "coverage"
+    requires = ("catalog", "identities")
 
     def __init__(
         self,

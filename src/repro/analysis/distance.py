@@ -9,6 +9,8 @@ distant (inflated) one.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -29,8 +31,11 @@ class DistanceGrid:
     observations: int
 
 
-class DistanceAnalysis:
+class DistanceAnalysis(RegisteredAnalysis):
     """Distance statistics over the sampled probe table."""
+
+    name = "distance"
+    requires = ("collector",)
 
     def __init__(self, collector: CampaignCollector) -> None:
         self.collector = collector

@@ -11,6 +11,8 @@ and family.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,8 +40,11 @@ class AsPathStats:
         return "peer/local" if self.asn == PEER_PATH else f"AS{self.asn}"
 
 
-class PathAnalysis:
+class PathAnalysis(RegisteredAnalysis):
     """Per-AS path shares and latencies over the sampled probe table."""
+
+    name = "paths"
+    requires = ("collector", "vps")
 
     def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
         self.collector = collector

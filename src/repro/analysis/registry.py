@@ -1,0 +1,90 @@
+"""The uniform analysis registry.
+
+All eleven analyses register here under a stable name; drivers — the
+CLI, the report generator, the benchmarks — look them up with
+:func:`get` and construct them with :func:`run` instead of hand-wiring
+constructors:
+
+>>> from repro.analysis import registry
+>>> stability = registry.run("stability", results)
+>>> shift = registry.run("trafficshift", aggregate=capture)
+
+``requires`` declares each analysis's inputs (see
+:mod:`repro.analysis.base`), so :func:`runnable` can also answer "which
+analyses can this results bundle feed?".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from repro.analysis.base import Analysis, build_context
+from repro.analysis.clientbehavior import ClientBehaviorAnalysis
+from repro.analysis.colocation import ColocationAnalysis
+from repro.analysis.coverage import CoverageAnalysis
+from repro.analysis.distance import DistanceAnalysis
+from repro.analysis.paths import PathAnalysis
+from repro.analysis.rssac import RssacMetrics
+from repro.analysis.rtt import RttAnalysis
+from repro.analysis.stability import StabilityAnalysis
+from repro.analysis.trafficshift import TrafficShiftAnalysis
+from repro.analysis.variability import VariabilityAnalysis
+from repro.analysis.zonemd_audit import ZonemdAudit
+
+_REGISTRY: Dict[str, Type[Analysis]] = {}
+
+
+def register(cls: Type[Analysis]) -> Type[Analysis]:
+    """Register an analysis class under its ``name`` (idempotent)."""
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"{cls.__name__} has no registry name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"analysis name {cls.name!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    CoverageAnalysis,
+    StabilityAnalysis,
+    ColocationAnalysis,
+    DistanceAnalysis,
+    RttAnalysis,
+    TrafficShiftAnalysis,
+    ClientBehaviorAnalysis,
+    ZonemdAudit,
+    PathAnalysis,
+    RssacMetrics,
+    VariabilityAnalysis,
+):
+    register(_cls)
+
+
+def get(name: str) -> Type[Analysis]:
+    """The analysis class registered under *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown analysis {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def names() -> List[str]:
+    """Every registered analysis name, sorted."""
+    return sorted(_REGISTRY)
+
+
+def run(name: str, results: Any = None, **inputs: Any) -> Any:
+    """Construct the analysis *name* from a results bundle and/or
+    explicit keyword inputs (e.g. ``aggregate=`` for passive analyses)."""
+    return get(name).run(results, **inputs)
+
+
+def runnable(results: Any = None, **inputs: Any) -> List[str]:
+    """The names whose requirements *results*/*inputs* satisfy."""
+    context = build_context(results, **inputs)
+    return [name for name in names() if _REGISTRY[name].satisfied_by(context)]

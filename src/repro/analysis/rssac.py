@@ -15,6 +15,8 @@ analyses:
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -41,8 +43,11 @@ class ResponseLatency:
     within_threshold: float  # fraction <= 250 ms
 
 
-class RssacMetrics:
+class RssacMetrics(RegisteredAnalysis):
     """Service metrics over a campaign's samples."""
+
+    name = "rssac"
+    requires = ("collector", "distributor?")
 
     def __init__(
         self, collector: CampaignCollector, distributor: Optional[ZoneDistributor] = None

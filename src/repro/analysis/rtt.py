@@ -9,6 +9,8 @@ i.root North America v6 26 % below v4).
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -38,8 +40,11 @@ class RttSummary:
         return self.address.label
 
 
-class RttAnalysis:
+class RttAnalysis(RegisteredAnalysis):
     """Figures 6/14/15 over the sampled probe table."""
+
+    name = "rtt"
+    requires = ("collector", "vps")
 
     def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
         self.collector = collector

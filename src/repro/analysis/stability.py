@@ -8,6 +8,8 @@ for b.root per address generation.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -43,8 +45,11 @@ class StabilitySeries:
         return sum(1 for c in self.changes_per_vp if c <= n) / len(self.changes_per_vp)
 
 
-class StabilityAnalysis:
+class StabilityAnalysis(RegisteredAnalysis):
     """Figure 3 over a campaign's change counters."""
+
+    name = "stability"
+    requires = ("collector",)
 
     def __init__(self, collector: CampaignCollector) -> None:
         self.collector = collector

@@ -7,6 +7,8 @@ series per service address and the in-family shift ratios.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -23,8 +25,11 @@ class ShiftRatios:
     v6_shifted: float
 
 
-class TrafficShiftAnalysis:
+class TrafficShiftAnalysis(RegisteredAnalysis):
     """Normalised traffic views over one capture aggregate."""
+
+    name = "trafficshift"
+    requires = ("aggregate",)
 
     def __init__(self, aggregate: FlowAggregate) -> None:
         self.aggregate = aggregate

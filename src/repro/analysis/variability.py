@@ -11,6 +11,8 @@ excess) deviate from the all-letter values?
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,8 +43,11 @@ class SubsetStats:
         return self.median_changes_v6 / max(self.median_changes_v4, 0.5)
 
 
-class VariabilityAnalysis:
+class VariabilityAnalysis(RegisteredAnalysis):
     """How much do k-letter subsets disagree with the full RSS?"""
+
+    name = "variability"
+    requires = ("collector", "vps")
 
     def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
         self.collector = collector

@@ -12,6 +12,8 @@ roll-out schedule, and produces the Figure 10 bitflip diff.
 
 from __future__ import annotations
 
+from repro.analysis.base import RegisteredAnalysis
+
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -82,8 +84,11 @@ class SourceAuditRow:
         return self.rrsig_valid and self.zonemd_status is ZonemdStatus.VALID
 
 
-class ZonemdAudit:
+class ZonemdAudit(RegisteredAnalysis):
     """The RQ3 audit over transfer observations and source downloads."""
+
+    name = "zonemd_audit"
+    requires = ("transfers",)
 
     def __init__(self, transfers: List[TransferObservation]) -> None:
         self.transfers = transfers

@@ -21,26 +21,15 @@ from repro.util.timeutil import format_ts, parse_ts
 
 
 def _build_world(seed: int):
-    """A small shared world for dig/zonecheck: fabric + deployments."""
-    from repro.netsim.topology import NetworkFabric
-    from repro.rss.operators import ROOT_SERVERS
-    from repro.rss.server import RootServerDeployment
-    from repro.rss.sites import build_site_catalog
-    from repro.util.rng import RngFactory
-    from repro.zone.distribution import ZoneDistributor
-    from repro.zone.rootzone import RootZoneBuilder
+    """A small shared world for dig/zonecheck: fabric + deployments.
 
-    rng = RngFactory(seed)
-    catalog = build_site_catalog(rng)
-    fabric = NetworkFabric(catalog, rng)
-    distributor = ZoneDistributor(RootZoneBuilder(seed=seed))
-    deployments = {
-        letter: RootServerDeployment(
-            ROOT_SERVERS[letter], catalog.of_letter(letter), distributor
-        )
-        for letter in ROOT_SERVERS
-    }
-    return fabric, deployments, distributor
+    Goes through the pipeline's world stage, so repeated invocations in
+    one process (and the study CLI itself) share the cached world."""
+    from repro.core.config import StudyConfig
+    from repro.core.pipeline import build_world
+
+    world = build_world(StudyConfig(seed=seed))
+    return world.fabric, world.deployments, world.distributor
 
 
 # --- rootsim-dig -----------------------------------------------------------------
@@ -176,14 +165,21 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument("--export", metavar="DIR", help="export the dataset")
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the VP ring into N independently probed shards "
+             "(output is identical to a serial run)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="run shards across N worker processes (requires --shards > 1)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print per-stage wall times"
+    )
     args = parser.parse_args(argv)
 
-    from repro.analysis import (
-        ColocationAnalysis,
-        CoverageAnalysis,
-        StabilityAnalysis,
-        ZonemdAudit,
-    )
+    from repro.analysis import registry
     from repro.core import RootStudy, StudyConfig
 
     config = {
@@ -191,28 +187,39 @@ def study_main(argv: Optional[List[str]] = None) -> int:
         "standard": StudyConfig.standard,
         "paper": StudyConfig.paper_scale,
     }[args.preset](seed=args.seed)
+    if args.shards < 1 or args.workers < 1:
+        parser.error("--shards and --workers must be >= 1")
+    if args.shards > 1 or args.workers > 1:
+        config = config.with_sharding(args.shards, workers=args.workers)
 
     print(f"building study: preset={args.preset} seed={args.seed}")
     study = RootStudy(config)
     print(f"  {len(study.vps)} VPs, {len(study.catalog)} sites, "
           f"{study.schedule.round_count()} rounds")
+    if config.shards > 1:
+        print(f"  sharding: {config.shards} shards, {config.workers} worker(s)")
     results = study.run()
     summary = results.summary()
     print(f"  {summary['queries']:,} queries, {summary['transfers']:,} transfers")
 
-    colocation = ColocationAnalysis(results.collector, results.vps)
+    colocation = registry.run("colocation", results)
     print(f"RQ1  co-location >=2 letters: "
           f"{100 * colocation.fraction_with_colocation():.1f}% of VPs")
-    stability = StabilityAnalysis(results.collector)
+    stability = registry.run("stability", results)
     print(f"RQ2  median changes: b.root v4="
           f"{stability.median_changes('b', 4, 'new'):g} "
           f"g.root v4={stability.median_changes('g', 4):g} "
           f"v6={stability.median_changes('g', 6):g}")
-    findings, valid = ZonemdAudit(results.collector.transfers).validate_transfers()
+    findings, valid = registry.run("zonemd_audit", results).validate_transfers()
     print(f"RQ3  transfer audit: {valid} valid, {len(findings)} finding groups")
-    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    coverage = registry.run("coverage", results)
     total, unmapped = coverage.observed_identifier_count()
     print(f"coverage: {total} identifiers observed, {unmapped} unmapped")
+
+    if args.timings:
+        for timing in study.timings:
+            suffix = " (cached)" if timing.reused else ""
+            print(f"timing  {timing.stage:<14s} {timing.seconds:8.2f}s{suffix}")
 
     if args.export:
         from repro.vantage.export import export_dataset

@@ -1,10 +1,35 @@
-"""Study orchestration: configuration presets, world construction
-(zone machinery + routing fabric + RSS deployments + VP ring), campaign
-execution, and the results bundle the analysis layer consumes.
+"""Study orchestration: configuration presets, the staged pipeline
+(world construction → measurement platform → campaign execution →
+analysis), sharded/multiprocess campaign execution, and the results
+bundle the analysis layer consumes.
 """
 
 from repro.core.config import StudyConfig
+from repro.core.pipeline import (
+    ArtifactStore,
+    PlatformArtifacts,
+    StageTiming,
+    StudyPipeline,
+    WorldArtifacts,
+    build_platform,
+    build_world,
+    clear_world_cache,
+    shard_vp_lists,
+)
 from repro.core.study import RootStudy
 from repro.core.results import StudyResults
 
-__all__ = ["StudyConfig", "RootStudy", "StudyResults"]
+__all__ = [
+    "StudyConfig",
+    "RootStudy",
+    "StudyResults",
+    "StudyPipeline",
+    "ArtifactStore",
+    "StageTiming",
+    "WorldArtifacts",
+    "PlatformArtifacts",
+    "build_world",
+    "build_platform",
+    "clear_world_cache",
+    "shard_vp_lists",
+]

@@ -31,6 +31,13 @@ class StudyConfig:
     axfr_sample_every: int = 8
     clean_transfer_keep_one_in: int = 2000
     include_faults: bool = True
+    #: VP-ring partitions the campaign is executed in.  Output is
+    #: byte-identical for any shard count (the collectors merge back
+    #: deterministically); >1 enables parallel execution.
+    shards: int = 1
+    #: Worker processes for sharded execution; 1 = run shards serially
+    #: in-process, >1 = a ProcessPoolExecutor over the shards.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.ring_scale <= 0:
@@ -39,6 +46,10 @@ class StudyConfig:
             raise ValueError(f"interval_scale must be positive: {self.interval_scale}")
         if self.campaign_end <= self.campaign_start:
             raise ValueError("campaign_end must be after campaign_start")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
 
     @property
     def ring_config(self) -> RingConfig:
@@ -83,3 +94,12 @@ class StudyConfig:
     def with_seed(self, seed: int) -> "StudyConfig":
         """Same configuration under a different seed."""
         return replace(self, seed=seed)
+
+    def with_sharding(self, shards: int, workers: int = 1) -> "StudyConfig":
+        """Same campaign, executed in *shards* partitions on *workers*
+        processes (results are byte-identical to the serial run)."""
+        return replace(self, shards=shards, workers=workers)
+
+    def serial(self) -> "StudyConfig":
+        """The single-shard, in-process equivalent of this config."""
+        return replace(self, shards=1, workers=1)

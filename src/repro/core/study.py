@@ -4,30 +4,31 @@ Mirrors the paper's §4 methodology end-to-end: construct the root zone
 machinery and its distribution, instantiate the RSS deployments on the
 routing fabric, populate the VP ring, schedule the Figure 2 timeline,
 inject the fault plan, and run the prober.
+
+The heavy lifting lives in :mod:`repro.core.pipeline`'s explicit stages
+(build_world → build_platform → run_campaign → analyze); ``RootStudy``
+drives them and keeps the flat attribute surface (``catalog``,
+``fabric``, ``vps``, ``collector``, ...) the rest of the codebase and
+downstream users rely on.  Campaigns run serially by default; with
+``StudyConfig.shards > 1`` the VP ring is partitioned into independently
+collected shards (optionally on ``StudyConfig.workers`` processes) whose
+merged output is byte-identical to the serial run.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.config import StudyConfig
+from repro.core.pipeline import StudyPipeline
 from repro.core.results import StudyResults
-from repro.faults.plan import FaultPlan, default_fault_plan
-from repro.geo.continents import Continent
-from repro.netsim.routing import RouteSelector
-from repro.netsim.topology import NetworkFabric
-from repro.rss.operators import ROOT_SERVERS
+from repro.faults.plan import FaultPlan
 from repro.rss.server import RootServerDeployment
-from repro.rss.sites import SiteCatalog, build_site_catalog
+from repro.rss.sites import SiteCatalog
 from repro.util.rng import RngFactory
 from repro.vantage.collector import CampaignCollector
 from repro.vantage.node import VantagePoint
-from repro.vantage.probes import Prober, SamplingPolicy
-from repro.vantage.ring import build_ring
-from repro.vantage.scheduler import MeasurementSchedule
-from repro.zone.distribution import ZoneDistributor
-from repro.zone.rootzone import RootZoneBuilder
+from repro.vantage.probes import Prober
 
 
 class RootStudy:
@@ -36,90 +37,60 @@ class RootStudy:
     def __init__(self, config: Optional[StudyConfig] = None) -> None:
         self.config = config or StudyConfig()
         self.rng_factory = RngFactory(self.config.seed)
+        self.pipeline = StudyPipeline(self.config)
+
+        world = self.pipeline.build_world()
+        platform = self.pipeline.build_platform()
+        self._world = world
+        self._platform = platform
 
         # World: sites, fabric, zone machinery, deployments.
-        self.catalog: SiteCatalog = build_site_catalog(self.rng_factory)
-        self.fabric = NetworkFabric(self.catalog, self.rng_factory)
-        self.zone_builder = RootZoneBuilder(seed=self.config.seed)
-        self.distributor = ZoneDistributor(self.zone_builder)
-        self.deployments: Dict[str, RootServerDeployment] = {
-            letter: RootServerDeployment(
-                ROOT_SERVERS[letter], self.catalog.of_letter(letter), self.distributor
-            )
-            for letter in ROOT_SERVERS
-        }
+        self.catalog: SiteCatalog = world.catalog
+        self.fabric = world.fabric
+        self.zone_builder = world.zone_builder
+        self.distributor = world.distributor
+        self.deployments: Dict[str, RootServerDeployment] = world.deployments
 
         # Measurement platform.
-        self.schedule = MeasurementSchedule(
-            start=self.config.campaign_start,
-            end=self.config.campaign_end,
-            interval_scale=self.config.interval_scale,
-        )
-        self._expected_rounds = self.schedule.round_count()
-        self.selector: RouteSelector = self.fabric.selector(
-            seed=self.config.seed, expected_rounds=self._expected_rounds
-        )
-        ring = build_ring(self.rng_factory, self.config.ring_config)
+        self.schedule = platform.schedule
+        self._expected_rounds = platform.expected_rounds
+        self.selector = platform.selector
+        self.fault_plan: FaultPlan = platform.fault_plan
+        self.vps: List[VantagePoint] = platform.vps
 
-        # Faults: stale sites must actually be in some VP's catchment to
-        # be observable, so pick the most-visited d.root sites (paper:
-        # Tokyo, 3 VPs; Leeds, 7 VPs).
-        if self.config.include_faults:
-            stale_keys = self._popular_d_sites(ring)
-            self.fault_plan = default_fault_plan(
-                self.catalog, len(ring), stale_site_keys=stale_keys
-            )
-        else:
-            self.fault_plan = FaultPlan()
-        self.vps: List[VantagePoint] = ring
+    # The collector (and its prober) are swapped for the merged instance
+    # after a sharded run, so expose the platform's current objects.
 
-        self.collector = CampaignCollector()
-        self.prober = Prober(
-            fabric=self.fabric,
-            selector=self.selector,
-            deployments=self.deployments,
-            fault_plan=self.fault_plan,
-            collector=self.collector,
-            sampling=SamplingPolicy(
-                rtt_every=self.config.rtt_sample_every,
-                traceroute_every=self.config.traceroute_sample_every,
-                axfr_every=self.config.axfr_sample_every,
-                clean_transfer_keep_one_in=self.config.clean_transfer_keep_one_in,
-            ),
-        )
+    @property
+    def collector(self) -> CampaignCollector:
+        return self._platform.collector
 
-    def _popular_d_sites(self, ring: List[VantagePoint]) -> List[str]:
-        """The most-visited d.root site in Asia and in Europe."""
-        counts: Counter = Counter()
-        for vp in ring:
-            for family in (4, 6):
-                site = self.selector.best(vp.attachment, "d", family).site
-                counts[site.key] += 1
-        best: Dict[Continent, str] = {}
-        site_by_key = {s.key: s for s in self.catalog.of_letter("d")}
-        for key, _n in counts.most_common():
-            continent = site_by_key[key].continent
-            if continent in (Continent.ASIA, Continent.EUROPE) and continent not in best:
-                best[continent] = key
-        return [best[c] for c in (Continent.ASIA, Continent.EUROPE) if c in best]
+    @property
+    def prober(self) -> Prober:
+        return self._platform.prober
+
+    @property
+    def timings(self):
+        """Per-stage wall times recorded by the pipeline."""
+        return self.pipeline.timings
 
     # -- execution -------------------------------------------------------------------
 
     def run(self) -> StudyResults:
-        """Run the campaign and return the results bundle."""
-        self.prober.run_campaign(self.vps, self.schedule)
+        """Run the campaign and return the results bundle.
+
+        Idempotent: a second call reuses the finished campaign instead of
+        probing (and accumulating) again.
+        """
+        self.pipeline.run_campaign()
         return self.results()
 
     def results(self) -> StudyResults:
-        """The results bundle (valid after :meth:`run`)."""
-        return StudyResults(
-            config=self.config,
-            schedule=self.schedule,
-            vps=self.vps,
-            catalog=self.catalog,
-            fabric=self.fabric,
-            deployments=self.deployments,
-            distributor=self.distributor,
-            fault_plan=self.fault_plan,
-            collector=self.collector,
-        )
+        """The results bundle (only valid after :meth:`run`)."""
+        return self.pipeline.results()
+
+    def analyze(
+        self, names: Optional[Sequence[str]] = None, **inputs: Any
+    ) -> Dict[str, Any]:
+        """Run registered analyses by name (see :mod:`repro.analysis.registry`)."""
+        return self.pipeline.analyze(names, **inputs)

@@ -88,6 +88,11 @@ class Name:
     def __setattr__(self, *_args) -> None:  # pragma: no cover - immutability
         raise AttributeError("Name is immutable")
 
+    def __reduce__(self):
+        # Slots + the blocked __setattr__ break default pickling;
+        # rebuild through the constructor instead.
+        return (Name, (self._labels,))
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

@@ -18,18 +18,7 @@ from repro.util.timeutil import parse_ts
 
 def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
     """Write every artefact for a finished *study*; returns name -> path."""
-    from repro.analysis import (
-        ClientBehaviorAnalysis,
-        ColocationAnalysis,
-        CoverageAnalysis,
-        DistanceAnalysis,
-        PathAnalysis,
-        RttAnalysis,
-        StabilityAnalysis,
-        TrafficShiftAnalysis,
-        ZonemdAudit,
-    )
-    from repro.analysis import report
+    from repro.analysis import registry, report
     from repro.geo.continents import Continent
     from repro.passive.clients import ISP_PROFILE, build_client_population
     from repro.passive.isp import IspCapture
@@ -47,26 +36,26 @@ def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
         target.write_text(content + "\n")
         written[name] = target
 
-    coverage = CoverageAnalysis(results.catalog, results.collector.identities)
+    coverage = registry.run("coverage", results)
     emit("table1", report.render_table1(coverage))
     emit("table4", report.render_table4(coverage))
 
-    audit = ZonemdAudit(results.collector.transfers)
+    audit = registry.run("zonemd_audit", results)
     findings, valid = audit.validate_transfers()
     emit("table2", report.render_table2(findings, valid))
 
-    stability = StabilityAnalysis(results.collector)
+    stability = registry.run("stability", results)
     emit("fig3", report.render_figure3(stability))
 
-    colocation = ColocationAnalysis(results.collector, results.vps)
+    colocation = registry.run("colocation", results)
     emit("fig4", report.render_figure4(colocation))
 
-    distance = DistanceAnalysis(results.collector)
+    distance = registry.run("distance", results)
     b = root_server("b")
     m = root_server("m")
     emit("fig5", report.render_figure5(distance, [b.ipv4, b.ipv6, m.ipv4, m.ipv6]))
 
-    rtt = RttAnalysis(results.collector, results.vps)
+    rtt = registry.run("rtt", results)
     addresses = [sa.address for sa in results.collector.addresses]
     emit("fig6", report.render_figure6(
         rtt,
@@ -76,7 +65,7 @@ def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
     ))
     emit("fig14", report.render_figure6(rtt, list(Continent), addresses, {}))
 
-    paths = PathAnalysis(results.collector, results.vps)
+    paths = registry.run("paths", results)
     emit("paths_sec6", "\n\n".join(
         report.render_path_breakdown(paths, continent, "i")
         for continent in (Continent.SOUTH_AMERICA, Continent.NORTH_AMERICA)
@@ -86,12 +75,12 @@ def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
     rng = RngFactory(seed)
     isp = IspCapture(build_client_population(ISP_PROFILE, rng), seed=seed)
     post = isp.capture(parse_ts("2024-02-05"), parse_ts("2024-03-04"))
-    shift = TrafficShiftAnalysis(post)
+    shift = registry.run("trafficshift", aggregate=post)
     emit("fig7", report.render_traffic_series(
         "Figure 7: ISP b.root traffic (2024-02-05 .. 2024-03-04)",
         shift.broot_series(),
     ))
-    behavior = ClientBehaviorAnalysis(post)
+    behavior = registry.run("clientbehavior", aggregate=post)
     emit("fig8", "\n\n".join(
         report.render_figure8(behavior, family) for family in (4, 6)
     ))
@@ -103,7 +92,7 @@ def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
     fig13_content: Optional[str] = None
     for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
         aggregate = regional_aggregate(captures, region, *window)
-        regional_shift = TrafficShiftAnalysis(aggregate)
+        regional_shift = registry.run("trafficshift", aggregate=aggregate)
         fig9_parts.append(report.render_traffic_series(
             f"Figure 9 ({region}): IPv6 b.root traffic",
             regional_shift.broot_series(families=(6,)),

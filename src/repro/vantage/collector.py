@@ -17,13 +17,18 @@ object would not fit in memory.  The collector therefore keeps:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.rss.operators import ServiceAddress, all_service_addresses
 from repro.zone.zone import Zone
+
+#: Order key used when an ingest call carries no campaign position (direct
+#: use in tests/tools); sorts after every real (round, vp, addr) key.
+_NO_ORDER_KEY: Tuple[float, ...] = (float("inf"),)
 
 
 @dataclass(frozen=True)
@@ -38,6 +43,7 @@ class ProbeSample:
     direct_km: float
     closest_global_km: float
     via_peer: bool
+    transit_asn: int = 0  # upstream ASN, 0 = peer/local path
 
 
 @dataclass(frozen=True)
@@ -65,18 +71,27 @@ class TransferObservation:
 
 
 class _Interner:
-    """String -> small int interning for columnar storage."""
+    """String -> small int interning for columnar storage.
+
+    Alongside each value the interner remembers the *order key* of its
+    first occurrence — the (round, vp, addr) position in the campaign
+    scan.  Shard interners diverge (each shard sees sites in its own
+    order); the first-occurrence keys are what lets :meth:`merge`
+    rebuild the exact interner a serial run would have produced.
+    """
 
     def __init__(self) -> None:
         self._index: Dict[str, int] = {}
         self.values: List[str] = []
+        self.first_keys: List[Tuple] = []
 
-    def intern(self, value: str) -> int:
+    def intern(self, value: str, order_key: Optional[Tuple] = None) -> int:
         idx = self._index.get(value)
         if idx is None:
             idx = len(self.values)
             self._index[value] = idx
             self.values.append(value)
+            self.first_keys.append(_NO_ORDER_KEY if order_key is None else order_key)
         return idx
 
     def __getitem__(self, idx: int) -> str:
@@ -117,8 +132,10 @@ class CampaignCollector:
         self._t_addr: List[int] = []
         self._t_hop: List[int] = []
 
-        # coverage: letter -> identity -> observation count
+        # coverage: letter -> identity -> observation count, plus the
+        # first-occurrence order key per (letter, identity) for merging
         self.identities: Dict[str, Dict[str, int]] = {}
+        self._identity_order: Dict[Tuple[str, str], Tuple] = {}
 
         # transfers
         self.transfer_total = 0
@@ -130,9 +147,19 @@ class CampaignCollector:
 
     # -- ingest -------------------------------------------------------------------
 
+    def _order_key(self, vp_id: int, addr_idx: int) -> Tuple[int, int, int]:
+        """Position of the current ingest call in the campaign scan.
+
+        The prober increments :attr:`rounds_processed` after each round,
+        so during round *r* it equals *r*; (round, vp, addr) is then the
+        lexicographic position of the call in a serial rounds-outer,
+        VPs-inner, addresses-innermost campaign scan.
+        """
+        return (self.rounds_processed, vp_id, addr_idx)
+
     def note_site(self, vp_id: int, addr_idx: int, site_key: str) -> None:
         """Per-round catchment observation; drives Figure 3."""
-        site_idx = self.sites.intern(site_key)
+        site_idx = self.sites.intern(site_key, self._order_key(vp_id, addr_idx))
         state = self._stability.get((vp_id, addr_idx))
         if state is None:
             self._stability[(vp_id, addr_idx)] = [site_idx, 0, 1]
@@ -142,9 +169,21 @@ class CampaignCollector:
             state[0] = site_idx
         state[2] += 1
 
-    def note_identity(self, letter: str, identity: str) -> None:
+    def note_identity(
+        self,
+        letter: str,
+        identity: str,
+        vp_id: Optional[int] = None,
+        addr_idx: Optional[int] = None,
+    ) -> None:
         """A CHAOS identity answer (coverage input)."""
         bucket = self.identities.setdefault(letter, {})
+        if identity not in bucket:
+            self._identity_order[(letter, identity)] = (
+                _NO_ORDER_KEY
+                if vp_id is None or addr_idx is None
+                else self._order_key(vp_id, addr_idx)
+            )
         bucket[identity] = bucket.get(identity, 0) + 1
 
     def add_probe_sample(
@@ -162,7 +201,7 @@ class CampaignCollector:
         self._p_vp.append(vp_id)
         self._p_ts.append(ts)
         self._p_addr.append(addr_idx)
-        self._p_site.append(self.sites.intern(site_key))
+        self._p_site.append(self.sites.intern(site_key, self._order_key(vp_id, addr_idx)))
         self._p_rtt.append(rtt_ms)
         self._p_direct.append(direct_km)
         self._p_closest.append(closest_global_km)
@@ -176,7 +215,9 @@ class CampaignCollector:
         self._t_ts.append(ts)
         self._t_addr.append(addr_idx)
         self._t_hop.append(
-            -1 if second_to_last_hop is None else self.hops.intern(second_to_last_hop)
+            -1
+            if second_to_last_hop is None
+            else self.hops.intern(second_to_last_hop, self._order_key(vp_id, addr_idx))
         )
 
     def count_transfer(self, clean: bool) -> None:
@@ -230,6 +271,7 @@ class CampaignCollector:
                 direct_km=self._p_direct[i],
                 closest_global_km=self._p_closest[i],
                 via_peer=self._p_peer[i],
+                transit_asn=self._p_transit[i],
             )
             for i in range(len(self._p_vp))
         ]
@@ -259,3 +301,140 @@ class CampaignCollector:
             "transfer_observations": len(self.transfers),
             "stability_pairs": len(self._stability),
         }
+
+    # -- shard merging ----------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, shards: Sequence["CampaignCollector"]) -> "CampaignCollector":
+        """Recombine per-shard collectors into the serial-run collector.
+
+        The campaign is shardable by VP: every shard probes a disjoint VP
+        subset over the *full* schedule.  Given those shard collectors,
+        this rebuilds — deterministically and independent of shard count
+        or ordering — the exact collector a serial run over the union of
+        VPs produces:
+
+        * interners are rebuilt in global first-occurrence order (the
+          minimum (round, vp, addr) key across shards per value), and
+          every stored index is remapped,
+        * columnar probe/traceroute tables and transfer observations are
+          k-way merged back into campaign-scan order on (ts, vp),
+        * stability counters and identity counts are disjoint unions /
+          sums, re-inserted in serial first-occurrence order.
+        """
+        if not shards:
+            return cls()
+        rounds = {s.rounds_processed for s in shards}
+        if len(rounds) != 1:
+            raise ValueError(
+                f"shards processed different round counts: {sorted(rounds)}"
+            )
+        addresses = [sa.address for sa in shards[0].addresses]
+        for shard in shards[1:]:
+            if [sa.address for sa in shard.addresses] != addresses:
+                raise ValueError("shards disagree on the service address set")
+
+        merged = cls()
+        merged.rounds_processed = rounds.pop()
+        merged.queries_simulated = sum(s.queries_simulated for s in shards)
+        merged.transfer_total = sum(s.transfer_total for s in shards)
+        merged.transfer_clean = sum(s.transfer_clean for s in shards)
+
+        site_maps = _merge_interners(merged.sites, [s.sites for s in shards])
+        hop_maps = _merge_interners(merged.hops, [s.hops for s in shards])
+
+        # Stability: VP partitioning makes the pair dicts disjoint; every
+        # pair is created in round 0, so serial insertion order is
+        # (vp, addr) ascending.
+        states: List[Tuple[Tuple[int, int], int, List[int]]] = []
+        for shard_no, shard in enumerate(shards):
+            for pair, state in shard._stability.items():
+                states.append((pair, shard_no, state))
+        states.sort(key=lambda item: item[0])
+        for pair, shard_no, state in states:
+            if pair in merged._stability:
+                raise ValueError(f"shards overlap on (vp, addr) pair {pair}")
+            merged._stability[pair] = [site_maps[shard_no][state[0]], state[1], state[2]]
+
+        # Probe rows: within a shard rows are already in campaign-scan
+        # order, and a (ts, vp) pair belongs to exactly one shard, so a
+        # k-way merge on (ts, vp) restores the serial row order.
+        def probe_rows(shard_no: int, shard: "CampaignCollector"):
+            for i in range(len(shard._p_vp)):
+                yield (shard._p_ts[i], shard._p_vp[i], shard_no, i)
+
+        for _ts, _vp, shard_no, i in heapq.merge(
+            *(probe_rows(n, s) for n, s in enumerate(shards))
+        ):
+            shard = shards[shard_no]
+            merged._p_vp.append(shard._p_vp[i])
+            merged._p_ts.append(shard._p_ts[i])
+            merged._p_addr.append(shard._p_addr[i])
+            merged._p_site.append(site_maps[shard_no][shard._p_site[i]])
+            merged._p_rtt.append(shard._p_rtt[i])
+            merged._p_direct.append(shard._p_direct[i])
+            merged._p_closest.append(shard._p_closest[i])
+            merged._p_peer.append(shard._p_peer[i])
+            merged._p_transit.append(shard._p_transit[i])
+
+        def traceroute_rows(shard_no: int, shard: "CampaignCollector"):
+            for i in range(len(shard._t_vp)):
+                yield (shard._t_ts[i], shard._t_vp[i], shard_no, i)
+
+        for _ts, _vp, shard_no, i in heapq.merge(
+            *(traceroute_rows(n, s) for n, s in enumerate(shards))
+        ):
+            shard = shards[shard_no]
+            merged._t_vp.append(shard._t_vp[i])
+            merged._t_ts.append(shard._t_ts[i])
+            merged._t_addr.append(shard._t_addr[i])
+            hop = shard._t_hop[i]
+            merged._t_hop.append(-1 if hop < 0 else hop_maps[shard_no][hop])
+
+        # Identities: counts sum; dict creation order follows the global
+        # first (round, vp, addr) occurrence per (letter, identity).
+        first_seen: Dict[Tuple[str, str], Tuple] = {}
+        counts: Dict[Tuple[str, str], int] = {}
+        for shard in shards:
+            for letter, bucket in shard.identities.items():
+                for identity, count in bucket.items():
+                    key = (letter, identity)
+                    order = shard._identity_order.get(key, _NO_ORDER_KEY)
+                    if key not in first_seen or order < first_seen[key]:
+                        first_seen[key] = order
+                    counts[key] = counts.get(key, 0) + count
+        for letter, identity in sorted(first_seen, key=lambda k: (first_seen[k], k)):
+            merged.identities.setdefault(letter, {})[identity] = counts[
+                (letter, identity)
+            ]
+            merged._identity_order[(letter, identity)] = first_seen[(letter, identity)]
+
+        def transfer_rows(shard_no: int, shard: "CampaignCollector"):
+            for i, obs in enumerate(shard.transfers):
+                yield (obs.true_ts, obs.vp_id, shard_no, i)
+
+        for _ts, _vp, shard_no, i in heapq.merge(
+            *(transfer_rows(n, s) for n, s in enumerate(shards))
+        ):
+            merged.transfers.append(shards[shard_no].transfers[i])
+
+        return merged
+
+
+def _merge_interners(
+    target: _Interner, shard_interners: Sequence[_Interner]
+) -> List[Dict[int, int]]:
+    """Populate *target* in global first-occurrence order; return, per
+    shard, the old-index -> merged-index remapping table."""
+    best: Dict[str, Tuple] = {}
+    for interner in shard_interners:
+        for idx, value in enumerate(interner.values):
+            key = interner.first_keys[idx]
+            if value not in best or key < best[value]:
+                best[value] = key
+    for value in sorted(best, key=lambda v: (best[v], v)):
+        target.intern(value, best[value])
+    return [
+        {idx: target._index[value] for idx, value in enumerate(interner.values)}
+        for interner in shard_interners
+    ]

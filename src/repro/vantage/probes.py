@@ -138,7 +138,7 @@ class Prober:
                 vp.attachment, vp.vp_id, sa.letter, sa.family, sa.address, round_no
             )
             collector.note_site(vp.vp_id, addr_idx, route.site.key)
-            collector.note_identity(sa.letter, route.site.identity())
+            collector.note_identity(sa.letter, route.site.identity(), vp.vp_id, addr_idx)
             collector.queries_simulated += QUERIES_PER_ADDRESS
 
             if do_rtt:

@@ -97,6 +97,16 @@ class ZoneDistributor:
         """Clear a staleness fault."""
         self._frozen.pop(site_key, None)
 
+    def reset_faults(self) -> None:
+        """Clear every staleness fault (campaign-start state).
+
+        Campaign runs call this before their first round so that a world
+        reused across studies — or across shard passes — always starts
+        from the same unfaulted distribution state, even if a previous
+        campaign ended inside a stale-site window.
+        """
+        self._frozen.clear()
+
     def is_frozen(self, site_key: str) -> bool:
         return site_key in self._frozen
 
