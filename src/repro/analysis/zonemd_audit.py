@@ -18,8 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.dns.name import ROOT_NAME
-from repro.dnssec.validate import ValidationError, validate_zone
-from repro.dnssec.zonemd import verify_zonemd, ZonemdStatus
+from repro.dnssec.digestcache import ZoneValidationCache, shared_cache, zone_fingerprint
+from repro.dnssec.validate import ValidationError
+from repro.dnssec.zonemd import ZonemdStatus
 from repro.util.timeutil import Timestamp, format_ts
 from repro.vantage.collector import TransferObservation
 from repro.zone.sources import ZoneDownload
@@ -90,37 +91,31 @@ class ZonemdAudit(RegisteredAnalysis):
     name = "zonemd_audit"
     requires = ("transfers",)
 
-    def __init__(self, transfers: List[TransferObservation]) -> None:
+    def __init__(
+        self,
+        transfers: List[TransferObservation],
+        cache: Optional[ZoneValidationCache] = None,
+    ) -> None:
         self.transfers = transfers
-        #: id(zone) -> (content errors, signature validity envelope).
-        #: Content checks (digests, HMACs) are time-independent; only the
-        #: RRSIG validity window comparison depends on the validation
-        #: time, so each distinct zone copy is expensive exactly once.
-        self._zone_cache: Dict[int, Tuple[List[ValidationError], Tuple[int, int]]] = {}
+        #: Content-keyed crypto memo shared with AXFR serving and the
+        #: local-root manager: signature digests and the ZONEMD hash are
+        #: computed once per distinct zone version, process-wide.
+        self._validation_cache = cache if cache is not None else shared_cache()
+        #: fingerprint -> (content errors, signature validity envelope).
+        #: Content checks are time-independent; only the RRSIG validity
+        #: window comparison depends on the validation time, so each
+        #: distinct zone version is analysed exactly once.
+        self._zone_cache: Dict[bytes, Tuple[List[ValidationError], Tuple[int, int]]] = {}
 
     def _analyse_zone(self, zone) -> Tuple[List[ValidationError], Tuple[int, int]]:
-        key = id(zone)
+        key = zone_fingerprint(zone)
         cached = self._zone_cache.get(key)
         if cached is not None:
             return cached
-        from repro.dns.constants import RRType
-        from repro.dns.rdata import RRSIG
-
-        inceptions = []
-        expirations = []
-        for rec in zone.records:
-            if rec.rrtype == RRType.RRSIG and isinstance(rec.rdata, RRSIG):
-                inceptions.append(rec.rdata.inception)
-                expirations.append(rec.rdata.expiration)
-        if inceptions:
-            envelope = (max(inceptions), min(expirations))
-            midpoint = (envelope[0] + envelope[1]) // 2
-        else:
-            envelope = (0, 0)
-            midpoint = 0
-        report = validate_zone(
-            zone.records, ROOT_NAME, now=midpoint, check_zonemd=True
-        )
+        analysis = self._validation_cache.analyse_zone(zone, ROOT_NAME)
+        envelope = analysis.rrsig_envelope
+        midpoint = (envelope[0] + envelope[1]) // 2  # (0, 0) when unsigned
+        report = analysis.report_at(midpoint, check_zonemd=True)
         content_errors = [issue.error for issue in report.issues]
         result = (content_errors, envelope)
         self._zone_cache[key] = result
@@ -199,14 +194,17 @@ class ZonemdAudit(RegisteredAnalysis):
     # -- out-of-band sources (§4.2 validation / §7) --------------------------------
 
     @staticmethod
-    def audit_downloads(downloads: List[ZoneDownload]) -> List[SourceAuditRow]:
+    def audit_downloads(
+        downloads: List[ZoneDownload],
+        cache: Optional[ZoneValidationCache] = None,
+    ) -> List[SourceAuditRow]:
         """Validate CZDS/IANA downloads at their retrieval times."""
+        cache = cache if cache is not None else shared_cache()
         rows: List[SourceAuditRow] = []
         for dl in downloads:
-            report = validate_zone(
-                dl.zone.records, ROOT_NAME, now=dl.retrieved_at, check_zonemd=False
-            )
-            status, _detail = verify_zonemd(dl.zone.records, ROOT_NAME)
+            analysis = cache.analyse_zone(dl.zone, ROOT_NAME)
+            report = analysis.report_at(dl.retrieved_at, check_zonemd=False)
+            status, _detail = analysis.zonemd
             rows.append(
                 SourceAuditRow(
                     source=dl.source,

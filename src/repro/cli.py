@@ -177,6 +177,17 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--timings", action="store_true", help="print per-stage wall times"
     )
+    parser.add_argument(
+        "--engine", choices=("epoch", "scalar"), default=None,
+        help="campaign engine (default: the preset's engine, normally "
+             "'epoch'; 'scalar' walks every round and is byte-identical "
+             "but much slower)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the campaign stage; prints the hot functions and "
+             "stores the full profile in the pipeline's artifact store",
+    )
     args = parser.parse_args(argv)
 
     from repro.analysis import registry
@@ -191,9 +202,11 @@ def study_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--shards and --workers must be >= 1")
     if args.shards > 1 or args.workers > 1:
         config = config.with_sharding(args.shards, workers=args.workers)
+    if args.engine is not None:
+        config = config.with_engine(args.engine)
 
     print(f"building study: preset={args.preset} seed={args.seed}")
-    study = RootStudy(config)
+    study = RootStudy(config, profile=args.profile)
     print(f"  {len(study.vps)} VPs, {len(study.catalog)} sites, "
           f"{study.schedule.round_count()} rounds")
     if config.shards > 1:
@@ -216,10 +229,12 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     total, unmapped = coverage.observed_identifier_count()
     print(f"coverage: {total} identifiers observed, {unmapped} unmapped")
 
-    if args.timings:
+    if args.timings or args.profile:
         for timing in study.timings:
             suffix = " (cached)" if timing.reused else ""
             print(f"timing  {timing.stage:<14s} {timing.seconds:8.2f}s{suffix}")
+    if args.profile:
+        print(study.pipeline.store.get("campaign_profile_top"))
 
     if args.export:
         from repro.vantage.export import export_dataset

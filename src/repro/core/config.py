@@ -38,6 +38,11 @@ class StudyConfig:
     #: Worker processes for sharded execution; 1 = run shards serially
     #: in-process, >1 = a ProcessPoolExecutor over the shards.
     workers: int = 1
+    #: Campaign execution engine: "epoch" compiles per-(VP, address)
+    #: route epochs and records columnar blocks (fast, the default);
+    #: "scalar" walks every (round, VP, address) cell.  Collector output
+    #: is byte-identical either way.
+    engine: str = "epoch"
 
     def __post_init__(self) -> None:
         if self.ring_scale <= 0:
@@ -50,6 +55,10 @@ class StudyConfig:
             raise ValueError(f"shards must be >= 1: {self.shards}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.engine not in ("epoch", "scalar"):
+            raise ValueError(
+                f"engine must be 'epoch' or 'scalar': {self.engine!r}"
+            )
 
     @property
     def ring_config(self) -> RingConfig:
@@ -99,6 +108,10 @@ class StudyConfig:
         """Same campaign, executed in *shards* partitions on *workers*
         processes (results are byte-identical to the serial run)."""
         return replace(self, shards=shards, workers=workers)
+
+    def with_engine(self, engine: str) -> "StudyConfig":
+        """Same study on a different campaign engine."""
+        return replace(self, engine=engine)
 
     def serial(self) -> "StudyConfig":
         """The single-shard, in-process equivalent of this config."""

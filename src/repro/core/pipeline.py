@@ -120,6 +120,17 @@ class StageTiming:
     reused: bool = False
 
 
+def render_profile(profiler, limit: int = 30) -> str:
+    """Human-readable top-*limit* cumulative view of a cProfile run."""
+    import io
+    import pstats
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(limit)
+    return stream.getvalue()
+
+
 # --- stage outputs ------------------------------------------------------------------
 
 
@@ -269,6 +280,20 @@ def build_platform(config: StudyConfig, world: WorldArtifacts) -> PlatformArtifa
 # --- stage 3: run_campaign ----------------------------------------------------------
 
 
+def _execute_campaign(
+    engine: str,
+    prober: Prober,
+    vps: Sequence[VantagePoint],
+    schedule: MeasurementSchedule,
+) -> CampaignCollector:
+    """Run one (possibly shard-scoped) campaign on the configured engine."""
+    if engine == "epoch":
+        from repro.vantage.epoch_engine import run_epoch_campaign
+
+        return run_epoch_campaign(prober, list(vps), schedule)
+    return prober.run_campaign(list(vps), schedule)
+
+
 def shard_vp_lists(
     vps: Sequence[VantagePoint], shards: int
 ) -> List[List[VantagePoint]]:
@@ -290,8 +315,9 @@ def _run_shard_job(config: StudyConfig, shard_index: int) -> CampaignCollector:
     world = build_world(serial_config)
     platform = build_platform(serial_config, world)
     world.distributor.reset_faults()
+    platform.prober.reset()
     shard_vps = shard_vp_lists(platform.vps, config.shards)[shard_index]
-    platform.prober.run_campaign(shard_vps, platform.schedule)
+    _execute_campaign(config.engine, platform.prober, shard_vps, platform.schedule)
     return platform.collector
 
 
@@ -322,7 +348,7 @@ def _run_sharded(
             collector=collector,
             sampling=platform.prober.sampling,
         )
-        prober.run_campaign(shard_vps, platform.schedule)
+        _execute_campaign(config.engine, prober, shard_vps, platform.schedule)
         collectors.append(collector)
     return collectors
 
@@ -333,11 +359,15 @@ def run_campaign(
     """Execute the campaign (serial, sharded, or multiprocess) and leave
     the merged collector on the platform."""
     world.distributor.reset_faults()
+    platform.prober.reset()
     if config.shards <= 1:
-        platform.prober.run_campaign(platform.vps, platform.schedule)
+        _execute_campaign(
+            config.engine, platform.prober, platform.vps, platform.schedule
+        )
         return platform.collector
     shard_collectors = _run_sharded(config, world, platform)
     world.distributor.reset_faults()
+    platform.prober.reset()
     merged = CampaignCollector.merge(shard_collectors)
     platform.collector = merged
     platform.prober.collector = merged
@@ -375,8 +405,13 @@ class StudyPipeline:
     stage-by-stage with inspection in between.
     """
 
-    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[StudyConfig] = None, profile: bool = False
+    ) -> None:
         self.config = config or StudyConfig()
+        #: Record a cProfile of the campaign stage into the artifact
+        #: store (``campaign_profile`` / ``campaign_profile_top``).
+        self.profile = profile
         self.store = ArtifactStore()
         self.timings: List[StageTiming] = []
         self._campaign_done = False
@@ -387,6 +422,10 @@ class StudyPipeline:
         self.timings.append(
             StageTiming(stage=stage, seconds=time.perf_counter() - started, reused=reused)
         )
+        # Keep the per-stage timing log available as an artifact too, so
+        # benchmarks and the CLI read timings the same way as any other
+        # pipeline output.
+        self.store.put("stage_timings", self.timings, stage=stage)
 
     # -- stages ------------------------------------------------------------------
 
@@ -430,7 +469,21 @@ class StudyPipeline:
             return self.store.get("collector", CampaignCollector)
         world = self.build_world()
         platform = self.build_platform()
-        collector = run_campaign(self.config, world, platform)
+        if self.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                collector = run_campaign(self.config, world, platform)
+            finally:
+                profiler.disable()
+            self.store.put("campaign_profile", profiler, stage="run_campaign")
+            self.store.put(
+                "campaign_profile_top", render_profile(profiler), stage="run_campaign"
+            )
+        else:
+            collector = run_campaign(self.config, world, platform)
         self.store.put(
             "collector", collector, stage="run_campaign", expected_type=CampaignCollector
         )

@@ -34,10 +34,12 @@ from repro.vantage.probes import Prober
 class RootStudy:
     """Builds and runs one complete measurement study."""
 
-    def __init__(self, config: Optional[StudyConfig] = None) -> None:
+    def __init__(
+        self, config: Optional[StudyConfig] = None, profile: bool = False
+    ) -> None:
         self.config = config or StudyConfig()
         self.rng_factory = RngFactory(self.config.seed)
-        self.pipeline = StudyPipeline(self.config)
+        self.pipeline = StudyPipeline(self.config, profile=profile)
 
         world = self.pipeline.build_world()
         platform = self.pipeline.build_platform()

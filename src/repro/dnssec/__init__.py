@@ -10,6 +10,13 @@ is implemented per-RFC, so the validation pipeline behaves exactly like
 or skewed clock produces the same class of validation error.
 """
 
+from repro.dnssec.digestcache import (
+    ZoneAnalysis,
+    ZoneValidationCache,
+    records_fingerprint,
+    shared_cache,
+    zone_fingerprint,
+)
 from repro.dnssec.keys import ZoneKey, KeyPair, generate_keypair
 from repro.dnssec.sign import sign_rrset, sign_zone_records
 from repro.dnssec.validate import (
@@ -43,4 +50,9 @@ __all__ = [
     "verify_zonemd",
     "ZonemdStatus",
     "build_nsec_chain",
+    "ZoneAnalysis",
+    "ZoneValidationCache",
+    "records_fingerprint",
+    "shared_cache",
+    "zone_fingerprint",
 ]

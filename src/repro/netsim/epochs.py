@@ -1,0 +1,107 @@
+"""Route epochs: the per-pair campaign compiled into constant-route runs.
+
+Between churn flips a (VP, service address) pair's route is static, so
+the per-round call chain ``RouteSelector.select`` → ``ChurnModel.
+select_index`` — tens of millions of dict lookups and hash mixes over a
+campaign — collapses into a handful of ``(round_start, round_end,
+candidate_index)`` *epochs* per pair.  The flap process in
+:class:`~repro.netsim.churn.ChurnModel` only ever leaves the preferred
+route on an excursion trigger, and triggers are sparse, so the epoch
+list is short: one epoch when the pair never flips, ``2k (+1)`` epochs
+for ``k`` excursions.
+
+The compiler replays the exact :meth:`ChurnModel.select_index` state
+machine, but evaluates the per-round trigger uniform for every round at
+once (:func:`repro.netsim.mix.mix_float_array`) and then walks only the
+rounds whose uniform clears the excursion probability.  The resulting
+index sequence is *identical* to calling ``select_index`` round by
+round — asserted by tests/netsim/test_epochs.py over the full candidate
+count / probability space — which is what lets the epoch-compiled
+campaign engine keep collector output byte-identical to the scalar
+prober.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.netsim.churn import ChurnModel
+from repro.netsim.mix import mix_float, mix64_prefix, mix_float_array, mix_str
+
+#: One epoch: the pair uses candidate ``index`` for rounds
+#: ``[start, end)``.
+Epoch = Tuple[int, int, int]
+
+
+def compile_pair_epochs(
+    churn: ChurnModel,
+    client_id: int,
+    address: str,
+    letter: str,
+    family: int,
+    n_rounds: int,
+    n_candidates: int,
+) -> List[Epoch]:
+    """The pair's campaign as ``(round_start, round_end, index)`` epochs.
+
+    Equivalent to ``[churn.select_index(client_id, address, letter,
+    family, r, n_candidates) for r in range(n_rounds)]`` run-length
+    encoded — but without advancing any churn state, so compilation can
+    interleave freely with (or replace) scalar selection.
+    """
+    if n_rounds <= 0:
+        return []
+    if n_candidates <= 1:
+        return [(0, n_rounds, 0)]
+
+    state = churn.state_for(client_id, address, letter, family)
+    prob = state.excursion_prob
+    seed = churn.seed
+
+    # Per-round trigger uniforms, evaluated in bulk.  Only the rounds
+    # where the state machine actually *checks* the trigger (at the
+    # preferred route, not inside or immediately after an excursion) are
+    # consumed below.
+    rounds = np.arange(n_rounds, dtype=np.int64)
+    u = mix_float_array(mix64_prefix(seed, client_id, mix_str(address)), rounds)
+    triggers = np.nonzero(u < prob)[0]
+
+    epochs: List[Epoch] = []
+    cursor = 0  # first round not yet assigned to an epoch
+    resume = 0  # first round at which the trigger check is live again
+    for t in triggers:
+        t = int(t)
+        if t < resume:
+            continue  # inside an excursion, or the untriggered return round
+        depth_u = mix_float(seed, client_id, t, 7)
+        depth = 1 + int(depth_u * depth_u * (n_candidates - 1))
+        depth = min(depth, n_candidates - 1)
+        duration_u = mix_float(seed, client_id, t, 11)
+        duration = 1 + int(duration_u * 3.0)
+        if t > cursor:
+            epochs.append((cursor, t, 0))
+        end = min(t + duration, n_rounds)
+        epochs.append((t, end, depth))
+        cursor = end
+        # The round the pair returns to the preferred route takes the
+        # excursion-countdown branch, so the next trigger check is one
+        # round later still.
+        resume = t + duration + 1
+        if cursor >= n_rounds:
+            break
+    if cursor < n_rounds:
+        epochs.append((cursor, n_rounds, 0))
+    return epochs
+
+
+def epoch_change_count(epochs: List[Epoch]) -> int:
+    """Consecutive-round route changes implied by an epoch list.
+
+    Adjacent epochs always carry different candidate indices (an
+    excursion departs from and returns to index 0), and candidate lists
+    are site-deduplicated, so each boundary is exactly one observed
+    catchment change.
+    """
+    return max(0, len(epochs) - 1)

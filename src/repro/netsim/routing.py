@@ -78,6 +78,11 @@ class RouteSelector:
         self.churn = churn
         self._candidate_cache: Dict[Tuple[int, str, str, int], List[Route]] = {}
         self._transit_site_cache: Dict[Tuple[int, str, str], List[Tuple[float, Site]]] = {}
+        # (asn, letter) -> per-site (site, hub, tail_km, diversity_km):
+        # everything in the ranking that does not depend on the entry PoP.
+        self._transit_geometry_cache: Dict[
+            Tuple[int, str], List[Tuple[Site, City, float, float]]
+        ] = {}
 
     # -- candidate construction ---------------------------------------------------
 
@@ -131,16 +136,27 @@ class RouteSelector:
         site -> site)."""
         key = (transit.asn, entry.iata, letter)
         if key not in self._transit_site_cache:
+            geom_key = (transit.asn, letter)
+            geometry = self._transit_geometry_cache.get(geom_key)
+            if geometry is None:
+                geometry = []
+                for site in self.fabric.global_sites(letter):
+                    hub = transit.nearest_pop(site.city)
+                    tail = haversine_km(hub.location, site.city.location)
+                    # Interconnection diversity: each (provider, site) pair
+                    # has its own peering/backhaul cost, so different
+                    # letters exit a provider's backbone at different
+                    # places rather than all converging on one hub.
+                    diversity = 1600.0 * mix_float(transit.asn, mix_str(site.key), 5)
+                    geometry.append((site, hub, tail, diversity))
+                self._transit_geometry_cache[geom_key] = geometry
+            hauls: Dict[str, float] = {}
             ranked: List[Tuple[float, Site]] = []
-            for site in self.fabric.global_sites(letter):
-                hub = transit.nearest_pop(site.city)
-                haul = haversine_km(entry.location, hub.location)
-                tail = haversine_km(hub.location, site.city.location)
-                # Interconnection diversity: each (provider, site) pair
-                # has its own peering/backhaul cost, so different letters
-                # exit a provider's backbone at different places rather
-                # than all converging on one hub.
-                diversity = 1600.0 * mix_float(transit.asn, mix_str(site.key), 5)
+            for site, hub, tail, diversity in geometry:
+                haul = hauls.get(hub.iata)
+                if haul is None:
+                    haul = haversine_km(entry.location, hub.location)
+                    hauls[hub.iata] = haul
                 ranked.append((haul + tail + diversity, site))
             ranked.sort(key=lambda pair: (pair[0], pair[1].key))
             self._transit_site_cache[key] = ranked

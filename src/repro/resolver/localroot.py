@@ -19,8 +19,8 @@ from repro.dns.constants import RRType
 from repro.dns.message import Message
 from repro.dns.name import ROOT_NAME
 from repro.dns.rdata import SOA
-from repro.dnssec.validate import validate_zone
-from repro.dnssec.zonemd import ZonemdStatus, verify_zonemd
+from repro.dnssec.digestcache import ZoneValidationCache, shared_cache
+from repro.dnssec.zonemd import ZonemdStatus
 from repro.resolver.hints import RootHints
 from repro.resolver.netclient import RootNetworkClient
 from repro.util.timeutil import Timestamp
@@ -57,10 +57,17 @@ class LocalRootManager:
         family: int = 4,
         require_zonemd: bool = False,
         prefer_ixfr: bool = True,
+        validation_cache: Optional[ZoneValidationCache] = None,
     ) -> None:
         self.client = client
         self.hints = hints
         self.family = family
+        #: Content-keyed crypto memo (shared process-wide by default):
+        #: refresh loops revisit the same zone versions, so RRSIG and
+        #: ZONEMD digests are computed once per version, not per refresh.
+        self.validation_cache = (
+            validation_cache if validation_cache is not None else shared_cache()
+        )
         #: Strict mode: reject zones whose ZONEMD cannot be verified.
         #: (Off by default during the monitoring year — paper §7: the
         #: operators will watch for at least a year before rejecting.)
@@ -77,10 +84,11 @@ class LocalRootManager:
 
     def _validate(self, zone: Zone, now: Timestamp) -> Optional[str]:
         """None if acceptable, else a rejection reason."""
-        report = validate_zone(zone.records, ROOT_NAME, now=now, check_zonemd=False)
+        analysis = self.validation_cache.analyse_zone(zone, ROOT_NAME)
+        report = analysis.report_at(now, check_zonemd=False)
         if not report.valid:
             return f"DNSSEC: {report.issues[0].error.value}"
-        status, detail = verify_zonemd(zone.records, ROOT_NAME)
+        status, detail = analysis.zonemd
         if status is ZonemdStatus.MISMATCH:
             return f"ZONEMD: {detail}"
         if status is ZonemdStatus.SERIAL_MISMATCH:

@@ -40,9 +40,9 @@ class RootServerDeployment:
             site.key: RootInstance(site) for site in sites
         }
         # AXFRs of an unchanged zone copy are identical; memoise by the
-        # (cached, shared) zone object so campaign-scale transfer counts
-        # stay cheap.
-        self._axfr_cache: Dict[int, AxfrResult] = {}
+        # zone's content fingerprint (shared with the validation caches)
+        # so campaign-scale transfer counts stay cheap.
+        self._axfr_cache: Dict[bytes, AxfrResult] = {}
 
     @property
     def letter(self) -> str:
@@ -65,13 +65,25 @@ class RootServerDeployment:
 
     def serve_axfr(self, site_key: str, ts: Timestamp) -> AxfrResult:
         """Run a complete AXFR against *site_key* at *ts*."""
-        zone = self.zone_at(site_key, ts)
-        cached = self._axfr_cache.get(id(zone))
+        return self.axfr_of(self.zone_at(site_key, ts))
+
+    def axfr_of(self, zone: Zone) -> AxfrResult:
+        """The (memoised) AXFR of one concrete zone copy.
+
+        The epoch-compiled engine resolves the served zone itself (it
+        evaluates staleness windows without mutating distributor state)
+        and comes in through here, sharing the cache with
+        :meth:`serve_axfr`.
+        """
+        from repro.dnssec.digestcache import zone_fingerprint
+
+        key = zone_fingerprint(zone)
+        cached = self._axfr_cache.get(key)
         if cached is None:
             server = AxfrServer(zone)
             query = Message.make_query(ROOT_NAME, RRType.AXFR)
             cached = AxfrClient().transfer(server, query)
-            self._axfr_cache[id(zone)] = cached
+            self._axfr_cache[key] = cached
         return cached
 
     def freeze_site(self, site_key: str, at_ts: Timestamp) -> None:

@@ -13,6 +13,17 @@ object would not fit in memory.  The collector therefore keeps:
 * **transfer observations** — aggregate counts for clean AXFRs plus full
   zone references for the interesting ones (faulted, stale, skewed-clock
   VPs) that the ZONEMD audit (Table 2) validates.
+
+Row storage is columnar from the start: preallocated, doubling numpy
+buffers (:class:`_ColumnTable`) with batch-append APIs
+(:meth:`CampaignCollector.add_probe_block`,
+:meth:`CampaignCollector.add_traceroute_block`) fed by the epoch-compiled
+campaign engine, while the scalar ``add_probe_sample`` /
+``add_traceroute`` calls remain as thin single-row wrappers so the
+scalar prober and :meth:`CampaignCollector.merge` produce byte-identical
+tables.  ``probe_columns()`` / ``traceroute_columns()`` are memoised per
+buffer version instead of re-materialising the full arrays on every
+analysis.
 """
 
 from __future__ import annotations
@@ -101,6 +112,95 @@ class _Interner:
         return len(self.values)
 
 
+class _ColumnTable:
+    """Growable columnar row storage over preallocated numpy buffers.
+
+    Buffers double on exhaustion; ``version`` increments on every write
+    so readers can memoise materialised views.  Scalar ``append`` and
+    batch ``extend`` produce identical contents — appends write the same
+    dtypes the batch path stores.
+    """
+
+    _INITIAL = 1024
+
+    def __init__(self, spec: Sequence[Tuple[str, "np.dtype"]]) -> None:
+        self._spec = list(spec)
+        self._buffers: Dict[str, np.ndarray] = {
+            name: np.empty(self._INITIAL, dtype=dtype) for name, dtype in self._spec
+        }
+        self._n = 0
+        self.version = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(next(iter(self._buffers.values())))
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in self._buffers:
+            buf = np.empty(capacity, dtype=self._buffers[name].dtype)
+            buf[: self._n] = self._buffers[name][: self._n]
+            self._buffers[name] = buf
+
+    def append(self, *values) -> None:
+        """Append one row (values in column-spec order)."""
+        self._grow_to(self._n + 1)
+        for (name, _dtype), value in zip(self._spec, values):
+            self._buffers[name][self._n] = value
+        self._n += 1
+        self.version += 1
+
+    def extend(self, **arrays) -> None:
+        """Batch-append equal-length column arrays."""
+        if not arrays:
+            return
+        lengths = {len(a) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"ragged column block: lengths {sorted(lengths)}")
+        count = lengths.pop()
+        if count == 0:
+            return
+        if set(arrays) != {name for name, _ in self._spec}:
+            raise ValueError(
+                f"column block mismatch: got {sorted(arrays)}, "
+                f"want {sorted(n for n, _ in self._spec)}"
+            )
+        self._grow_to(self._n + count)
+        for name, values in arrays.items():
+            self._buffers[name][self._n : self._n + count] = values
+        self._n += count
+        self.version += 1
+
+    def column(self, name: str) -> np.ndarray:
+        """Snapshot view of one column (length-stable; do not mutate)."""
+        return self._buffers[name][: self._n]
+
+
+#: Probe table schema (storage dtypes; ``probe_columns`` downcasts the
+#: float columns to float32 exactly like the historical list storage).
+_PROBE_SPEC = (
+    ("vp", np.dtype(np.int32)),
+    ("ts", np.dtype(np.int64)),
+    ("addr", np.dtype(np.int16)),
+    ("site", np.dtype(np.int32)),
+    ("rtt", np.dtype(np.float64)),
+    ("direct_km", np.dtype(np.float64)),
+    ("closest_km", np.dtype(np.float64)),
+    ("peer", np.dtype(bool)),
+    ("transit", np.dtype(np.int32)),
+)
+
+_TRACEROUTE_SPEC = (
+    ("vp", np.dtype(np.int32)),
+    ("ts", np.dtype(np.int64)),
+    ("addr", np.dtype(np.int16)),
+    ("hop", np.dtype(np.int32)),
+)
+
+
 class CampaignCollector:
     """Accumulates a campaign's measurement output."""
 
@@ -115,22 +215,13 @@ class CampaignCollector:
         # stability: (vp_id, addr_idx) -> [last_site_idx, changes, rounds]
         self._stability: Dict[Tuple[int, int], List[int]] = {}
 
-        # sampled probe rows (columnar)
-        self._p_vp: List[int] = []
-        self._p_ts: List[int] = []
-        self._p_addr: List[int] = []
-        self._p_site: List[int] = []
-        self._p_rtt: List[float] = []
-        self._p_direct: List[float] = []
-        self._p_closest: List[float] = []
-        self._p_peer: List[bool] = []
-        self._p_transit: List[int] = []  # upstream ASN, 0 = peer/local path
-
-        # sampled traceroute rows (columnar; hop -1 = no reply)
-        self._t_vp: List[int] = []
-        self._t_ts: List[int] = []
-        self._t_addr: List[int] = []
-        self._t_hop: List[int] = []
+        # sampled probe / traceroute rows (columnar; hop -1 = no reply)
+        self._probes = _ColumnTable(_PROBE_SPEC)
+        self._traceroutes = _ColumnTable(_TRACEROUTE_SPEC)
+        self._probe_cols_cache: Optional[Dict[str, np.ndarray]] = None
+        self._probe_cols_version = -1
+        self._trace_cols_cache: Optional[Dict[str, np.ndarray]] = None
+        self._trace_cols_version = -1
 
         # coverage: letter -> identity -> observation count, plus the
         # first-occurrence order key per (letter, identity) for merging
@@ -198,27 +289,66 @@ class CampaignCollector:
         via_peer: bool,
         transit_asn: int = 0,
     ) -> None:
-        self._p_vp.append(vp_id)
-        self._p_ts.append(ts)
-        self._p_addr.append(addr_idx)
-        self._p_site.append(self.sites.intern(site_key, self._order_key(vp_id, addr_idx)))
-        self._p_rtt.append(rtt_ms)
-        self._p_direct.append(direct_km)
-        self._p_closest.append(closest_global_km)
-        self._p_peer.append(via_peer)
-        self._p_transit.append(transit_asn)
+        self._probes.append(
+            vp_id,
+            ts,
+            addr_idx,
+            self.sites.intern(site_key, self._order_key(vp_id, addr_idx)),
+            rtt_ms,
+            direct_km,
+            closest_global_km,
+            via_peer,
+            transit_asn,
+        )
+
+    def add_probe_block(
+        self,
+        vp: np.ndarray,
+        ts: np.ndarray,
+        addr: np.ndarray,
+        site: np.ndarray,
+        rtt: np.ndarray,
+        direct_km: np.ndarray,
+        closest_km: np.ndarray,
+        peer: np.ndarray,
+        transit: np.ndarray,
+    ) -> None:
+        """Batch-append probe rows.
+
+        ``site`` carries *already interned* site indices — block callers
+        (the epoch engine, vectorised merges) intern up front with
+        explicit first-occurrence keys.
+        """
+        self._probes.extend(
+            vp=vp,
+            ts=ts,
+            addr=addr,
+            site=site,
+            rtt=rtt,
+            direct_km=direct_km,
+            closest_km=closest_km,
+            peer=peer,
+            transit=transit,
+        )
 
     def add_traceroute(
         self, vp_id: int, ts: int, addr_idx: int, second_to_last_hop: Optional[str]
     ) -> None:
-        self._t_vp.append(vp_id)
-        self._t_ts.append(ts)
-        self._t_addr.append(addr_idx)
-        self._t_hop.append(
+        self._traceroutes.append(
+            vp_id,
+            ts,
+            addr_idx,
             -1
             if second_to_last_hop is None
-            else self.hops.intern(second_to_last_hop, self._order_key(vp_id, addr_idx))
+            else self.hops.intern(second_to_last_hop, self._order_key(vp_id, addr_idx)),
         )
+
+    def add_traceroute_block(
+        self, vp: np.ndarray, ts: np.ndarray, addr: np.ndarray, hop: np.ndarray
+    ) -> None:
+        """Batch-append traceroute rows (``hop`` pre-interned, -1 = no
+        reply)."""
+        self._traceroutes.extend(vp=vp, ts=ts, addr=addr, hop=hop)
 
     def count_transfer(self, clean: bool) -> None:
         self.transfer_total += 1
@@ -237,57 +367,77 @@ class CampaignCollector:
         }
 
     def probe_columns(self) -> Dict[str, np.ndarray]:
-        """The sampled probe table as numpy columns."""
-        return {
-            "vp": np.asarray(self._p_vp, dtype=np.int32),
-            "ts": np.asarray(self._p_ts, dtype=np.int64),
-            "addr": np.asarray(self._p_addr, dtype=np.int16),
-            "site": np.asarray(self._p_site, dtype=np.int32),
-            "rtt": np.asarray(self._p_rtt, dtype=np.float32),
-            "direct_km": np.asarray(self._p_direct, dtype=np.float32),
-            "closest_km": np.asarray(self._p_closest, dtype=np.float32),
-            "peer": np.asarray(self._p_peer, dtype=bool),
-            "transit": np.asarray(self._p_transit, dtype=np.int32),
-        }
+        """The sampled probe table as numpy columns.
+
+        Memoised per buffer version: repeated analysis calls share one
+        materialisation until the next append invalidates it.
+        """
+        if (
+            self._probe_cols_cache is None
+            or self._probe_cols_version != self._probes.version
+        ):
+            self._probe_cols_cache = {
+                "vp": self._probes.column("vp"),
+                "ts": self._probes.column("ts"),
+                "addr": self._probes.column("addr"),
+                "site": self._probes.column("site"),
+                "rtt": self._probes.column("rtt").astype(np.float32),
+                "direct_km": self._probes.column("direct_km").astype(np.float32),
+                "closest_km": self._probes.column("closest_km").astype(np.float32),
+                "peer": self._probes.column("peer"),
+                "transit": self._probes.column("transit"),
+            }
+            self._probe_cols_version = self._probes.version
+        return self._probe_cols_cache
 
     def traceroute_columns(self) -> Dict[str, np.ndarray]:
-        """The sampled traceroute table as numpy columns."""
-        return {
-            "vp": np.asarray(self._t_vp, dtype=np.int32),
-            "ts": np.asarray(self._t_ts, dtype=np.int64),
-            "addr": np.asarray(self._t_addr, dtype=np.int16),
-            "hop": np.asarray(self._t_hop, dtype=np.int32),
-        }
+        """The sampled traceroute table as numpy columns (memoised)."""
+        if (
+            self._trace_cols_cache is None
+            or self._trace_cols_version != self._traceroutes.version
+        ):
+            self._trace_cols_cache = {
+                "vp": self._traceroutes.column("vp"),
+                "ts": self._traceroutes.column("ts"),
+                "addr": self._traceroutes.column("addr"),
+                "hop": self._traceroutes.column("hop"),
+            }
+            self._trace_cols_version = self._traceroutes.version
+        return self._trace_cols_cache
 
     def probe_samples(self) -> List[ProbeSample]:
         """Sampled probe rows as objects (small datasets / tests only)."""
+        t = self._probes
         return [
             ProbeSample(
-                vp_id=self._p_vp[i],
-                ts=self._p_ts[i],
-                address=self.addresses[self._p_addr[i]],
-                site_key=self.sites[self._p_site[i]],
-                rtt_ms=self._p_rtt[i],
-                direct_km=self._p_direct[i],
-                closest_global_km=self._p_closest[i],
-                via_peer=self._p_peer[i],
-                transit_asn=self._p_transit[i],
+                vp_id=int(t.column("vp")[i]),
+                ts=int(t.column("ts")[i]),
+                address=self.addresses[int(t.column("addr")[i])],
+                site_key=self.sites[int(t.column("site")[i])],
+                rtt_ms=float(t.column("rtt")[i]),
+                direct_km=float(t.column("direct_km")[i]),
+                closest_global_km=float(t.column("closest_km")[i]),
+                via_peer=bool(t.column("peer")[i]),
+                transit_asn=int(t.column("transit")[i]),
             )
-            for i in range(len(self._p_vp))
+            for i in range(len(t))
         ]
 
     def traceroute_samples(self) -> List[TracerouteSample]:
         """Sampled traceroute rows as objects (small datasets / tests)."""
+        t = self._traceroutes
         return [
             TracerouteSample(
-                vp_id=self._t_vp[i],
-                ts=self._t_ts[i],
-                address=self.addresses[self._t_addr[i]],
+                vp_id=int(t.column("vp")[i]),
+                ts=int(t.column("ts")[i]),
+                address=self.addresses[int(t.column("addr")[i])],
                 second_to_last_hop=(
-                    None if self._t_hop[i] < 0 else self.hops[self._t_hop[i]]
+                    None
+                    if t.column("hop")[i] < 0
+                    else self.hops[int(t.column("hop")[i])]
                 ),
             )
-            for i in range(len(self._t_vp))
+            for i in range(len(t))
         ]
 
     def summary(self) -> Dict[str, int]:
@@ -295,8 +445,8 @@ class CampaignCollector:
         return {
             "rounds": self.rounds_processed,
             "queries": self.queries_simulated,
-            "probe_samples": len(self._p_vp),
-            "traceroute_samples": len(self._t_vp),
+            "probe_samples": len(self._probes),
+            "traceroute_samples": len(self._traceroutes),
             "transfers": self.transfer_total,
             "transfer_observations": len(self.transfers),
             "stability_pairs": len(self._stability),
@@ -317,8 +467,11 @@ class CampaignCollector:
         * interners are rebuilt in global first-occurrence order (the
           minimum (round, vp, addr) key across shards per value), and
           every stored index is remapped,
-        * columnar probe/traceroute tables and transfer observations are
-          k-way merged back into campaign-scan order on (ts, vp),
+        * columnar probe/traceroute tables are recombined with a stable
+          lexicographic sort on (ts, vp) — a (ts, vp) pair belongs to
+          exactly one shard and rows within a shard are already in
+          campaign-scan order, so the sort *is* the k-way merge — and
+          transfer observations are k-way merged the same way,
         * stability counters and identity counts are disjoint unions /
           sums, re-inserted in serial first-occurrence order.
         """
@@ -356,40 +509,54 @@ class CampaignCollector:
                 raise ValueError(f"shards overlap on (vp, addr) pair {pair}")
             merged._stability[pair] = [site_maps[shard_no][state[0]], state[1], state[2]]
 
-        # Probe rows: within a shard rows are already in campaign-scan
-        # order, and a (ts, vp) pair belongs to exactly one shard, so a
-        # k-way merge on (ts, vp) restores the serial row order.
-        def probe_rows(shard_no: int, shard: "CampaignCollector"):
-            for i in range(len(shard._p_vp)):
-                yield (shard._p_ts[i], shard._p_vp[i], shard_no, i)
+        # Probe rows: a stable sort of the concatenated shard tables on
+        # (ts, vp) reproduces the serial row order (see docstring).
+        def remap_lookup(mapping: Dict[int, int]) -> np.ndarray:
+            lookup = np.zeros(max(len(mapping), 1), dtype=np.int64)
+            for old, new in mapping.items():
+                lookup[old] = new
+            return lookup
 
-        for _ts, _vp, shard_no, i in heapq.merge(
-            *(probe_rows(n, s) for n, s in enumerate(shards))
-        ):
-            shard = shards[shard_no]
-            merged._p_vp.append(shard._p_vp[i])
-            merged._p_ts.append(shard._p_ts[i])
-            merged._p_addr.append(shard._p_addr[i])
-            merged._p_site.append(site_maps[shard_no][shard._p_site[i]])
-            merged._p_rtt.append(shard._p_rtt[i])
-            merged._p_direct.append(shard._p_direct[i])
-            merged._p_closest.append(shard._p_closest[i])
-            merged._p_peer.append(shard._p_peer[i])
-            merged._p_transit.append(shard._p_transit[i])
+        probe_blocks: Dict[str, List[np.ndarray]] = {
+            name: [] for name, _ in _PROBE_SPEC
+        }
+        for shard_no, shard in enumerate(shards):
+            table = shard._probes
+            for name, _dtype in _PROBE_SPEC:
+                col = table.column(name)
+                if name == "site" and len(col):
+                    col = remap_lookup(site_maps[shard_no])[col]
+                probe_blocks[name].append(col)
+        probe_all = {
+            name: np.concatenate(blocks) if blocks else np.empty(0)
+            for name, blocks in probe_blocks.items()
+        }
+        if len(probe_all["ts"]):
+            order = np.lexsort((probe_all["vp"], probe_all["ts"]))
+            merged._probes.extend(
+                **{name: probe_all[name][order] for name, _ in _PROBE_SPEC}
+            )
 
-        def traceroute_rows(shard_no: int, shard: "CampaignCollector"):
-            for i in range(len(shard._t_vp)):
-                yield (shard._t_ts[i], shard._t_vp[i], shard_no, i)
-
-        for _ts, _vp, shard_no, i in heapq.merge(
-            *(traceroute_rows(n, s) for n, s in enumerate(shards))
-        ):
-            shard = shards[shard_no]
-            merged._t_vp.append(shard._t_vp[i])
-            merged._t_ts.append(shard._t_ts[i])
-            merged._t_addr.append(shard._t_addr[i])
-            hop = shard._t_hop[i]
-            merged._t_hop.append(-1 if hop < 0 else hop_maps[shard_no][hop])
+        trace_blocks: Dict[str, List[np.ndarray]] = {
+            name: [] for name, _ in _TRACEROUTE_SPEC
+        }
+        for shard_no, shard in enumerate(shards):
+            table = shard._traceroutes
+            for name, _dtype in _TRACEROUTE_SPEC:
+                col = table.column(name)
+                if name == "hop" and len(col):
+                    lookup = remap_lookup(hop_maps[shard_no])
+                    col = np.where(col < 0, -1, lookup[np.maximum(col, 0)])
+                trace_blocks[name].append(col)
+        trace_all = {
+            name: np.concatenate(blocks) if blocks else np.empty(0)
+            for name, blocks in trace_blocks.items()
+        }
+        if len(trace_all["ts"]):
+            order = np.lexsort((trace_all["vp"], trace_all["ts"]))
+            merged._traceroutes.extend(
+                **{name: trace_all[name][order] for name, _ in _TRACEROUTE_SPEC}
+            )
 
         # Identities: counts sum; dict creation order follows the global
         # first (round, vp, addr) occurrence per (letter, identity).

@@ -27,6 +27,7 @@ from repro.dns.message import Message
 from repro.dns.name import Name, ROOT_NAME
 from repro.faults.bitflip import flip_bit_in_zone
 from repro.faults.plan import FaultPlan
+from repro.geo.cities import city
 from repro.geo.coords import haversine_km
 from repro.netsim.latency import route_rtt_ms
 from repro.netsim.mix import mix64, mix_float
@@ -82,13 +83,21 @@ class Prober:
         self._closest_global_cache: Dict[Tuple[str, str], float] = {}
         self._stale_frozen: Dict[str, bool] = {}
 
+    def reset(self) -> None:
+        """Clear campaign-scoped fault tracking.
+
+        ``_stale_frozen`` mirrors the distributor's freeze state; when a
+        cached world is reused across runs the distributor is reset via
+        ``reset_faults()``, and this must be cleared alongside it or the
+        next campaign skips its freeze/unfreeze transitions.
+        """
+        self._stale_frozen.clear()
+
     # -- helpers -------------------------------------------------------------------
 
     def _closest_global_km(self, city_iata: str, letter: str) -> float:
         key = (city_iata, letter)
         if key not in self._closest_global_cache:
-            from repro.geo.cities import city
-
             origin = city(city_iata).location
             sites = self.fabric.global_sites(letter)
             self._closest_global_cache[key] = min(

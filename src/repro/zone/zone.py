@@ -84,6 +84,8 @@ class Zone:
         if not 0 <= index < len(self.records):
             raise IndexError(index)
         self.records[index] = record
+        # Content changed: drop the memoised digest-cache fingerprint.
+        self.__dict__.pop("_content_fingerprint", None)
 
     def stats(self) -> Tuple[int, int, int]:
         """(records, rrsets, owner names) — quick size fingerprint."""

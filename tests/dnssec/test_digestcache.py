@@ -1,0 +1,129 @@
+"""The content-keyed validation cache replays ``validate_zone`` exactly.
+
+The cache must be a pure memoisation: for any zone content and any
+validation time, :meth:`ZoneAnalysis.report_at` produces the same report
+``validate_zone`` computes from scratch — including issue order, details
+and counters — while running the signature cryptography only once per
+distinct content.
+"""
+
+import pytest
+
+from repro.dns.name import ROOT_NAME
+from repro.dnssec.digestcache import (
+    ZoneValidationCache,
+    records_fingerprint,
+    shared_cache,
+    zone_fingerprint,
+)
+from repro.dnssec.validate import validate_zone
+from repro.dnssec.zonemd import verify_zonemd
+from repro.faults.bitflip import BitflipEvent, flip_bit_in_zone
+from repro.util.timeutil import parse_ts
+from repro.zone.distribution import ZoneDistributor
+from repro.zone.rootzone import RootZoneBuilder
+from repro.zone.zone import Zone
+
+TS = parse_ts("2023-12-10T12:00:00")
+
+
+@pytest.fixture(scope="module")
+def zone() -> Zone:
+    return ZoneDistributor(RootZoneBuilder(seed=77)).zone_at_site("cache-test", TS)
+
+
+@pytest.fixture(scope="module")
+def flipped(zone) -> Zone:
+    event = BitflipEvent(vp_id=0, start_ts=TS - 1, end_ts=TS + 1)
+    corrupted, _report = flip_bit_in_zone(zone, event, TS)
+    return corrupted
+
+
+def assert_same_report(cached, fresh):
+    assert cached.validated_at == fresh.validated_at
+    assert cached.rrsets_checked == fresh.rrsets_checked
+    assert cached.signatures_checked == fresh.signatures_checked
+    assert cached.valid == fresh.valid
+    assert [
+        (i.error, i.name, i.rrtype, i.detail) for i in cached.issues
+    ] == [(i.error, i.name, i.rrtype, i.detail) for i in fresh.issues]
+
+
+class TestFingerprint:
+    def test_same_content_same_fingerprint(self, zone):
+        assert zone_fingerprint(zone) == zone_fingerprint(zone.copy())
+
+    def test_different_content_different_fingerprint(self, zone, flipped):
+        assert zone_fingerprint(zone) != zone_fingerprint(flipped)
+
+    def test_replace_record_invalidates_memo(self, zone):
+        copy = zone.copy()
+        before = zone_fingerprint(copy)
+        event = BitflipEvent(vp_id=1, start_ts=TS - 1, end_ts=TS + 1)
+        corrupted, report = flip_bit_in_zone(copy, event, TS)
+        # flip_bit_in_zone works on its own copy; mutate ours directly.
+        copy.replace_record(report.record_index, corrupted.records[report.record_index])
+        assert zone_fingerprint(copy) != before
+        assert zone_fingerprint(copy) == zone_fingerprint(corrupted)
+
+    def test_records_fingerprint_is_order_sensitive(self, zone):
+        records = list(zone.records)
+        reordered = [records[1], records[0]] + records[2:]
+        assert records_fingerprint(records) != records_fingerprint(reordered)
+
+
+class TestReportReplay:
+    @pytest.mark.parametrize("check_zonemd", [True, False])
+    def test_matches_validate_zone_across_times(self, zone, check_zonemd):
+        cache = ZoneValidationCache()
+        analysis = cache.analyse_zone(zone, ROOT_NAME)
+        max_inception, min_expiration = analysis.rrsig_envelope
+        assert 0 < max_inception < min_expiration
+        times = [
+            max_inception - 86400,  # before inception: temporal errors
+            (max_inception + min_expiration) // 2,  # in-window: valid
+            min_expiration + 86400,  # expired: temporal errors
+        ]
+        for now in times:
+            cached = analysis.report_at(now, check_zonemd=check_zonemd)
+            fresh = validate_zone(
+                zone.records, ROOT_NAME, now=now, check_zonemd=check_zonemd
+            )
+            assert_same_report(cached, fresh)
+
+    def test_matches_validate_zone_on_corrupted_zone(self, flipped):
+        cache = ZoneValidationCache()
+        analysis = cache.analyse_zone(flipped, ROOT_NAME)
+        midpoint = sum(analysis.rrsig_envelope) // 2
+        cached = analysis.report_at(midpoint, check_zonemd=True)
+        fresh = validate_zone(flipped.records, ROOT_NAME, now=midpoint)
+        assert not cached.valid
+        assert_same_report(cached, fresh)
+
+    def test_zonemd_outcome_is_cached_verbatim(self, zone, flipped):
+        cache = ZoneValidationCache()
+        for z in (zone, flipped):
+            assert cache.analyse_zone(z, ROOT_NAME).zonemd == verify_zonemd(
+                z.records, ROOT_NAME
+            )
+
+
+class TestCacheBehaviour:
+    def test_equal_content_hits_once_analysed(self, zone):
+        cache = ZoneValidationCache()
+        first = cache.analyse_zone(zone, ROOT_NAME)
+        second = cache.analyse_zone(zone.copy(), ROOT_NAME)
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_content_analysed_separately(self, zone, flipped):
+        cache = ZoneValidationCache()
+        a = cache.analyse_zone(zone, ROOT_NAME)
+        b = cache.analyse_zone(flipped, ROOT_NAME)
+        assert a is not b
+        assert cache.misses == 2
+
+    def test_shared_cache_is_a_singleton(self):
+        assert shared_cache() is shared_cache()

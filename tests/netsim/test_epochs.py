@@ -1,0 +1,89 @@
+"""Epoch compilation must replay ChurnModel.select_index exactly."""
+
+import pytest
+
+from repro.netsim.churn import ChurnModel, TARGET_MEDIAN_CHANGES
+from repro.netsim.epochs import compile_pair_epochs, epoch_change_count
+
+
+def scalar_indices(seed, client_id, address, letter, family, n_rounds, n_candidates):
+    churn = ChurnModel(seed, expected_rounds=max(1, n_rounds))
+    return [
+        churn.select_index(client_id, address, letter, family, r, n_candidates)
+        for r in range(n_rounds)
+    ]
+
+
+def epochs_to_indices(epochs, n_rounds):
+    out = [None] * n_rounds
+    for start, end, index in epochs:
+        for r in range(start, end):
+            assert out[r] is None, "overlapping epochs"
+            out[r] = index
+    assert None not in out, "epoch gap"
+    return out
+
+
+def compiled_indices(seed, client_id, address, letter, family, n_rounds, n_candidates):
+    churn = ChurnModel(seed, expected_rounds=max(1, n_rounds))
+    epochs = compile_pair_epochs(
+        churn, client_id, address, letter, family, n_rounds, n_candidates
+    )
+    return epochs_to_indices(epochs, n_rounds), epochs
+
+
+class TestEpochEquivalence:
+    @pytest.mark.parametrize("letter,family", sorted(TARGET_MEDIAN_CHANGES))
+    def test_every_letter_family(self, letter, family):
+        n_rounds, n_candidates = 400, 5
+        address = f"192.0.2.{ord(letter)}" if family == 4 else f"2001:db8::{letter}"
+        for client_id in (0, 7, 123):
+            want = scalar_indices(11, client_id, address, letter, family, n_rounds, n_candidates)
+            got, _ = compiled_indices(11, client_id, address, letter, family, n_rounds, n_candidates)
+            assert got == want
+
+    @pytest.mark.parametrize("n_candidates", [1, 2, 3, 9, 40])
+    def test_candidate_counts(self, n_candidates):
+        for seed in (1, 2024):
+            for client_id in range(6):
+                want = scalar_indices(seed, client_id, "198.41.0.4", "g", 6, 600, n_candidates)
+                got, _ = compiled_indices(seed, client_id, "198.41.0.4", "g", 6, 600, n_candidates)
+                assert got == want
+
+    def test_flappy_pair_stress(self):
+        """Hunt for a heavy-tailed pair (high excursion probability) and
+        check the dense trigger regime too."""
+        checked_flappy = 0
+        for client_id in range(200):
+            churn = ChurnModel(3, expected_rounds=100)
+            state = churn.state_for(client_id, "199.7.91.13", "g", 6)
+            if state.excursion_prob > 0.2:
+                checked_flappy += 1
+                want = scalar_indices(3, client_id, "199.7.91.13", "g", 6, 300, 7)
+                got, _ = compiled_indices(3, client_id, "199.7.91.13", "g", 6, 300, 7)
+                assert got == want
+        assert checked_flappy > 0, "no flappy pair found; loosen the search"
+
+    def test_change_count_matches_transitions(self):
+        indices, epochs = compiled_indices(5, 42, "192.33.4.12", "c", 4, 500, 6)
+        transitions = sum(
+            1 for a, b in zip(indices, indices[1:]) if a != b
+        )
+        assert epoch_change_count(epochs) == transitions
+
+    def test_single_candidate_single_epoch(self):
+        _, epochs = compiled_indices(5, 1, "192.0.2.1", "a", 4, 50, 1)
+        assert epochs == [(0, 50, 0)]
+
+    def test_no_rounds(self):
+        churn = ChurnModel(5, expected_rounds=10)
+        assert compile_pair_epochs(churn, 1, "192.0.2.1", "a", 4, 0, 4) == []
+
+    def test_compilation_does_not_advance_state(self):
+        """Compiling then selecting must equal selecting alone."""
+        churn = ChurnModel(9, expected_rounds=200)
+        compile_pair_epochs(churn, 3, "192.58.128.30", "j", 4, 200, 5)
+        via_shared = [
+            churn.select_index(3, "192.58.128.30", "j", 4, r, 5) for r in range(200)
+        ]
+        assert via_shared == scalar_indices(9, 3, "192.58.128.30", "j", 4, 200, 5)
