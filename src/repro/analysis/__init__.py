@@ -14,12 +14,17 @@ and figures (see DESIGN.md's experiment index):
 * :mod:`report`         — plain-text rendering of all of the above
 
 Every analysis conforms to the :class:`~repro.analysis.base.Analysis`
-protocol (``name``, ``requires``, ``run(results)``) and is reachable by
-name through :mod:`repro.analysis.registry` — the CLI, report generator
-and benchmarks construct analyses only through that registry.
+protocol (``name``, ``requires``, ``tables``, ``run(results)``) and is
+reachable by name through :mod:`repro.analysis.registry` — the CLI,
+report generator and benchmarks construct analyses only through that
+registry.  Analyses consume a :class:`repro.data.Dataset` (live-sealed
+or reloaded from a saved directory) through a typed
+:class:`~repro.analysis.base.AnalysisContext`;
+:mod:`repro.analysis.summaries` defines each analysis's canonical text
+output (what ``rootsim-analyze`` prints).
 """
 
-from repro.analysis.base import Analysis, RegisteredAnalysis
+from repro.analysis.base import Analysis, AnalysisContext, RegisteredAnalysis
 from repro.analysis.coverage import CoverageAnalysis, CoverageRow
 from repro.analysis.stability import StabilityAnalysis
 from repro.analysis.colocation import ColocationAnalysis
@@ -35,6 +40,7 @@ from repro.analysis import registry
 
 __all__ = [
     "Analysis",
+    "AnalysisContext",
     "RegisteredAnalysis",
     "registry",
     "PathAnalysis",

@@ -6,20 +6,44 @@ Every analysis class declares
 * ``requires`` — the input keys its constructor takes, positionally
   (a trailing ``?`` marks an optional input, passed as ``None`` when
   absent),
+* ``tables`` — the dataset tables it reads, checked up front against the
+  dataset it is handed (:meth:`repro.data.Dataset.require_tables`),
 
 and inherits :class:`RegisteredAnalysis.run`, which resolves those keys
-against a results bundle (or explicit keyword inputs) and instantiates
-the class.  Drivers — the CLI, the report generator, the benchmarks —
-construct analyses only through this surface, never by hand-wiring
-constructors.
+against an :class:`AnalysisContext` and instantiates the class.  Drivers
+— the CLI, the report generator, the benchmarks — construct analyses
+only through this surface, never by hand-wiring constructors.
+
+The context is *typed*: it accepts a
+:class:`~repro.core.results.StudyResults` bundle, a
+:class:`~repro.data.Dataset` (live-sealed or reloaded from a directory),
+or a bare :class:`~repro.vantage.collector.CampaignCollector`, and
+raises an explicit ``TypeError`` for anything else — no ``hasattr``
+guessing.  Reloaded datasets resolve seed-deterministic inputs
+(``vps``, ``catalog``, ``config``) from their recorded study
+fingerprint; transfer sealing stays lazy so analyses that never touch
+transfers never pay for zone cryptography.
 """
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Dict, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
-#: Input keys derived from a results bundle (everything else must be
-#: passed explicitly, e.g. a passive-capture ``aggregate``).
+from repro.data.dataset import Dataset
+
+#: Input keys an analysis may require from a study-results bundle
+#: (everything else must be passed explicitly, e.g. a passive-capture
+#: ``aggregate``).
 BUNDLE_KEYS: Tuple[str, ...] = (
     "vps",
     "catalog",
@@ -31,31 +55,83 @@ BUNDLE_KEYS: Tuple[str, ...] = (
     "fault_plan",
 )
 
+#: Bundle keys a reloaded dataset can re-derive from its recorded study
+#: fingerprint (pure functions of the seed; no simulation stage runs).
+SEED_DERIVED_KEYS: Tuple[str, ...] = ("vps", "catalog", "config")
 
-def build_context(results: Any = None, **inputs: Any) -> Dict[str, Any]:
+
+class AnalysisContext:
+    """Typed resolution of analysis inputs.
+
+    Values resolve lazily: asking whether a key is available
+    (``key in context``) is cheap, and expensive derivations — sealing
+    the transfer table, rebuilding the VP ring from a dataset's study
+    fingerprint — only run when an analysis actually requires the key.
+    """
+
+    def __init__(self, results: Any = None, **inputs: Any) -> None:
+        self._values: Dict[str, Any] = dict(inputs)
+        self._providers: Dict[str, Callable[[], Any]] = {}
+        if results is None:
+            return
+
+        from repro.core.results import StudyResults
+        from repro.vantage.collector import CampaignCollector
+
+        if isinstance(results, StudyResults):
+            dataset = results.dataset
+            for key in BUNDLE_KEYS:
+                self._values.setdefault(key, getattr(results, key))
+        elif isinstance(results, Dataset):
+            dataset = results
+            if dataset.study is not None:
+                for key in SEED_DERIVED_KEYS:
+                    self._providers.setdefault(
+                        key, lambda key=key: dataset.study_inputs()[key]
+                    )
+        elif isinstance(results, CampaignCollector):
+            dataset = Dataset.from_collector(results)
+        else:
+            raise TypeError(
+                f"cannot build an analysis context from {type(results).__name__}; "
+                f"expected StudyResults, Dataset, or CampaignCollector"
+            )
+
+        self._values.setdefault("dataset", dataset)
+        if dataset.has_table("identities"):
+            self._providers.setdefault("identities", lambda: dataset.identities)
+        if dataset.has_table("transfers"):
+            # Lazy: sealing runs zone cryptography on first access.
+            self._providers.setdefault("transfers", lambda: dataset.transfers)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values or key in self._providers
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self._values:
+            return self._values[key]
+        provider = self._providers.get(key)
+        if provider is None:
+            raise KeyError(key)
+        self._values[key] = provider()
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def keys(self) -> List[str]:
+        """Every resolvable input key, sorted."""
+        return sorted(set(self._values) | set(self._providers))
+
+
+def build_context(results: Any = None, **inputs: Any) -> AnalysisContext:
     """Resolve the available analysis inputs.
 
     *results* may be a :class:`~repro.core.results.StudyResults` bundle,
-    a bare collector, or a reloaded dataset; explicit keyword *inputs*
-    always win.  Derived keys: ``identities`` and ``transfers`` come off
-    the collector when present.
+    a :class:`~repro.data.Dataset`, or a bare collector; explicit
+    keyword *inputs* always win.
     """
-    context: Dict[str, Any] = dict(inputs)
-    if results is None:
-        return context
-    collector = getattr(results, "collector", None)
-    if collector is None and hasattr(results, "probe_columns"):
-        collector = results  # a bare collector / loaded dataset
-    if collector is not None:
-        context.setdefault("collector", collector)
-        if hasattr(collector, "identities"):
-            context.setdefault("identities", collector.identities)
-        if hasattr(collector, "transfers"):
-            context.setdefault("transfers", collector.transfers)
-    for key in BUNDLE_KEYS:
-        if hasattr(results, key):
-            context.setdefault(key, getattr(results, key))
-    return context
+    return AnalysisContext(results, **inputs)
 
 
 def requirement_key(requirement: str) -> Tuple[str, bool]:
@@ -71,6 +147,7 @@ class Analysis(Protocol):
 
     name: ClassVar[str]
     requires: ClassVar[Tuple[str, ...]]
+    tables: ClassVar[Tuple[str, ...]]
 
     @classmethod
     def run(cls, results: Any = None, **inputs: Any) -> "Analysis": ...
@@ -79,24 +156,29 @@ class Analysis(Protocol):
 class RegisteredAnalysis:
     """Mixin turning a plain analysis class into a registry citizen.
 
-    Subclasses set ``name`` and ``requires``; ``requires`` must list the
-    constructor's positional parameters by input key, in order.
+    Subclasses set ``name``, ``requires`` and ``tables``; ``requires``
+    must list the constructor's positional parameters by input key, in
+    order, and ``tables`` the dataset tables the analysis reads.
     """
 
     name: ClassVar[str] = ""
     requires: ClassVar[Tuple[str, ...]] = ()
+    tables: ClassVar[Tuple[str, ...]] = ()
 
     @classmethod
     def run(cls, results: Any = None, **inputs: Any):
-        """Instantiate this analysis from a results bundle and/or
-        explicit inputs."""
+        """Instantiate this analysis from a results bundle, dataset
+        and/or explicit inputs."""
         context = build_context(results, **inputs)
         args = []
         missing = []
         for requirement in cls.requires:
             key, optional = requirement_key(requirement)
             if key in context:
-                args.append(context[key])
+                value = context[key]
+                if key == "dataset" and isinstance(value, Dataset):
+                    value.require_tables(cls.tables, consumer=f"analysis {cls.name!r}")
+                args.append(value)
             elif optional:
                 args.append(None)
             else:
@@ -104,12 +186,12 @@ class RegisteredAnalysis:
         if missing:
             raise KeyError(
                 f"analysis {cls.name!r} is missing required inputs {missing}; "
-                f"available: {sorted(context)}"
+                f"available: {context.keys()}"
             )
         return cls(*args)
 
     @classmethod
-    def satisfied_by(cls, context: Dict[str, Any]) -> bool:
+    def satisfied_by(cls, context: AnalysisContext) -> bool:
         """Whether *context* covers every non-optional requirement."""
         return all(
             requirement_key(r)[0] in context or requirement_key(r)[1]

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.geo.continents import Continent
-from repro.vantage.collector import CampaignCollector
 from repro.vantage.node import VantagePoint
 
 
@@ -44,10 +43,11 @@ class ColocationAnalysis(RegisteredAnalysis):
     """Figure 4 and the §5 headline statistics."""
 
     name = "colocation"
-    requires = ("collector", "vps")
+    requires = ("dataset", "vps")
+    tables = ("traceroutes",)
 
-    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
-        self.collector = collector
+    def __init__(self, dataset, vps: List[VantagePoint]) -> None:
+        self.dataset = dataset
         self.vps = {vp.vp_id: vp for vp in vps}
         self._views = self._build_views()
 
@@ -55,7 +55,7 @@ class ColocationAnalysis(RegisteredAnalysis):
         # Latest observed hop per (vp, address); rows are appended in
         # time order, so the last write wins.
         latest: Dict[Tuple[int, int], int] = {}
-        cols = self.collector.traceroute_columns()
+        cols = self.dataset.traceroute_columns()
         for i in range(len(cols["vp"])):
             latest[(int(cols["vp"][i]), int(cols["addr"][i]))] = int(cols["hop"][i])
 
@@ -63,7 +63,7 @@ class ColocationAnalysis(RegisteredAnalysis):
         # (old and new b.root share sites; counting both would double b).
         per_vp: Dict[Tuple[int, int], List[int]] = {}
         for (vp_id, addr_idx), hop in latest.items():
-            sa = self.collector.addresses[addr_idx]
+            sa = self.dataset.addresses[addr_idx]
             if sa.generation == "old":
                 continue
             per_vp.setdefault((vp_id, sa.family), []).append(hop)

@@ -42,6 +42,7 @@ class CoverageAnalysis(RegisteredAnalysis):
 
     name = "coverage"
     requires = ("catalog", "identities")
+    tables = ("identities",)
 
     def __init__(
         self,

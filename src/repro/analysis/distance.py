@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.rss.operators import ServiceAddress
-from repro.vantage.collector import CampaignCollector
 
 
 @dataclass(frozen=True)
@@ -35,14 +34,15 @@ class DistanceAnalysis(RegisteredAnalysis):
     """Distance statistics over the sampled probe table."""
 
     name = "distance"
-    requires = ("collector",)
+    requires = ("dataset",)
+    tables = ("probes",)
 
-    def __init__(self, collector: CampaignCollector) -> None:
-        self.collector = collector
-        self.columns = collector.probe_columns()
+    def __init__(self, dataset) -> None:
+        self.dataset = dataset
+        self.columns = dataset.probe_columns()
 
     def _mask_for(self, address: str) -> np.ndarray:
-        addr_idx = self.collector.addr_index[address]
+        addr_idx = self.dataset.addr_index[address]
         return self.columns["addr"] == addr_idx
 
     def grid(self, address: str, bin_km: float = 500.0) -> DistanceGrid:
@@ -58,7 +58,7 @@ class DistanceAnalysis(RegisteredAnalysis):
         abins = (actual / bin_km).astype(np.int64)
         for cb, ab in zip(cbins.tolist(), abins.tolist()):
             cells[(cb, ab)] = cells.get((cb, ab), 0) + 1
-        sa = self.collector.addresses[self.collector.addr_index[address]]
+        sa = self.dataset.addresses[self.dataset.addr_index[address]]
         return DistanceGrid(
             address=sa,
             bin_km=bin_km,

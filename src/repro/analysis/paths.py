@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.geo.continents import Continent
-from repro.vantage.collector import CampaignCollector
 from repro.vantage.node import VantagePoint
 
 #: Pseudo-ASN bucket for peer/local (non-transit) paths.
@@ -44,11 +43,12 @@ class PathAnalysis(RegisteredAnalysis):
     """Per-AS path shares and latencies over the sampled probe table."""
 
     name = "paths"
-    requires = ("collector", "vps")
+    requires = ("dataset", "vps")
+    tables = ("probes",)
 
-    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
-        self.collector = collector
-        self.columns = collector.probe_columns()
+    def __init__(self, dataset, vps: List[VantagePoint]) -> None:
+        self.dataset = dataset
+        self.columns = dataset.probe_columns()
         continents = list(Continent)
         self._continent_list = continents
         vp_cont = np.zeros(max((vp.vp_id for vp in vps), default=0) + 1, dtype=np.int8)
@@ -67,8 +67,8 @@ class PathAnalysis(RegisteredAnalysis):
             cont_idx = self._continent_list.index(continent)
             mask &= self._vp_cont[self.columns["vp"]] == cont_idx
         if letter is not None or family is not None:
-            addr_ok = np.zeros(len(self.collector.addresses), dtype=bool)
-            for i, sa in enumerate(self.collector.addresses):
+            addr_ok = np.zeros(len(self.dataset.addresses), dtype=bool)
+            for i, sa in enumerate(self.dataset.addresses):
                 if letter is not None and sa.letter != letter:
                     continue
                 if family is not None and sa.family != family:

@@ -18,7 +18,7 @@ from repro.analysis.trafficshift import TrafficShiftAnalysis
 from repro.analysis.zonemd_audit import AuditFinding, SourceAuditRow
 from repro.geo.continents import Continent
 from repro.rss.operators import ROOT_LETTERS
-from repro.util.tables import Table, render_histogram
+from repro.util.tables import Table, render_histogram, series_buckets
 from repro.util.timeutil import format_day, format_ts
 
 
@@ -191,7 +191,7 @@ def render_traffic_series(
     """Figures 7/9: normalised traffic share series."""
     lines = [title]
     labels = sorted(series)
-    buckets = sorted({ts for s in series.values() for ts, _v in s})
+    buckets = series_buckets(series)
     index: Dict[str, Dict[int, float]] = {
         label: dict(points) for label, points in series.items()
     }

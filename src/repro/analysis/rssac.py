@@ -22,9 +22,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.data.transfers import TransferRecord
 from repro.rss.operators import ROOT_LETTERS
 from repro.util.timeutil import Timestamp
-from repro.vantage.collector import CampaignCollector, TransferObservation
 from repro.zone.distribution import ZoneDistributor
 from repro.zone.serial import serial_compare
 
@@ -47,21 +47,22 @@ class RssacMetrics(RegisteredAnalysis):
     """Service metrics over a campaign's samples."""
 
     name = "rssac"
-    requires = ("collector", "distributor?")
+    requires = ("dataset", "distributor?")
+    tables = ("probes",)
 
     def __init__(
-        self, collector: CampaignCollector, distributor: Optional[ZoneDistributor] = None
+        self, dataset, distributor: Optional[ZoneDistributor] = None
     ) -> None:
-        self.collector = collector
+        self.dataset = dataset
         self.distributor = distributor
-        self.columns = collector.probe_columns()
+        self.columns = dataset.probe_columns()
 
     # -- response latency ---------------------------------------------------------
 
     def response_latency(self, letter: str) -> Optional[ResponseLatency]:
         """RTT distribution for one letter (current-generation address)."""
-        addr_ok = np.zeros(len(self.collector.addresses), dtype=bool)
-        for i, sa in enumerate(self.collector.addresses):
+        addr_ok = np.zeros(len(self.dataset.addresses), dtype=bool)
+        for i, sa in enumerate(self.dataset.addresses):
             if sa.letter == letter and sa.generation != "old":
                 addr_ok[i] = True
         mask = addr_ok[self.columns["addr"]]
@@ -106,8 +107,8 @@ class RssacMetrics(RegisteredAnalysis):
     # -- serial currency ----------------------------------------------------------------
 
     def serial_currency(
-        self, transfers: List[TransferObservation], allowed_lag: int = 2
-    ) -> Tuple[float, List[TransferObservation]]:
+        self, transfers: List[TransferRecord], allowed_lag: int = 2
+    ) -> Tuple[float, List[TransferRecord]]:
         """(fraction current, stale observations).
 
         A transfer is *current* if its serial is within *allowed_lag*
@@ -117,7 +118,7 @@ class RssacMetrics(RegisteredAnalysis):
             raise RuntimeError("serial currency needs the distributor")
         if not transfers:
             raise ValueError("no transfer observations")
-        stale: List[TransferObservation] = []
+        stale: List[TransferRecord] = []
         current = 0
         for obs in transfers:
             newest_ts, edition = self.distributor.latest_publication(obs.true_ts)

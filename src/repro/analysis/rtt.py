@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.geo.continents import Continent
 from repro.rss.operators import ServiceAddress
-from repro.vantage.collector import CampaignCollector
 from repro.vantage.node import VantagePoint
 
 
@@ -44,11 +43,12 @@ class RttAnalysis(RegisteredAnalysis):
     """Figures 6/14/15 over the sampled probe table."""
 
     name = "rtt"
-    requires = ("collector", "vps")
+    requires = ("dataset", "vps")
+    tables = ("probes",)
 
-    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
-        self.collector = collector
-        self.columns = collector.probe_columns()
+    def __init__(self, dataset, vps: List[VantagePoint]) -> None:
+        self.dataset = dataset
+        self.columns = dataset.probe_columns()
         # vp -> continent index for vectorised grouping
         continents = list(Continent)
         self._continent_list = continents
@@ -58,7 +58,7 @@ class RttAnalysis(RegisteredAnalysis):
         self._vp_cont = vp_cont
 
     def _cell(self, address: str, continent: Continent) -> np.ndarray:
-        addr_idx = self.collector.addr_index[address]
+        addr_idx = self.dataset.addr_index[address]
         mask = self.columns["addr"] == addr_idx
         cont_idx = self._continent_list.index(continent)
         mask &= self._vp_cont[self.columns["vp"]] == cont_idx
@@ -69,7 +69,7 @@ class RttAnalysis(RegisteredAnalysis):
         rtts = self._cell(address, continent)
         if len(rtts) == 0:
             return None
-        sa = self.collector.addresses[self.collector.addr_index[address]]
+        sa = self.dataset.addresses[self.dataset.addr_index[address]]
         return RttSummary(
             address=sa,
             continent=continent,
@@ -99,7 +99,7 @@ class RttAnalysis(RegisteredAnalysis):
         per-family asymmetry metric (e.g. < 1 for i.root North America,
         > 2 for i.root South America)."""
         v4 = v6 = None
-        for sa in self.collector.addresses:
+        for sa in self.dataset.addresses:
             if sa.letter != letter or sa.generation != generation:
                 continue
             summary = self.summary(sa.address, continent)

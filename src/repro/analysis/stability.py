@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.rss.operators import ServiceAddress
 from repro.util.stats import Ecdf, median
-from repro.vantage.collector import CampaignCollector
 
 
 @dataclass(frozen=True)
@@ -49,11 +48,14 @@ class StabilityAnalysis(RegisteredAnalysis):
     """Figure 3 over a campaign's change counters."""
 
     name = "stability"
-    requires = ("collector",)
+    requires = ("dataset",)
+    tables = ("stability",)
 
-    def __init__(self, collector: CampaignCollector) -> None:
-        self.collector = collector
-        counts = collector.change_counts()
+    def __init__(self, dataset) -> None:
+        """*dataset* is a :class:`repro.data.Dataset` or any
+        collector-compatible object (``change_counts``/``addresses``)."""
+        self.dataset = dataset
+        counts = dataset.change_counts()
         self._per_addr: Dict[int, List[int]] = {}
         for (vp_id, addr_idx), (changes, _rounds) in counts.items():
             self._per_addr.setdefault(addr_idx, []).append(changes)
@@ -63,7 +65,7 @@ class StabilityAnalysis(RegisteredAnalysis):
         b.root appear as distinct series, like the paper's Fig. 3 left)."""
         out: List[StabilitySeries] = []
         for addr_idx, changes in sorted(self._per_addr.items()):
-            sa = self.collector.addresses[addr_idx]
+            sa = self.dataset.addresses[addr_idx]
             if sa.letter != letter:
                 continue
             out.append(StabilitySeries(address=sa, changes_per_vp=tuple(sorted(changes))))
@@ -83,7 +85,7 @@ class StabilityAnalysis(RegisteredAnalysis):
         """Letters whose v6 median changes exceed v4 by *threshold*×
         (the paper names g, c and h)."""
         out: List[str] = []
-        letters = sorted({sa.letter for sa in self.collector.addresses})
+        letters = sorted({sa.letter for sa in self.dataset.addresses})
         for letter in letters:
             try:
                 v4 = self.median_changes(letter, 4, "current")

@@ -1,0 +1,176 @@
+"""Canonical plain-text summaries, one per registered analysis.
+
+``rootsim-analyze DIR <name>`` prints exactly what
+:func:`render_summary` returns, and the dataset round-trip tests compare
+these strings between a live study and a reloaded dataset — so this
+module is the definition of "byte-identical analysis output" across the
+save/load boundary.
+
+The renderings reuse :mod:`repro.analysis.report` wherever a paper
+artefact exists; the few analyses without a dedicated report function
+(rssac, variability) get compact tables here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.analysis import report
+from repro.geo.continents import Continent
+from repro.rss.operators import root_server
+from repro.util.tables import Table
+
+#: Analyses that consume a passive capture aggregate instead of the
+#: campaign dataset (see :func:`passive_aggregate`).
+PASSIVE_ANALYSES = ("trafficshift", "clientbehavior")
+
+#: The ISP capture window reportgen uses for Figures 7/8/12.
+PASSIVE_WINDOW = ("2024-02-05", "2024-03-04")
+
+
+def passive_aggregate(seed: int):
+    """The deterministic ISP capture aggregate for *seed*.
+
+    This is the exact aggregate ``rootsim-report`` feeds the
+    trafficshift/clientbehavior analyses (same window, same RNG
+    streams), rebuilt without any campaign simulation.
+    """
+    from repro.passive.clients import ISP_PROFILE, build_client_population
+    from repro.passive.isp import IspCapture
+    from repro.util.rng import RngFactory
+    from repro.util.timeutil import parse_ts
+
+    isp = IspCapture(build_client_population(ISP_PROFILE, RngFactory(seed)), seed=seed)
+    return isp.capture(parse_ts(PASSIVE_WINDOW[0]), parse_ts(PASSIVE_WINDOW[1]))
+
+
+def _render_coverage(coverage) -> str:
+    total, unmapped = coverage.observed_identifier_count()
+    header = f"{total} identifiers observed, {unmapped} unmapped"
+    return "\n\n".join(
+        [header, report.render_table1(coverage), report.render_table4(coverage)]
+    )
+
+
+def _render_stability(stability) -> str:
+    return report.render_figure3(stability)
+
+
+def _render_colocation(colocation) -> str:
+    return report.render_figure4(colocation)
+
+
+def _render_distance(distance) -> str:
+    b = root_server("b")
+    m = root_server("m")
+    return report.render_figure5(distance, [b.ipv4, b.ipv6, m.ipv4, m.ipv6])
+
+
+def _render_rtt(rtt) -> str:
+    addresses = [sa.address for sa in rtt.dataset.addresses]
+    return report.render_figure6(
+        rtt,
+        [
+            Continent.AFRICA,
+            Continent.SOUTH_AMERICA,
+            Continent.NORTH_AMERICA,
+            Continent.EUROPE,
+        ],
+        addresses,
+        {},
+    )
+
+
+def _render_paths(paths) -> str:
+    return "\n\n".join(
+        report.render_path_breakdown(paths, continent, "i")
+        for continent in (Continent.SOUTH_AMERICA, Continent.NORTH_AMERICA)
+    )
+
+
+def _render_zonemd(audit) -> str:
+    findings, valid = audit.validate_transfers()
+    return report.render_table2(findings, valid)
+
+
+def _render_rssac(metrics) -> str:
+    table = Table(["Root", "n", "p50 ms", "p95 ms", "<=250ms %"], float_digits=2)
+    for latency in metrics.all_response_latencies():
+        table.add_row(
+            [
+                latency.letter,
+                latency.samples,
+                latency.p50_ms,
+                latency.p95_ms,
+                100.0 * latency.within_threshold,
+            ]
+        )
+    return table.render("RSSAC047 response latency per letter")
+
+
+def _render_variability(variability) -> str:
+    full, subsets = variability.subset_spread(4, max_subsets=6)
+    lines = [
+        "Variability of k=4 letter subsets vs the full RSS",
+        f"full RSS: median changes v4={full.median_changes_v4:g} "
+        f"v6={full.median_changes_v6:g} v6-excess={full.v6_excess:.2f}",
+    ]
+    for metric in ("changes_v4", "changes_v6", "v6_excess"):
+        low, high = variability.relative_spread(full, subsets, metric)
+        lines.append(f"  {metric}: subset/full spread {low:.2f}x .. {high:.2f}x")
+    return "\n".join(lines)
+
+
+def _render_trafficshift(shift) -> str:
+    from repro.util.timeutil import parse_ts
+
+    series = report.render_traffic_series(
+        f"Figure 7: ISP b.root traffic ({PASSIVE_WINDOW[0]} .. {PASSIVE_WINDOW[1]})",
+        shift.broot_series(),
+    )
+    ratios = shift.shift_ratios(
+        parse_ts(PASSIVE_WINDOW[0]), parse_ts(PASSIVE_WINDOW[1])
+    )
+    footer = (
+        f"in-family shift: v4 {100 * ratios.v4_shifted:.1f}% "
+        f"v6 {100 * ratios.v6_shifted:.1f}%"
+    )
+    return "\n".join([series, footer])
+
+
+def _render_clientbehavior(behavior) -> str:
+    return "\n\n".join(
+        report.render_figure8(behavior, family) for family in (4, 6)
+    )
+
+
+_RENDERERS: Dict[str, Any] = {
+    "coverage": _render_coverage,
+    "stability": _render_stability,
+    "colocation": _render_colocation,
+    "distance": _render_distance,
+    "rtt": _render_rtt,
+    "paths": _render_paths,
+    "zonemd_audit": _render_zonemd,
+    "rssac": _render_rssac,
+    "variability": _render_variability,
+    "trafficshift": _render_trafficshift,
+    "clientbehavior": _render_clientbehavior,
+}
+
+
+def summary_names() -> List[str]:
+    """Every analysis name with a canonical summary (all of them)."""
+    return sorted(_RENDERERS)
+
+
+def render_summary(name: str, analysis: Any) -> str:
+    """The canonical text summary of one constructed analysis."""
+    try:
+        renderer = _RENDERERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no summary renderer for analysis {name!r}; "
+            f"known: {', '.join(summary_names())}"
+        ) from None
+    return renderer(analysis)

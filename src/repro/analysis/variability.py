@@ -24,7 +24,6 @@ from repro.analysis.stability import StabilityAnalysis
 from repro.geo.continents import Continent
 from repro.rss.operators import ROOT_LETTERS
 from repro.util.stats import median
-from repro.vantage.collector import CampaignCollector
 from repro.vantage.node import VantagePoint
 
 
@@ -47,13 +46,14 @@ class VariabilityAnalysis(RegisteredAnalysis):
     """How much do k-letter subsets disagree with the full RSS?"""
 
     name = "variability"
-    requires = ("collector", "vps")
+    requires = ("dataset", "vps")
+    tables = ("probes", "stability")
 
-    def __init__(self, collector: CampaignCollector, vps: List[VantagePoint]) -> None:
-        self.collector = collector
+    def __init__(self, dataset, vps: List[VantagePoint]) -> None:
+        self.dataset = dataset
         self.vps = vps
-        self.stability = StabilityAnalysis(collector)
-        self.rtt = RttAnalysis(collector, vps)
+        self.stability = StabilityAnalysis(dataset)
+        self.rtt = RttAnalysis(dataset, vps)
 
     def _letter_median_changes(self, letter: str, family: int) -> Optional[float]:
         for series in self.stability.series_for(letter):
@@ -67,7 +67,7 @@ class VariabilityAnalysis(RegisteredAnalysis):
     def _letter_median_rtt(self, letter: str) -> Optional[float]:
         values: List[float] = []
         for continent in Continent:
-            for sa in self.collector.addresses:
+            for sa in self.dataset.addresses:
                 if sa.letter != letter or sa.generation == "old":
                     continue
                 summary = self.rtt.summary(sa.address, continent)

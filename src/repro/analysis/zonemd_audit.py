@@ -1,10 +1,18 @@
 """Zone integrity audit (paper §7, Table 2, Figure 10 — RQ3).
 
-Validates every recorded transfer observation the way the paper used
+Validates every recorded transfer the way the paper used
 ``ldnsutils``: full RRSIG validation against the root DNSKEYs plus
 ZONEMD verification, evaluated at the *first and last* observation
 timestamps of each distinct zone copy (signatures are time-nonced, so
 skewed VP clocks produce temporal errors on good zones).
+
+The audit operates on sealed :class:`~repro.data.transfers.TransferRecord`
+objects — zone content fingerprint, content-level validation errors and
+the RRSIG validity envelope, with the per-observation verdict derived by
+:meth:`TransferRecord.errors_at`.  Live ``TransferObservation`` objects
+are sealed on construction (through the shared digest cache, so each
+distinct zone version is analysed exactly once); records reloaded from a
+dataset directory audit identically without any zone content.
 
 Also audits the out-of-band CZDS/IANA download channels against the
 roll-out schedule, and produces the Figure 10 bitflip diff.
@@ -17,12 +25,12 @@ from repro.analysis.base import RegisteredAnalysis
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.data.transfers import TransferRecord, seal_transfers
 from repro.dns.name import ROOT_NAME
-from repro.dnssec.digestcache import ZoneValidationCache, shared_cache, zone_fingerprint
+from repro.dnssec.digestcache import ZoneValidationCache, shared_cache
 from repro.dnssec.validate import ValidationError
 from repro.dnssec.zonemd import ZonemdStatus
 from repro.util.timeutil import Timestamp, format_ts
-from repro.vantage.collector import TransferObservation
 from repro.zone.sources import ZoneDownload
 
 
@@ -90,45 +98,24 @@ class ZonemdAudit(RegisteredAnalysis):
 
     name = "zonemd_audit"
     requires = ("transfers",)
+    tables = ("transfers",)
 
     def __init__(
         self,
-        transfers: List[TransferObservation],
+        transfers: List,
         cache: Optional[ZoneValidationCache] = None,
     ) -> None:
-        self.transfers = transfers
         #: Content-keyed crypto memo shared with AXFR serving and the
         #: local-root manager: signature digests and the ZONEMD hash are
-        #: computed once per distinct zone version, process-wide.
+        #: computed once per distinct zone version, process-wide —
+        #: sealing here is free for zone versions any other consumer
+        #: already analysed.
         self._validation_cache = cache if cache is not None else shared_cache()
-        #: fingerprint -> (content errors, signature validity envelope).
-        #: Content checks are time-independent; only the RRSIG validity
-        #: window comparison depends on the validation time, so each
-        #: distinct zone version is analysed exactly once.
-        self._zone_cache: Dict[bytes, Tuple[List[ValidationError], Tuple[int, int]]] = {}
-
-    def _analyse_zone(self, zone) -> Tuple[List[ValidationError], Tuple[int, int]]:
-        key = zone_fingerprint(zone)
-        cached = self._zone_cache.get(key)
-        if cached is not None:
-            return cached
-        analysis = self._validation_cache.analyse_zone(zone, ROOT_NAME)
-        envelope = analysis.rrsig_envelope
-        midpoint = (envelope[0] + envelope[1]) // 2  # (0, 0) when unsigned
-        report = analysis.report_at(midpoint, check_zonemd=True)
-        content_errors = [issue.error for issue in report.issues]
-        result = (content_errors, envelope)
-        self._zone_cache[key] = result
-        return result
-
-    def _errors_at(self, zone, now: int) -> List[ValidationError]:
-        content_errors, (max_inception, min_expiration) = self._analyse_zone(zone)
-        errors = list(content_errors)
-        if now < max_inception:
-            errors.append(ValidationError.SIG_NOT_INCEPTED)
-        elif now > min_expiration:
-            errors.append(ValidationError.SIG_EXPIRED)
-        return errors
+        #: Sealed records: live observations are converted here; already
+        #: sealed records (a reloaded dataset) pass through unchanged.
+        self.transfers: List[TransferRecord] = seal_transfers(
+            transfers, self._validation_cache
+        )
 
     # -- AXFR audit (Table 2) ------------------------------------------------------
 
@@ -140,9 +127,9 @@ class ZonemdAudit(RegisteredAnalysis):
         dominant reason, fault) — the granularity of Table 2's rows.
         """
         valid = 0
-        groups: Dict[Tuple[int, str, str, str], List[Tuple[TransferObservation, List[ValidationError]]]] = {}
+        groups: Dict[Tuple[int, str, str, str], List[Tuple[TransferRecord, List[ValidationError]]]] = {}
         for obs in self.transfers:
-            errors = self._errors_at(obs.zone, obs.observed_ts)
+            errors = obs.errors_at(obs.observed_ts)
             if not errors:
                 valid += 1
                 continue
@@ -170,21 +157,27 @@ class ZonemdAudit(RegisteredAnalysis):
 
     # -- Figure 10 -------------------------------------------------------------------
 
-    def bitflip_examples(self) -> List[Tuple[TransferObservation, str]]:
-        """(observation, fault description) for bitflipped transfers."""
+    def bitflip_examples(self) -> List[Tuple[TransferRecord, str]]:
+        """(record, fault description) for bitflipped transfers."""
         return [
             (obs, obs.fault_detail)
             for obs in self.transfers
             if obs.fault == "bitflip"
         ]
 
-    def bitflip_diff(self, obs: TransferObservation, reference_zone) -> List[Tuple[str, str]]:
+    def bitflip_diff(self, obs: TransferRecord, reference_zone) -> List[Tuple[str, str]]:
         """Figure 10: (reference line, corrupted line) pairs for records
         that differ between the corrupted transfer and a clean copy of
         the same serial (the paper's comparison against an ICANN
         download with the same SOA)."""
         if obs.fault != "bitflip":
             raise ValueError("observation is not bitflipped")
+        if obs.zone is None:
+            raise ValueError(
+                "bitflip diff needs the transferred zone content, which is "
+                "not persisted in datasets; rerun the study (the zone is "
+                "reproducible from the study seed) to diff this record"
+            )
         ref_lines = {r.to_text() for r in reference_zone.records}
         bad_lines = {r.to_text() for r in obs.zone.records}
         removed = sorted(ref_lines - bad_lines)

@@ -1,9 +1,11 @@
 """Command-line tools.
 
-Three entry points, mirroring the workflows a downstream user runs:
+Four entry points, mirroring the workflows a downstream user runs:
 
 * ``rootsim-study`` — run a campaign preset and print the headline
-  results (optionally exporting the dataset),
+  results (``--save DIR`` persists the measurement dataset),
+* ``rootsim-analyze`` — run any registered analysis against a saved
+  dataset directory, with zero re-simulation,
 * ``rootsim-dig`` — a dig-alike against the simulated root system,
 * ``rootsim-zonecheck`` — build/fetch a root zone copy for a date and
   fully validate it (with an optional bitflip demo).
@@ -164,7 +166,11 @@ def study_main(argv: Optional[List[str]] = None) -> int:
         "--preset", choices=("quick", "standard", "paper"), default="quick"
     )
     parser.add_argument("--seed", type=int, default=2024)
-    parser.add_argument("--export", metavar="DIR", help="export the dataset")
+    parser.add_argument(
+        "--save", "--export", dest="save", metavar="DIR",
+        help="persist the measurement dataset to DIR "
+             "(reload with rootsim-analyze)",
+    )
     parser.add_argument(
         "--shards", type=int, default=1,
         help="partition the VP ring into N independently probed shards "
@@ -236,11 +242,73 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         print(study.pipeline.store.get("campaign_profile_top"))
 
-    if args.export:
-        from repro.vantage.export import export_dataset
+    if args.save:
+        path = results.save(args.save)
+        print(f"dataset saved to {path}")
+    return 0
 
-        path = export_dataset(results.collector, args.export)
-        print(f"dataset exported to {path}")
+
+# --- rootsim-analyze ----------------------------------------------------------------
+
+
+def analyze_main(argv: Optional[List[str]] = None) -> int:
+    """Run a registered analysis against a saved dataset directory."""
+    parser = argparse.ArgumentParser(
+        prog="rootsim-analyze",
+        description="run a registered analysis against a dataset saved by "
+                    "rootsim-study --save, without re-running the campaign",
+    )
+    parser.add_argument("dataset", metavar="DIR", help="dataset directory")
+    parser.add_argument(
+        "analysis", nargs="?",
+        help="registered analysis name (omit to list the dataset's "
+             "contents and the runnable analyses)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis import registry
+    from repro.analysis.summaries import (
+        PASSIVE_ANALYSES,
+        passive_aggregate,
+        render_summary,
+    )
+    from repro.data import DatasetError, load_dataset
+
+    try:
+        dataset = load_dataset(args.dataset)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.analysis is None:
+        summary = dataset.summary()
+        print(f"dataset {args.dataset} (schema v{dataset.version})")
+        print(f"  tables: {', '.join(dataset.table_names())}")
+        print(f"  {summary.get('queries', 0):,} queries, "
+              f"{summary.get('probe_samples', 0):,} probe samples, "
+              f"{summary.get('transfer_observations', 0):,} transfer records")
+        runnable = sorted(set(registry.runnable(dataset)) | set(PASSIVE_ANALYSES))
+        print(f"  runnable analyses: {', '.join(runnable)}")
+        return 0
+
+    inputs = {}
+    if args.analysis in PASSIVE_ANALYSES:
+        # Passive captures are pure functions of the study seed — rebuilt
+        # from the manifest fingerprint, not from any campaign stage.
+        try:
+            seed = dataset.study_config().seed
+        except DatasetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        inputs["aggregate"] = passive_aggregate(seed)
+
+    try:
+        analysis = registry.run(args.analysis, dataset, **inputs)
+    except (KeyError, DatasetError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(render_summary(args.analysis, analysis))
     return 0
 
 

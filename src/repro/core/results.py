@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.config import StudyConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.data import Dataset
 from repro.faults.plan import FaultPlan
 from repro.netsim.topology import NetworkFabric
 from repro.rss.server import RootServerDeployment
@@ -29,6 +33,30 @@ class StudyResults:
     distributor: ZoneDistributor
     fault_plan: FaultPlan
     collector: CampaignCollector
+    _dataset: Optional["Dataset"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    @property
+    def dataset(self) -> "Dataset":
+        """The campaign's measurement output as a typed dataset.
+
+        Sealed lazily from the collector (column arrays are shared, not
+        copied) and stamped with this study's config as the dataset's
+        study fingerprint; memoised thereafter.
+        """
+        if self._dataset is None:
+            from repro.data import Dataset
+
+            self._dataset = Dataset.from_collector(self.collector, self.config)
+        return self._dataset
+
+    def save(self, directory: str) -> Path:
+        """Persist the dataset to *directory* (``rootsim-study --save``);
+        returns the dataset path."""
+        from repro.data import save_dataset
+
+        return save_dataset(self.dataset, directory)
 
     def vp_by_id(self, vp_id: int) -> VantagePoint:
         """Look up a VP (ids are dense, list-indexed)."""

@@ -1,0 +1,45 @@
+"""Typed, versioned, mmap-backed campaign datasets.
+
+The measurement/analysis split of the paper (collect once, analyse many
+times) realised for simulated campaigns: a campaign seals into a
+:class:`Dataset`, persists as a directory of raw little-endian column
+files plus a JSON manifest, and reloads zero-copy via ``np.memmap`` with
+full transfer fidelity — every registered analysis runs against a
+reloaded dataset exactly as it would against the live collector.
+"""
+
+from repro.data.dataset import Dataset, Table
+from repro.data.io import (
+    DatasetReader,
+    DatasetWriter,
+    load_dataset,
+    save_dataset,
+)
+from repro.data.schema import (
+    ALL_TABLES,
+    BINARY_TABLES,
+    SCHEMA_VERSION,
+    ColumnSpec,
+    DatasetError,
+    DatasetVersionError,
+    TableSchema,
+)
+from repro.data.transfers import TransferRecord, seal_transfers
+
+__all__ = [
+    "ALL_TABLES",
+    "BINARY_TABLES",
+    "SCHEMA_VERSION",
+    "ColumnSpec",
+    "Dataset",
+    "DatasetError",
+    "DatasetReader",
+    "DatasetVersionError",
+    "DatasetWriter",
+    "Table",
+    "TableSchema",
+    "TransferRecord",
+    "load_dataset",
+    "save_dataset",
+    "seal_transfers",
+]

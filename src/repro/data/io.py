@@ -1,0 +1,215 @@
+"""Dataset persistence: directory writer and mmap-backed reader.
+
+On-disk layout (DESIGN.md §9)::
+
+    <dir>/
+      MANIFEST.json            # schema version, study fingerprint, row
+                               # counts, column specs, interner tables
+      tables/<table>/<col>.bin # raw little-endian column data, one file
+                               # per column, no header or padding
+      identities.json          # letter -> identity -> count (ragged)
+      transfers.jsonl          # one sealed TransferRecord per line
+
+The column files are plain ``array.tofile`` dumps of the schema dtype
+forced little-endian, which is what makes the reload zero-copy: the
+reader memory-maps each file and hands the analyses the same
+dtypes a live collector would.  Nothing is decompressed, parsed, or
+copied until an analysis actually touches a page.
+
+The manifest is the format's contract.  ``schema_version`` gates the
+reader (:class:`~repro.data.schema.DatasetVersionError` on mismatch),
+the per-column specs are cross-checked against the compiled-in schemas,
+and the study fingerprint lets :meth:`Dataset.study_inputs` re-derive
+seed-deterministic inputs without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Table
+from repro.data.schema import (
+    BINARY_TABLES,
+    SCHEMA_VERSION,
+    DatasetError,
+    DatasetVersionError,
+    TableSchema,
+)
+from repro.data.transfers import record_to_row, row_to_record
+from repro.rss.operators import all_service_addresses
+
+MANIFEST_NAME = "MANIFEST.json"
+
+
+class DatasetWriter:
+    """Persists a :class:`Dataset` to a directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory)
+
+    def write(self, dataset: Dataset) -> Path:
+        """Write *dataset*; returns the dataset directory path.
+
+        Sealing the transfer table (content fingerprints, validation
+        verdicts) happens here if it has not happened yet — the one
+        place the export pays for cryptography, shared with any audit
+        that already ran via the process-wide digest cache.
+        """
+        self.path.mkdir(parents=True, exist_ok=True)
+        tables_manifest: Dict[str, dict] = {}
+        for name, schema in BINARY_TABLES.items():
+            table = dataset.table(name)
+            table_dir = self.path / "tables" / name
+            table_dir.mkdir(parents=True, exist_ok=True)
+            columns = []
+            for spec in schema.columns:
+                relpath = f"tables/{name}/{spec.name}.bin"
+                array = np.ascontiguousarray(
+                    table.column(spec.name), dtype=spec.disk_dtype
+                )
+                array.tofile(self.path / relpath)
+                columns.append(
+                    {
+                        "name": spec.name,
+                        "dtype": spec.dtype,
+                        "interner": spec.interner,
+                        "file": relpath,
+                    }
+                )
+            tables_manifest[name] = {"rows": len(table), "columns": columns}
+
+        (self.path / "identities.json").write_text(json.dumps(dataset.identities))
+
+        transfers = dataset.transfers if dataset.has_table("transfers") else []
+        with open(self.path / "transfers.jsonl", "w") as handle:
+            for record in transfers:
+                handle.write(json.dumps(record_to_row(record)) + "\n")
+
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "study": dataset.study,
+            "summary": dataset.summary(),
+            "addresses": [sa.address for sa in dataset.addresses],
+            "interners": {"sites": dataset.sites, "hops": dataset.hops},
+            "tables": tables_manifest,
+            "sidecars": {
+                "identities": "identities.json",
+                "transfers": "transfers.jsonl",
+            },
+        }
+        (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return self.path
+
+
+class DatasetReader:
+    """Reloads a dataset directory, memory-mapping every column."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory)
+
+    def manifest(self) -> dict:
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise DatasetError(f"no dataset at {self.path} (missing {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"corrupt manifest at {manifest_path}: {exc}") from exc
+        version = manifest.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise DatasetVersionError(
+                f"dataset at {self.path} has schema version {version!r}; this "
+                f"reader supports version {SCHEMA_VERSION}. Regenerate the "
+                f"dataset (rootsim-study --save) or use a matching release."
+            )
+        return manifest
+
+    def read(self) -> Dataset:
+        manifest = self.manifest()
+
+        catalog = {sa.address: sa for sa in all_service_addresses()}
+        try:
+            addresses = [catalog[a] for a in manifest["addresses"]]
+        except KeyError as exc:
+            raise DatasetError(f"manifest names unknown service address {exc}") from exc
+
+        tables: Dict[str, Table] = {}
+        for name, schema in BINARY_TABLES.items():
+            entry = manifest.get("tables", {}).get(name)
+            if entry is None:
+                raise DatasetError(f"manifest at {self.path} lacks table {name!r}")
+            tables[name] = self._read_table(schema, entry)
+
+        identities = json.loads((self.path / "identities.json").read_text())
+
+        address_map = {sa.address: sa for sa in addresses}
+        transfers: List = []
+        transfers_file = self.path / manifest.get("sidecars", {}).get(
+            "transfers", "transfers.jsonl"
+        )
+        if transfers_file.exists():
+            for line in transfers_file.read_text().splitlines():
+                if line.strip():
+                    transfers.append(row_to_record(json.loads(line), address_map))
+
+        return Dataset(
+            addresses=addresses,
+            sites=list(manifest["interners"]["sites"]),
+            hops=list(manifest["interners"]["hops"]),
+            identities=identities,
+            tables=tables,
+            transfers=transfers,
+            summary=manifest["summary"],
+            meta={"study": manifest.get("study")}
+            if manifest.get("study") is not None
+            else {},
+        )
+
+    def _read_table(self, schema: TableSchema, entry: dict) -> Table:
+        rows = int(entry["rows"])
+        manifest_cols = {col["name"]: col for col in entry["columns"]}
+        columns: Dict[str, np.ndarray] = {}
+        for spec in schema.columns:
+            col = manifest_cols.get(spec.name)
+            if col is None:
+                raise DatasetError(
+                    f"table {schema.name!r} manifest lacks column {spec.name!r}"
+                )
+            if col.get("dtype") != spec.dtype:
+                raise DatasetError(
+                    f"table {schema.name!r} column {spec.name!r} has dtype "
+                    f"{col.get('dtype')!r} on disk; schema expects {spec.dtype!r}"
+                )
+            file_path = self.path / col["file"]
+            if not file_path.exists():
+                raise DatasetError(f"missing column file {file_path}")
+            expected = rows * spec.disk_dtype.itemsize
+            actual = file_path.stat().st_size
+            if actual != expected:
+                raise DatasetError(
+                    f"column file {file_path} is {actual} bytes; manifest "
+                    f"promises {rows} rows of {spec.dtype} ({expected} bytes)"
+                )
+            if rows == 0:
+                # np.memmap refuses zero-length files; an empty column is
+                # equivalent.
+                columns[spec.name] = np.empty(0, dtype=spec.disk_dtype)
+            else:
+                columns[spec.name] = np.memmap(
+                    file_path, dtype=spec.disk_dtype, mode="r", shape=(rows,)
+                )
+        return Table(schema, columns)
+
+
+def save_dataset(dataset: Dataset, directory: Union[str, Path]) -> Path:
+    """Write *dataset* to *directory* (convenience wrapper)."""
+    return DatasetWriter(directory).write(dataset)
+
+
+def load_dataset(directory: Union[str, Path]) -> Dataset:
+    """Reload a dataset directory written by :func:`save_dataset`."""
+    return DatasetReader(directory).read()

@@ -1,0 +1,142 @@
+"""Table schemas and errors of the on-disk dataset format.
+
+A dataset is a directory of raw little-endian column files plus one JSON
+manifest (see :mod:`repro.data.io`).  Every binary table is declared
+here as a :class:`TableSchema`: named, dtyped columns, with columns that
+hold interned string indices pointing at the interner table that decodes
+them.  The schemas are the contract between writer and reader — the
+manifest records them per file, and the reader cross-checks what it
+finds on disk against these declarations before memory-mapping anything.
+
+Versioning policy (see DESIGN.md §9): ``SCHEMA_VERSION`` increments on
+any incompatible layout change (column added/removed/re-dtyped, manifest
+key renamed).  Readers refuse other versions with
+:class:`DatasetVersionError` rather than guessing — datasets are cheap
+to regenerate from a seed, silent misreads are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Version of the on-disk layout; bump on every incompatible change.
+SCHEMA_VERSION = 2
+
+
+class DatasetError(RuntimeError):
+    """A dataset is missing, malformed, or lacks a requested table."""
+
+
+class DatasetVersionError(DatasetError):
+    """The on-disk schema version does not match this reader."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One named, dtyped column of a binary table.
+
+    ``dtype`` is the *analysis-facing* dtype (exactly what
+    ``CampaignCollector.probe_columns()`` hands the analyses); on disk
+    the same dtype is forced little-endian.  ``interner`` names the
+    string table that decodes this column's integer codes, if any.
+    """
+
+    name: str
+    dtype: str  # numpy dtype string, e.g. "int32", "float32", "bool"
+    interner: Optional[str] = None
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(self.dtype)
+
+    @property
+    def disk_dtype(self) -> np.dtype:
+        """The explicit little-endian dtype used in column files."""
+        return self.np_dtype.newbyteorder("<")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A named binary table: ordered columns plus interner declarations."""
+
+    name: str
+    columns: Tuple[ColumnSpec, ...]
+
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.columns)
+
+    def column(self, name: str) -> ColumnSpec:
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise DatasetError(
+            f"table {self.name!r} has no column {name!r}; "
+            f"columns: {', '.join(self.column_names())}"
+        )
+
+    def interners(self) -> Tuple[str, ...]:
+        """The interner tables this table's columns reference."""
+        out = []
+        for spec in self.columns:
+            if spec.interner and spec.interner not in out:
+                out.append(spec.interner)
+        return tuple(out)
+
+
+#: The sampled probe table (Figures 5/6/14/15, §6 paths, RSSAC metrics).
+PROBES = TableSchema(
+    "probes",
+    (
+        ColumnSpec("vp", "int32"),
+        ColumnSpec("ts", "int64"),
+        ColumnSpec("addr", "int16"),
+        ColumnSpec("site", "int32", interner="sites"),
+        ColumnSpec("rtt", "float32"),
+        ColumnSpec("direct_km", "float32"),
+        ColumnSpec("closest_km", "float32"),
+        ColumnSpec("peer", "bool"),
+        ColumnSpec("transit", "int32"),
+    ),
+)
+
+#: The sampled traceroute table (§5 co-location; hop -1 = no reply).
+TRACEROUTES = TableSchema(
+    "traceroutes",
+    (
+        ColumnSpec("vp", "int32"),
+        ColumnSpec("ts", "int64"),
+        ColumnSpec("addr", "int16"),
+        ColumnSpec("hop", "int32", interner="hops"),
+    ),
+)
+
+#: Per-(VP, address) catchment stability counters (Figure 3).
+STABILITY = TableSchema(
+    "stability",
+    (
+        ColumnSpec("vp", "int32"),
+        ColumnSpec("addr", "int16"),
+        ColumnSpec("changes", "int32"),
+        ColumnSpec("rounds", "int32"),
+    ),
+)
+
+#: Every binary table of the format, by name.  The identity and transfer
+#: tables are ragged (per-letter identity counts, variable-length error
+#: lists) and are stored as JSON sidecars instead; they still appear as
+#: logical tables on :class:`repro.data.dataset.Dataset`.
+BINARY_TABLES: Dict[str, TableSchema] = {
+    schema.name: schema for schema in (PROBES, TRACEROUTES, STABILITY)
+}
+
+#: Logical table names a full dataset provides (``Dataset.require_tables``).
+ALL_TABLES: Tuple[str, ...] = (
+    "probes",
+    "traceroutes",
+    "stability",
+    "identities",
+    "transfers",
+)

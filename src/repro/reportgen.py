@@ -113,10 +113,10 @@ def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
 
 
 def _letter_share_table(shift, title: str = "Figure 12") -> str:
-    from repro.util.tables import Table
+    from repro.util.tables import Table, series_buckets
 
     series = shift.letter_share_series()
-    buckets = sorted({ts for s in series.values() for ts, _v in s})
+    buckets = series_buckets(series)
     window = (buckets[0], buckets[-1] + 1)
     shares = shift.letter_shares(*window)
     table = Table(["Root", "share %"], float_digits=2)

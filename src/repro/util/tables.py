@@ -8,9 +8,18 @@ analysis layer return pure data structures.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 Cell = Union[str, int, float, None]
+
+
+def series_buckets(series: Dict[str, List[Tuple[int, float]]]) -> List[int]:
+    """The sorted union of time buckets across labelled (ts, value) series.
+
+    Shared by every renderer that lays multiple traffic series out on a
+    common time axis (Figures 7/9/12/13).
+    """
+    return sorted({ts for points in series.values() for ts, _value in points})
 
 
 def _fmt(cell: Cell, float_digits: int) -> str:

@@ -452,6 +452,15 @@ class CampaignCollector:
             "stability_pairs": len(self._stability),
         }
 
+    def to_dataset(self, config=None):
+        """Seal this collector's buffers into a typed
+        :class:`repro.data.Dataset` (column arrays are shared, not
+        copied).  *config* — the study's config, when available —
+        becomes the dataset's study fingerprint."""
+        from repro.data import Dataset
+
+        return Dataset.from_collector(self, config)
+
     # -- shard merging ----------------------------------------------------------------
 
     @classmethod

@@ -1,8 +1,11 @@
 """Path-share analysis and dataset export/import."""
 
+import json
+
 import pytest
 
 from repro.analysis.paths import PEER_PATH, PathAnalysis
+from repro.data import DatasetVersionError, TransferRecord
 from repro.geo.continents import Continent
 from repro.vantage.export import export_dataset, load_dataset
 
@@ -46,12 +49,21 @@ class TestExport:
     @pytest.fixture(scope="class")
     def roundtrip(self, full_window_study, tmp_path_factory):
         directory = tmp_path_factory.mktemp("dataset")
-        export_dataset(full_window_study.collector, str(directory))
+        export_dataset(
+            full_window_study.collector, str(directory), full_window_study.config
+        )
         return full_window_study.collector, load_dataset(str(directory))
 
     def test_manifest_and_files(self, full_window_study, tmp_path):
         path = export_dataset(full_window_study.collector, str(tmp_path / "ds"))
-        for name in ("MANIFEST.json", "probes.npz", "stability.json"):
+        for name in (
+            "MANIFEST.json",
+            "identities.json",
+            "transfers.jsonl",
+            "tables/probes/rtt.bin",
+            "tables/traceroutes/hop.bin",
+            "tables/stability/changes.bin",
+        ):
             assert (path / name).exists(), name
 
     def test_probe_columns_roundtrip(self, roundtrip):
@@ -74,16 +86,23 @@ class TestExport:
         collector, loaded = roundtrip
         assert loaded.summary() == collector.summary()
 
-    def test_transfers_metadata(self, roundtrip):
+    def test_transfers_full_fidelity(self, roundtrip):
         collector, loaded = roundtrip
-        assert len(loaded.transfers_meta) == len(collector.transfers)
-        if loaded.transfers_meta:
-            row = loaded.transfers_meta[0]
-            assert {"vp_id", "serial", "address", "fault"} <= set(row)
+        assert len(loaded.transfers) == len(collector.transfers)
+        for obs, record in zip(collector.transfers, loaded.transfers):
+            assert isinstance(record, TransferRecord)
+            assert record.vp_id == obs.vp_id
+            assert record.serial == obs.serial
+            assert record.fault == obs.fault
+            assert record.address == obs.address
+            assert len(record.fingerprint) == 64  # sha-256 hex
+            assert record.rrsig_envelope[0] <= record.rrsig_envelope[1]
+            # The verdict matches re-deriving the errors at observation time.
+            assert record.valid == (not record.errors_at(record.observed_ts))
 
     def test_analyses_run_on_loaded_dataset(self, roundtrip, full_window_study):
-        from repro.analysis.stability import StabilityAnalysis
         from repro.analysis.coverage import CoverageAnalysis
+        from repro.analysis.stability import StabilityAnalysis
 
         _collector, loaded = roundtrip
         stability = StabilityAnalysis(loaded)
@@ -93,10 +112,8 @@ class TestExport:
         assert total > 0
 
     def test_version_check(self, tmp_path):
-        import json
-
         bad = tmp_path / "bad"
         bad.mkdir()
-        (bad / "MANIFEST.json").write_text(json.dumps({"format_version": 99}))
-        with pytest.raises(ValueError):
+        (bad / "MANIFEST.json").write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(DatasetVersionError):
             load_dataset(str(bad))
