@@ -1,0 +1,215 @@
+"""Passive-capture hot path: scalar triple loop vs the vectorized engine.
+
+Builds the standard captures (the ISP point and the 14 IXP points) with
+both engines over the report windows, checks that every aggregate is
+byte-identical, and records the kernel timings in the ``kernel`` section
+of ``BENCH_passive.json`` (shared with ``bench_report_e2e.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_passive_hotpath.py --scale bench \
+        --min-speedup 5.0
+    PYTHONPATH=src python benchmarks/bench_passive_hotpath.py --scale tiny \
+        --min-speedup 1.0   # CI smoke: equivalence + "vectorized not slower"
+
+Exits non-zero when any vectorized aggregate differs from its scalar
+reference, or when the ISP capture speedup falls below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.passive.clients import ISP_PROFILE, build_client_population
+from repro.passive.isp import IspCapture
+from repro.passive.ixp import build_ixp_captures
+from repro.passive.traces import FlowAggregate
+from repro.util.rng import RngFactory
+from repro.util.timeutil import HOUR, parse_ts
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_SEED = 2024
+
+ISP_WINDOW = (parse_ts("2024-02-05"), parse_ts("2024-03-04"))
+IXP_WINDOW = (parse_ts("2023-12-08"), parse_ts("2023-12-28"))
+HOURLY_WINDOW = (parse_ts("2023-11-26"), parse_ts("2023-11-28"))
+
+
+def aggregate_mismatches(
+    candidate: FlowAggregate, baseline: FlowAggregate
+) -> List[str]:
+    """Differences between two aggregates; empty means byte-identical."""
+    diffs: List[str] = []
+    if set(candidate.flows) != set(baseline.flows) or any(
+        candidate.flows[key].hex() != value.hex()
+        for key, value in baseline.flows.items()
+    ):
+        diffs.append("flows")
+    if any(
+        candidate.client_count(*key) != baseline.client_count(*key)
+        for key in baseline.flows
+    ):
+        diffs.append("client_counts")
+    if set(candidate.per_client_flows) != set(baseline.per_client_flows) or any(
+        candidate.per_client_flows[key].hex() != value.hex()
+        for key, value in baseline.per_client_flows.items()
+    ):
+        diffs.append("per_client_flows")
+    if candidate.per_client_days != baseline.per_client_days:
+        diffs.append("per_client_days")
+    return diffs
+
+
+def isp_population(scale: str):
+    profile = (
+        ISP_PROFILE
+        if scale == "bench"
+        else replace(ISP_PROFILE, name="isp-bench-tiny", n_clients=200)
+    )
+    return build_client_population(profile, RngFactory(BENCH_SEED).fork("bench"))
+
+
+def time_capture(capture, window, bucket_seconds) -> Tuple[FlowAggregate, float]:
+    start = time.perf_counter()
+    aggregate = capture.capture(*window, bucket_seconds=bucket_seconds)
+    return aggregate, time.perf_counter() - start
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "bench"), default="bench")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_passive.json"),
+        help="result file (default: BENCH_passive.json at the repo root)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail unless the ISP capture speedup reaches this factor",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.util.timeutil import DAY
+
+    clients = isp_population(args.scale)
+    clients_per_ixp = 120 if args.scale == "bench" else 30
+    failures: List[str] = []
+    cases: List[Dict[str, object]] = []
+
+    def record(name: str, scalar_agg, scalar_s, vector_agg, vector_s) -> float:
+        mismatches = aggregate_mismatches(vector_agg, scalar_agg)
+        if mismatches:
+            failures.append(f"{name}: vectorized differs: {', '.join(mismatches)}")
+        speedup = scalar_s / vector_s if vector_s else 0.0
+        status = "IDENTICAL" if not mismatches else "DIFFERS"
+        print(
+            f"{name:<24s} scalar {scalar_s:7.3f}s  vectorized {vector_s:7.3f}s  "
+            f"{speedup:6.1f}x  {status}"
+        )
+        cases.append(
+            {
+                "case": name,
+                "scalar_seconds": round(scalar_s, 4),
+                "vectorized_seconds": round(vector_s, 4),
+                "speedup": round(speedup, 2),
+                "identical": not mismatches,
+                "buckets": len(scalar_agg.buckets()),
+                "flow_cells": len(scalar_agg.flows),
+            }
+        )
+        return speedup
+
+    # ISP capture over the Figures 7/8/12 month, daily buckets.
+    scalar_isp = IspCapture(clients, seed=BENCH_SEED, engine="scalar")
+    vector_isp = IspCapture(clients, seed=BENCH_SEED, engine="vectorized")
+    scalar_agg, scalar_s = time_capture(scalar_isp, ISP_WINDOW, DAY)
+    vector_agg, vector_s = time_capture(vector_isp, ISP_WINDOW, DAY)
+    isp_speedup = record("isp/daily", scalar_agg, scalar_s, vector_agg, vector_s)
+
+    # ISP capture on hourly buckets across the renumbering boundary.
+    scalar_agg, scalar_s = time_capture(scalar_isp, HOURLY_WINDOW, HOUR)
+    vector_agg, vector_s = time_capture(vector_isp, HOURLY_WINDOW, HOUR)
+    record("isp/hourly", scalar_agg, scalar_s, vector_agg, vector_s)
+
+    # All 14 IXP captures over the Figure 9/13 shift window.
+    scalar_caps = build_ixp_captures(
+        RngFactory(BENCH_SEED).fork("ixp"), seed=BENCH_SEED,
+        clients_per_ixp=clients_per_ixp, engine="scalar",
+    )
+    vector_caps = build_ixp_captures(
+        RngFactory(BENCH_SEED).fork("ixp"), seed=BENCH_SEED,
+        clients_per_ixp=clients_per_ixp, engine="vectorized",
+    )
+    scalar_s = vector_s = 0.0
+    scalar_aggs = []
+    vector_aggs = []
+    for capture in scalar_caps:
+        aggregate, seconds = time_capture(capture, IXP_WINDOW, DAY)
+        scalar_aggs.append(aggregate)
+        scalar_s += seconds
+    for capture in vector_caps:
+        aggregate, seconds = time_capture(capture, IXP_WINDOW, DAY)
+        vector_aggs.append(aggregate)
+        vector_s += seconds
+    merged_scalar = FlowAggregate(bucket_seconds=DAY)
+    merged_vector = FlowAggregate(bucket_seconds=DAY)
+    for aggregate in scalar_aggs:
+        merged_scalar.merge_from(aggregate)
+    for aggregate in vector_aggs:
+        merged_vector.merge_from(aggregate)
+    record("ixp/14-exchanges", merged_scalar, scalar_s, merged_vector, vector_s)
+
+    if args.min_speedup is not None and isp_speedup < args.min_speedup:
+        failures.append(
+            f"isp/daily speedup {isp_speedup:.2f}x below required "
+            f"{args.min_speedup}x"
+        )
+
+    section = {
+        "scale": args.scale,
+        "seed": BENCH_SEED,
+        "clients": len(clients),
+        "clients_per_ixp": clients_per_ixp,
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "equivalence": (
+            "all vectorized aggregates byte-identical to the scalar reference"
+            if not failures
+            else failures
+        ),
+        "isp_daily_speedup": round(isp_speedup, 2),
+        "cases": cases,
+    }
+    existing: Dict[str, object] = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            existing = json.load(handle)
+    existing["benchmark"] = (
+        "vectorized passive-capture engine + parallel report generation"
+    )
+    existing["kernel"] = section
+    with open(args.output, "w") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
+    print(f"results written to {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

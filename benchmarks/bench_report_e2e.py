@@ -1,0 +1,209 @@
+"""End-to-end ``rootsim-report`` generation: scalar serial vs vectorized parallel.
+
+Runs one campaign, then times the whole report phase — dataset save,
+passive captures, every artefact group — under three configurations:
+
+* ``scalar/serial``      — reference engine, one process (the baseline)
+* ``vectorized/serial``  — vectorized engine, one process
+* ``vectorized/parallel``— vectorized engine, ``--workers N``
+
+All three must produce byte-identical artefacts; the results land in the
+``report_e2e`` section of ``BENCH_passive.json`` (shared with
+``bench_passive_hotpath.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report_e2e.py --scale bench \
+        --min-speedup 2.0
+    PYTHONPATH=src python benchmarks/bench_report_e2e.py --scale tiny \
+        --min-speedup 1.0   # CI smoke: identity + "not slower"
+
+Exits non-zero when any artefact differs from the scalar serial baseline,
+or when the parallel vectorized speedup falls below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core import RootStudy, StudyConfig
+from repro.reportgen import generate_all
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def make_config(scale: str) -> StudyConfig:
+    if scale == "bench":
+        # The rootsim-report default: the quick preset.
+        return StudyConfig.quick(seed=2024)
+    # "tiny": the same shape the test suite's full-window study uses,
+    # thinned to a 4x interval scale for CI.
+    return StudyConfig(
+        seed=77,
+        ring_scale=0.1,
+        ring_min_per_region=8,
+        interval_scale=96.0,
+        rtt_sample_every=1,
+        traceroute_sample_every=2,
+        axfr_sample_every=2,
+        clean_transfer_keep_one_in=200,
+    )
+
+
+def artefact_mismatches(
+    candidate: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Artefacts that differ from the baseline; empty means identical."""
+    diffs: List[str] = []
+    if set(candidate) != set(baseline):
+        diffs.append("artefact-set")
+    for name in sorted(set(candidate) & set(baseline)):
+        if candidate[name].read_bytes() != baseline[name].read_bytes():
+            diffs.append(name)
+    return diffs
+
+
+def run_variant(study, out_dir, seed, engine, workers):
+    # Drop any passive captures a previous variant attached so that this
+    # variant's engine choice actually takes effect.
+    study.results().dataset.attach_passive(None)
+    start = time.perf_counter()
+    written = generate_all(
+        study, str(out_dir), seed=seed, workers=workers, engine=engine
+    )
+    return written, time.perf_counter() - start
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "bench"), default="bench")
+    parser.add_argument(
+        "--workers", type=int, default=min(4, os.cpu_count() or 1),
+        help="worker processes for the parallel variant",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_passive.json"),
+        help="result file (default: BENCH_passive.json at the repo root)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail unless scalar-serial / vectorized-parallel reaches this",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    config = make_config(args.scale)
+    print(f"running {args.scale} campaign (seed {config.seed}) ...")
+    study = RootStudy(config)
+    start = time.perf_counter()
+    study.run()
+    campaign_s = time.perf_counter() - start
+    print(f"campaign finished in {campaign_s:.1f}s; timing report phase")
+
+    failures: List[str] = []
+    runs: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="bench_report_") as tmp:
+        # Warm-up (untimed): seals transfers and fills process-level
+        # caches so every timed variant starts from the same state.
+        run_variant(study, os.path.join(tmp, "warmup"), config.seed,
+                    "vectorized", 1)
+
+        variants = [
+            ("scalar/serial", "scalar", 1),
+            ("vectorized/serial", "vectorized", 1),
+            (f"vectorized/parallel-{args.workers}", "vectorized", args.workers),
+        ]
+        timings: Dict[str, float] = {}
+        baseline = None
+        for label, engine, workers in variants:
+            written, seconds = run_variant(
+                study, os.path.join(tmp, label.replace("/", "_")),
+                config.seed, engine, workers,
+            )
+            timings[label] = seconds
+            if baseline is None:
+                baseline = written
+                mismatches: List[str] = []
+            else:
+                mismatches = artefact_mismatches(written, baseline)
+                if mismatches:
+                    failures.append(
+                        f"{label}: differs from scalar/serial: "
+                        f"{', '.join(mismatches)}"
+                    )
+            status = "BASELINE" if baseline is written else (
+                "IDENTICAL" if not mismatches else "DIFFERS"
+            )
+            print(f"{label:<24s} {seconds:7.2f}s  {status}")
+            runs.append(
+                {
+                    "variant": label,
+                    "engine": engine,
+                    "workers": workers,
+                    "seconds": round(seconds, 3),
+                    "identical_to_baseline": not mismatches,
+                    "artefacts": len(written),
+                }
+            )
+
+    parallel_label = variants[-1][0]
+    speedup = (
+        timings["scalar/serial"] / timings[parallel_label]
+        if timings[parallel_label]
+        else 0.0
+    )
+    print(f"end-to-end report speedup: {speedup:.2f}x")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        failures.append(
+            f"report speedup {speedup:.2f}x below required {args.min_speedup}x"
+        )
+
+    section = {
+        "scale": args.scale,
+        "seed": config.seed,
+        "workers": args.workers,
+        "campaign_seconds": round(campaign_s, 2),
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "equivalence": (
+            "all artefacts byte-identical to the scalar serial baseline"
+            if not failures
+            else failures
+        ),
+        "report_speedup": round(speedup, 2),
+        "runs": runs,
+    }
+    existing: Dict[str, object] = {}
+    if os.path.exists(args.output):
+        with open(args.output) as handle:
+            existing = json.load(handle)
+    existing["benchmark"] = (
+        "vectorized passive-capture engine + parallel report generation"
+    )
+    existing["report_e2e"] = section
+    with open(args.output, "w") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
+    print(f"results written to {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

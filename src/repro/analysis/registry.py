@@ -78,6 +78,13 @@ def names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def tables_for(name: str) -> List[str]:
+    """The dataset tables analysis *name* declares (``tables`` class
+    var) — what a report driver must have on disk before dispatching the
+    analysis to a worker."""
+    return list(getattr(get(name), "tables", ()) or ())
+
+
 def run(name: str, results: Any = None, **inputs: Any) -> Any:
     """Construct the analysis *name* from a results bundle and/or
     explicit keyword inputs (e.g. ``aggregate=`` for passive analyses)."""

@@ -24,24 +24,24 @@ from repro.util.tables import Table
 #: campaign dataset (see :func:`passive_aggregate`).
 PASSIVE_ANALYSES = ("trafficshift", "clientbehavior")
 
-#: The ISP capture window reportgen uses for Figures 7/8/12.
-PASSIVE_WINDOW = ("2024-02-05", "2024-03-04")
+#: The ISP capture window reportgen uses for Figures 7/8/12 (the
+#: canonical definition lives in :mod:`repro.passive.recipes`).
+from repro.passive.recipes import ISP_WINDOW as PASSIVE_WINDOW  # noqa: E402
 
 
-def passive_aggregate(seed: int):
+def passive_aggregate(seed: int, engine: str = "vectorized"):
     """The deterministic ISP capture aggregate for *seed*.
 
     This is the exact aggregate ``rootsim-report`` feeds the
     trafficshift/clientbehavior analyses (same window, same RNG
-    streams), rebuilt without any campaign simulation.
+    streams), rebuilt without any campaign simulation.  Delegates to
+    :func:`repro.passive.recipes.isp_aggregate`; datasets saved with
+    passive tables carry the identical aggregate on disk instead
+    (``dataset.passive.aggregate("isp")``).
     """
-    from repro.passive.clients import ISP_PROFILE, build_client_population
-    from repro.passive.isp import IspCapture
-    from repro.util.rng import RngFactory
-    from repro.util.timeutil import parse_ts
+    from repro.passive.recipes import isp_aggregate
 
-    isp = IspCapture(build_client_population(ISP_PROFILE, RngFactory(seed)), seed=seed)
-    return isp.capture(parse_ts(PASSIVE_WINDOW[0]), parse_ts(PASSIVE_WINDOW[1]))
+    return isp_aggregate(seed, engine=engine)
 
 
 def _render_coverage(coverage) -> str:

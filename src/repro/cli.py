@@ -284,6 +284,8 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
         summary = dataset.summary()
         print(f"dataset {args.dataset} (schema v{dataset.version})")
         print(f"  tables: {', '.join(dataset.table_names())}")
+        if dataset.passive is not None:
+            print(f"  passive captures: {', '.join(dataset.passive.names())}")
         print(f"  {summary.get('queries', 0):,} queries, "
               f"{summary.get('probe_samples', 0):,} probe samples, "
               f"{summary.get('transfer_observations', 0):,} transfer records")
@@ -293,14 +295,20 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
 
     inputs = {}
     if args.analysis in PASSIVE_ANALYSES:
-        # Passive captures are pure functions of the study seed — rebuilt
-        # from the manifest fingerprint, not from any campaign stage.
-        try:
-            seed = dataset.study_config().seed
-        except DatasetError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        inputs["aggregate"] = passive_aggregate(seed)
+        # Datasets saved with passive tables replay the aggregate straight
+        # from disk; older live saves fall back to rebuilding it — passive
+        # captures are pure functions of the study seed, not of any
+        # campaign stage.
+        passive = dataset.passive
+        if passive is not None and "isp" in passive.names():
+            inputs["aggregate"] = passive.aggregate("isp")
+        else:
+            try:
+                seed = dataset.study_config().seed
+            except DatasetError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            inputs["aggregate"] = passive_aggregate(seed)
 
     try:
         analysis = registry.run(args.analysis, dataset, **inputs)

@@ -51,12 +51,34 @@ class StudyResults:
             self._dataset = Dataset.from_collector(self.collector, self.config)
         return self._dataset
 
-    def save(self, directory: str) -> Path:
+    def save(
+        self,
+        directory: str,
+        passive: bool = True,
+        passive_engine: str = "vectorized",
+    ) -> Path:
         """Persist the dataset to *directory* (``rootsim-study --save``);
-        returns the dataset path."""
+        returns the dataset path.
+
+        With *passive* (the default), the standard passive captures for
+        this study's seed (:func:`repro.passive.recipes.standard_captures`)
+        ride along as passive tables, so Figures 7–13 later replay from
+        disk with zero re-simulation.  An already-attached passive store
+        is kept as-is.
+        """
         from repro.data import save_dataset
 
-        return save_dataset(self.dataset, directory)
+        dataset = self.dataset
+        if passive and dataset.passive is None:
+            from repro.data.passive import PassiveStore
+            from repro.passive.recipes import standard_captures
+
+            dataset.attach_passive(
+                PassiveStore.from_aggregates(
+                    standard_captures(self.config.seed, engine=passive_engine)
+                )
+            )
+        return save_dataset(dataset, directory)
 
     def vp_by_id(self, vp_id: int) -> VantagePoint:
         """Look up a VP (ids are dense, list-indexed)."""

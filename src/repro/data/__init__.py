@@ -15,9 +15,11 @@ from repro.data.io import (
     load_dataset,
     save_dataset,
 )
+from repro.data.passive import PassiveStore
 from repro.data.schema import (
     ALL_TABLES,
     BINARY_TABLES,
+    PASSIVE_TABLES,
     SCHEMA_VERSION,
     ColumnSpec,
     DatasetError,
@@ -29,6 +31,8 @@ from repro.data.transfers import TransferRecord, seal_transfers
 __all__ = [
     "ALL_TABLES",
     "BINARY_TABLES",
+    "PASSIVE_TABLES",
+    "PassiveStore",
     "SCHEMA_VERSION",
     "ColumnSpec",
     "Dataset",

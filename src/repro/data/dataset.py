@@ -104,6 +104,7 @@ class Dataset:
         self._summary = dict(summary or {})
         self._change_counts: Optional[Dict[Tuple[int, int], Tuple[int, int]]] = None
         self._study_inputs: Optional[Dict[str, Any]] = None
+        self._passive: Optional[Any] = None
 
     # -- construction -----------------------------------------------------------------
 
@@ -236,6 +237,18 @@ class Dataset:
     def summary(self) -> Dict[str, int]:
         """Dataset-size fingerprint (the paper's §4.1 counts analogue)."""
         return dict(self._summary)
+
+    # -- passive captures --------------------------------------------------------------
+
+    @property
+    def passive(self):
+        """The attached :class:`~repro.data.passive.PassiveStore`, or
+        ``None`` when this dataset carries no passive captures."""
+        return self._passive
+
+    def attach_passive(self, store) -> None:
+        """Attach the passive-capture store this dataset travels with."""
+        self._passive = store
 
     # -- study-derived inputs ----------------------------------------------------------
 

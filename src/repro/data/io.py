@@ -61,8 +61,22 @@ class DatasetWriter:
         """
         self.path.mkdir(parents=True, exist_ok=True)
         tables_manifest: Dict[str, dict] = {}
-        for name, schema in BINARY_TABLES.items():
-            table = dataset.table(name)
+        to_write: Dict[str, Table] = {
+            name: dataset.table(name) for name in BINARY_TABLES
+        }
+
+        passive_entry = None
+        captures_interner: List[str] = []
+        prefixes_interner: List[str] = []
+        if dataset.passive is not None:
+            passive_tables, captures_interner, prefixes_interner = (
+                dataset.passive.to_tables(dataset.addr_index)
+            )
+            to_write.update(passive_tables)
+            passive_entry = dataset.passive.manifest_entry()
+
+        for name, table in to_write.items():
+            schema = table.schema
             table_dir = self.path / "tables" / name
             table_dir.mkdir(parents=True, exist_ok=True)
             columns = []
@@ -89,18 +103,23 @@ class DatasetWriter:
             for record in transfers:
                 handle.write(json.dumps(record_to_row(record)) + "\n")
 
+        interners = {"sites": dataset.sites, "hops": dataset.hops}
         manifest = {
             "schema_version": SCHEMA_VERSION,
             "study": dataset.study,
             "summary": dataset.summary(),
             "addresses": [sa.address for sa in dataset.addresses],
-            "interners": {"sites": dataset.sites, "hops": dataset.hops},
+            "interners": interners,
             "tables": tables_manifest,
             "sidecars": {
                 "identities": "identities.json",
                 "transfers": "transfers.jsonl",
             },
         }
+        if passive_entry is not None:
+            manifest["passive"] = passive_entry
+            interners["captures"] = captures_interner
+            interners["prefixes"] = prefixes_interner
         (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
         return self.path
 
@@ -144,6 +163,31 @@ class DatasetReader:
                 raise DatasetError(f"manifest at {self.path} lacks table {name!r}")
             tables[name] = self._read_table(schema, entry)
 
+        passive_store = None
+        passive_entry = manifest.get("passive")
+        if passive_entry is not None:
+            from repro.data.passive import PassiveStore
+            from repro.data.schema import PASSIVE_TABLES
+
+            for name, schema in PASSIVE_TABLES.items():
+                entry = manifest.get("tables", {}).get(name)
+                if entry is None:
+                    raise DatasetError(
+                        f"manifest at {self.path} declares passive captures "
+                        f"but lacks table {name!r}"
+                    )
+                tables[name] = self._read_table(schema, entry)
+            passive_store = PassiveStore.from_tables(
+                tables,
+                captures=manifest["interners"].get("captures", []),
+                prefixes=manifest["interners"].get("prefixes", []),
+                addresses=addresses,
+                bucket_seconds={
+                    capture["name"]: int(capture["bucket_seconds"])
+                    for capture in passive_entry.get("captures", [])
+                },
+            )
+
         identities = json.loads((self.path / "identities.json").read_text())
 
         address_map = {sa.address: sa for sa in addresses}
@@ -156,7 +200,7 @@ class DatasetReader:
                 if line.strip():
                     transfers.append(row_to_record(json.loads(line), address_map))
 
-        return Dataset(
+        dataset = Dataset(
             addresses=addresses,
             sites=list(manifest["interners"]["sites"]),
             hops=list(manifest["interners"]["hops"]),
@@ -168,6 +212,9 @@ class DatasetReader:
             if manifest.get("study") is not None
             else {},
         )
+        if passive_store is not None:
+            dataset.attach_passive(passive_store)
+        return dataset
 
     def _read_table(self, schema: TableSchema, entry: dict) -> Table:
         rows = int(entry["rows"])

@@ -1,0 +1,236 @@
+"""Passive-capture persistence: aggregates <-> columnar tables.
+
+A :class:`PassiveStore` holds the named passive aggregates of one
+dataset ("isp", "ixp-eu", "ixp-na" — see
+:mod:`repro.passive.recipes`), in one of two states:
+
+* **live** — built from :class:`~repro.passive.traces.FlowAggregate`
+  objects (at export time, or by ``rootsim-report`` workers), ready to
+  flatten into the ``passive_flows`` / ``passive_clients`` tables;
+* **reloaded** — backed by the memory-mapped tables of a saved dataset,
+  decoding each aggregate lazily on first access, with zero
+  re-simulation.
+
+Row order is canonical (captures by name; flow rows by ``(bucket,
+addr)``; client rows by ``(addr, prefix)``), so the same aggregates
+always serialise to byte-identical column files.  Reloaded aggregates
+are *counts-only*: the per-bucket distinct-client sets are not
+persisted (only their counts), which every analysis and report consumer
+is fine with — the sets exist only inside a live capture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Table
+from repro.data.schema import PASSIVE_TABLES, DatasetError
+from repro.passive.traces import FlowAggregate
+from repro.rss.operators import ServiceAddress
+
+
+class PassiveStore:
+    """Named passive aggregates of one dataset (live or reloaded)."""
+
+    def __init__(self) -> None:
+        self._aggregates: Dict[str, FlowAggregate] = {}
+        self._bucket_seconds: Dict[str, int] = {}
+        # Reloaded state (None for live stores).
+        self._tables: Optional[Dict[str, Table]] = None
+        self._captures: List[str] = []
+        self._prefixes: List[str] = []
+        self._addresses: List[str] = []
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_aggregates(
+        cls, aggregates: Dict[str, FlowAggregate]
+    ) -> "PassiveStore":
+        """A live store over already-built aggregates."""
+        store = cls()
+        store._aggregates = dict(aggregates)
+        store._bucket_seconds = {
+            name: aggregate.bucket_seconds
+            for name, aggregate in aggregates.items()
+        }
+        return store
+
+    @classmethod
+    def from_tables(
+        cls,
+        tables: Dict[str, Table],
+        captures: Sequence[str],
+        prefixes: Sequence[str],
+        addresses: Sequence[ServiceAddress],
+        bucket_seconds: Dict[str, int],
+    ) -> "PassiveStore":
+        """A lazy store over a reloaded dataset's passive tables."""
+        missing = [name for name in PASSIVE_TABLES if name not in tables]
+        if missing:
+            raise DatasetError(
+                f"passive store needs table(s) {', '.join(missing)}"
+            )
+        store = cls()
+        store._tables = {name: tables[name] for name in PASSIVE_TABLES}
+        store._captures = list(captures)
+        store._prefixes = list(prefixes)
+        store._addresses = [sa.address for sa in addresses]
+        store._bucket_seconds = dict(bucket_seconds)
+        unknown = [name for name in captures if name not in bucket_seconds]
+        if unknown:
+            raise DatasetError(
+                f"manifest lacks bucket_seconds for capture(s) "
+                f"{', '.join(unknown)}"
+            )
+        return store
+
+    # -- read side ---------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Every capture name, sorted."""
+        if self._tables is not None:
+            return sorted(self._captures)
+        return sorted(self._aggregates)
+
+    def bucket_seconds(self, name: str) -> int:
+        self._check_name(name)
+        return self._bucket_seconds[name]
+
+    def aggregate(self, name: str) -> FlowAggregate:
+        """The named aggregate (decoded from the tables on first use)."""
+        if name not in self._aggregates:
+            self._check_name(name)
+            self._aggregates[name] = self._decode(name)
+        return self._aggregates[name]
+
+    def _check_name(self, name: str) -> None:
+        if name not in self._bucket_seconds:
+            raise DatasetError(
+                f"dataset has no passive capture {name!r}; available: "
+                f"{', '.join(self.names())}"
+            )
+
+    def _decode(self, name: str) -> FlowAggregate:
+        assert self._tables is not None
+        capture_idx = self._captures.index(name)
+
+        flows_table = self._tables["passive_flows"]
+        rows = flows_table.column("capture") == capture_idx
+        buckets = flows_table.column("bucket")[rows]
+        addrs = flows_table.column("addr")[rows]
+        flow_values = flows_table.column("flows")[rows]
+        counts = flows_table.column("clients")[rows]
+        flows: Dict[Tuple[int, str], float] = {}
+        client_counts: Dict[Tuple[int, str], int] = {}
+        for i in range(len(buckets)):
+            key = (int(buckets[i]), self._addresses[int(addrs[i])])
+            flows[key] = float(flow_values[i])
+            client_counts[key] = int(counts[i])
+
+        clients_table = self._tables["passive_clients"]
+        rows = clients_table.column("capture") == capture_idx
+        addrs = clients_table.column("addr")[rows]
+        prefix_ids = clients_table.column("prefix")[rows]
+        client_flows = clients_table.column("flows")[rows]
+        days = clients_table.column("days")[rows]
+        per_client_flows: Dict[Tuple[str, str], float] = {}
+        per_client_days: Dict[Tuple[str, str], int] = {}
+        for i in range(len(addrs)):
+            ckey = (
+                self._addresses[int(addrs[i])],
+                self._prefixes[int(prefix_ids[i])],
+            )
+            per_client_flows[ckey] = float(client_flows[i])
+            per_client_days[ckey] = int(days[i])
+
+        return FlowAggregate.from_parts(
+            self._bucket_seconds[name],
+            flows=flows,
+            client_counts=client_counts,
+            per_client_flows=per_client_flows,
+            per_client_days=per_client_days,
+        )
+
+    # -- write side --------------------------------------------------------------
+
+    def manifest_entry(self) -> Dict[str, object]:
+        """The manifest's "passive" value."""
+        return {
+            "captures": [
+                {"name": name, "bucket_seconds": self._bucket_seconds[name]}
+                for name in self.names()
+            ]
+        }
+
+    def to_tables(
+        self, addr_index: Dict[str, int]
+    ) -> Tuple[Dict[str, Table], List[str], List[str]]:
+        """Flatten every aggregate into the two passive tables.
+
+        Returns ``(tables, captures_interner, prefixes_interner)``; row
+        order is canonical so the output is deterministic.
+        """
+        names = self.names()
+        prefix_index: Dict[str, int] = {}
+
+        flow_rows: List[Tuple[int, int, int, float, int]] = []
+        client_rows: List[Tuple[int, int, int, float, int]] = []
+        for capture_idx, name in enumerate(names):
+            aggregate = self.aggregate(name)
+            for bucket, address in sorted(
+                aggregate.flows, key=lambda key: (key[0], addr_index[key[1]])
+            ):
+                flow_rows.append(
+                    (
+                        capture_idx,
+                        bucket,
+                        addr_index[address],
+                        aggregate.flows[(bucket, address)],
+                        aggregate.client_count(bucket, address),
+                    )
+                )
+            for address, prefix in sorted(
+                aggregate.per_client_flows,
+                key=lambda key: (addr_index[key[0]], key[1]),
+            ):
+                if prefix not in prefix_index:
+                    prefix_index[prefix] = len(prefix_index)
+                client_rows.append(
+                    (
+                        capture_idx,
+                        addr_index[address],
+                        prefix_index[prefix],
+                        aggregate.per_client_flows[(address, prefix)],
+                        aggregate.per_client_days[(address, prefix)],
+                    )
+                )
+
+        def column(rows: list, idx: int, dtype: str) -> np.ndarray:
+            return np.array([row[idx] for row in rows], dtype=dtype)
+
+        tables = {
+            "passive_flows": Table(
+                PASSIVE_TABLES["passive_flows"],
+                {
+                    "capture": column(flow_rows, 0, "int16"),
+                    "bucket": column(flow_rows, 1, "int64"),
+                    "addr": column(flow_rows, 2, "int16"),
+                    "flows": column(flow_rows, 3, "float64"),
+                    "clients": column(flow_rows, 4, "int32"),
+                },
+            ),
+            "passive_clients": Table(
+                PASSIVE_TABLES["passive_clients"],
+                {
+                    "capture": column(client_rows, 0, "int16"),
+                    "addr": column(client_rows, 1, "int16"),
+                    "prefix": column(client_rows, 2, "int32"),
+                    "flows": column(client_rows, 3, "float64"),
+                    "days": column(client_rows, 4, "int32"),
+                },
+            ),
+        }
+        return tables, names, list(prefix_index)

@@ -23,7 +23,9 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 #: Version of the on-disk layout; bump on every incompatible change.
-SCHEMA_VERSION = 2
+#: v3 added the optional passive-capture tables (passive_flows /
+#: passive_clients) and the manifest's "passive" entry.
+SCHEMA_VERSION = 3
 
 
 class DatasetError(RuntimeError):
@@ -124,12 +126,47 @@ STABILITY = TableSchema(
     ),
 )
 
+#: Per-(capture, bucket, address) sampled passive flow totals and
+#: distinct-client counts (Figures 7/9/12/13).  ``capture`` indexes the
+#: "captures" interner ("isp", "ixp-eu", "ixp-na"); ``addr`` indexes the
+#: manifest's service-address list, like the probe table's.
+PASSIVE_FLOWS = TableSchema(
+    "passive_flows",
+    (
+        ColumnSpec("capture", "int16", interner="captures"),
+        ColumnSpec("bucket", "int64"),
+        ColumnSpec("addr", "int16"),
+        ColumnSpec("flows", "float64"),
+        ColumnSpec("clients", "int32"),
+    ),
+)
+
+#: Per-(capture, address, client prefix) flow totals and active-bucket
+#: counts — the Figure 8 input.  Prefixes are anonymised client networks
+#: interned in the manifest's "prefixes" table.
+PASSIVE_CLIENTS = TableSchema(
+    "passive_clients",
+    (
+        ColumnSpec("capture", "int16", interner="captures"),
+        ColumnSpec("addr", "int16"),
+        ColumnSpec("prefix", "int32", interner="prefixes"),
+        ColumnSpec("flows", "float64"),
+        ColumnSpec("days", "int32"),
+    ),
+)
+
 #: Every binary table of the format, by name.  The identity and transfer
 #: tables are ragged (per-letter identity counts, variable-length error
 #: lists) and are stored as JSON sidecars instead; they still appear as
 #: logical tables on :class:`repro.data.dataset.Dataset`.
 BINARY_TABLES: Dict[str, TableSchema] = {
     schema.name: schema for schema in (PROBES, TRACEROUTES, STABILITY)
+}
+
+#: The optional passive-capture tables (present when the dataset was
+#: saved with passive captures; see the manifest's "passive" entry).
+PASSIVE_TABLES: Dict[str, TableSchema] = {
+    schema.name: schema for schema in (PASSIVE_FLOWS, PASSIVE_CLIENTS)
 }
 
 #: Logical table names a full dataset provides (``Dataset.require_tables``).

@@ -188,6 +188,21 @@ def _stratified_behaviors(
     return behaviors
 
 
+#: Memoized populations keyed by (profile, factory seed, change_ts).
+#: A population is a pure function of that key when the factory's
+#: ``clients.<name>`` stream is fresh, and building one is thousands of
+#: RNG draws — repeated captures (report generation, benchmarks, worker
+#: processes) reuse the same immutable client list instead.
+_POPULATION_CACHE: Dict[
+    Tuple[PopulationProfile, int, Timestamp], List[ClientNetwork]
+] = {}
+
+
+def clear_population_cache() -> None:
+    """Drop every memoized client population."""
+    _POPULATION_CACHE.clear()
+
+
 def build_client_population(
     profile: PopulationProfile,
     rng_factory: RngFactory,
@@ -197,12 +212,30 @@ def build_client_population(
 
     Flow volumes are heavy-tailed (a few big resolvers dominate, many
     small CPEs send a trickle) — the shape behind the paper's Figure 8.
+
+    Populations are memoized per ``(profile, factory seed, change_ts)``:
+    rebuilding with an equivalent fresh factory returns the same list
+    (:class:`ClientNetwork` is frozen, so sharing is safe).
     """
-    rng = rng_factory.stream(f"clients.{profile.name}")
+    stream_name = f"clients.{profile.name}"
+    fresh_stream = not rng_factory.has_stream(stream_name)
+    cache_key = (profile, rng_factory.base_seed, change_ts)
+    if fresh_stream:
+        cached = _POPULATION_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+    rng = rng_factory.stream(stream_name)
     n = profile.n_clients
-    # Lognormal flow volume: median ~30 flows/day, long tail.
-    volumes = [math.exp(rng.gauss(math.log(30.0), 1.8)) for _ in range(n)]
-    dual = [rng.random() < profile.ipv6_share for _ in range(n)]
+    # Lognormal flow volume: median ~30 flows/day, long tail.  One pass
+    # with the distribution parameters and bound methods hoisted — the
+    # draw order is part of the deterministic contract, so volumes and
+    # dual-stack draws stay two separate comprehensions.
+    gauss = rng.gauss
+    uniform = rng.random
+    log_median, sigma = math.log(30.0), 1.8
+    volumes = [math.exp(gauss(log_median, sigma)) for _ in range(n)]
+    ipv6_share = profile.ipv6_share
+    dual = [uniform() < ipv6_share for _ in range(n)]
 
     if profile.volume_aware_switching:
         behaviors_v4 = [
@@ -229,8 +262,10 @@ def build_client_population(
         )
 
     clients: List[ClientNetwork] = []
+    expovariate = rng.expovariate
+    delay_rate = 1.0 / profile.mean_adoption_delay_days
     for client_id in range(n):
-        delay_days = rng.expovariate(1.0 / profile.mean_adoption_delay_days)
+        delay_days = expovariate(delay_rate)
         clients.append(
             ClientNetwork(
                 client_id=client_id,
@@ -244,6 +279,8 @@ def build_client_population(
                 adoption_ts=change_ts + int(delay_days * DAY),
             )
         )
+    if fresh_stream:
+        _POPULATION_CACHE[cache_key] = clients
     return clients
 
 

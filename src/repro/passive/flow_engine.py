@@ -1,0 +1,253 @@
+"""The vectorized passive-capture engine.
+
+:meth:`repro.passive.isp.IspCapture.capture` models sampled client
+traffic as a ``clients x buckets x addresses`` triple loop; at paper
+scale that is millions of pure-Python iterations, each paying a
+:func:`~repro.netsim.mix.mix_float` call.  This module evaluates the
+identical model as numpy kernels over a ``(bucket x client)`` grid, one
+service address at a time:
+
+* the client population compiles once into :class:`ClientColumns`
+  (volumes, family availability, behaviour codes, adoption timestamps,
+  prefix ids),
+* the splitmix64 noise/tester/sampling draws use the array mixer forms
+  (:func:`~repro.netsim.mix.mix64_array`), which are bit-identical to
+  the scalar chain element-wise,
+* diurnal scaling, :class:`~repro.passive.isp.TrafficDip` windows, the
+  b.root renumbering cutover and per-behaviour letter weights are
+  ``np.where`` selections over the grid,
+* per-``(bucket, address)`` flow totals and per-client totals reduce
+  with ``np.cumsum`` (strictly left-to-right, exactly the dict
+  accumulation order of the scalar engine; ``np.sum`` would pairwise-
+  group and drift in the last bits).
+
+The result is **byte-identical** to the scalar engine: same dict keys,
+same float bit patterns, same distinct-client sets (materialised lazily
+from the boolean keep-masks).  ``tests/passive/test_flow_engine.py``
+pins that equivalence for the ISP and all 14 IXP captures, with and
+without dips, across the renumbering boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.netsim.mix import mix64_array, mix64_prefix, mix_str
+from repro.passive.clients import ClientBehavior, ClientNetwork
+from repro.passive.traces import ClientMembership, FlowAggregate
+from repro.util.timeutil import DAY, HOUR, Timestamp
+
+_TWO64 = float(1 << 64)
+
+#: Above this many (address, bucket, client) cells the keep-masks are
+#: not retained (the client *sets* would be impractical anyway); the
+#: aggregate still carries exact distinct-client counts.
+MAX_MEMBERSHIP_CELLS = 1 << 27
+
+
+@dataclass(frozen=True)
+class ClientColumns:
+    """One client population compiled into numpy columns."""
+
+    client_ids: np.ndarray  # uint64
+    volumes: np.ndarray  # float64 daily flows
+    has_v6: np.ndarray  # bool
+    adoption_ts: np.ndarray  # int64
+    #: family -> bool mask: client would ever adopt the new address
+    #: (has the family, and is not reluctant)
+    switchish: Dict[int, np.ndarray]
+    #: family -> bool mask: client re-primes daily after switching
+    primer: Dict[int, np.ndarray]
+    #: family -> per-client prefix strings (None = no such family)
+    prefixes: Dict[int, Tuple[Optional[str], ...]]
+
+    def __len__(self) -> int:
+        return len(self.client_ids)
+
+    @classmethod
+    def from_clients(cls, clients: List[ClientNetwork]) -> "ClientColumns":
+        n = len(clients)
+        client_ids = np.empty(n, dtype=np.uint64)
+        volumes = np.empty(n, dtype=np.float64)
+        has_v6 = np.empty(n, dtype=bool)
+        adoption_ts = np.empty(n, dtype=np.int64)
+        switchish = {4: np.empty(n, dtype=bool), 6: np.empty(n, dtype=bool)}
+        primer = {4: np.empty(n, dtype=bool), 6: np.empty(n, dtype=bool)}
+        prefixes: Dict[int, List[Optional[str]]] = {4: [], 6: []}
+        for i, client in enumerate(clients):
+            client_ids[i] = client.client_id
+            volumes[i] = client.daily_flows
+            has_v6[i] = client.prefix_v6 is not None
+            adoption_ts[i] = client.adoption_ts
+            for family in (4, 6):
+                behavior = client.behavior(family)
+                switchish[family][i] = behavior is not None and (
+                    behavior is not ClientBehavior.RELUCTANT
+                )
+                primer[family][i] = behavior is ClientBehavior.PRIMER
+            prefixes[4].append(client.prefix_v4)
+            prefixes[6].append(client.prefix_v6)
+        return cls(
+            client_ids=client_ids,
+            volumes=volumes,
+            has_v6=has_v6,
+            adoption_ts=adoption_ts,
+            switchish=switchish,
+            primer=primer,
+            prefixes={4: tuple(prefixes[4]), 6: tuple(prefixes[6])},
+        )
+
+
+def capture_vectorized(
+    capture, start: Timestamp, end: Timestamp, bucket_seconds: int
+) -> FlowAggregate:
+    """Evaluate one :class:`~repro.passive.isp.IspCapture` window as
+    array kernels; byte-identical to the scalar triple loop."""
+    from repro.passive.isp import (
+        TESTER_FRACTION,
+        TESTER_TRAFFIC_SHARE,
+        V6_TRAFFIC_SHARE,
+    )
+
+    columns: ClientColumns = capture.client_columns()
+    n = len(columns)
+    buckets: List[Timestamp] = list(
+        range(start - start % bucket_seconds, end, bucket_seconds)
+    )
+    n_buckets = len(buckets)
+
+    # Per-client mixer state after absorbing (seed, client_id); every
+    # scalar mix_float(seed, client_id, ...) call continues from here.
+    state_client = mix64_array(mix64_prefix(capture.seed), columns.client_ids)
+    tester = (mix64_array(state_client, np.uint64(4242)) / _TWO64) < TESTER_FRACTION
+
+    # (bucket x client) mixer states and bucket noise.
+    bucket_u64 = np.array(buckets, dtype=np.uint64).reshape(-1, 1)
+    state_cb = mix64_array(state_client.reshape(1, -1), bucket_u64)
+    noise = 0.7 + 0.6 * (state_cb / _TWO64)
+
+    base = columns.volumes * bucket_seconds / DAY
+    if bucket_seconds < DAY:
+        # Diurnal factor is a pure function of the bucket timestamp;
+        # computed in Python floats exactly as the scalar engine does.
+        factors = np.array(
+            [
+                0.6
+                + 0.8
+                * max(0.0, 1.0 - abs((bucket % DAY) / HOUR - 19.0) / 12.0)
+                for bucket in buckets
+            ],
+            dtype=np.float64,
+        ).reshape(-1, 1)
+        flows = (base.reshape(1, -1) * factors) * noise
+    else:
+        flows = base.reshape(1, -1) * noise
+
+    bucket_i64 = np.array(buckets, dtype=np.int64).reshape(-1, 1)
+    adopted = {
+        family: columns.switchish[family].reshape(1, -1)
+        & (bucket_i64 >= columns.adoption_ts.reshape(1, -1))
+        for family in (4, 6)
+    }
+    family_share = {
+        4: np.where(columns.has_v6, 1.0 - V6_TRAFFIC_SHARE, 1.0),
+        6: np.where(columns.has_v6, V6_TRAFFIC_SHARE, 0.0),
+    }
+    state_cbf = {
+        family: mix64_array(state_cb, np.uint64(family)) for family in (4, 6)
+    }
+    tester_row = tester.reshape(1, -1)
+
+    flows_out: Dict[Tuple[Timestamp, str], float] = {}
+    client_counts: Dict[Tuple[Timestamp, str], int] = {}
+    per_client_flows: Dict[Tuple[str, str], float] = {}
+    per_client_days: Dict[Tuple[str, str], int] = {}
+    addresses = capture.addresses
+    keep_membership = (
+        len(addresses) * n_buckets * n <= MAX_MEMBERSHIP_CELLS
+    )
+    kept_masks: Dict[str, np.ndarray] = {}
+    families: Dict[str, int] = {}
+
+    for sa in addresses:
+        family = sa.family
+        # Letter weight with dips and capture noise, per bucket — pure
+        # Python floats, matching the scalar multiply order.
+        per_bucket_weight = []
+        for bucket in buckets:
+            weight = capture.letter_weights[sa.letter]
+            for dip in capture.dips:
+                weight *= dip.scale(sa.letter, bucket)
+            weight *= 1.0 + capture.noise_fraction
+            per_bucket_weight.append(weight)
+        weight_col = np.array(per_bucket_weight, dtype=np.float64).reshape(-1, 1)
+
+        amount = (flows * weight_col) * family_share[family].reshape(1, -1)
+        if sa.generation == "new":
+            amount = np.where(
+                adopted[family],
+                amount,
+                np.where(tester_row, amount * TESTER_TRAFFIC_SHARE, 0.0),
+            )
+        elif sa.generation == "old":
+            amount = np.where(
+                adopted[family],
+                np.where(
+                    columns.primer[family].reshape(1, -1),
+                    np.minimum(amount * 0.05, 0.5),
+                    0.0,
+                ),
+                np.where(
+                    tester_row, amount * (1.0 - TESTER_TRAFFIC_SHARE), amount
+                ),
+            )
+
+        sampled = amount * capture.sampling_rate
+        address_hash = mix_str(sa.address) & 0xFFFF
+        drop = mix64_array(state_cbf[family], np.uint64(address_hash)) / _TWO64
+        kept = (amount > 0.0) & ((sampled >= 1.0) | (drop <= sampled))
+        contributions = np.where(kept, np.maximum(sampled, 1.0), 0.0)
+
+        # cumsum reduces strictly left-to-right: the exact accumulation
+        # order of the scalar engine's dict updates.
+        bucket_totals = np.cumsum(contributions, axis=1)[:, -1]
+        bucket_counts = np.count_nonzero(kept, axis=1)
+        for b_idx, bucket in enumerate(buckets):
+            if bucket_counts[b_idx]:
+                key = (bucket, sa.address)
+                flows_out[key] = float(bucket_totals[b_idx])
+                client_counts[key] = int(bucket_counts[b_idx])
+
+        client_totals = np.cumsum(contributions, axis=0)[-1, :]
+        client_days = np.count_nonzero(kept, axis=0)
+        prefixes = columns.prefixes[family]
+        for c in np.flatnonzero(client_days).tolist():
+            ckey = (sa.address, prefixes[c])
+            per_client_flows[ckey] = float(client_totals[c])
+            per_client_days[ckey] = int(client_days[c])
+
+        if keep_membership:
+            kept_masks[sa.address] = kept
+            families[sa.address] = family
+
+    membership = (
+        ClientMembership(
+            buckets=buckets,
+            prefixes=columns.prefixes,
+            families=families,
+            kept=kept_masks,
+        )
+        if keep_membership
+        else None
+    )
+    return FlowAggregate.from_parts(
+        bucket_seconds,
+        flows=flows_out,
+        client_counts=client_counts,
+        per_client_flows=per_client_flows,
+        per_client_days=per_client_days,
+        membership=membership,
+    )

@@ -71,6 +71,13 @@ DEFAULT_DIPS: Tuple[TrafficDip, ...] = (
 )
 
 
+#: Capture engines: "vectorized" evaluates numpy kernels over the
+#: (bucket x client) grid (repro.passive.flow_engine); "scalar" walks
+#: the original triple loop and is the golden reference.  Both produce
+#: byte-identical aggregates.
+CAPTURE_ENGINES = ("vectorized", "scalar")
+
+
 class IspCapture:
     """Capture point inside the ISP."""
 
@@ -82,18 +89,37 @@ class IspCapture:
         letter_weights: Optional[Dict[str, float]] = None,
         dips: Tuple[TrafficDip, ...] = DEFAULT_DIPS,
         noise_fraction: float = NOISE_FRACTION,
+        engine: str = "vectorized",
     ) -> None:
         if not 0.0 < sampling_rate <= 1.0:
             raise ValueError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
         if not 0.0 <= noise_fraction < 1.0:
             raise ValueError(f"noise_fraction must be in [0, 1), got {noise_fraction}")
+        if engine not in CAPTURE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {CAPTURE_ENGINES}, got {engine!r}"
+            )
         self.clients = clients
         self.seed = seed
         self.sampling_rate = sampling_rate
         self.letter_weights = letter_weights or LETTER_WEIGHTS_ISP
         self.dips = dips
         self.noise_fraction = noise_fraction
+        self.engine = engine
         self.addresses: List[ServiceAddress] = all_service_addresses()
+        self._columns = None
+
+    def client_columns(self):
+        """The population compiled into numpy columns (memoized)."""
+        if self._columns is None:
+            from repro.passive.flow_engine import ClientColumns
+
+            self._columns = ClientColumns.from_clients(self.clients)
+        return self._columns
+
+    def reset(self) -> None:
+        """Drop compiled per-population state (after mutating clients)."""
+        self._columns = None
 
     # -- flow generation ------------------------------------------------------------
 
@@ -167,6 +193,16 @@ class IspCapture:
         """Capture the window [start, end) into an aggregate."""
         if end <= start:
             raise ValueError("capture window must have positive length")
+        if self.engine == "vectorized":
+            from repro.passive.flow_engine import capture_vectorized
+
+            return capture_vectorized(self, start, end, bucket_seconds)
+        return self._capture_scalar(start, end, bucket_seconds)
+
+    def _capture_scalar(
+        self, start: Timestamp, end: Timestamp, bucket_seconds: int
+    ) -> FlowAggregate:
+        """The reference triple loop (``engine="scalar"``)."""
         aggregate = FlowAggregate(bucket_seconds=bucket_seconds)
         bucket = start - start % bucket_seconds
         while bucket < end:

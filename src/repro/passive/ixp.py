@@ -58,6 +58,7 @@ def build_ixp_captures(
     seed: int,
     clients_per_ixp: int = 300,
     sampling_rate: float = 0.1,
+    engine: str = "vectorized",
 ) -> List[IxpCapture]:
     """The 14 passive IXP vantage points with region-specific behaviour."""
     captures: List[IxpCapture] = []
@@ -73,13 +74,14 @@ def build_ixp_captures(
             profile, name=f"{profile.name}.{ixp_id}", n_clients=clients_per_ixp
         )
         clients = build_client_population(sized, rng_factory)
-        engine = IspCapture(
+        flow_engine = IspCapture(
             clients,
             seed=seed ^ (mix_str(ixp_id) & 0xFFFF),
             sampling_rate=sampling_rate,
             letter_weights=LETTER_WEIGHTS_IXP,
+            engine=engine,
         )
-        captures.append(IxpCapture(ixp=ixp, engine=engine))
+        captures.append(IxpCapture(ixp=ixp, engine=flow_engine))
     return captures
 
 
@@ -95,19 +97,5 @@ def regional_aggregate(
     for capture in captures:
         if capture.region is not region:
             continue
-        partial = capture.capture(start, end, bucket_seconds)
-        for (bucket, address), flows in partial.flows.items():
-            key = (bucket, address)
-            merged.flows[key] = merged.flows.get(key, 0.0) + flows
-            merged.clients.setdefault(key, set()).update(
-                partial.clients.get(key, set())
-            )
-        for ckey, flows in partial.per_client_flows.items():
-            merged.per_client_flows[ckey] = (
-                merged.per_client_flows.get(ckey, 0.0) + flows
-            )
-        for ckey, days in partial.per_client_days.items():
-            merged.per_client_days[ckey] = max(
-                merged.per_client_days.get(ckey, 0), days
-            )
+        merged.merge_from(capture.capture(start, end, bucket_seconds))
     return merged

@@ -4,30 +4,120 @@ Captures record *sampled, anonymised* flows: per time bucket, per root
 service address, a flow count plus the set of client prefixes seen.  The
 paper can only report *relative* traffic (privacy aggregation), so the
 read-side API normalises to shares.
+
+The write side stays dict-keyed (the scalar reference engine appends one
+``add_flows`` call at a time), but every read view is memoized into
+columnar form on first use: the sorted bucket list, one flow array per
+address aligned to those buckets, per-address client counts and the
+Figure 8 per-client means.  The caches invalidate on any write, so
+``series``/``unique_clients``/``normalized_shares``/``window_share`` are
+O(1) dictionary-free lookups on the hot read path instead of per-call
+scans over every ``(bucket, address)`` item.
+
+The vectorized engine (:mod:`repro.passive.flow_engine`) builds
+aggregates through :meth:`FlowAggregate.from_parts` without ever going
+through ``add_flows``; the distinct-client *sets* then live in a compact
+:class:`ClientMembership` payload and materialise lazily — the common
+consumers (``unique_clients``, the analyses) only need the counts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.rss.operators import ServiceAddress
-from repro.util.timeutil import DAY, HOUR, Timestamp
+from repro.util.timeutil import Timestamp
 
 
 @dataclass
+class ClientMembership:
+    """Columnar (bucket x client) keep-masks of one vectorized capture.
+
+    A compact stand-in for the per-``(bucket, address)`` prefix sets:
+    ``kept[address][b, c]`` says client *c* contributed flows to
+    *address* in bucket *b*.  :meth:`materialize` expands to the exact
+    sets the scalar engine would have built.
+    """
+
+    buckets: List[Timestamp]
+    #: family -> per-client prefix strings (None = client lacks the family)
+    prefixes: Dict[int, Tuple[Optional[str], ...]]
+    #: address -> address family
+    families: Dict[str, int]
+    #: address -> (n_buckets, n_clients) bool keep-mask
+    kept: Dict[str, np.ndarray]
+
+    def materialize(self) -> Dict[Tuple[Timestamp, str], Set[str]]:
+        sets: Dict[Tuple[Timestamp, str], Set[str]] = {}
+        for address, mask in self.kept.items():
+            prefixes = self.prefixes[self.families[address]]
+            for b_idx, bucket in enumerate(self.buckets):
+                row = np.flatnonzero(mask[b_idx])
+                if row.size:
+                    sets[(bucket, address)] = {
+                        prefixes[c] for c in row.tolist()  # type: ignore[misc]
+                    }
+        return sets
+
+
 class FlowAggregate:
     """Sampled flow counts per (time bucket, service address)."""
 
-    bucket_seconds: int
-    #: (bucket_ts, address) -> flow count
-    flows: Dict[Tuple[Timestamp, str], float] = field(default_factory=dict)
-    #: (bucket_ts, address) -> distinct client prefixes
-    clients: Dict[Tuple[Timestamp, str], Set[str]] = field(default_factory=dict)
-    #: (address, client prefix) -> total flows (Figure 8 input)
-    per_client_flows: Dict[Tuple[str, str], float] = field(default_factory=dict)
-    #: (address, client prefix) -> buckets with >= 1 flow
-    per_client_days: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    def __init__(self, bucket_seconds: int) -> None:
+        self.bucket_seconds = bucket_seconds
+        #: (bucket_ts, address) -> flow count
+        self.flows: Dict[Tuple[Timestamp, str], float] = {}
+        #: (address, client prefix) -> total flows (Figure 8 input)
+        self.per_client_flows: Dict[Tuple[str, str], float] = {}
+        #: (address, client prefix) -> buckets with >= 1 flow
+        self.per_client_days: Dict[Tuple[str, str], int] = {}
+        #: (bucket_ts, address) -> distinct client prefixes; None when the
+        #: sets live in ``_membership`` (vectorized) or were never
+        #: persisted (counts-only reload).
+        self._client_sets: Optional[Dict[Tuple[Timestamp, str], Set[str]]] = {}
+        #: (bucket_ts, address) -> distinct-client count (always present).
+        self._client_counts: Dict[Tuple[Timestamp, str], int] = {}
+        self._membership: Optional[ClientMembership] = None
+        # Memoized read views (see module docstring).
+        self._bucket_cache: Optional[List[Timestamp]] = None
+        self._bucket_array: Optional[np.ndarray] = None
+        self._flow_index: Optional[Dict[str, Dict[Timestamp, float]]] = None
+        self._flow_arrays: Dict[str, np.ndarray] = {}
+        self._count_index: Optional[Dict[str, Dict[Timestamp, int]]] = None
+        self._pc_cache: Optional[Dict[str, List[float]]] = None
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_parts(
+        cls,
+        bucket_seconds: int,
+        *,
+        flows: Dict[Tuple[Timestamp, str], float],
+        client_counts: Dict[Tuple[Timestamp, str], int],
+        per_client_flows: Dict[Tuple[str, str], float],
+        per_client_days: Dict[Tuple[str, str], int],
+        membership: Optional[ClientMembership] = None,
+    ) -> "FlowAggregate":
+        """Assemble an aggregate from pre-computed columns.
+
+        Used by the vectorized engine and the dataset reload path; with
+        ``membership=None`` the aggregate is *counts-only* — every read
+        works except the :attr:`clients` prefix sets themselves.
+        """
+        aggregate = cls(bucket_seconds)
+        aggregate.flows = flows
+        aggregate.per_client_flows = per_client_flows
+        aggregate.per_client_days = per_client_days
+        aggregate._client_counts = client_counts
+        aggregate._client_sets = None
+        aggregate._membership = membership
+        return aggregate
+
+    # -- write side --------------------------------------------------------------
 
     def bucket_of(self, ts: Timestamp) -> Timestamp:
         return ts - ts % self.bucket_seconds
@@ -41,41 +131,142 @@ class FlowAggregate:
         bucket = self.bucket_of(ts)
         key = (bucket, address)
         self.flows[key] = self.flows.get(key, 0.0) + count
-        self.clients.setdefault(key, set()).add(client_prefix)
+        prefixes = self.clients.setdefault(key, set())
+        prefixes.add(client_prefix)
+        self._client_counts[key] = len(prefixes)
         ckey = (address, client_prefix)
         self.per_client_flows[ckey] = self.per_client_flows.get(ckey, 0.0) + count
         self.per_client_days[ckey] = self.per_client_days.get(ckey, 0) + 1
+        self._invalidate()
+
+    def merge_from(self, other: "FlowAggregate") -> None:
+        """Fold *other* into this aggregate (regional IXP merges).
+
+        Flow counts add; client prefix sets union (the same anonymised
+        prefix seen at two exchanges is one client); per-client flows
+        add and active-day counts take the maximum, matching how the
+        paper combines per-exchange views of one client.
+        """
+        if other.bucket_seconds != self.bucket_seconds:
+            raise ValueError(
+                f"cannot merge bucket_seconds={other.bucket_seconds} into "
+                f"bucket_seconds={self.bucket_seconds}"
+            )
+        own_sets = self.clients
+        for key, flows in other.flows.items():
+            self.flows[key] = self.flows.get(key, 0.0) + flows
+        for key, prefixes in other.clients.items():
+            mine = own_sets.setdefault(key, set())
+            mine.update(prefixes)
+            self._client_counts[key] = len(mine)
+        for ckey, flows in other.per_client_flows.items():
+            self.per_client_flows[ckey] = (
+                self.per_client_flows.get(ckey, 0.0) + flows
+            )
+        for ckey, days in other.per_client_days.items():
+            self.per_client_days[ckey] = max(
+                self.per_client_days.get(ckey, 0), days
+            )
+        self._invalidate()
+
+    # -- clients -----------------------------------------------------------------
+
+    @property
+    def clients(self) -> Dict[Tuple[Timestamp, str], Set[str]]:
+        """(bucket_ts, address) -> distinct client prefixes.
+
+        Vectorized captures materialise this lazily from their
+        membership masks; aggregates reloaded from disk carry only the
+        counts and raise here — use :meth:`unique_clients` /
+        :meth:`client_count` instead.
+        """
+        if self._client_sets is None:
+            if self._membership is None:
+                raise RuntimeError(
+                    "this aggregate carries only distinct-client counts "
+                    "(reloaded from a dataset); the prefix sets were not "
+                    "persisted — use unique_clients()/client_count()"
+                )
+            self._client_sets = self._membership.materialize()
+            self._membership = None
+        return self._client_sets
+
+    def client_count(self, bucket: Timestamp, address: str) -> int:
+        """Distinct clients of *address* in *bucket* (0 if none)."""
+        return self._client_counts.get((bucket, address), 0)
 
     # -- read side ---------------------------------------------------------------
 
+    def _invalidate(self) -> None:
+        self._bucket_cache = None
+        self._bucket_array = None
+        self._flow_index = None
+        self._flow_arrays = {}
+        self._count_index = None
+        self._pc_cache = None
+
     def buckets(self) -> List[Timestamp]:
-        """All time buckets with any traffic, ascending."""
-        return sorted({bucket for bucket, _addr in self.flows})
+        """All time buckets with any traffic, ascending (cached)."""
+        if self._bucket_cache is None:
+            self._bucket_cache = sorted({bucket for bucket, _addr in self.flows})
+        return self._bucket_cache
+
+    def buckets_array(self) -> np.ndarray:
+        """The bucket timestamps as an int64 array (cached)."""
+        if self._bucket_array is None:
+            self._bucket_array = np.array(self.buckets(), dtype=np.int64)
+        return self._bucket_array
+
+    def _ensure_indices(self) -> None:
+        """One pass over the flow dicts builds every per-address index."""
+        if self._flow_index is None:
+            flow_index: Dict[str, Dict[Timestamp, float]] = {}
+            for (bucket, address), value in self.flows.items():
+                flow_index.setdefault(address, {})[bucket] = value
+            self._flow_index = flow_index
+        if self._count_index is None:
+            count_index: Dict[str, Dict[Timestamp, int]] = {}
+            for (bucket, address), count in self._client_counts.items():
+                count_index.setdefault(address, {})[bucket] = count
+            self._count_index = count_index
+
+    def flows_by_bucket(self, address: str) -> np.ndarray:
+        """Flow counts of *address* aligned to :meth:`buckets` (cached)."""
+        cached = self._flow_arrays.get(address)
+        if cached is None:
+            self._ensure_indices()
+            assert self._flow_index is not None
+            per_bucket = self._flow_index.get(address, {})
+            cached = np.array(
+                [per_bucket.get(bucket, 0.0) for bucket in self.buckets()],
+                dtype=np.float64,
+            )
+            self._flow_arrays[address] = cached
+        return cached
 
     def series(self, address: str) -> List[Tuple[Timestamp, float]]:
         """(bucket, flows) series for one address."""
-        return [
-            (bucket, self.flows.get((bucket, address), 0.0))
-            for bucket in self.buckets()
-        ]
+        return list(zip(self.buckets(), self.flows_by_bucket(address).tolist()))
 
     def unique_clients(self, address: str) -> List[Tuple[Timestamp, int]]:
         """(bucket, distinct clients) series for one address."""
-        return [
-            (bucket, len(self.clients.get((bucket, address), ())))
-            for bucket in self.buckets()
-        ]
+        self._ensure_indices()
+        assert self._count_index is not None
+        per_bucket = self._count_index.get(address, {})
+        return [(bucket, per_bucket.get(bucket, 0)) for bucket in self.buckets()]
 
     def mean_daily_flows_per_client(self, address: str) -> List[float]:
         """Per client of *address*: mean flows per active bucket —
         the Figure 8 x-axis values."""
-        out: List[float] = []
-        for (addr, _client), total in self.per_client_flows.items():
-            if addr != address:
-                continue
-            days = self.per_client_days[(addr, _client)]
-            out.append(total / max(1, days))
-        return out
+        if self._pc_cache is None:
+            cache: Dict[str, List[float]] = {}
+            days = self.per_client_days
+            for (addr, client), total in self.per_client_flows.items():
+                cache.setdefault(addr, []).append(
+                    total / max(1, days[(addr, client)])
+                )
+            self._pc_cache = cache
+        return list(self._pc_cache.get(address, []))
 
 
 class TrafficTimeSeries:
@@ -84,6 +275,11 @@ class TrafficTimeSeries:
     def __init__(self, aggregate: FlowAggregate, addresses: Iterable[ServiceAddress]) -> None:
         self.aggregate = aggregate
         self.addresses: List[ServiceAddress] = list(addresses)
+
+    def _subset(self, subset: Optional[Sequence[str]]) -> List[str]:
+        if subset is not None:
+            return list(subset)
+        return [sa.address for sa in self.addresses]
 
     def normalized_shares(
         self, subset: Optional[List[str]] = None
@@ -94,37 +290,34 @@ class TrafficTimeSeries:
         just b.root's four subnets for Figure 7, or only IPv6 for
         Figure 9).
         """
-        addresses = subset if subset is not None else [
-            sa.address for sa in self.addresses
-        ]
+        addresses = self._subset(subset)
         buckets = self.aggregate.buckets()
-        totals: Dict[Timestamp, float] = {
-            b: sum(self.aggregate.flows.get((b, a), 0.0) for a in addresses)
-            for b in buckets
-        }
+        totals = np.zeros(len(buckets), dtype=np.float64)
+        for address in addresses:
+            totals = totals + self.aggregate.flows_by_bucket(address)
         out: Dict[str, List[Tuple[Timestamp, float]]] = {}
         for address in addresses:
-            series: List[Tuple[Timestamp, float]] = []
-            for bucket in buckets:
-                total = totals[bucket]
-                value = self.aggregate.flows.get((bucket, address), 0.0)
-                series.append((bucket, value / total if total > 0 else 0.0))
-            out[address] = series
+            values = self.aggregate.flows_by_bucket(address)
+            shares = np.divide(
+                values, totals, out=np.zeros_like(values), where=totals > 0
+            )
+            out[address] = list(zip(buckets, shares.tolist()))
         return out
 
     def window_share(
         self, address: str, start: Timestamp, end: Timestamp, subset: Optional[List[str]] = None
     ) -> float:
         """Share of *address* within [start, end) against the subset."""
-        addresses = subset if subset is not None else [
-            sa.address for sa in self.addresses
-        ]
+        addresses = self._subset(subset)
+        buckets = self.aggregate.buckets_array()
+        if buckets.size == 0:
+            return 0.0
+        mask = (buckets >= start) & (buckets < end)
         total = 0.0
         mine = 0.0
-        for (bucket, addr), flows in self.aggregate.flows.items():
-            if not start <= bucket < end or addr not in addresses:
-                continue
-            total += flows
+        for addr in addresses:
+            window_sum = float(self.aggregate.flows_by_bucket(addr)[mask].sum())
+            total += window_sum
             if addr == address:
-                mine += flows
+                mine = window_sum
         return mine / total if total > 0 else 0.0

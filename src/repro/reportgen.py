@@ -1,115 +1,246 @@
 """Generate every table and figure into a directory.
 
-``rootsim-report --out DIR`` runs a campaign plus the passive captures
-and writes one text file per paper artefact (table1.txt .. fig14.txt,
-ablation-style extras included), plus an index.  This is the one-command
-"regenerate the paper" path; the benchmarks wrap the same calls with
-timing and shape assertions.
+``rootsim-report --out DIR`` runs a campaign, persists its dataset
+(passive captures included) under ``DIR/dataset``, and writes one text
+file per paper artefact (table1.txt .. fig14.txt, ablation-style extras
+included), plus an index.  This is the one-command "regenerate the
+paper" path; the benchmarks wrap the same calls with timing and shape
+assertions.
+
+Artefact generation is structured as independent **groups**, each a
+pure function of the saved dataset directory (the campaign tables plus
+the passive tables are all on disk by the time a group runs).  That
+makes the fan-out trivial and safe:
+
+* ``--workers N`` dispatches the groups across a process pool, each
+  worker memory-mapping the dataset read-only (zero-copy, no pickling
+  of results objects);
+* serial mode runs the *same* group functions inline against the same
+  saved dataset — one code path, so parallel output is byte-identical
+  to serial output by construction.
+
+The only artefact that cannot replay from disk is Figure 10: its
+line-level diff needs the transferred zone *content*, which datasets
+deliberately do not persist.  ``generate_all`` therefore renders it in
+the main process from the live results; the dataset-replay path
+(``--dataset DIR``) degrades it to the fault descriptions.
+
+Wall-clock per group lands in ``TIMINGS.json`` (not in the index, so
+artefact diffs between runs stay meaningful).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.util.timeutil import parse_ts
+#: Artefacts each group emits.  Groups are the unit of parallel
+#: dispatch; every group is independent of every other.
+GROUP_ARTEFACTS: Dict[str, Tuple[str, ...]] = {
+    "coverage": ("table1", "table4"),
+    "audit": ("table2",),
+    "stability": ("fig3",),
+    "colocation": ("fig4",),
+    "distance": ("fig5",),
+    "rtt": ("fig6", "fig14"),
+    "paths": ("paths_sec6",),
+    "bitflip": ("fig10",),
+    "isp": ("fig7", "fig8", "fig12"),
+    "ixp": ("fig9", "fig13"),
+}
+
+#: Registered analyses each group runs — the preflight checks their
+#: declared table needs (``registry.tables_for``) against the saved
+#: dataset before dispatching anything to a worker.
+GROUP_ANALYSES: Dict[str, Tuple[str, ...]] = {
+    "coverage": ("coverage",),
+    "audit": ("zonemd_audit",),
+    "stability": ("stability",),
+    "colocation": ("colocation",),
+    "distance": ("distance",),
+    "rtt": ("rtt",),
+    "paths": ("paths",),
+    "bitflip": ("zonemd_audit",),
+    "isp": ("trafficshift", "clientbehavior"),
+    "ixp": ("trafficshift",),
+}
+
+#: Passive captures each group replays from the dataset's passive tables.
+GROUP_CAPTURES: Dict[str, Tuple[str, ...]] = {
+    "isp": ("isp",),
+    "ixp": ("ixp-eu", "ixp-na"),
+}
+
+#: Per-process dataset cache: a worker handling several groups maps the
+#: dataset once and shares the mmap-backed columns between them.
+_DATASET_CACHE: Dict[str, Any] = {}
 
 
-def generate_all(study, out_dir: str, seed: int = 2024) -> Dict[str, Path]:
-    """Write every artefact for a finished *study*; returns name -> path."""
+def _load(dataset_dir: str):
+    dataset = _DATASET_CACHE.get(dataset_dir)
+    if dataset is None:
+        from repro.data import load_dataset
+
+        dataset = _DATASET_CACHE[dataset_dir] = load_dataset(dataset_dir)
+    return dataset
+
+
+# --- artefact groups (worker-side; each is dataset dir -> {name: content}) ---------
+
+
+def _group_coverage(dataset_dir: str) -> Dict[str, str]:
     from repro.analysis import registry, report
-    from repro.geo.continents import Continent
-    from repro.passive.clients import ISP_PROFILE, build_client_population
-    from repro.passive.isp import IspCapture
-    from repro.passive.ixp import build_ixp_captures, regional_aggregate
-    from repro.rss.operators import root_server
-    from repro.util.rng import RngFactory
 
-    results = study.results()
-    path = Path(out_dir)
-    path.mkdir(parents=True, exist_ok=True)
-    written: Dict[str, Path] = {}
+    coverage = registry.run("coverage", _load(dataset_dir))
+    return {
+        "table1": report.render_table1(coverage),
+        "table4": report.render_table4(coverage),
+    }
 
-    def emit(name: str, content: str) -> None:
-        target = path / f"{name}.txt"
-        target.write_text(content + "\n")
-        written[name] = target
 
-    coverage = registry.run("coverage", results)
-    emit("table1", report.render_table1(coverage))
-    emit("table4", report.render_table4(coverage))
+def _group_audit(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
 
-    audit = registry.run("zonemd_audit", results)
+    audit = registry.run("zonemd_audit", _load(dataset_dir))
     findings, valid = audit.validate_transfers()
-    emit("table2", report.render_table2(findings, valid))
+    return {"table2": report.render_table2(findings, valid)}
 
-    stability = registry.run("stability", results)
-    emit("fig3", report.render_figure3(stability))
 
-    colocation = registry.run("colocation", results)
-    emit("fig4", report.render_figure4(colocation))
+def _group_stability(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
 
-    distance = registry.run("distance", results)
+    stability = registry.run("stability", _load(dataset_dir))
+    return {"fig3": report.render_figure3(stability)}
+
+
+def _group_colocation(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+
+    colocation = registry.run("colocation", _load(dataset_dir))
+    return {"fig4": report.render_figure4(colocation)}
+
+
+def _group_distance(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+    from repro.rss.operators import root_server
+
+    distance = registry.run("distance", _load(dataset_dir))
     b = root_server("b")
     m = root_server("m")
-    emit("fig5", report.render_figure5(distance, [b.ipv4, b.ipv6, m.ipv4, m.ipv6]))
+    return {
+        "fig5": report.render_figure5(distance, [b.ipv4, b.ipv6, m.ipv4, m.ipv6])
+    }
 
-    rtt = registry.run("rtt", results)
-    addresses = [sa.address for sa in results.collector.addresses]
-    emit("fig6", report.render_figure6(
-        rtt,
-        [Continent.AFRICA, Continent.SOUTH_AMERICA,
-         Continent.NORTH_AMERICA, Continent.EUROPE],
-        addresses, {},
-    ))
-    emit("fig14", report.render_figure6(rtt, list(Continent), addresses, {}))
 
-    paths = registry.run("paths", results)
-    emit("paths_sec6", "\n\n".join(
-        report.render_path_breakdown(paths, continent, "i")
-        for continent in (Continent.SOUTH_AMERICA, Continent.NORTH_AMERICA)
-    ))
+def _group_rtt(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+    from repro.geo.continents import Continent
 
-    # Passive artefacts.
-    rng = RngFactory(seed)
-    isp = IspCapture(build_client_population(ISP_PROFILE, rng), seed=seed)
-    post = isp.capture(parse_ts("2024-02-05"), parse_ts("2024-03-04"))
-    shift = registry.run("trafficshift", aggregate=post)
-    emit("fig7", report.render_traffic_series(
-        "Figure 7: ISP b.root traffic (2024-02-05 .. 2024-03-04)",
-        shift.broot_series(),
-    ))
-    behavior = registry.run("clientbehavior", aggregate=post)
-    emit("fig8", "\n\n".join(
-        report.render_figure8(behavior, family) for family in (4, 6)
-    ))
-    emit("fig12", _letter_share_table(shift))
+    dataset = _load(dataset_dir)
+    rtt = registry.run("rtt", dataset)
+    addresses = [sa.address for sa in dataset.addresses]
+    return {
+        "fig6": report.render_figure6(
+            rtt,
+            [Continent.AFRICA, Continent.SOUTH_AMERICA,
+             Continent.NORTH_AMERICA, Continent.EUROPE],
+            addresses, {},
+        ),
+        "fig14": report.render_figure6(rtt, list(Continent), addresses, {}),
+    }
 
-    captures = build_ixp_captures(rng.fork("ixp"), seed=seed, clients_per_ixp=120)
-    window = (parse_ts("2023-12-08"), parse_ts("2023-12-28"))
+
+def _group_paths(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+    from repro.geo.continents import Continent
+
+    paths = registry.run("paths", _load(dataset_dir))
+    return {
+        "paths_sec6": "\n\n".join(
+            report.render_path_breakdown(paths, continent, "i")
+            for continent in (Continent.SOUTH_AMERICA, Continent.NORTH_AMERICA)
+        )
+    }
+
+
+def _group_bitflip(dataset_dir: str) -> Dict[str, str]:
+    """Figure 10 from a reloaded dataset: descriptions only — the zone
+    content a line diff needs is not persisted (``generate_all`` renders
+    the full diff from the live results instead)."""
+    from repro.analysis import registry
+
+    audit = registry.run("zonemd_audit", _load(dataset_dir))
+    return {"fig10": _bitflip_report(audit, None)}
+
+
+def _group_isp(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+    from repro.passive.recipes import ISP_WINDOW
+
+    aggregate = _load(dataset_dir).passive.aggregate("isp")
+    shift = registry.run("trafficshift", aggregate=aggregate)
+    behavior = registry.run("clientbehavior", aggregate=aggregate)
+    return {
+        "fig7": report.render_traffic_series(
+            f"Figure 7: ISP b.root traffic ({ISP_WINDOW[0]} .. {ISP_WINDOW[1]})",
+            shift.broot_series(),
+        ),
+        "fig8": "\n\n".join(
+            report.render_figure8(behavior, family) for family in (4, 6)
+        ),
+        "fig12": _letter_share_table(shift),
+    }
+
+
+def _group_ixp(dataset_dir: str) -> Dict[str, str]:
+    from repro.analysis import registry, report
+    from repro.geo.continents import Continent
+
+    dataset = _load(dataset_dir)
+    out: Dict[str, str] = {}
     fig9_parts: List[str] = []
-    fig13_content: Optional[str] = None
-    for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
-        aggregate = regional_aggregate(captures, region, *window)
-        regional_shift = registry.run("trafficshift", aggregate=aggregate)
+    for capture_name, region in (
+        ("ixp-eu", Continent.EUROPE),
+        ("ixp-na", Continent.NORTH_AMERICA),
+    ):
+        regional_shift = registry.run(
+            "trafficshift", aggregate=dataset.passive.aggregate(capture_name)
+        )
         fig9_parts.append(report.render_traffic_series(
             f"Figure 9 ({region}): IPv6 b.root traffic",
             regional_shift.broot_series(families=(6,)),
         ))
-        if region is Continent.EUROPE:
-            fig13_content = _letter_share_table(regional_shift, title="Figure 13")
-    emit("fig9", "\n\n".join(fig9_parts))
-    if fig13_content:
-        emit("fig13", fig13_content)
+        if capture_name == "ixp-eu":
+            out["fig13"] = _letter_share_table(regional_shift, title="Figure 13")
+    out["fig9"] = "\n\n".join(fig9_parts)
+    return out
 
-    emit("fig10", _bitflip_report(audit, results))
 
-    index = "\n".join(
-        f"{name}: {target.name}" for name, target in sorted(written.items())
-    )
-    emit("INDEX", index)
-    return written
+_GROUPS = {
+    "coverage": _group_coverage,
+    "audit": _group_audit,
+    "stability": _group_stability,
+    "colocation": _group_colocation,
+    "distance": _group_distance,
+    "rtt": _group_rtt,
+    "paths": _group_paths,
+    "bitflip": _group_bitflip,
+    "isp": _group_isp,
+    "ixp": _group_ixp,
+}
+
+
+def _run_group(name: str, dataset_dir: str) -> Tuple[str, Dict[str, str], float]:
+    """One group, timed — the unit a pool worker executes."""
+    start = time.perf_counter()
+    contents = _GROUPS[name](dataset_dir)
+    return name, contents, time.perf_counter() - start
+
+
+# --- shared renderers ---------------------------------------------------------------
 
 
 def _letter_share_table(shift, title: str = "Figure 12") -> str:
@@ -125,11 +256,17 @@ def _letter_share_table(shift, title: str = "Figure 12") -> str:
     return table.render(f"{title}: traffic share per letter")
 
 
-def _bitflip_report(audit, results) -> str:
+def _bitflip_report(audit, distributor) -> str:
     lines = ["Figure 10: bitflips in transferred zones"]
     for obs, description in audit.bitflip_examples()[:5]:
-        reference = results.distributor.zone_for_publication(
-            *results.distributor.latest_publication(obs.true_ts)
+        if distributor is None or obs.zone is None:
+            # Replay mode: the zone content the diff needs is not in the
+            # dataset; keep the fault inventory.
+            lines.append(f"VP {obs.vp_id}, {obs.address.label}: {description}")
+            lines.append("  (zone content not persisted; diff needs a live run)")
+            continue
+        reference = distributor.zone_for_publication(
+            *distributor.latest_publication(obs.true_ts)
         )
         if reference.serial != obs.serial:
             continue
@@ -140,6 +277,156 @@ def _bitflip_report(audit, results) -> str:
     if len(lines) == 1:
         lines.append("(no bitflipped transfers recorded in this run)")
     return "\n".join(lines)
+
+
+# --- drivers ------------------------------------------------------------------------
+
+
+def _generate(
+    dataset_dir: str,
+    out_path: Path,
+    workers: int,
+    precomputed: Dict[str, str],
+    timings: Optional[Dict[str, float]] = None,
+) -> Dict[str, Path]:
+    """Run every group not covered by *precomputed* and write artefacts."""
+    from repro.analysis import registry
+
+    timings = dict(timings or {})
+    written: Dict[str, Path] = {}
+
+    def emit(name: str, content: str) -> None:
+        target = out_path / f"{name}.txt"
+        target.write_text(content + "\n")
+        written[name] = target
+
+    for name, content in precomputed.items():
+        emit(name, content)
+
+    groups = [
+        name for name, artefacts in GROUP_ARTEFACTS.items()
+        if not all(artefact in precomputed for artefact in artefacts)
+    ]
+
+    # Preflight in the main process: every group's analyses must find
+    # their declared tables (and passive captures) in the saved dataset
+    # before any worker starts.
+    dataset = _load(dataset_dir)
+    for group in groups:
+        for analysis in GROUP_ANALYSES[group]:
+            dataset.require_tables(
+                registry.tables_for(analysis), consumer=f"report group {group!r}"
+            )
+        for capture in GROUP_CAPTURES.get(group, ()):
+            if dataset.passive is None or capture not in dataset.passive.names():
+                from repro.data import DatasetError
+
+                raise DatasetError(
+                    f"report group {group!r} needs passive capture "
+                    f"{capture!r}; save the dataset with passive captures "
+                    f"(rootsim-study --save / StudyResults.save)"
+                )
+
+    if workers > 1 and len(groups) > 1:
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_group, group, dataset_dir) for group in groups
+            ]
+            outcomes = [future.result() for future in as_completed(futures)]
+    else:
+        outcomes = [_run_group(group, dataset_dir) for group in groups]
+
+    for group, contents, seconds in outcomes:
+        timings[f"group.{group}"] = round(seconds, 4)
+        for name, content in contents.items():
+            emit(name, content)
+
+    index = "\n".join(
+        f"{name}: {target.name}" for name, target in sorted(written.items())
+    )
+    emit("INDEX", index)
+
+    # Timings live next to the artefacts but outside the index/returned
+    # set: re-runs byte-diff clean on everything but this file.
+    artefact_timings = {
+        artefact: timings[f"group.{group}"]
+        for group, artefacts in GROUP_ARTEFACTS.items()
+        for artefact in artefacts
+        if f"group.{group}" in timings
+    }
+    (out_path / "TIMINGS.json").write_text(
+        json.dumps(
+            {"groups": timings, "artefacts": artefact_timings},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    return written
+
+
+def generate_all(
+    study,
+    out_dir: str,
+    seed: int = 2024,
+    workers: int = 1,
+    engine: str = "vectorized",
+) -> Dict[str, Path]:
+    """Write every artefact for a finished *study*; returns name -> path.
+
+    Persists the study's dataset (passive captures for *seed* included)
+    under ``out_dir/dataset`` first, then fans the artefact groups out
+    over *workers* processes (or runs them inline when ``workers == 1``)
+    against that saved dataset.  *engine* selects the passive-capture
+    engine ("vectorized" or the reference "scalar"); both produce
+    byte-identical artefacts.
+    """
+    from repro.analysis import registry
+    from repro.data.passive import PassiveStore
+    from repro.passive.recipes import standard_captures
+
+    results = study.results()
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+
+    timings: Dict[str, float] = {}
+    start = time.perf_counter()
+    dataset = results.dataset
+    if dataset.passive is None:
+        dataset.attach_passive(
+            PassiveStore.from_aggregates(standard_captures(seed, engine=engine))
+        )
+    dataset_dir = out_path / "dataset"
+    results.save(str(dataset_dir))
+    timings["dataset"] = round(time.perf_counter() - start, 4)
+
+    # Figure 10 renders in the main process from the live results: its
+    # line diff needs transferred zone content, which the dataset does
+    # not carry.
+    start = time.perf_counter()
+    audit = registry.run("zonemd_audit", results)
+    precomputed = {"fig10": _bitflip_report(audit, results.distributor)}
+    timings["group.bitflip"] = round(time.perf_counter() - start, 4)
+
+    return _generate(
+        str(dataset_dir), out_path, workers, precomputed, timings=timings
+    )
+
+
+def generate_from_dataset(
+    dataset_dir: str, out_dir: str, workers: int = 1
+) -> Dict[str, Path]:
+    """Replay every artefact from a saved dataset — zero re-simulation.
+
+    The dataset must have been saved with passive captures (the default
+    for ``rootsim-study --save``).  Figure 10 degrades to the fault
+    descriptions; everything else is byte-identical to a live run.
+    """
+    out_path = Path(out_dir)
+    out_path.mkdir(parents=True, exist_ok=True)
+    return _generate(str(dataset_dir), out_path, workers, {})
 
 
 def report_main(argv: Optional[List[str]] = None) -> int:
@@ -153,19 +440,45 @@ def report_main(argv: Optional[List[str]] = None) -> int:
         "--preset", choices=("quick", "standard", "paper"), default="quick"
     )
     parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="generate artefact groups across N processes "
+             "(output is byte-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--engine", choices=("vectorized", "scalar"), default="vectorized",
+        help="passive-capture engine ('scalar' is the reference triple "
+             "loop; byte-identical but much slower)",
+    )
+    parser.add_argument(
+        "--dataset", metavar="DIR", default=None,
+        help="replay artefacts from a saved dataset directory instead of "
+             "running a campaign (fig10 degrades to fault descriptions)",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
 
-    from repro.core import RootStudy, StudyConfig
+    if args.dataset is not None:
+        print(f"replaying artefacts from {args.dataset} ...")
+        written = generate_from_dataset(
+            args.dataset, args.out, workers=args.workers
+        )
+    else:
+        from repro.core import RootStudy, StudyConfig
 
-    config = {
-        "quick": StudyConfig.quick,
-        "standard": StudyConfig.standard,
-        "paper": StudyConfig.paper_scale,
-    }[args.preset](seed=args.seed)
-    print(f"running {args.preset} study (seed {args.seed}) ...")
-    study = RootStudy(config)
-    study.run()
-    written = generate_all(study, args.out, seed=args.seed)
+        config = {
+            "quick": StudyConfig.quick,
+            "standard": StudyConfig.standard,
+            "paper": StudyConfig.paper_scale,
+        }[args.preset](seed=args.seed)
+        print(f"running {args.preset} study (seed {args.seed}) ...")
+        study = RootStudy(config)
+        study.run()
+        written = generate_all(
+            study, args.out, seed=args.seed,
+            workers=args.workers, engine=args.engine,
+        )
     print(f"wrote {len(written)} artefacts to {args.out}:")
     for name in sorted(written):
         print(f"  {name}.txt")

@@ -45,6 +45,11 @@ class RngFactory:
             self._streams[name] = random.Random(derive_seed(self.base_seed, name))
         return self._streams[name]
 
+    def has_stream(self, name: str) -> bool:
+        """Whether *name* has been drawn from already (a fresh stream
+        is a pure function of ``(base_seed, name)``; a used one is not)."""
+        return name in self._streams
+
     def fork(self, name: str) -> "RngFactory":
         """Return a new factory whose streams are independent of this one."""
         return RngFactory(derive_seed(self.base_seed, f"fork:{name}"))

@@ -1,0 +1,220 @@
+"""Golden equivalence: the vectorized capture engine vs the scalar loop.
+
+The scalar triple loop in :meth:`IspCapture._capture_scalar` is the
+reference semantics; :mod:`repro.passive.flow_engine` must reproduce it
+**byte-identically** — same dict keys, same float bit patterns, same
+distinct-client sets — for the ISP capture and all 14 IXP captures,
+with and without traffic dips, and across the b.root renumbering
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.geo.continents import Continent
+from repro.passive.clients import ISP_PROFILE, build_client_population
+from repro.passive.isp import CAPTURE_ENGINES, IspCapture
+from repro.passive.ixp import build_ixp_captures, regional_aggregate
+from repro.passive.traces import FlowAggregate
+from repro.util.rng import RngFactory
+from repro.util.timeutil import DAY, HOUR, parse_ts
+
+SEED = 42
+
+#: Spans the 2023-11-27 b.root renumbering: adoption flips mid-window.
+BOUNDARY_START = parse_ts("2023-11-24")
+BOUNDARY_END = parse_ts("2023-12-02")
+
+POST_START = parse_ts("2024-02-05")
+POST_END = parse_ts("2024-02-19")
+
+#: A reduced ISP population for the sub-daily variants (the scalar
+#: reference is slow at full scale on hourly buckets).
+SMALL_PROFILE = replace(ISP_PROFILE, name="isp-small", n_clients=250)
+
+
+def assert_identical(scalar: FlowAggregate, vectorized: FlowAggregate) -> None:
+    """Byte-identity: keys, float bit patterns, counts."""
+    assert scalar.bucket_seconds == vectorized.bucket_seconds
+    assert set(scalar.flows) == set(vectorized.flows)
+    for key, value in scalar.flows.items():
+        assert value.hex() == vectorized.flows[key].hex(), key
+        assert scalar.client_count(*key) == vectorized.client_count(*key), key
+    assert set(scalar.per_client_flows) == set(vectorized.per_client_flows)
+    for key, value in scalar.per_client_flows.items():
+        assert value.hex() == vectorized.per_client_flows[key].hex(), key
+    assert scalar.per_client_days == vectorized.per_client_days
+
+
+@pytest.fixture(scope="module")
+def clients():
+    return build_client_population(
+        ISP_PROFILE, RngFactory(SEED).fork("flow-engine-test")
+    )
+
+
+@pytest.fixture(scope="module")
+def small_clients():
+    return build_client_population(
+        SMALL_PROFILE, RngFactory(SEED).fork("flow-engine-test")
+    )
+
+
+def engine_pair(clients, **kwargs):
+    return (
+        IspCapture(clients, seed=SEED, engine="scalar", **kwargs),
+        IspCapture(clients, seed=SEED, engine="vectorized", **kwargs),
+    )
+
+
+class TestIspEquivalence:
+    def test_daily_post_change_window(self, clients):
+        """Full ISP population, daily buckets, the Fig. 7/8/12 window
+        (includes the default a.root TrafficDip)."""
+        scalar, vectorized = engine_pair(clients)
+        assert_identical(
+            scalar.capture(POST_START, POST_END),
+            vectorized.capture(POST_START, POST_END),
+        )
+
+    def test_daily_across_renumbering_boundary(self, clients):
+        scalar, vectorized = engine_pair(clients)
+        assert_identical(
+            scalar.capture(BOUNDARY_START, BOUNDARY_END),
+            vectorized.capture(BOUNDARY_START, BOUNDARY_END),
+        )
+
+    def test_hourly_buckets(self, small_clients):
+        """Sub-daily buckets exercise the diurnal factor."""
+        scalar, vectorized = engine_pair(small_clients)
+        start = parse_ts("2023-11-26")
+        assert_identical(
+            scalar.capture(start, start + 2 * DAY, bucket_seconds=HOUR),
+            vectorized.capture(start, start + 2 * DAY, bucket_seconds=HOUR),
+        )
+
+    def test_without_dips(self, small_clients):
+        scalar, vectorized = engine_pair(small_clients, dips=())
+        assert_identical(
+            scalar.capture(POST_START, POST_END),
+            vectorized.capture(POST_START, POST_END),
+        )
+
+    def test_sampled_capture(self, small_clients):
+        """sampling_rate < 1 exercises the drop draw on every cell."""
+        scalar, vectorized = engine_pair(small_clients, sampling_rate=0.1)
+        assert_identical(
+            scalar.capture(POST_START, POST_END),
+            vectorized.capture(POST_START, POST_END),
+        )
+
+    def test_client_sets_materialize_identically(self, small_clients):
+        """The lazy membership masks expand to the exact scalar sets."""
+        scalar, vectorized = engine_pair(small_clients)
+        scalar_agg = scalar.capture(BOUNDARY_START, BOUNDARY_END)
+        vector_agg = vectorized.capture(BOUNDARY_START, BOUNDARY_END)
+        assert vector_agg.clients == scalar_agg.clients
+
+    def test_counts_match_set_sizes(self, small_clients):
+        _scalar, vectorized = engine_pair(small_clients)
+        aggregate = vectorized.capture(POST_START, POST_END)
+        for key, prefixes in aggregate.clients.items():
+            assert aggregate.client_count(*key) == len(prefixes)
+
+    def test_engine_validation(self, small_clients):
+        assert set(CAPTURE_ENGINES) == {"vectorized", "scalar"}
+        with pytest.raises(ValueError, match="engine"):
+            IspCapture(small_clients, seed=SEED, engine="gpu")
+
+
+class TestIxpEquivalence:
+    WINDOW = (parse_ts("2023-12-08"), parse_ts("2023-12-15"))
+
+    @pytest.fixture(scope="class")
+    def capture_lists(self):
+        return (
+            build_ixp_captures(
+                RngFactory(SEED).fork("ixp"), seed=SEED,
+                clients_per_ixp=60, engine="scalar",
+            ),
+            build_ixp_captures(
+                RngFactory(SEED).fork("ixp"), seed=SEED,
+                clients_per_ixp=60, engine="vectorized",
+            ),
+        )
+
+    def test_all_14_exchanges_equivalent(self, capture_lists):
+        scalar_caps, vector_caps = capture_lists
+        assert len(scalar_caps) == len(vector_caps) == 14
+        for scalar_cap, vector_cap in zip(scalar_caps, vector_caps):
+            assert scalar_cap.ixp.ixp_id == vector_cap.ixp.ixp_id
+            assert_identical(
+                scalar_cap.capture(*self.WINDOW),
+                vector_cap.capture(*self.WINDOW),
+            )
+
+    def test_regional_merges_equivalent(self, capture_lists):
+        scalar_caps, vector_caps = capture_lists
+        for region in (Continent.EUROPE, Continent.NORTH_AMERICA):
+            assert_identical(
+                regional_aggregate(scalar_caps, region, *self.WINDOW),
+                regional_aggregate(vector_caps, region, *self.WINDOW),
+            )
+
+
+class TestCountsOnlyAggregates:
+    """Aggregates reloaded from a dataset carry counts, not sets."""
+
+    def test_clients_property_raises(self):
+        aggregate = FlowAggregate.from_parts(
+            DAY,
+            flows={(0, "a"): 2.0},
+            client_counts={(0, "a"): 2},
+            per_client_flows={("a", "p1"): 1.0, ("a", "p2"): 1.0},
+            per_client_days={("a", "p1"): 1, ("a", "p2"): 1},
+        )
+        assert aggregate.client_count(0, "a") == 2
+        assert aggregate.unique_clients("a") == [(0, 2)]
+        with pytest.raises(RuntimeError, match="counts"):
+            aggregate.clients
+
+
+class TestReadCaches:
+    """The memoized read views invalidate on every write."""
+
+    def test_buckets_cache_invalidates_on_add(self):
+        aggregate = FlowAggregate(bucket_seconds=DAY)
+        aggregate.add_flows(0, "a", 1.0, "p1")
+        assert aggregate.buckets() == [0]
+        aggregate.add_flows(DAY, "a", 2.0, "p1")
+        assert aggregate.buckets() == [0, DAY]
+        assert list(aggregate.buckets_array()) == [0, DAY]
+
+    def test_flow_arrays_invalidate_on_add(self):
+        aggregate = FlowAggregate(bucket_seconds=DAY)
+        aggregate.add_flows(0, "a", 1.0, "p1")
+        assert aggregate.flows_by_bucket("a").tolist() == [1.0]
+        aggregate.add_flows(0, "a", 2.0, "p2")
+        assert aggregate.flows_by_bucket("a").tolist() == [3.0]
+        assert aggregate.unique_clients("a") == [(0, 2)]
+
+    def test_merge_unions_client_sets(self):
+        left = FlowAggregate(bucket_seconds=DAY)
+        left.add_flows(0, "a", 1.0, "p1")
+        right = FlowAggregate(bucket_seconds=DAY)
+        right.add_flows(0, "a", 2.0, "p1")
+        right.add_flows(0, "a", 2.0, "p2")
+        left.merge_from(right)
+        assert left.flows[(0, "a")] == 5.0
+        # p1 seen at both exchanges is one client, not two.
+        assert left.client_count(0, "a") == 2
+        assert left.per_client_days[("a", "p1")] == 1
+
+    def test_merge_rejects_mismatched_buckets(self):
+        left = FlowAggregate(bucket_seconds=DAY)
+        right = FlowAggregate(bucket_seconds=HOUR)
+        with pytest.raises(ValueError, match="bucket_seconds"):
+            left.merge_from(right)
