@@ -1,0 +1,215 @@
+"""Streaming campaign benchmark: peak RSS and wall time vs materialized.
+
+Runs the same campaign twice in *separate subprocesses* — once through
+the ordinary in-memory pipeline (``StudyPipeline.run().save()``), once
+through the streaming checkpoint path (``run_streaming_campaign`` +
+``finalize_streaming_campaign``) — and compares each child's
+``ru_maxrss`` and wall time.  Subprocess isolation matters: peak RSS is
+a per-process high-water mark, so the two paths cannot share a process.
+
+The two output dataset directories must be byte-identical (the
+streaming layer's core invariant); the streamed child's peak RSS should
+sit well below the materialized child's, because it holds only one
+chunk of probe/traceroute rows at a time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py --scale bench
+    PYTHONPATH=src python benchmarks/bench_streaming.py --scale tiny \
+        --max-rss-fraction 0.95   # CI gate: streamed < 95% of materialized
+
+Exits non-zero when the trees differ or the RSS gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.core.config import StudyConfig
+from repro.util.timeutil import parse_ts
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKPOINT_EVERY = 8
+
+
+def make_config(scale: str) -> StudyConfig:
+    # Both scales keep rtt_sample_every=1 so the probe table — the thing
+    # the streaming path is supposed to keep out of memory — dominates
+    # the campaign's working set.
+    end = "2023-12-15"
+    start = "2023-10-01" if scale == "bench" else "2023-11-15"
+    return StudyConfig(
+        seed=77,
+        ring_scale=0.15,
+        interval_scale=24.0,
+        campaign_start=parse_ts(start),
+        campaign_end=parse_ts(end),
+        rtt_sample_every=1,
+        traceroute_sample_every=2,
+        axfr_sample_every=2,
+        clean_transfer_keep_one_in=20,
+    )
+
+
+def child_main(mode: str, scale: str, out_dir: str) -> int:
+    """One measured variant; prints a JSON result line for the parent."""
+    import resource
+
+    config = make_config(scale)
+    started = time.perf_counter()
+    if mode == "materialized":
+        from repro.core.pipeline import StudyPipeline
+
+        results = StudyPipeline(config).run()
+        results.save(out_dir, passive=False)
+        summary = results.collector.summary()
+    else:
+        from repro.core.streaming import (
+            finalize_streaming_campaign,
+            run_streaming_campaign,
+        )
+
+        run = run_streaming_campaign(
+            config, out_dir + ".ckpt", checkpoint_every=CHECKPOINT_EVERY
+        )
+        finalize_streaming_campaign(out_dir + ".ckpt", out_dir, passive=False)
+        summary = run.collector.summary()
+    wall = time.perf_counter() - started
+    print(json.dumps({
+        "mode": mode,
+        "wall_seconds": round(wall, 2),
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "summary": summary,
+    }))
+    return 0
+
+
+def run_child(mode: str, scale: str, out_dir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--child", mode, "--scale", scale, "--out-dir", out_dir],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{mode} child failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def trees_identical(left: str, right: str) -> List[str]:
+    """Relative paths that differ between two dataset trees."""
+    def tree(root):
+        root = Path(root)
+        return {
+            str(p.relative_to(root)): p.read_bytes()
+            for p in sorted(root.rglob("*")) if p.is_file()
+        }
+
+    a, b = tree(left), tree(right)
+    return sorted(set(a) ^ set(b)) + [
+        name for name in a if name in b and a[name] != b[name]
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "bench"), default="bench")
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_streaming.json"),
+        help="result file (default: BENCH_streaming.json at the repo root)",
+    )
+    parser.add_argument(
+        "--max-rss-fraction", type=float, default=None,
+        help="fail unless streamed peak RSS is below this fraction of the "
+             "materialized run's",
+    )
+    parser.add_argument(
+        "--work-dir", default=None,
+        help="scratch directory for datasets (default: a temp directory)",
+    )
+    parser.add_argument("--child", choices=("materialized", "streamed"))
+    parser.add_argument("--out-dir", help="(child only) dataset target")
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return child_main(args.child, args.scale, args.out_dir)
+
+    import shutil
+    import tempfile
+
+    work = args.work_dir or tempfile.mkdtemp(prefix="bench-streaming-")
+    os.makedirs(work, exist_ok=True)
+    failures: List[str] = []
+    runs = {}
+    for mode in ("materialized", "streamed"):
+        out_dir = os.path.join(work, mode)
+        runs[mode] = run_child(mode, args.scale, out_dir)
+        print(f"{mode:<12s}  wall {runs[mode]['wall_seconds']:7.2f}s  "
+              f"peak RSS {runs[mode]['peak_rss_kb'] / 1024:7.1f} MB")
+
+    differing = trees_identical(
+        os.path.join(work, "materialized"), os.path.join(work, "streamed")
+    )
+    if differing:
+        failures.append(f"dataset trees differ: {differing[:10]}")
+    else:
+        print("datasets byte-identical")
+
+    fraction = (
+        runs["streamed"]["peak_rss_kb"] / runs["materialized"]["peak_rss_kb"]
+    )
+    print(f"streamed peak RSS = {fraction:.2f}x materialized")
+    if args.max_rss_fraction is not None and fraction >= args.max_rss_fraction:
+        failures.append(
+            f"streamed RSS fraction {fraction:.2f} not below required "
+            f"{args.max_rss_fraction}"
+        )
+
+    report = {
+        "benchmark": "streaming campaign: peak RSS and wall time vs "
+                     "materialized pipeline",
+        "scale": args.scale,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        "config": asdict(make_config(args.scale)),
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "byte_identical": not differing,
+        "rss_fraction": round(fraction, 3),
+        "runs": [runs["materialized"], runs["streamed"]],
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"results written to {args.output}")
+
+    if not args.work_dir:
+        shutil.rmtree(work, ignore_errors=True)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Chunk-incremental analyses for streamed campaigns.
+
+The cheap aggregate analyses — dataset counts, identity coverage, the
+Figure 3 stability counters and the RSSAC response-latency metrics — do
+not need the whole campaign in memory: each consumes a per-chunk delta
+(rows, identity-count deltas, stability-counter deltas) that the
+streaming checkpoint (:mod:`repro.data.chunks`) already materialises as
+sealed mini datasets.  This module gives each of them an incremental
+form::
+
+    inc = create_incremental("coverage", catalog=catalog)
+    for chunk in CheckpointReader(ckpt_dir).chunk_datasets():
+        inc.update(chunk)
+    analysis = inc.result()     # == the batch analysis over the full dataset
+
+The fold invariant — ``update`` over *any* partition of the campaign
+into round-range chunks yields exactly the batch result over the full
+dataset — is what tests/analysis/test_incremental_property.py checks
+with hypothesis-chosen chunk boundaries.  Incremental analyses register
+here alongside the batch registry (:mod:`repro.analysis.registry`), so
+drivers can ask :func:`incremental_names` which analyses can run
+mid-campaign against a checkpoint directory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.coverage import CoverageAnalysis
+from repro.analysis.rssac import RssacMetrics
+from repro.analysis.stability import StabilityAnalysis
+
+
+class IncrementalAnalysis:
+    """One analysis consumed chunk-by-chunk.
+
+    ``update(chunk)`` folds one sealed chunk (a delta
+    :class:`~repro.data.dataset.Dataset`: its row tables hold the
+    chunk's rows, its stability table and identity dict hold per-chunk
+    *deltas*); ``result()`` produces the same object the batch analysis
+    would over the concatenated dataset.
+    """
+
+    name: str = ""
+
+    def update(self, chunk) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class IncrementalCounts(IncrementalAnalysis):
+    """The dataset-size summary (the §4.1 counts analogue), folded.
+
+    Everything sums except ``stability_pairs``, which is the number of
+    *distinct* (VP, address) pairs ever touched — a union, not a sum.
+    """
+
+    name = "counts"
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, int] = {
+            "rounds": 0,
+            "queries": 0,
+            "probe_samples": 0,
+            "traceroute_samples": 0,
+            "transfers": 0,
+            "transfer_observations": 0,
+        }
+        self._pairs: set = set()
+
+    def update(self, chunk) -> None:
+        summary = chunk.summary()
+        for key in self._totals:
+            self._totals[key] += int(summary.get(key, 0))
+        table = chunk.table("stability")
+        vp = table.column("vp")
+        addr = table.column("addr")
+        for i in range(len(table)):
+            self._pairs.add((int(vp[i]), int(addr[i])))
+
+    def result(self) -> Dict[str, int]:
+        out = dict(self._totals)
+        out["stability_pairs"] = len(self._pairs)
+        return out
+
+
+class IncrementalCoverage(IncrementalAnalysis):
+    """Identity coverage (Tables 1/4), folded over identity-count deltas."""
+
+    name = "coverage"
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+        self._identities: Dict[str, Dict[str, int]] = {}
+
+    def update(self, chunk) -> None:
+        for letter, bucket in chunk.identities.items():
+            target = self._identities.setdefault(letter, {})
+            for identity, count in bucket.items():
+                target[identity] = target.get(identity, 0) + int(count)
+
+    def result(self) -> CoverageAnalysis:
+        return CoverageAnalysis(self.catalog, self._identities)
+
+
+class _StabilityView:
+    """Collector-compatible shim over folded stability counters."""
+
+    def __init__(self, addresses, counts) -> None:
+        self.addresses = addresses
+        self._counts = counts
+
+    def change_counts(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        return dict(self._counts)
+
+
+class IncrementalStability(IncrementalAnalysis):
+    """Figure 3 change counters, folded over per-chunk counter deltas."""
+
+    name = "stability"
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._addresses: Optional[list] = None
+
+    def update(self, chunk) -> None:
+        if self._addresses is None:
+            self._addresses = list(chunk.addresses)
+        table = chunk.table("stability")
+        vp = table.column("vp")
+        addr = table.column("addr")
+        changes = table.column("changes")
+        rounds = table.column("rounds")
+        for i in range(len(table)):
+            pair = (int(vp[i]), int(addr[i]))
+            prev = self._counts.get(pair, (0, 0))
+            self._counts[pair] = (
+                prev[0] + int(changes[i]),
+                prev[1] + int(rounds[i]),
+            )
+
+    def change_counts(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        return dict(self._counts)
+
+    def result(self) -> StabilityAnalysis:
+        if self._addresses is None:
+            raise ValueError("no chunks folded yet")
+        return StabilityAnalysis(_StabilityView(self._addresses, self._counts))
+
+
+class _RssacView:
+    """Dataset shim over per-letter concatenated RTT samples.
+
+    Row *order* within a letter does not matter to the latency metrics
+    (percentiles and threshold fractions are permutation-invariant), so
+    concatenating per-chunk slices is exact.
+    """
+
+    def __init__(self, addresses, columns) -> None:
+        self.addresses = addresses
+        self._columns = columns
+
+    def probe_columns(self) -> Dict[str, np.ndarray]:
+        return self._columns
+
+
+class IncrementalRssac(IncrementalAnalysis):
+    """RSSAC response latency, folded over per-chunk probe rows.
+
+    Keeps only the two columns the latency metrics read (addr, rtt);
+    chunk row tables are released after each fold.
+    """
+
+    name = "rssac"
+
+    def __init__(self) -> None:
+        self._addr: List[np.ndarray] = []
+        self._rtt: List[np.ndarray] = []
+        self._addresses: Optional[list] = None
+
+    def update(self, chunk) -> None:
+        if self._addresses is None:
+            self._addresses = list(chunk.addresses)
+        columns = chunk.probe_columns()
+        self._addr.append(np.asarray(columns["addr"]).copy())
+        self._rtt.append(np.asarray(columns["rtt"]).copy())
+
+    def result(self) -> RssacMetrics:
+        if self._addresses is None:
+            raise ValueError("no chunks folded yet")
+        addr = np.concatenate(self._addr) if self._addr else np.empty(0, np.int16)
+        rtt = np.concatenate(self._rtt) if self._rtt else np.empty(0, np.float32)
+        return RssacMetrics(
+            _RssacView(self._addresses, {"addr": addr, "rtt": rtt})
+        )
+
+
+# --- registry ------------------------------------------------------------------------
+
+_INCREMENTAL: Dict[str, Callable[..., IncrementalAnalysis]] = {}
+
+
+def register_incremental(cls: type) -> type:
+    """Register an incremental analysis under its ``name`` (idempotent)."""
+    if not getattr(cls, "name", ""):
+        raise ValueError(f"{cls.__name__} has no incremental registry name")
+    existing = _INCREMENTAL.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"incremental name {cls.name!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _INCREMENTAL[cls.name] = cls
+    return cls
+
+
+for _cls in (
+    IncrementalCounts,
+    IncrementalCoverage,
+    IncrementalStability,
+    IncrementalRssac,
+):
+    register_incremental(_cls)
+
+
+def incremental_names() -> List[str]:
+    """Every analysis with a registered incremental form, sorted."""
+    return sorted(_INCREMENTAL)
+
+
+def create_incremental(name: str, **inputs: Any) -> IncrementalAnalysis:
+    """Construct the incremental analysis *name* (extra inputs, e.g.
+    ``catalog=`` for coverage, go to its constructor)."""
+    try:
+        cls = _INCREMENTAL[name]
+    except KeyError:
+        raise KeyError(
+            f"no incremental analysis {name!r}; registered: "
+            f"{', '.join(incremental_names())}"
+        ) from None
+    return cls(**inputs)
+
+
+def run_incremental(name: str, chunks, **inputs: Any) -> Any:
+    """Fold *chunks* (an iterable of sealed chunk datasets, e.g.
+    ``CheckpointReader(dir).chunk_datasets()``) through the incremental
+    analysis *name* and return its result."""
+    inc = create_incremental(name, **inputs)
+    for chunk in chunks:
+        inc.update(chunk)
+    return inc.result()

@@ -194,10 +194,34 @@ def study_main(argv: Optional[List[str]] = None) -> int:
         help="cProfile the campaign stage; prints the hot functions and "
              "stores the full profile in the pipeline's artifact store",
     )
+    parser.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="stream the campaign through a checkpoint directory, sealing "
+             "a resumable chunk every --checkpoint-every rounds; a killed "
+             "run restarts from the last sealed chunk with --resume DIR",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=8, metavar="N",
+        help="rounds per sealed chunk in --checkpoint/--resume mode "
+             "(default: 8)",
+    )
+    parser.add_argument(
+        "--resume", metavar="DIR",
+        help="resume a streamed campaign from its checkpoint directory; "
+             "the study configuration comes from the checkpoint, so "
+             "--preset/--seed/--shards/--engine are ignored",
+    )
     args = parser.parse_args(argv)
 
     from repro.analysis import registry
     from repro.core import RootStudy, StudyConfig
+
+    if args.resume and args.checkpoint:
+        parser.error("--checkpoint and --resume are mutually exclusive")
+    if args.resume or args.checkpoint:
+        if args.profile:
+            parser.error("--profile is not available in streaming mode")
+        return _streaming_study_main(args, parser)
 
     config = {
         "quick": StudyConfig.quick,
@@ -248,6 +272,72 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _streaming_study_main(args, parser) -> int:
+    """The --checkpoint/--resume path of ``rootsim-study``.
+
+    Runs the campaign through :func:`run_streaming_campaign` so progress
+    survives a crash; ``--save`` finalizes the sealed chunks into an
+    ordinary dataset directory, byte-identical to a batch save."""
+    from repro.core import StudyConfig
+    from repro.core.streaming import (
+        config_from_checkpoint,
+        finalize_streaming_campaign,
+        run_streaming_campaign,
+    )
+    from repro.data import CheckpointError
+
+    resume = args.resume is not None
+    checkpoint_dir = args.resume if resume else args.checkpoint
+    try:
+        if resume:
+            config = config_from_checkpoint(checkpoint_dir)
+            print(f"resuming streamed study from {checkpoint_dir}: "
+                  f"seed={config.seed} engine={config.engine} "
+                  f"shards={config.shards}")
+        else:
+            config = {
+                "quick": StudyConfig.quick,
+                "standard": StudyConfig.standard,
+                "paper": StudyConfig.paper_scale,
+            }[args.preset](seed=args.seed)
+            if args.shards < 1:
+                parser.error("--shards must be >= 1")
+            if args.workers > 1:
+                parser.error("streaming campaigns run shards in-process; "
+                             "--workers must be 1 with --checkpoint")
+            if args.shards > 1:
+                config = config.with_sharding(args.shards)
+            if args.engine is not None:
+                config = config.with_engine(args.engine)
+            print(f"streaming study: preset={args.preset} seed={args.seed} "
+                  f"-> {checkpoint_dir}")
+
+        def progress(index, _chunk_dir, lo, hi):
+            print(f"  sealed chunk {index:06d}: rounds [{lo}, {hi})")
+
+        run = run_streaming_campaign(
+            config,
+            checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=resume,
+            after_chunk=progress,
+        )
+        summary = run.collector.summary()
+        print(f"  {run.rounds_done}/{run.n_rounds} rounds in "
+              f"{run.chunks} chunk(s): {summary['queries']:,} queries, "
+              f"{summary['transfers']:,} transfers")
+        if args.save:
+            path = finalize_streaming_campaign(checkpoint_dir, args.save)
+            print(f"dataset saved to {path}")
+        else:
+            print(f"analyze sealed rounds with: rootsim-analyze "
+                  f"{checkpoint_dir}")
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 # --- rootsim-analyze ----------------------------------------------------------------
 
 
@@ -283,6 +373,11 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
     if args.analysis is None:
         summary = dataset.summary()
         print(f"dataset {args.dataset} (schema v{dataset.version})")
+        checkpoint = dataset.meta.get("checkpoint") if dataset.meta else None
+        if checkpoint:
+            print(f"  streamed checkpoint: {checkpoint['rounds_done']}/"
+                  f"{checkpoint['n_rounds']} rounds sealed in "
+                  f"{checkpoint['chunks']} chunk(s)")
         print(f"  tables: {', '.join(dataset.table_names())}")
         if dataset.passive is not None:
             print(f"  passive captures: {', '.join(dataset.passive.names())}")

@@ -1,0 +1,426 @@
+"""Round-incremental campaign execution with checkpoint/resume.
+
+The batch pipeline (:mod:`repro.core.pipeline`) holds the whole campaign
+in one collector and seals it at the end.  This module runs the same
+campaign **in round ranges**: every ``checkpoint_every`` rounds the new
+rows are folded out of the shard collectors, sealed into a columnar
+chunk on disk (:mod:`repro.data.chunks`), and the crash-safe
+``CHECKPOINT.json`` is atomically replaced.  Peak memory is bounded by
+one chunk instead of the campaign, and a killed run resumes from the
+last sealed chunk — producing a finalized dataset byte-identical to an
+uninterrupted batch run (DESIGN.md §11).
+
+Why resume is exact, engine by engine:
+
+* **epoch** — :class:`~repro.vantage.epoch_engine.EpochCampaignPlan` is
+  compiled from the seed alone and ``emit_range`` is pure over the
+  restored collector aggregates; no process state survives a crash that
+  the checkpoint does not carry.
+* **scalar** — two pieces of live state exist outside the collector and
+  are reconstructed on every advance: the churn flap state (advanced one
+  ``select_index`` call per (pair, round) — replayed for the sealed
+  rounds, every draw being a counter-based mix keyed by the round
+  number) and the distributor's stale-site freeze state (the net state
+  after round ``r`` is "frozen iff the window is active at ``ts_r``", so
+  one ``_apply_stale_events(ts_{lo-1})`` after a fault reset restores
+  it).
+
+Sharding composes with streaming exactly like with the batch path: every
+shard advances the same round range over its disjoint VP subset, and
+:meth:`CampaignCollector.merge` folds the shard collectors — whose row
+tables hold only the current chunk, earlier rows having been drained to
+disk — into the chunk's globally-ordered rows plus the cumulative
+aggregate state.  Timestamps ascend strictly across chunks, so
+concatenating per-chunk merges reproduces the whole-campaign merge.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import StudyConfig
+from repro.core.pipeline import (
+    WorldArtifacts,
+    build_platform,
+    build_world,
+    shard_vp_lists,
+)
+from repro.data.chunks import (
+    CheckpointReader,
+    ChunkData,
+    ChunkedDatasetWriter,
+    read_passive_aggregate,
+    write_passive_aggregate,
+)
+from repro.data.schema import CheckpointError
+from repro.vantage.collector import CampaignCollector
+from repro.vantage.epoch_engine import EpochCampaignPlan
+from repro.vantage.probes import Prober
+
+
+#: Called after every sealed chunk: (chunk_index, chunk_dir, lo, hi).
+#: The crash-injection harness and the CLI progress line hook in here.
+AfterChunk = Callable[[int, Path, int, int], None]
+
+
+@dataclass
+class StreamingRun:
+    """What a streamed (possibly partial) campaign left behind."""
+
+    config: StudyConfig
+    checkpoint_dir: Path
+    n_rounds: int
+    rounds_done: int
+    chunks: int
+    #: Aggregate state over every sealed round (row tables empty — the
+    #: rows live in the sealed chunks).
+    collector: CampaignCollector
+
+    @property
+    def complete(self) -> bool:
+        return self.rounds_done == self.n_rounds
+
+
+# --- engine advance ------------------------------------------------------------------
+
+
+def _config_fingerprint(config: StudyConfig) -> dict:
+    """The config as it appears in a checkpoint (JSON round-tripped, so
+    comparisons against a reloaded checkpoint are exact)."""
+    return json.loads(json.dumps(asdict(config)))
+
+
+def _replay_churn(selector, vps, addresses, n_rounds: int) -> None:
+    """Advance the scalar churn state over the already-sealed rounds.
+
+    ``ChurnModel.select_index`` must be called once per (pair, round) in
+    round order; each draw is keyed by the round number, so replaying is
+    exact.  Only the flap-state machine runs — no routing, probing or
+    collection."""
+    churn = selector.churn
+    for vp in vps:
+        for sa in addresses:
+            n_candidates = len(selector.candidates(vp.attachment, sa.letter, sa.family))
+            for round_no in range(n_rounds):
+                churn.select_index(
+                    vp.vp_id, sa.address, sa.letter, sa.family, round_no, n_candidates
+                )
+
+
+def _resync_stale(world: WorldArtifacts, prober: Prober, ts_prev: Optional[int]) -> None:
+    """Put the distributor's freeze state where the scalar scan left it.
+
+    After processing round ``r`` the net freeze state is "frozen iff the
+    stale window is active at ``ts_r``" — so a full fault reset followed
+    by one event application at the previous round's timestamp restores
+    it exactly, whether we are resuming after a crash or interleaving
+    shards that each mutate the shared distributor."""
+    world.distributor.reset_faults()
+    prober.reset()
+    if ts_prev is not None:
+        prober._apply_stale_events(ts_prev)
+
+
+class _ShardRunner:
+    """Advances one shard's campaign over round ranges."""
+
+    def __init__(
+        self,
+        world: WorldArtifacts,
+        platform,
+        vps,
+        engine: str,
+        collector: CampaignCollector,
+    ) -> None:
+        self.world = world
+        self.engine = engine
+        self.vps = vps
+        self.collector = collector
+        self.ts_list = platform.schedule.rounds()
+        self.prober = Prober(
+            fabric=world.fabric,
+            selector=platform.selector,
+            deployments=world.deployments,
+            fault_plan=platform.fault_plan,
+            collector=collector,
+            sampling=platform.prober.sampling,
+        )
+        self._plan: Optional[EpochCampaignPlan] = None
+        if engine == "epoch":
+            self._plan = EpochCampaignPlan(self.prober, list(vps), platform.schedule)
+
+    def replay_to(self, round_no: int) -> None:
+        """Reconstruct non-collector engine state for rounds ``[0, round_no)``."""
+        if self.engine != "epoch":
+            _replay_churn(
+                self.prober.selector, self.vps, self.collector.addresses, round_no
+            )
+
+    def advance(self, lo: int, hi: int) -> None:
+        """Execute rounds ``[lo, hi)`` into this shard's collector."""
+        if self._plan is not None:
+            self._plan.emit_range(lo, hi)
+            return
+        _resync_stale(
+            self.world, self.prober, self.ts_list[lo - 1] if lo > 0 else None
+        )
+        for round_no in range(lo, hi):
+            ts = self.ts_list[round_no]
+            self.prober._apply_stale_events(ts)
+            for vp in self.vps:
+                self.prober.run_round(vp, round_no, ts)
+            self.collector.rounds_processed += 1
+
+
+# --- chunk delta extraction ----------------------------------------------------------
+
+
+def _stability_delta(
+    prev: Dict[Tuple[int, int], Tuple[int, int]],
+    now: Dict[Tuple[int, int], Tuple[int, int]],
+) -> Dict[str, np.ndarray]:
+    """Per-pair (changes, rounds) accrued since the previous seal, as
+    stability-schema columns sorted by (vp, addr)."""
+    rows = []
+    for pair in sorted(now):
+        changes, rounds = now[pair]
+        p_changes, p_rounds = prev.get(pair, (0, 0))
+        if changes != p_changes or rounds != p_rounds:
+            rows.append((pair[0], pair[1], changes - p_changes, rounds - p_rounds))
+    return {
+        "vp": np.array([r[0] for r in rows], dtype=np.int32),
+        "addr": np.array([r[1] for r in rows], dtype=np.int16),
+        "changes": np.array([r[2] for r in rows], dtype=np.int32),
+        "rounds": np.array([r[3] for r in rows], dtype=np.int32),
+    }
+
+
+def _identity_delta(
+    prev: Dict[str, Dict[str, int]], now: Dict[str, Dict[str, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-(letter, identity) observation counts accrued since the
+    previous seal (insertion order follows the cumulative dict)."""
+    delta: Dict[str, Dict[str, int]] = {}
+    for letter, bucket in now.items():
+        prev_bucket = prev.get(letter, {})
+        for identity, count in bucket.items():
+            d = count - prev_bucket.get(identity, 0)
+            if d:
+                delta.setdefault(letter, {})[identity] = d
+    return delta
+
+
+def _snapshot_identities(collector: CampaignCollector) -> Dict[str, Dict[str, int]]:
+    return {letter: dict(bucket) for letter, bucket in collector.identities.items()}
+
+
+# --- the streamed campaign -----------------------------------------------------------
+
+
+def run_streaming_campaign(
+    config: StudyConfig,
+    checkpoint_dir: Union[str, Path],
+    *,
+    checkpoint_every: int = 8,
+    resume: bool = False,
+    after_chunk: Optional[AfterChunk] = None,
+) -> StreamingRun:
+    """Run (or resume) the campaign, sealing a chunk every N rounds.
+
+    With ``resume=True`` the checkpoint in *checkpoint_dir* is loaded,
+    any unsealed tail chunk is discarded, and execution continues from
+    the last sealed round; the eventual
+    :func:`finalize_streaming_campaign` output is byte-identical to an
+    uninterrupted run's.  *after_chunk* fires after every seal — it may
+    raise (or the process may die) without endangering sealed state.
+    """
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1: {checkpoint_every}")
+    if config.workers > 1:
+        raise CheckpointError(
+            "streaming campaigns run shards in-process; set workers=1 "
+            "(multiprocess shard workers cannot share the chunk writer)"
+        )
+
+    world = build_world(config)
+    platform = build_platform(config, world)
+    world.distributor.reset_faults()
+    platform.prober.reset()
+    n_rounds = platform.expected_rounds
+    shard_vps = shard_vp_lists(platform.vps, config.shards)
+    study = _config_fingerprint(config)
+
+    writer = ChunkedDatasetWriter(checkpoint_dir)
+    global_state = CampaignCollector()
+    shard_collectors = [CampaignCollector() for _ in shard_vps]
+
+    if resume:
+        ckpt = writer.resume()
+        if ckpt["study"] != study:
+            raise CheckpointError(
+                f"checkpoint at {writer.path} was started with a different "
+                f"study configuration; refusing to resume into it"
+            )
+        if ckpt["n_rounds"] != n_rounds or ckpt["shards"] != config.shards:
+            raise CheckpointError(
+                f"checkpoint at {writer.path} disagrees with the config: "
+                f"{ckpt['n_rounds']} rounds / {ckpt['shards']} shards vs "
+                f"{n_rounds} / {config.shards}"
+            )
+        if len(ckpt["shard_states"]) != len(shard_collectors):
+            raise CheckpointError(
+                f"checkpoint at {writer.path} carries "
+                f"{len(ckpt['shard_states'])} shard states for "
+                f"{len(shard_collectors)} shards"
+            )
+        global_state.restore_state_dict(ckpt["state"])
+        for collector, state in zip(shard_collectors, ckpt["shard_states"]):
+            collector.restore_state_dict(state)
+    else:
+        writer.start(
+            study=study,
+            addresses=[sa.address for sa in global_state.addresses],
+            engine=config.engine,
+            shards=config.shards,
+            n_rounds=n_rounds,
+            state=global_state.state_dict(),
+            shard_states=[c.state_dict() for c in shard_collectors],
+        )
+
+    runners = [
+        _ShardRunner(world, platform, vps, config.engine, collector)
+        for vps, collector in zip(shard_vps, shard_collectors)
+    ]
+    rounds_done = writer.rounds_done
+    for runner in runners:
+        runner.replay_to(rounds_done)
+
+    prev_counts = global_state.change_counts()
+    prev_idents = _snapshot_identities(global_state)
+    prev_queries = global_state.queries_simulated
+    prev_total = global_state.transfer_total
+    prev_clean = global_state.transfer_clean
+
+    lo = rounds_done
+    while lo < n_rounds:
+        hi = min(lo + checkpoint_every, n_rounds)
+        for runner in runners:
+            runner.advance(lo, hi)
+
+        merged = CampaignCollector.merge(shard_collectors)
+        probes, traceroutes, transfers = merged.drain_rows()
+        chunk = ChunkData(
+            round_lo=lo,
+            round_hi=hi,
+            probes=probes,
+            traceroutes=traceroutes,
+            stability=_stability_delta(prev_counts, merged.change_counts()),
+            identities=_identity_delta(prev_idents, merged.identities),
+            transfers=transfers,
+            queries=merged.queries_simulated - prev_queries,
+            transfer_total=merged.transfer_total - prev_total,
+            transfer_clean=merged.transfer_clean - prev_clean,
+        )
+        for collector in shard_collectors:
+            collector.drain_rows()
+        chunk_index = len(writer.checkpoint["chunks"])
+        chunk_dir = writer.seal_chunk(
+            chunk,
+            state=merged.state_dict(),
+            shard_states=[c.state_dict() for c in shard_collectors],
+        )
+
+        global_state = merged
+        prev_counts = global_state.change_counts()
+        prev_idents = _snapshot_identities(global_state)
+        prev_queries = global_state.queries_simulated
+        prev_total = global_state.transfer_total
+        prev_clean = global_state.transfer_clean
+        lo = hi
+        if after_chunk is not None:
+            after_chunk(chunk_index, chunk_dir, chunk.round_lo, hi)
+
+    return StreamingRun(
+        config=config,
+        checkpoint_dir=writer.path,
+        n_rounds=n_rounds,
+        rounds_done=writer.rounds_done,
+        chunks=len(writer.checkpoint["chunks"]),
+        collector=global_state,
+    )
+
+
+# --- finalize ------------------------------------------------------------------------
+
+
+def finalize_streaming_campaign(
+    checkpoint_dir: Union[str, Path],
+    out_dir: Union[str, Path],
+    *,
+    passive: bool = True,
+    passive_engine: str = "vectorized",
+) -> Path:
+    """Turn a fully-sealed checkpoint into a normal dataset directory.
+
+    Byte-identical to ``StudyResults.save`` for the equivalent batch run.
+    Passive captures are built one at a time and cached under the
+    checkpoint directory (``passive/<name>.json``), so a crash during
+    this phase resumes without recomputing finished captures.
+    """
+    writer = ChunkedDatasetWriter(checkpoint_dir)
+    ckpt = writer.resume()
+
+    state = CampaignCollector()
+    state.restore_state_dict(ckpt["state"])
+
+    passive_store = None
+    if passive:
+        if ckpt.get("study") is None:
+            raise CheckpointError(
+                "checkpoint carries no study fingerprint; passive captures "
+                "need the seed — finalize with passive=False"
+            )
+        from repro.data.passive import PassiveStore
+        from repro.passive.recipes import STANDARD_CAPTURES, build_capture
+
+        seed = int(ckpt["study"]["seed"])
+        aggregates = {}
+        for name in STANDARD_CAPTURES:
+            if name in ckpt.get("passive_done", []):
+                aggregates[name] = read_passive_aggregate(writer.path, name)
+            else:
+                aggregates[name] = build_capture(name, seed, passive_engine)
+                write_passive_aggregate(writer.path, name, aggregates[name])
+                writer.note_passive_done(name)
+        passive_store = PassiveStore.from_aggregates(aggregates)
+
+    return writer.finalize(out_dir, state_collector=state, passive_store=passive_store)
+
+
+def load_streaming_checkpoint(checkpoint_dir: Union[str, Path]):
+    """The stitched partial dataset of a checkpoint's sealed chunks."""
+    return CheckpointReader(checkpoint_dir).dataset()
+
+
+def config_from_checkpoint(checkpoint_dir: Union[str, Path]) -> StudyConfig:
+    """The :class:`StudyConfig` a checkpoint was started with.
+
+    ``--resume`` uses this instead of re-deriving the config from CLI
+    flags, so a resumed run can never silently diverge from the run it
+    continues."""
+    from dataclasses import fields
+
+    ckpt = CheckpointReader(checkpoint_dir).checkpoint()
+    study = ckpt.get("study")
+    if study is None:
+        raise CheckpointError(
+            f"checkpoint at {checkpoint_dir} carries no study fingerprint; "
+            f"it cannot be resumed from the CLI"
+        )
+    known = {f.name for f in fields(StudyConfig)}
+    return StudyConfig(**{k: v for k, v in study.items() if k in known})

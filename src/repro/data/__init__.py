@@ -8,6 +8,13 @@ full transfer fidelity — every registered analysis runs against a
 reloaded dataset exactly as it would against the live collector.
 """
 
+from repro.data.chunks import (
+    CHECKPOINT_NAME,
+    CHECKPOINT_VERSION,
+    CheckpointReader,
+    ChunkData,
+    ChunkedDatasetWriter,
+)
 from repro.data.dataset import Dataset, Table
 from repro.data.io import (
     DatasetReader,
@@ -21,6 +28,7 @@ from repro.data.schema import (
     BINARY_TABLES,
     PASSIVE_TABLES,
     SCHEMA_VERSION,
+    CheckpointError,
     ColumnSpec,
     DatasetError,
     DatasetVersionError,
@@ -31,9 +39,15 @@ from repro.data.transfers import TransferRecord, seal_transfers
 __all__ = [
     "ALL_TABLES",
     "BINARY_TABLES",
+    "CHECKPOINT_NAME",
+    "CHECKPOINT_VERSION",
     "PASSIVE_TABLES",
     "PassiveStore",
     "SCHEMA_VERSION",
+    "CheckpointError",
+    "CheckpointReader",
+    "ChunkData",
+    "ChunkedDatasetWriter",
     "ColumnSpec",
     "Dataset",
     "DatasetError",

@@ -1,0 +1,687 @@
+"""Streaming chunk store: append-only dataset growth with crash-safe resume.
+
+A streamed campaign (DESIGN.md §11) writes its measurement output into a
+**checkpoint directory** instead of holding the whole campaign in memory::
+
+    <ckpt>/
+      CHECKPOINT.json          # atomically replaced after every sealed chunk
+      chunks/000000/           # one sealed chunk per round range [lo, hi)
+        MANIFEST.json          #   a complete mini dataset: same schema,
+        tables/<t>/<col>.bin   #   same column files, loadable with
+        identities.json        #   DatasetReader — stability/identities
+        transfers.jsonl        #   hold per-chunk *deltas*
+      chunks/000001/
+      passive/<capture>.json   # finalize-phase per-capture cache
+
+``CHECKPOINT.json`` carries the campaign cursor (rounds done, sealed
+chunk list) plus the aggregate collector state (interner contents with
+first-occurrence order keys, identity counts, stability counters,
+totals) for the merged view and for every shard.  It is only ever
+updated by writing ``CHECKPOINT.json.tmp`` and ``os.replace``-ing it
+over the old file **after** the chunk directory is fully on disk, so a
+crash at any instant leaves either the previous consistent checkpoint or
+the new one — never a torn state.  A chunk directory that exists on disk
+but is not listed in the checkpoint is an unsealed tail from a crash;
+resume discards it and re-runs those rounds.
+
+Resume invariants (why a resumed run is byte-identical to an
+uninterrupted one):
+
+* every per-round random draw is a counter-based mix keyed by
+  (vp, addr, round/ts) — there is no sequential RNG state to restore;
+* interner order keys are (round, vp, addr) positions, so values
+  interned before the crash keep their indices and values first seen
+  after it sort strictly later;
+* fault schedules and route epochs are pure functions of the seed and
+  config, recompiled identically on resume;
+* chunk boundaries fall on round boundaries, and row/transfer order
+  within a chunk is the serial campaign scan order, so concatenating
+  sealed chunk files *is* the batch table.
+
+:class:`CheckpointReader` serves the sealed prefix of a mid-campaign (or
+killed) run as a :class:`~repro.data.dataset.Dataset` — each chunk is
+memory-mapped zero-copy; stitching n > 1 chunks concatenates the mapped
+columns lazily per table access.  :meth:`ChunkedDatasetWriter.finalize`
+streams the sealed chunks into a normal dataset directory that is
+byte-identical to what :class:`~repro.data.io.DatasetWriter` writes for
+the equivalent batch run, without ever materialising the full tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Table
+from repro.data.io import (
+    DatasetReader,
+    MANIFEST_NAME,
+    assemble_manifest,
+    table_manifest_entry,
+    write_binary_table,
+)
+from repro.data.schema import (
+    BINARY_TABLES,
+    SCHEMA_VERSION,
+    CheckpointError,
+    DatasetError,
+)
+from repro.data.transfers import record_to_row, seal_transfers
+
+CHECKPOINT_NAME = "CHECKPOINT.json"
+
+#: Version of the checkpoint layout; bump on every incompatible change.
+CHECKPOINT_VERSION = 1
+
+
+# --- chunk payload ------------------------------------------------------------------
+
+
+@dataclass
+class ChunkData:
+    """Everything one sealed chunk stores, in serial campaign-scan order.
+
+    ``probes`` / ``traceroutes`` carry the chunk's rows; ``stability``
+    carries per-(vp, addr) *deltas* (changes/rounds accrued in this
+    round range); ``identities`` is the per-(letter, identity) count
+    delta; ``transfers`` the chunk's observations, already in the batch
+    transfer order.
+    """
+
+    round_lo: int
+    round_hi: int
+    probes: Dict[str, np.ndarray]
+    traceroutes: Dict[str, np.ndarray]
+    stability: Dict[str, np.ndarray]
+    identities: Dict[str, Dict[str, int]]
+    transfers: Sequence[Any]  # TransferObservation (sealed on write)
+    queries: int = 0
+    transfer_total: int = 0
+    transfer_clean: int = 0
+
+    def summary(self) -> Dict[str, int]:
+        """The chunk's delta summary (same keys as a full dataset's)."""
+        return {
+            "rounds": self.round_hi - self.round_lo,
+            "queries": int(self.queries),
+            "probe_samples": int(len(self.probes["vp"])),
+            "traceroute_samples": int(len(self.traceroutes["vp"])),
+            "transfers": int(self.transfer_total),
+            "transfer_observations": len(self.transfers),
+            "stability_pairs": int(len(self.stability["vp"])),
+        }
+
+
+# --- writer -------------------------------------------------------------------------
+
+
+class ChunkedDatasetWriter:
+    """Seals campaign chunks to disk and keeps ``CHECKPOINT.json`` true.
+
+    Protocol: :meth:`start` (fresh) or :meth:`resume` (after a crash),
+    then one :meth:`seal_chunk` per completed round range, then
+    :meth:`finalize` into a normal dataset directory once every round is
+    sealed.  The checkpoint file is replaced atomically after each
+    chunk, so the directory is always either resumable or complete.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory)
+        self._checkpoint: Optional[dict] = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(
+        self,
+        *,
+        study: Optional[dict],
+        addresses: List[str],
+        engine: str,
+        shards: int,
+        n_rounds: int,
+        state: dict,
+        shard_states: List[dict],
+    ) -> None:
+        """Begin a fresh streamed campaign in this directory."""
+        if (self.path / CHECKPOINT_NAME).exists():
+            raise CheckpointError(
+                f"checkpoint already exists at {self.path}; resume it or "
+                f"point --checkpoint at a fresh directory"
+            )
+        if (self.path / MANIFEST_NAME).exists():
+            raise CheckpointError(
+                f"{self.path} already holds a finalized dataset"
+            )
+        (self.path / "chunks").mkdir(parents=True, exist_ok=True)
+        self._checkpoint = {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "schema_version": SCHEMA_VERSION,
+            "study": study,
+            "addresses": list(addresses),
+            "engine": engine,
+            "shards": shards,
+            "n_rounds": n_rounds,
+            "rounds_done": 0,
+            "totals": {"probes": 0, "traceroutes": 0, "transfer_observations": 0},
+            "chunks": [],
+            "state": state,
+            "shard_states": shard_states,
+            "passive_done": [],
+        }
+        self._write_checkpoint()
+
+    def resume(self) -> dict:
+        """Load the checkpoint, discard any unsealed tail chunk, and
+        return the checkpoint dict."""
+        self._checkpoint = CheckpointReader(self.path).checkpoint()
+        sealed = {entry["name"] for entry in self._checkpoint["chunks"]}
+        chunks_dir = self.path / "chunks"
+        if chunks_dir.is_dir():
+            for child in sorted(chunks_dir.iterdir()):
+                if child.is_dir() and child.name not in sealed:
+                    shutil.rmtree(child)
+        return self._checkpoint
+
+    @property
+    def checkpoint(self) -> dict:
+        if self._checkpoint is None:
+            raise CheckpointError("writer not started; call start() or resume()")
+        return self._checkpoint
+
+    @property
+    def rounds_done(self) -> int:
+        return int(self.checkpoint["rounds_done"])
+
+    # -- sealing -----------------------------------------------------------------
+
+    def seal_chunk(
+        self, chunk: ChunkData, *, state: dict, shard_states: List[dict]
+    ) -> Path:
+        """Write one chunk directory, then commit the checkpoint.
+
+        *state* / *shard_states* are
+        :meth:`~repro.vantage.collector.CampaignCollector.state_dict`
+        snapshots taken **after** the chunk's rounds were absorbed; they
+        become the restore point if the process dies after this seal.
+        """
+        ckpt = self.checkpoint
+        if chunk.round_lo != ckpt["rounds_done"]:
+            raise CheckpointError(
+                f"chunk starts at round {chunk.round_lo}; checkpoint has "
+                f"{ckpt['rounds_done']} rounds sealed"
+            )
+        name = f"{len(ckpt['chunks']):06d}"
+        chunk_dir = self.path / "chunks" / name
+        if chunk_dir.exists():  # unsealed debris from a crash at this boundary
+            shutil.rmtree(chunk_dir)
+        chunk_dir.mkdir(parents=True)
+
+        tables_manifest: Dict[str, dict] = {}
+        for table_name, columns in (
+            ("probes", chunk.probes),
+            ("traceroutes", chunk.traceroutes),
+            ("stability", chunk.stability),
+        ):
+            tables_manifest[table_name] = write_binary_table(
+                chunk_dir, table_name, BINARY_TABLES[table_name], columns
+            )
+
+        (chunk_dir / "identities.json").write_text(json.dumps(chunk.identities))
+        records = seal_transfers(list(chunk.transfers))
+        with open(chunk_dir / "transfers.jsonl", "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record_to_row(record)) + "\n")
+
+        manifest = assemble_manifest(
+            study=ckpt["study"],
+            summary=chunk.summary(),
+            addresses=ckpt["addresses"],
+            sites=[value for value, _key in state["sites"]],
+            hops=[value for value, _key in state["hops"]],
+            tables_manifest=tables_manifest,
+        )
+        manifest["chunk"] = {
+            "index": len(ckpt["chunks"]),
+            "round_lo": chunk.round_lo,
+            "round_hi": chunk.round_hi,
+        }
+        (chunk_dir / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+
+        entry = {
+            "name": name,
+            "round_lo": chunk.round_lo,
+            "round_hi": chunk.round_hi,
+            "rows": {
+                "probes": int(len(chunk.probes["vp"])),
+                "traceroutes": int(len(chunk.traceroutes["vp"])),
+                "transfer_observations": len(records),
+            },
+        }
+        ckpt["chunks"].append(entry)
+        ckpt["rounds_done"] = chunk.round_hi
+        totals = ckpt["totals"]
+        totals["probes"] += entry["rows"]["probes"]
+        totals["traceroutes"] += entry["rows"]["traceroutes"]
+        totals["transfer_observations"] += entry["rows"]["transfer_observations"]
+        ckpt["state"] = state
+        ckpt["shard_states"] = shard_states
+        self._write_checkpoint()
+        return chunk_dir
+
+    def note_passive_done(self, capture: str) -> None:
+        """Record one finalize-phase passive capture as cached."""
+        ckpt = self.checkpoint
+        if capture not in ckpt["passive_done"]:
+            ckpt["passive_done"].append(capture)
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        tmp = self.path / (CHECKPOINT_NAME + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write(json.dumps(self._checkpoint, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path / CHECKPOINT_NAME)
+
+    # -- finalize ----------------------------------------------------------------
+
+    def finalize(
+        self,
+        out_dir: Union[str, Path],
+        *,
+        state_collector,
+        passive_store=None,
+    ) -> Path:
+        """Stream the sealed chunks into a normal dataset directory.
+
+        Byte-identical to :class:`~repro.data.io.DatasetWriter` writing
+        the equivalent batch run's dataset: chunk column files are
+        already in disk dtype and serial order, so the final tables are
+        plain file concatenations; stability, identities and the
+        manifest come from the aggregate *state_collector*.  The full
+        probe/traceroute tables are never materialised in memory.
+        """
+        ckpt = self.checkpoint
+        if ckpt["rounds_done"] != ckpt["n_rounds"]:
+            raise CheckpointError(
+                f"cannot finalize: {ckpt['rounds_done']} of "
+                f"{ckpt['n_rounds']} rounds sealed"
+            )
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        chunk_dirs = [self.path / "chunks" / e["name"] for e in ckpt["chunks"]]
+        for path in chunk_dirs:
+            if not path.is_dir():
+                raise CheckpointError(f"checkpoint promises missing chunk {path}")
+
+        tables_manifest: Dict[str, dict] = {}
+        for name in ("probes", "traceroutes"):
+            schema = BINARY_TABLES[name]
+            (out / "tables" / name).mkdir(parents=True, exist_ok=True)
+            for spec in schema.columns:
+                relpath = f"tables/{name}/{spec.name}.bin"
+                with open(out / relpath, "wb") as sink:
+                    for chunk_dir in chunk_dirs:
+                        part = chunk_dir / relpath
+                        if not part.exists():
+                            raise CheckpointError(
+                                f"chunk {chunk_dir.name} lacks column file "
+                                f"{relpath}"
+                            )
+                        with open(part, "rb") as source:
+                            shutil.copyfileobj(source, sink)
+            tables_manifest[name] = table_manifest_entry(
+                schema, ckpt["totals"][name]
+            )
+
+        stability = state_collector.change_counts()
+        n = len(stability)
+        columns = {
+            "vp": np.empty(n, dtype=np.int32),
+            "addr": np.empty(n, dtype=np.int16),
+            "changes": np.empty(n, dtype=np.int32),
+            "rounds": np.empty(n, dtype=np.int32),
+        }
+        for i, ((vp_id, addr_idx), (n_changes, n_rounds)) in enumerate(
+            stability.items()
+        ):
+            columns["vp"][i] = vp_id
+            columns["addr"][i] = addr_idx
+            columns["changes"][i] = n_changes
+            columns["rounds"][i] = n_rounds
+        tables_manifest["stability"] = write_binary_table(
+            out, "stability", BINARY_TABLES["stability"], columns
+        )
+
+        passive_entry = None
+        captures_interner: List[str] = []
+        prefixes_interner: List[str] = []
+        if passive_store is not None:
+            passive_tables, captures_interner, prefixes_interner = (
+                passive_store.to_tables(state_collector.addr_index)
+            )
+            for name, table in passive_tables.items():
+                tables_manifest[name] = write_binary_table(
+                    out, name, table.schema, table.columns()
+                )
+            passive_entry = passive_store.manifest_entry()
+
+        (out / "identities.json").write_text(
+            json.dumps(state_collector.identities)
+        )
+        with open(out / "transfers.jsonl", "wb") as sink:
+            for chunk_dir in chunk_dirs:
+                with open(chunk_dir / "transfers.jsonl", "rb") as source:
+                    shutil.copyfileobj(source, sink)
+
+        summary = {
+            "rounds": state_collector.rounds_processed,
+            "queries": state_collector.queries_simulated,
+            "probe_samples": ckpt["totals"]["probes"],
+            "traceroute_samples": ckpt["totals"]["traceroutes"],
+            "transfers": state_collector.transfer_total,
+            "transfer_observations": ckpt["totals"]["transfer_observations"],
+            "stability_pairs": n,
+        }
+        manifest = assemble_manifest(
+            study=ckpt["study"],
+            summary=summary,
+            addresses=ckpt["addresses"],
+            sites=list(state_collector.sites.values),
+            hops=list(state_collector.hops.values),
+            tables_manifest=tables_manifest,
+            passive_entry=passive_entry,
+            captures=captures_interner,
+            prefixes=prefixes_interner,
+        )
+        (out / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        return out
+
+
+# --- reader -------------------------------------------------------------------------
+
+
+class CheckpointReader:
+    """Serves the sealed chunks of a streaming checkpoint directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory)
+
+    def checkpoint(self) -> dict:
+        """The validated checkpoint dict (:class:`CheckpointError` on
+        anything missing, torn, or inconsistent)."""
+        ckpt_path = self.path / CHECKPOINT_NAME
+        if not ckpt_path.exists():
+            raise CheckpointError(
+                f"no streaming checkpoint at {self.path} "
+                f"(missing {CHECKPOINT_NAME})"
+            )
+        try:
+            ckpt = json.loads(ckpt_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint at {ckpt_path}: {exc}"
+            ) from exc
+        if not isinstance(ckpt, dict):
+            raise CheckpointError(f"corrupt checkpoint at {ckpt_path}: not an object")
+        version = ckpt.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint at {self.path} has version {version!r}; this "
+                f"reader supports version {CHECKPOINT_VERSION}"
+            )
+        if ckpt.get("schema_version") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint at {self.path} carries dataset schema version "
+                f"{ckpt.get('schema_version')!r}; this reader supports "
+                f"version {SCHEMA_VERSION}"
+            )
+        for key in (
+            "addresses",
+            "engine",
+            "shards",
+            "n_rounds",
+            "rounds_done",
+            "totals",
+            "chunks",
+            "state",
+            "shard_states",
+        ):
+            if key not in ckpt:
+                raise CheckpointError(
+                    f"checkpoint at {self.path} lacks required key {key!r}"
+                )
+        expected_lo = 0
+        totals = {"probes": 0, "traceroutes": 0, "transfer_observations": 0}
+        for entry in ckpt["chunks"]:
+            if entry.get("round_lo") != expected_lo:
+                raise CheckpointError(
+                    f"checkpoint at {self.path} has a round gap: chunk "
+                    f"{entry.get('name')!r} starts at {entry.get('round_lo')}, "
+                    f"expected {expected_lo}"
+                )
+            expected_lo = entry["round_hi"]
+            for key in totals:
+                totals[key] += int(entry.get("rows", {}).get(key, 0))
+        if expected_lo != ckpt["rounds_done"]:
+            raise CheckpointError(
+                f"checkpoint at {self.path} is inconsistent: chunks cover "
+                f"{expected_lo} rounds, rounds_done says {ckpt['rounds_done']}"
+            )
+        if totals != ckpt["totals"]:
+            raise CheckpointError(
+                f"checkpoint at {self.path} is inconsistent: chunk row "
+                f"counts {totals} do not match recorded totals "
+                f"{ckpt['totals']}"
+            )
+        return ckpt
+
+    # -- chunk access ------------------------------------------------------------
+
+    def chunk_entries(self) -> List[dict]:
+        return list(self.checkpoint()["chunks"])
+
+    def chunk_path(self, entry: dict) -> Path:
+        return self.path / "chunks" / entry["name"]
+
+    def chunk_dataset(self, entry: dict) -> Dataset:
+        """Load one sealed chunk as a (delta) dataset, zero-copy."""
+        chunk_dir = self.chunk_path(entry)
+        if not chunk_dir.is_dir():
+            raise CheckpointError(
+                f"checkpoint promises chunk {entry['name']!r} but "
+                f"{chunk_dir} is missing"
+            )
+        try:
+            dataset = DatasetReader(chunk_dir).read()
+        except CheckpointError:
+            raise
+        except DatasetError as exc:
+            raise CheckpointError(
+                f"chunk {entry['name']!r} at {chunk_dir} is damaged: {exc}"
+            ) from exc
+        rows = {
+            "probes": len(dataset.table("probes")),
+            "traceroutes": len(dataset.table("traceroutes")),
+        }
+        for name, count in rows.items():
+            if count != entry["rows"][name]:
+                raise CheckpointError(
+                    f"chunk {entry['name']!r} holds {count} {name} rows; "
+                    f"checkpoint promises {entry['rows'][name]}"
+                )
+        return dataset
+
+    def chunk_datasets(self) -> List[Dataset]:
+        """Every sealed chunk, in round order."""
+        return [self.chunk_dataset(entry) for entry in self.chunk_entries()]
+
+    # -- stitched view -----------------------------------------------------------
+
+    def dataset(self) -> Dataset:
+        """The sealed prefix of the campaign as one dataset.
+
+        Single-chunk checkpoints pass the memory-mapped columns through
+        untouched; stitching n > 1 chunks concatenates the mapped
+        columns (touched tables materialise, untouched ones stay on
+        disk).  Stability, identities, interners and the summary come
+        from the checkpoint's aggregate state, so they reflect *all*
+        sealed rounds even though row tables only ever hold sealed
+        chunks.
+        """
+        from repro.rss.operators import all_service_addresses
+        from repro.vantage.collector import CampaignCollector
+
+        ckpt = self.checkpoint()
+        state = CampaignCollector()
+        state.restore_state_dict(ckpt["state"])
+
+        catalog = {sa.address: sa for sa in all_service_addresses()}
+        try:
+            addresses = [catalog[a] for a in ckpt["addresses"]]
+        except KeyError as exc:
+            raise CheckpointError(
+                f"checkpoint names unknown service address {exc}"
+            ) from exc
+
+        chunk_sets = self.chunk_datasets()
+        tables: Dict[str, Table] = {}
+        for name in ("probes", "traceroutes"):
+            schema = BINARY_TABLES[name]
+            parts = [d.table(name) for d in chunk_sets]
+            if len(parts) == 1:
+                tables[name] = parts[0]
+            else:
+                tables[name] = Table(
+                    schema,
+                    {
+                        spec.name: (
+                            np.concatenate([p.column(spec.name) for p in parts])
+                            if parts
+                            else np.empty(0, dtype=spec.disk_dtype)
+                        )
+                        for spec in schema.columns
+                    },
+                )
+
+        stability = state.change_counts()
+        n = len(stability)
+        columns = {
+            "vp": np.empty(n, dtype=np.int32),
+            "addr": np.empty(n, dtype=np.int16),
+            "changes": np.empty(n, dtype=np.int32),
+            "rounds": np.empty(n, dtype=np.int32),
+        }
+        for i, ((vp_id, addr_idx), (n_changes, n_rounds)) in enumerate(
+            stability.items()
+        ):
+            columns["vp"][i] = vp_id
+            columns["addr"][i] = addr_idx
+            columns["changes"][i] = n_changes
+            columns["rounds"][i] = n_rounds
+        tables["stability"] = Table(BINARY_TABLES["stability"], columns)
+
+        transfers: List[Any] = []
+        for chunk in chunk_sets:
+            transfers.extend(chunk._transfer_source or [])
+
+        summary = {
+            "rounds": state.rounds_processed,
+            "queries": state.queries_simulated,
+            "probe_samples": ckpt["totals"]["probes"],
+            "traceroute_samples": ckpt["totals"]["traceroutes"],
+            "transfers": state.transfer_total,
+            "transfer_observations": ckpt["totals"]["transfer_observations"],
+            "stability_pairs": n,
+        }
+        meta: Dict[str, Any] = {
+            "checkpoint": {
+                "rounds_done": ckpt["rounds_done"],
+                "n_rounds": ckpt["n_rounds"],
+                "chunks": len(chunk_sets),
+            }
+        }
+        if ckpt.get("study") is not None:
+            meta["study"] = ckpt["study"]
+        return Dataset(
+            addresses=addresses,
+            sites=list(state.sites.values),
+            hops=list(state.hops.values),
+            identities=state.identities,
+            tables=tables,
+            transfers=transfers,
+            summary=summary,
+            meta=meta,
+        )
+
+
+# --- passive finalize cache ---------------------------------------------------------
+
+
+def write_passive_aggregate(directory: Union[str, Path], name: str, aggregate) -> Path:
+    """Cache one computed passive capture under ``<ckpt>/passive/``.
+
+    Written via temp-file + atomic replace: a crash mid-write leaves no
+    partial cache, so resume recomputes exactly the missing captures.
+    """
+    root = Path(directory) / "passive"
+    root.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "bucket_seconds": aggregate.bucket_seconds,
+        "flows": [
+            [bucket, address, aggregate.flows[(bucket, address)],
+             aggregate.client_count(bucket, address)]
+            for bucket, address in sorted(aggregate.flows)
+        ],
+        "clients": [
+            [address, prefix, aggregate.per_client_flows[(address, prefix)],
+             aggregate.per_client_days[(address, prefix)]]
+            for address, prefix in sorted(aggregate.per_client_flows)
+        ],
+    }
+    target = root / f"{name}.json"
+    tmp = root / f"{name}.json.tmp"
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, target)
+    return target
+
+
+def read_passive_aggregate(directory: Union[str, Path], name: str):
+    """Reload a capture cached by :func:`write_passive_aggregate`."""
+    from repro.passive.traces import FlowAggregate
+
+    path = Path(directory) / "passive" / f"{name}.json"
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise CheckpointError(
+            f"checkpoint marks passive capture {name!r} done but its cache "
+            f"{path} is missing"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt passive cache at {path}: {exc}") from exc
+    return FlowAggregate.from_parts(
+        int(payload["bucket_seconds"]),
+        flows={
+            (int(bucket), address): float(flow)
+            for bucket, address, flow, _clients in payload["flows"]
+        },
+        client_counts={
+            (int(bucket), address): int(clients)
+            for bucket, address, _flow, clients in payload["flows"]
+        },
+        per_client_flows={
+            (address, prefix): float(flow)
+            for address, prefix, flow, _days in payload["clients"]
+        },
+        per_client_days={
+            (address, prefix): int(days)
+            for address, prefix, _flow, days in payload["clients"]
+        },
+    )

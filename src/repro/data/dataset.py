@@ -121,6 +121,8 @@ class Dataset:
         :class:`~repro.core.config.StudyConfig` — becomes the manifest's
         study fingerprint.
         """
+        if hasattr(collector, "seal"):
+            collector.seal()
         stability = collector.change_counts()
         n = len(stability)
         vp = np.empty(n, dtype=np.int32)

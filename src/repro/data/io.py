@@ -45,6 +45,87 @@ from repro.rss.operators import all_service_addresses
 MANIFEST_NAME = "MANIFEST.json"
 
 
+def write_binary_table(
+    root: Path, name: str, schema: TableSchema, columns: Dict[str, np.ndarray]
+) -> dict:
+    """Write one binary table under *root*; returns its manifest entry.
+
+    Shared by the batch :class:`DatasetWriter` and the streaming chunk
+    writer (:mod:`repro.data.chunks`) so both produce byte-identical
+    column files and manifest entries for the same data.
+    """
+    table_dir = root / "tables" / name
+    table_dir.mkdir(parents=True, exist_ok=True)
+    entry_columns = []
+    rows = None
+    for spec in schema.columns:
+        relpath = f"tables/{name}/{spec.name}.bin"
+        array = np.ascontiguousarray(columns[spec.name], dtype=spec.disk_dtype)
+        if rows is None:
+            rows = len(array)
+        array.tofile(root / relpath)
+        entry_columns.append(
+            {
+                "name": spec.name,
+                "dtype": spec.dtype,
+                "interner": spec.interner,
+                "file": relpath,
+            }
+        )
+    return {"rows": rows or 0, "columns": entry_columns}
+
+
+def table_manifest_entry(schema: TableSchema, rows: int) -> dict:
+    """The manifest entry :func:`write_binary_table` produces, without
+    writing anything (for writers that append column files directly)."""
+    return {
+        "rows": rows,
+        "columns": [
+            {
+                "name": spec.name,
+                "dtype": spec.dtype,
+                "interner": spec.interner,
+                "file": f"tables/{schema.name}/{spec.name}.bin",
+            }
+            for spec in schema.columns
+        ],
+    }
+
+
+def assemble_manifest(
+    *,
+    study,
+    summary: Dict[str, int],
+    addresses: List[str],
+    sites: List[str],
+    hops: List[str],
+    tables_manifest: Dict[str, dict],
+    passive_entry=None,
+    captures: List[str] = (),
+    prefixes: List[str] = (),
+) -> dict:
+    """Build a dataset manifest dict (key order is part of the format —
+    the streaming finalizer relies on producing byte-identical JSON)."""
+    interners = {"sites": list(sites), "hops": list(hops)}
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "study": study,
+        "summary": summary,
+        "addresses": addresses,
+        "interners": interners,
+        "tables": tables_manifest,
+        "sidecars": {
+            "identities": "identities.json",
+            "transfers": "transfers.jsonl",
+        },
+    }
+    if passive_entry is not None:
+        manifest["passive"] = passive_entry
+        interners["captures"] = list(captures)
+        interners["prefixes"] = list(prefixes)
+    return manifest
+
+
 class DatasetWriter:
     """Persists a :class:`Dataset` to a directory."""
 
@@ -76,25 +157,9 @@ class DatasetWriter:
             passive_entry = dataset.passive.manifest_entry()
 
         for name, table in to_write.items():
-            schema = table.schema
-            table_dir = self.path / "tables" / name
-            table_dir.mkdir(parents=True, exist_ok=True)
-            columns = []
-            for spec in schema.columns:
-                relpath = f"tables/{name}/{spec.name}.bin"
-                array = np.ascontiguousarray(
-                    table.column(spec.name), dtype=spec.disk_dtype
-                )
-                array.tofile(self.path / relpath)
-                columns.append(
-                    {
-                        "name": spec.name,
-                        "dtype": spec.dtype,
-                        "interner": spec.interner,
-                        "file": relpath,
-                    }
-                )
-            tables_manifest[name] = {"rows": len(table), "columns": columns}
+            tables_manifest[name] = write_binary_table(
+                self.path, name, table.schema, table.columns()
+            )
 
         (self.path / "identities.json").write_text(json.dumps(dataset.identities))
 
@@ -103,23 +168,17 @@ class DatasetWriter:
             for record in transfers:
                 handle.write(json.dumps(record_to_row(record)) + "\n")
 
-        interners = {"sites": dataset.sites, "hops": dataset.hops}
-        manifest = {
-            "schema_version": SCHEMA_VERSION,
-            "study": dataset.study,
-            "summary": dataset.summary(),
-            "addresses": [sa.address for sa in dataset.addresses],
-            "interners": interners,
-            "tables": tables_manifest,
-            "sidecars": {
-                "identities": "identities.json",
-                "transfers": "transfers.jsonl",
-            },
-        }
-        if passive_entry is not None:
-            manifest["passive"] = passive_entry
-            interners["captures"] = captures_interner
-            interners["prefixes"] = prefixes_interner
+        manifest = assemble_manifest(
+            study=dataset.study,
+            summary=dataset.summary(),
+            addresses=[sa.address for sa in dataset.addresses],
+            sites=dataset.sites,
+            hops=dataset.hops,
+            tables_manifest=tables_manifest,
+            passive_entry=passive_entry,
+            captures=captures_interner,
+            prefixes=prefixes_interner,
+        )
         (self.path / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
         return self.path
 
@@ -200,6 +259,13 @@ class DatasetReader:
                 if line.strip():
                     transfers.append(row_to_record(json.loads(line), address_map))
 
+        meta = {}
+        if manifest.get("study") is not None:
+            meta["study"] = manifest["study"]
+        if manifest.get("chunk") is not None:
+            # a streaming chunk (repro.data.chunks): its round range rides
+            # along so incremental consumers know what delta they hold
+            meta["chunk"] = manifest["chunk"]
         dataset = Dataset(
             addresses=addresses,
             sites=list(manifest["interners"]["sites"]),
@@ -208,9 +274,7 @@ class DatasetReader:
             tables=tables,
             transfers=transfers,
             summary=manifest["summary"],
-            meta={"study": manifest.get("study")}
-            if manifest.get("study") is not None
-            else {},
+            meta=meta,
         )
         if passive_store is not None:
             dataset.attach_passive(passive_store)
@@ -258,5 +322,19 @@ def save_dataset(dataset: Dataset, directory: Union[str, Path]) -> Path:
 
 
 def load_dataset(directory: Union[str, Path]) -> Dataset:
-    """Reload a dataset directory written by :func:`save_dataset`."""
+    """Reload a dataset directory written by :func:`save_dataset`.
+
+    A streaming checkpoint directory (``CHECKPOINT.json`` present, no
+    finalized ``MANIFEST.json``) loads as the stitched partial dataset
+    of its sealed chunks — mid-campaign results are servable with the
+    same call.
+    """
+    directory = Path(directory)
+    if (
+        not (directory / MANIFEST_NAME).exists()
+        and (directory / "CHECKPOINT.json").exists()
+    ):
+        from repro.data.chunks import CheckpointReader
+
+        return CheckpointReader(directory).dataset()
     return DatasetReader(directory).read()

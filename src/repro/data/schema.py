@@ -36,6 +36,15 @@ class DatasetVersionError(DatasetError):
     """The on-disk schema version does not match this reader."""
 
 
+class CheckpointError(DatasetError):
+    """A streaming checkpoint is missing, corrupt, or inconsistent.
+
+    Raised by :mod:`repro.data.chunks` for doctored or truncated
+    ``CHECKPOINT.json`` files, chunk directories that the checkpoint
+    promises but that are missing or damaged, and resume attempts whose
+    configuration does not match the checkpointed study."""
+
+
 @dataclass(frozen=True)
 class ColumnSpec:
     """One named, dtyped column of a binary table.

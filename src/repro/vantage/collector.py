@@ -42,6 +42,16 @@ from repro.zone.zone import Zone
 _NO_ORDER_KEY: Tuple[float, ...] = (float("inf"),)
 
 
+class CollectorSealedError(RuntimeError):
+    """An ingest call arrived after the collector's buffers were sealed.
+
+    :meth:`CampaignCollector.to_dataset` /
+    :meth:`repro.data.Dataset.from_collector` share the collector's
+    column buffers with the dataset (zero-copy).  An append after that
+    point could silently reallocate or mutate arrays the dataset now
+    owns, so it raises instead of losing data."""
+
+
 @dataclass(frozen=True)
 class ProbeSample:
     """One sampled probe row (reader-side view)."""
@@ -235,8 +245,27 @@ class CampaignCollector:
 
         self.rounds_processed = 0
         self.queries_simulated = 0
+        self._sealed = False
 
     # -- ingest -------------------------------------------------------------------
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def seal(self) -> None:
+        """Freeze the collector: further ingest calls raise.
+
+        Called when a :class:`repro.data.Dataset` takes (zero-copy)
+        ownership of the column buffers; idempotent."""
+        self._sealed = True
+
+    def _assert_unsealed(self) -> None:
+        if self._sealed:
+            raise CollectorSealedError(
+                "collector is sealed: its buffers back a Dataset; "
+                "appending now would corrupt or silently drop data"
+            )
 
     def _order_key(self, vp_id: int, addr_idx: int) -> Tuple[int, int, int]:
         """Position of the current ingest call in the campaign scan.
@@ -250,6 +279,7 @@ class CampaignCollector:
 
     def note_site(self, vp_id: int, addr_idx: int, site_key: str) -> None:
         """Per-round catchment observation; drives Figure 3."""
+        self._assert_unsealed()
         site_idx = self.sites.intern(site_key, self._order_key(vp_id, addr_idx))
         state = self._stability.get((vp_id, addr_idx))
         if state is None:
@@ -268,6 +298,7 @@ class CampaignCollector:
         addr_idx: Optional[int] = None,
     ) -> None:
         """A CHAOS identity answer (coverage input)."""
+        self._assert_unsealed()
         bucket = self.identities.setdefault(letter, {})
         if identity not in bucket:
             self._identity_order[(letter, identity)] = (
@@ -289,6 +320,7 @@ class CampaignCollector:
         via_peer: bool,
         transit_asn: int = 0,
     ) -> None:
+        self._assert_unsealed()
         self._probes.append(
             vp_id,
             ts,
@@ -319,6 +351,7 @@ class CampaignCollector:
         (the epoch engine, vectorised merges) intern up front with
         explicit first-occurrence keys.
         """
+        self._assert_unsealed()
         self._probes.extend(
             vp=vp,
             ts=ts,
@@ -334,6 +367,7 @@ class CampaignCollector:
     def add_traceroute(
         self, vp_id: int, ts: int, addr_idx: int, second_to_last_hop: Optional[str]
     ) -> None:
+        self._assert_unsealed()
         self._traceroutes.append(
             vp_id,
             ts,
@@ -348,14 +382,17 @@ class CampaignCollector:
     ) -> None:
         """Batch-append traceroute rows (``hop`` pre-interned, -1 = no
         reply)."""
+        self._assert_unsealed()
         self._traceroutes.extend(vp=vp, ts=ts, addr=addr, hop=hop)
 
     def count_transfer(self, clean: bool) -> None:
+        self._assert_unsealed()
         self.transfer_total += 1
         if clean:
             self.transfer_clean += 1
 
     def add_transfer_observation(self, obs: TransferObservation) -> None:
+        self._assert_unsealed()
         self.transfers.append(obs)
 
     # -- read-side ------------------------------------------------------------------
@@ -451,6 +488,111 @@ class CampaignCollector:
             "transfer_observations": len(self.transfers),
             "stability_pairs": len(self._stability),
         }
+
+    # -- checkpoint state codec -------------------------------------------------------
+
+    @staticmethod
+    def _encode_key(key: Tuple) -> Optional[List[int]]:
+        return None if key == _NO_ORDER_KEY else [int(k) for k in key]
+
+    @staticmethod
+    def _decode_key(key: Optional[List[int]]) -> Tuple:
+        return _NO_ORDER_KEY if key is None else tuple(int(k) for k in key)
+
+    def state_dict(self) -> Dict:
+        """JSON-serialisable snapshot of the collector's aggregate state.
+
+        Covers everything *except* the columnar row tables and transfer
+        observations — those live in sealed chunks on disk; the streaming
+        checkpoint stores this dict plus per-table row counts so a
+        resumed run can rebuild the collector exactly.
+        """
+        return {
+            "sites": [
+                [value, self._encode_key(key)]
+                for value, key in zip(self.sites.values, self.sites.first_keys)
+            ],
+            "hops": [
+                [value, self._encode_key(key)]
+                for value, key in zip(self.hops.values, self.hops.first_keys)
+            ],
+            "identities": [
+                [
+                    letter,
+                    identity,
+                    int(count),
+                    self._encode_key(
+                        self._identity_order.get((letter, identity), _NO_ORDER_KEY)
+                    ),
+                ]
+                for letter, bucket in self.identities.items()
+                for identity, count in bucket.items()
+            ],
+            "stability": [
+                [int(vp), int(addr), self.sites[state[0]], int(state[1]), int(state[2])]
+                for (vp, addr), state in self._stability.items()
+            ],
+            "rounds_processed": int(self.rounds_processed),
+            "queries_simulated": int(self.queries_simulated),
+            "transfer_total": int(self.transfer_total),
+            "transfer_clean": int(self.transfer_clean),
+            "rows": {
+                "probes": len(self._probes),
+                "traceroutes": len(self._traceroutes),
+                "transfer_observations": len(self.transfers),
+            },
+        }
+
+    def restore_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output into this (empty) collector.
+
+        Row tables are *not* restored — they stay on disk in sealed
+        chunks; only the aggregate state (interners, identity counts,
+        stability counters, totals) comes back.
+        """
+        if len(self.sites) or len(self._probes) or self._stability:
+            raise ValueError("restore_state_dict requires an empty collector")
+        for value, key in state["sites"]:
+            self.sites.intern(value, self._decode_key(key))
+        for value, key in state["hops"]:
+            self.hops.intern(value, self._decode_key(key))
+        for letter, identity, count, key in state["identities"]:
+            self.identities.setdefault(letter, {})[identity] = int(count)
+            self._identity_order[(letter, identity)] = self._decode_key(key)
+        for vp, addr, site_value, changes, rounds in state["stability"]:
+            site_idx = self.sites._index[site_value]
+            self._stability[(int(vp), int(addr))] = [site_idx, int(changes), int(rounds)]
+        self.rounds_processed = int(state["rounds_processed"])
+        self.queries_simulated = int(state["queries_simulated"])
+        self.transfer_total = int(state["transfer_total"])
+        self.transfer_clean = int(state["transfer_clean"])
+
+    def drain_rows(
+        self,
+    ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], List[TransferObservation]]:
+        """Detach the row tables and transfer list, leaving them empty.
+
+        The streaming campaign calls this after sealing each chunk: the
+        returned columns/observations are the chunk's rows (everything
+        appended since the previous drain), and the collector keeps only
+        its aggregate state — which is what bounds streamed memory by
+        chunk size instead of campaign size.  Aggregates (interners,
+        stability, identities, totals) are untouched.
+        """
+        self._assert_unsealed()
+        probes = {name: self._probes.column(name) for name, _ in _PROBE_SPEC}
+        traceroutes = {
+            name: self._traceroutes.column(name) for name, _ in _TRACEROUTE_SPEC
+        }
+        transfers = self.transfers
+        self._probes = _ColumnTable(_PROBE_SPEC)
+        self._traceroutes = _ColumnTable(_TRACEROUTE_SPEC)
+        self.transfers = []
+        self._probe_cols_cache = None
+        self._probe_cols_version = -1
+        self._trace_cols_cache = None
+        self._trace_cols_version = -1
+        return probes, traceroutes, transfers
 
     def to_dataset(self, config=None):
         """Seal this collector's buffers into a typed

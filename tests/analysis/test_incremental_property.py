@@ -1,0 +1,166 @@
+"""Fold invariance of the incremental analyses.
+
+For every analysis with an ``update(chunk)`` form, folding over *any*
+partition of the campaign into round-range chunks must give exactly the
+batch result over the full dataset.  The campaign streams once into
+single-round chunks; hypothesis then draws arbitrary chunk boundaries
+and merges consecutive single-round chunks into coarser ones, so each
+example exercises a different chunking of the same five rounds without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.incremental import (
+    create_incremental,
+    incremental_names,
+    run_incremental,
+)
+from repro.analysis.rssac import RssacMetrics
+from repro.core.pipeline import StudyPipeline
+from repro.core.streaming import run_streaming_campaign
+from repro.data import CheckpointReader
+from repro.rss.sites import build_site_catalog
+from repro.util.rng import RngFactory
+
+from tests.streamutil import TINY_STREAM_SEED, tiny_stream_config
+
+N_ROUNDS = 5
+
+
+@pytest.fixture(scope="module")
+def round_chunks(tmp_path_factory):
+    """The tiny campaign as five single-round chunk datasets."""
+    ckpt = tmp_path_factory.mktemp("rounds") / "ckpt"
+    run = run_streaming_campaign(
+        tiny_stream_config(), ckpt, checkpoint_every=1
+    )
+    assert run.complete and run.chunks == N_ROUNDS
+    return CheckpointReader(ckpt).chunk_datasets()
+
+
+@pytest.fixture(scope="module")
+def batch_dataset():
+    return StudyPipeline(tiny_stream_config()).run().dataset
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_site_catalog(RngFactory(TINY_STREAM_SEED))
+
+
+class _MergedChunk:
+    """Consecutive single-round chunks re-merged into one coarser chunk.
+
+    Chunk deltas compose by concatenation (row tables, stability delta
+    rows) and by summation (summaries, identity-count deltas), so any
+    partition of the round range is expressible this way.
+    """
+
+    class _Table:
+        def __init__(self, columns):
+            self._columns = columns
+
+        def __len__(self):
+            return 0 if not self._columns else len(next(iter(self._columns.values())))
+
+        def columns(self):
+            return list(self._columns)
+
+        def column(self, name):
+            return self._columns[name]
+
+    def __init__(self, chunks):
+        self._chunks = chunks
+        self.addresses = chunks[0].addresses
+        self.identities = {}
+        for chunk in chunks:
+            for letter, bucket in chunk.identities.items():
+                target = self.identities.setdefault(letter, {})
+                for identity, count in bucket.items():
+                    target[identity] = target.get(identity, 0) + count
+
+    def summary(self):
+        merged = {}
+        for chunk in self._chunks:
+            for key, value in chunk.summary().items():
+                merged[key] = merged.get(key, 0) + int(value)
+        return merged
+
+    def table(self, name):
+        columns = {}
+        for spec_source in self._chunks[:1]:
+            names = spec_source.table(name).columns()
+        for column in names:
+            columns[column] = np.concatenate(
+                [chunk.table(name).column(column) for chunk in self._chunks]
+            )
+        return self._Table(columns)
+
+    def probe_columns(self):
+        return {
+            name: self.table("probes").column(name)
+            for name in ("addr", "rtt")
+        }
+
+
+def partitions():
+    """Cut-point sets over the 5 round boundaries (1..4)."""
+    return st.sets(st.integers(1, N_ROUNDS - 1), max_size=N_ROUNDS - 1)
+
+
+def merge_by_cuts(chunks, cuts):
+    bounds = [0] + sorted(cuts) + [N_ROUNDS]
+    return [
+        _MergedChunk(chunks[lo:hi])
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+def test_registry_lists_all_incremental_forms():
+    assert incremental_names() == ["counts", "coverage", "rssac", "stability"]
+    with pytest.raises(KeyError, match="no incremental analysis"):
+        create_incremental("nope")
+
+
+@settings(max_examples=25, deadline=None)
+@given(cuts=partitions())
+def test_counts_fold_equals_batch(cuts, round_chunks, batch_dataset):
+    folded = run_incremental("counts", merge_by_cuts(round_chunks, cuts))
+    assert folded == batch_dataset.summary()
+
+
+@settings(max_examples=25, deadline=None)
+@given(cuts=partitions())
+def test_coverage_fold_equals_batch(cuts, round_chunks, batch_dataset, catalog):
+    from repro.analysis.coverage import CoverageAnalysis
+
+    folded = run_incremental(
+        "coverage", merge_by_cuts(round_chunks, cuts), catalog=catalog
+    )
+    batch = CoverageAnalysis(catalog, batch_dataset.identities)
+    assert folded.observed_identities == batch.observed_identities
+    assert folded.covered_sites == batch.covered_sites
+    assert folded.unmapped == batch.unmapped
+    assert folded.observed_identifier_count() == batch.observed_identifier_count()
+
+
+@settings(max_examples=25, deadline=None)
+@given(cuts=partitions())
+def test_stability_fold_equals_batch(cuts, round_chunks, batch_dataset):
+    folded = run_incremental(
+        "stability", merge_by_cuts(round_chunks, cuts)
+    )
+    assert folded.dataset.change_counts() == batch_dataset.change_counts()
+
+
+@settings(max_examples=25, deadline=None)
+@given(cuts=partitions())
+def test_rssac_fold_equals_batch(cuts, round_chunks, batch_dataset):
+    folded = run_incremental("rssac", merge_by_cuts(round_chunks, cuts))
+    batch = RssacMetrics(batch_dataset)
+    assert folded.all_response_latencies() == batch.all_response_latencies()

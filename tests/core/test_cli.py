@@ -84,3 +84,51 @@ class TestStudyCli:
         assert code == 0
         assert "RQ1" in out and "RQ2" in out and "RQ3" in out
         assert (tmp_path / "ds" / "MANIFEST.json").exists()
+
+    def test_streaming_checkpoint_then_resume_save(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import analyze_main
+        from repro.core import StudyConfig
+        from tests.streamutil import tiny_stream_config
+
+        tiny = tiny_stream_config()
+        monkeypatch.setattr(
+            StudyConfig, "quick", classmethod(lambda cls, seed=77: tiny)
+        )
+        ckpt = tmp_path / "ckpt"
+        code = study_main(
+            ["--preset", "quick", "--checkpoint", str(ckpt),
+             "--checkpoint-every", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sealed chunk 000000: rounds [0, 2)" in out
+        assert "5/5 rounds in 3 chunk(s)" in out
+        assert (ckpt / "CHECKPOINT.json").exists()
+
+        # a second invocation finalizes from the checkpoint alone — the
+        # study config comes from CHECKPOINT.json, not the preset flags
+        code = study_main(
+            ["--resume", str(ckpt), "--save", str(tmp_path / "ds")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resuming streamed study" in out
+        assert (tmp_path / "ds" / "MANIFEST.json").exists()
+
+        # rootsim-analyze serves the checkpoint directory directly
+        code = analyze_main([str(ckpt)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "streamed checkpoint: 5/5 rounds" in out
+
+    def test_checkpoint_and_resume_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            study_main(["--checkpoint", "a", "--resume", "b"])
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resume_without_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        code = study_main(["--resume", str(tmp_path / "missing")])
+        assert code == 2
+        assert "no streaming checkpoint" in capsys.readouterr().err

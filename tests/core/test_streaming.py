@@ -1,0 +1,101 @@
+"""Streamed campaigns: resume equivalence, guards, config recovery.
+
+The crash-injection harness (tests/integration/test_crash_resume.py)
+kills real subprocesses; these tests exercise the same resume machinery
+in-process, where aborts are cheap enough to check every engine and the
+guard rails around a bad resume.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.streaming import (
+    config_from_checkpoint,
+    finalize_streaming_campaign,
+    load_streaming_checkpoint,
+    run_streaming_campaign,
+)
+from repro.data import CheckpointError
+
+from tests.streamutil import assert_trees_identical, tiny_stream_config
+
+
+class _Abort(Exception):
+    """Raised from after_chunk to simulate dying at a chunk boundary."""
+
+
+@pytest.mark.parametrize(
+    "engine,shards", [("epoch", 1), ("scalar", 2)], ids=["epoch-1", "scalar-2"]
+)
+def test_abort_and_resume_is_byte_identical(engine, shards, tmp_path):
+    config = tiny_stream_config(engine=engine, shards=shards)
+
+    clean_ckpt = tmp_path / "clean-ckpt"
+    run = run_streaming_campaign(config, clean_ckpt, checkpoint_every=2)
+    assert run.complete and run.chunks == 3
+    reference = tmp_path / "clean"
+    finalize_streaming_campaign(clean_ckpt, reference, passive=False)
+
+    # die right after the first seal, then resume to completion
+    ckpt = tmp_path / "crashed-ckpt"
+
+    def bomb(index, _chunk_dir, _lo, _hi):
+        if index == 0:
+            raise _Abort
+
+    with pytest.raises(_Abort):
+        run_streaming_campaign(config, ckpt, checkpoint_every=2, after_chunk=bomb)
+    partial = load_streaming_checkpoint(ckpt)
+    assert partial.meta["checkpoint"]["rounds_done"] == 2
+
+    resumed = run_streaming_campaign(config, ckpt, checkpoint_every=2, resume=True)
+    assert resumed.complete
+    out = tmp_path / "resumed"
+    finalize_streaming_campaign(ckpt, out, passive=False)
+    assert_trees_identical(reference, out)
+
+
+def test_resume_of_complete_checkpoint_is_a_noop(tmp_path):
+    config = tiny_stream_config()
+    ckpt = tmp_path / "ckpt"
+    first = run_streaming_campaign(config, ckpt, checkpoint_every=2)
+    again = run_streaming_campaign(config, ckpt, checkpoint_every=2, resume=True)
+    assert again.complete and again.chunks == first.chunks
+    assert again.collector.summary() == first.collector.summary()
+
+
+def test_resume_rejects_different_study(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    run_streaming_campaign(tiny_stream_config(), ckpt, checkpoint_every=2)
+    other = tiny_stream_config(seed=78)
+    with pytest.raises(CheckpointError, match="different.*study configuration"):
+        run_streaming_campaign(other, ckpt, checkpoint_every=2, resume=True)
+
+
+def test_fresh_run_refuses_existing_checkpoint(tmp_path):
+    config = tiny_stream_config()
+    ckpt = tmp_path / "ckpt"
+    run_streaming_campaign(config, ckpt, checkpoint_every=2)
+    with pytest.raises(CheckpointError, match="already exists"):
+        run_streaming_campaign(config, ckpt, checkpoint_every=2)
+
+
+def test_streaming_requires_in_process_shards(tmp_path):
+    config = tiny_stream_config().with_sharding(2, workers=2)
+    with pytest.raises(CheckpointError, match="workers=1"):
+        run_streaming_campaign(config, tmp_path / "ckpt")
+
+
+def test_checkpoint_every_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        run_streaming_campaign(
+            tiny_stream_config(), tmp_path / "ckpt", checkpoint_every=0
+        )
+
+
+def test_config_from_checkpoint_roundtrips(tmp_path):
+    config = tiny_stream_config(engine="epoch")
+    ckpt = tmp_path / "ckpt"
+    run_streaming_campaign(config, ckpt, checkpoint_every=3)
+    assert config_from_checkpoint(ckpt) == config

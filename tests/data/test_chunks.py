@@ -1,0 +1,257 @@
+"""Chunked checkpoint writer/reader: roundtrip, stitching, corruption.
+
+The invariants under test:
+
+* a streamed campaign finalizes into a dataset directory byte-identical
+  to a batch ``results.save``,
+* the sealed prefix stitches into a partial dataset whose tables equal
+  the batch tables,
+* every way a checkpoint directory can be damaged — torn JSON, version
+  skew, round gaps, row-count lies, truncated or missing chunks — fails
+  loudly with a typed :class:`CheckpointError`, never a silent
+  mis-stitch,
+* resume discards an unsealed tail chunk rather than trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StudyPipeline
+from repro.core.streaming import (
+    finalize_streaming_campaign,
+    load_streaming_checkpoint,
+    run_streaming_campaign,
+)
+from repro.data import (
+    CHECKPOINT_NAME,
+    CheckpointError,
+    CheckpointReader,
+    ChunkedDatasetWriter,
+    load_dataset,
+)
+from repro.data.chunks import read_passive_aggregate, write_passive_aggregate
+from repro.passive.recipes import build_capture
+
+from tests.streamutil import (
+    TINY_STREAM_SEED,
+    assert_trees_identical,
+    tiny_stream_config,
+)
+
+
+@pytest.fixture(scope="module")
+def stream_config():
+    return tiny_stream_config()
+
+
+@pytest.fixture(scope="module")
+def batch_dir(stream_config, tmp_path_factory):
+    """The uninterrupted batch dataset for the tiny study."""
+    out = tmp_path_factory.mktemp("batch") / "dataset"
+    StudyPipeline(stream_config).run().save(out, passive=False)
+    return out
+
+
+@pytest.fixture(scope="module")
+def checkpoint_dir(stream_config, tmp_path_factory):
+    """A complete streamed checkpoint (5 rounds in chunks of 2)."""
+    ckpt = tmp_path_factory.mktemp("ckpt") / "stream"
+    run = run_streaming_campaign(stream_config, ckpt, checkpoint_every=2)
+    assert run.complete and run.chunks == 3
+    return ckpt
+
+
+def _damaged_copy(checkpoint_dir, tmp_path):
+    copy = tmp_path / "damaged"
+    shutil.copytree(checkpoint_dir, copy)
+    return copy
+
+
+def _doctor(copy, **overrides):
+    ckpt = json.loads((copy / CHECKPOINT_NAME).read_text())
+    ckpt.update(overrides)
+    (copy / CHECKPOINT_NAME).write_text(json.dumps(ckpt))
+    return ckpt
+
+
+# --- roundtrip ---------------------------------------------------------------------
+
+
+def test_finalize_matches_batch_save_byte_for_byte(
+    checkpoint_dir, batch_dir, tmp_path
+):
+    out = tmp_path / "finalized"
+    finalize_streaming_campaign(checkpoint_dir, out, passive=False)
+    assert_trees_identical(batch_dir, out)
+
+
+def test_stitched_dataset_equals_batch_tables(checkpoint_dir, batch_dir):
+    stitched = load_streaming_checkpoint(checkpoint_dir)
+    batch = load_dataset(batch_dir)
+    assert stitched.summary() == batch.summary()
+    for table in ("probes", "traceroutes", "stability"):
+        for column in stitched.table(table).columns():
+            assert np.array_equal(
+                stitched.table(table).column(column),
+                batch.table(table).column(column),
+            ), (table, column)
+    assert stitched.identities == batch.identities
+    assert len(stitched.transfers) == len(batch.transfers)
+
+
+def test_load_dataset_dispatches_to_checkpoint_reader(checkpoint_dir):
+    dataset = load_dataset(checkpoint_dir)
+    info = dataset.meta["checkpoint"]
+    assert info["rounds_done"] == info["n_rounds"] == 5
+    assert info["chunks"] == 3
+    assert dataset.study_config().seed == TINY_STREAM_SEED
+
+
+def test_chunks_are_self_contained_datasets(checkpoint_dir):
+    reader = CheckpointReader(checkpoint_dir)
+    chunks = reader.chunk_datasets()
+    assert [c.meta["chunk"]["round_lo"] for c in chunks] == [0, 2, 4]
+    total_probes = sum(len(c.table("probes")) for c in chunks)
+    assert total_probes == reader.checkpoint()["totals"]["probes"]
+    # each chunk also loads through the ordinary dataset entry point
+    entry = reader.chunk_entries()[0]
+    direct = load_dataset(reader.chunk_path(entry))
+    assert len(direct.table("probes")) == entry["rows"]["probes"]
+
+
+def test_start_refuses_existing_checkpoint(checkpoint_dir):
+    writer = ChunkedDatasetWriter(checkpoint_dir)
+    with pytest.raises(CheckpointError, match="already"):
+        writer.start(
+            study=None, addresses=[], engine="epoch", shards=1,
+            n_rounds=1, state={}, shard_states=[{}],
+        )
+
+
+def test_finalize_requires_complete_campaign(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    # drop the tail chunk so the checkpoint is a valid 4-round prefix
+    ckpt = json.loads((copy / CHECKPOINT_NAME).read_text())
+    tail = ckpt["chunks"].pop()
+    ckpt["rounds_done"] = tail["round_lo"]
+    for key in ckpt["totals"]:
+        ckpt["totals"][key] -= tail["rows"][key]
+    (copy / CHECKPOINT_NAME).write_text(json.dumps(ckpt))
+    shutil.rmtree(copy / "chunks" / tail["name"])
+    with pytest.raises(CheckpointError, match="4 of 5"):
+        finalize_streaming_campaign(copy, tmp_path / "out", passive=False)
+
+
+# --- corruption --------------------------------------------------------------------
+
+
+def test_missing_checkpoint_file_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="missing CHECKPOINT.json"):
+        CheckpointReader(tmp_path).checkpoint()
+
+
+def test_torn_checkpoint_json_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    payload = (copy / CHECKPOINT_NAME).read_bytes()
+    (copy / CHECKPOINT_NAME).write_bytes(payload[: len(payload) // 2])
+    with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_wrong_checkpoint_version_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    _doctor(copy, checkpoint_version=99)
+    with pytest.raises(CheckpointError, match="version 99"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_wrong_schema_version_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    _doctor(copy, schema_version=0)
+    with pytest.raises(CheckpointError, match="schema version"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_missing_required_key_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    ckpt = json.loads((copy / CHECKPOINT_NAME).read_text())
+    del ckpt["state"]
+    (copy / CHECKPOINT_NAME).write_text(json.dumps(ckpt))
+    with pytest.raises(CheckpointError, match="required key 'state'"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_round_gap_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    ckpt = json.loads((copy / CHECKPOINT_NAME).read_text())
+    ckpt["chunks"][1]["round_lo"] = 3
+    (copy / CHECKPOINT_NAME).write_text(json.dumps(ckpt))
+    with pytest.raises(CheckpointError, match="round gap"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_row_total_mismatch_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    ckpt = json.loads((copy / CHECKPOINT_NAME).read_text())
+    ckpt["chunks"][0]["rows"]["probes"] += 1
+    (copy / CHECKPOINT_NAME).write_text(json.dumps(ckpt))
+    with pytest.raises(CheckpointError, match="do not match recorded totals"):
+        CheckpointReader(copy).checkpoint()
+
+
+def test_missing_chunk_dir_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    shutil.rmtree(copy / "chunks" / "000001")
+    with pytest.raises(CheckpointError, match="000001"):
+        CheckpointReader(copy).dataset()
+
+
+def test_truncated_chunk_column_raises(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    column = copy / "chunks" / "000000" / "tables" / "probes" / "rtt.bin"
+    payload = column.read_bytes()
+    column.write_bytes(payload[:-4])
+    with pytest.raises(CheckpointError, match="chunk '000000'.*damaged"):
+        CheckpointReader(copy).dataset()
+
+
+def test_resume_discards_unsealed_tail_chunk(checkpoint_dir, tmp_path):
+    copy = _damaged_copy(checkpoint_dir, tmp_path)
+    junk = copy / "chunks" / "000007"
+    junk.mkdir()
+    (junk / "partial.bin").write_bytes(b"\x00" * 16)
+    writer = ChunkedDatasetWriter(copy)
+    ckpt = writer.resume()
+    assert not junk.exists()
+    assert ckpt["rounds_done"] == 5
+    assert writer.rounds_done == 5
+
+
+# --- passive aggregate cache -------------------------------------------------------
+
+
+def test_passive_aggregate_cache_roundtrip(tmp_path):
+    aggregate = build_capture("isp", TINY_STREAM_SEED)
+    write_passive_aggregate(tmp_path, "isp", aggregate)
+    reread = read_passive_aggregate(tmp_path, "isp")
+    # a second write from the reread aggregate is byte-identical, so the
+    # cache is a faithful codec
+    write_passive_aggregate(tmp_path, "isp2", reread)
+    cache = tmp_path / "passive"
+    assert (cache / "isp.json").read_bytes() == (
+        cache / "isp2.json"
+    ).read_bytes()
+
+
+def test_passive_aggregate_cache_missing_and_corrupt(tmp_path):
+    with pytest.raises(CheckpointError, match="cache .* is missing"):
+        read_passive_aggregate(tmp_path, "isp")
+    (tmp_path / "passive").mkdir()
+    (tmp_path / "passive" / "isp.json").write_text("{not json")
+    with pytest.raises(CheckpointError, match="corrupt passive cache"):
+        read_passive_aggregate(tmp_path, "isp")

@@ -1,0 +1,106 @@
+"""Crash-injection harness: SIGKILL at a chunk boundary, then resume.
+
+The acceptance invariant of the streaming layer, checked end-to-end with
+real process death: a campaign killed with SIGKILL immediately after a
+chunk seal, resumed in a *fresh* process, finalizes into a dataset
+directory byte-identical to an uninterrupted run — for both engines and
+for sharded rings.  The kill point is drawn from a seeded RNG so the
+suite stays deterministic while the boundary under test varies across
+the matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.streaming import finalize_streaming_campaign
+from repro.data import CHECKPOINT_NAME
+
+from tests.streamutil import assert_trees_identical
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+N_CHUNKS = 3  # 5 rounds, checkpoint_every=2 -> [0,2) [2,4) [4,5)
+
+
+def _run_child(checkpoint_dir, engine, shards, *, kill_after=None, resume=False):
+    argv = [
+        sys.executable,
+        "-m",
+        "tests.integration._crash_child",
+        str(checkpoint_dir),
+        "--engine", engine,
+        "--shards", str(shards),
+    ]
+    if kill_after is not None:
+        argv += ["--kill-after-chunk", str(kill_after)]
+    if resume:
+        argv.append("--resume")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        argv, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("engine", ["epoch", "scalar"])
+@pytest.mark.parametrize("shards", [1, 2])
+def test_sigkill_at_chunk_boundary_resumes_byte_identical(
+    engine, shards, tmp_path
+):
+    # uninterrupted reference, streamed in its own process
+    clean_ckpt = tmp_path / "clean-ckpt"
+    done = _run_child(clean_ckpt, engine, shards)
+    assert done.returncode == 0, done.stderr
+    reference = tmp_path / "reference"
+    finalize_streaming_campaign(clean_ckpt, reference, passive=False)
+
+    # kill after a seeded-random sealed boundary (never the final seal,
+    # so the resumed process has real work left)
+    kill_after = random.Random(f"{engine}-{shards}").randrange(N_CHUNKS - 1)
+    ckpt = tmp_path / "crash-ckpt"
+    killed = _run_child(ckpt, engine, shards, kill_after=kill_after)
+    assert killed.returncode == -signal.SIGKILL, (
+        killed.returncode, killed.stderr
+    )
+    ckpt_state = json.loads((ckpt / CHECKPOINT_NAME).read_text())
+    assert 0 < ckpt_state["rounds_done"] < 5
+
+    resumed = _run_child(ckpt, engine, shards, resume=True)
+    assert resumed.returncode == 0, resumed.stderr
+
+    out = tmp_path / "resumed"
+    finalize_streaming_campaign(ckpt, out, passive=False)
+    assert_trees_identical(reference, out)
+
+
+def test_resume_survives_a_second_kill(tmp_path):
+    """Two crashes in one campaign: kill, resume-and-kill again, resume."""
+    engine, shards = "epoch", 1
+    clean_ckpt = tmp_path / "clean-ckpt"
+    assert _run_child(clean_ckpt, engine, shards).returncode == 0
+    reference = tmp_path / "reference"
+    finalize_streaming_campaign(clean_ckpt, reference, passive=False)
+
+    ckpt = tmp_path / "crash-ckpt"
+    first = _run_child(ckpt, engine, shards, kill_after=0)
+    assert first.returncode == -signal.SIGKILL
+    second = _run_child(ckpt, engine, shards, kill_after=1, resume=True)
+    assert second.returncode == -signal.SIGKILL
+    final = _run_child(ckpt, engine, shards, resume=True)
+    assert final.returncode == 0, final.stderr
+
+    out = tmp_path / "resumed"
+    finalize_streaming_campaign(ckpt, out, passive=False)
+    assert_trees_identical(reference, out)

@@ -1,0 +1,54 @@
+"""Shared helpers for the streaming-campaign test suites.
+
+Byte-level dataset-tree comparison (the checkpoint/resume invariant is
+*byte* identity of the finalized directory, not structural equality) and
+the tiny five-round study configuration the streaming tests stream in
+multiple small chunks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+from repro.core import StudyConfig
+from repro.util.timeutil import parse_ts
+
+# Five rounds at 2023-11-25..11-30 with interval_scale 96 — small enough
+# to stream in seconds, and not a multiple of checkpoint_every=2, so the
+# tail chunk is shorter than the others.
+TINY_STREAM_SEED = 77
+
+
+def tiny_stream_config(**overrides) -> StudyConfig:
+    base = dict(
+        seed=TINY_STREAM_SEED,
+        ring_scale=0.02,
+        interval_scale=96.0,
+        campaign_start=parse_ts("2023-11-25"),
+        campaign_end=parse_ts("2023-11-30"),
+        rtt_sample_every=1,
+        traceroute_sample_every=2,
+        axfr_sample_every=2,
+        clean_transfer_keep_one_in=20,
+    )
+    base.update(overrides)
+    return StudyConfig(**base)
+
+
+def tree_bytes(root) -> Dict[str, bytes]:
+    """Every file under *root*, keyed by relative path."""
+    root = Path(root)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def assert_trees_identical(expected, actual) -> None:
+    """Both directory trees hold byte-for-byte the same files."""
+    left, right = tree_bytes(expected), tree_bytes(actual)
+    assert set(left) == set(right), sorted(set(left) ^ set(right))
+    different = [name for name in left if left[name] != right[name]]
+    assert not different, different
