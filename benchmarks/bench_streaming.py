@@ -69,6 +69,10 @@ def child_main(mode: str, scale: str, out_dir: str) -> int:
     import resource
 
     config = make_config(scale)
+    if mode == "streamed-workers2":
+        # multiprocess shard workers streaming into per-shard spills,
+        # merged columnar-ly at each seal (DESIGN.md §12)
+        config = config.with_sharding(2, workers=2)
     started = time.perf_counter()
     if mode == "materialized":
         from repro.core.pipeline import StudyPipeline
@@ -130,6 +134,22 @@ def trees_identical(left: str, right: str) -> List[str]:
     ]
 
 
+def trees_identical_modulo_sharding(left: str, right: str) -> List[str]:
+    """Like :func:`trees_identical`, but ignores the shard/worker counts
+    embedded in the manifest's study fingerprint — the one legitimate
+    difference between a serial and a multiprocess run of one study."""
+    differing = trees_identical(left, right)
+    if differing != ["MANIFEST.json"]:
+        return differing
+    manifests = []
+    for root in (left, right):
+        manifest = json.loads((Path(root) / "MANIFEST.json").read_text())
+        manifest.get("study", {}).pop("shards", None)
+        manifest.get("study", {}).pop("workers", None)
+        manifests.append(manifest)
+    return [] if manifests[0] == manifests[1] else ["MANIFEST.json"]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", choices=("tiny", "bench"), default="bench")
@@ -147,7 +167,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--work-dir", default=None,
         help="scratch directory for datasets (default: a temp directory)",
     )
-    parser.add_argument("--child", choices=("materialized", "streamed"))
+    parser.add_argument(
+        "--child", choices=("materialized", "streamed", "streamed-workers2")
+    )
     parser.add_argument("--out-dir", help="(child only) dataset target")
     args = parser.parse_args(argv)
 
@@ -161,10 +183,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     os.makedirs(work, exist_ok=True)
     failures: List[str] = []
     runs = {}
-    for mode in ("materialized", "streamed"):
+    for mode in ("materialized", "streamed", "streamed-workers2"):
         out_dir = os.path.join(work, mode)
         runs[mode] = run_child(mode, args.scale, out_dir)
-        print(f"{mode:<12s}  wall {runs[mode]['wall_seconds']:7.2f}s  "
+        print(f"{mode:<18s}  wall {runs[mode]['wall_seconds']:7.2f}s  "
               f"peak RSS {runs[mode]['peak_rss_kb'] / 1024:7.1f} MB")
 
     differing = trees_identical(
@@ -173,7 +195,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if differing:
         failures.append(f"dataset trees differ: {differing[:10]}")
     else:
-        print("datasets byte-identical")
+        print("materialized and streamed datasets byte-identical")
+
+    differing_mp = trees_identical_modulo_sharding(
+        os.path.join(work, "streamed"), os.path.join(work, "streamed-workers2")
+    )
+    if differing_mp:
+        failures.append(
+            f"workers=2 streamed dataset differs: {differing_mp[:10]}"
+        )
+    else:
+        print("workers=2 streamed dataset byte-identical "
+              "(modulo study shard/worker counts)")
 
     fraction = (
         runs["streamed"]["peak_rss_kb"] / runs["materialized"]["peak_rss_kb"]
@@ -196,8 +229,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "cpus": os.cpu_count(),
         },
         "byte_identical": not differing,
+        "workers2_byte_identical": not differing_mp,
         "rss_fraction": round(fraction, 3),
-        "runs": [runs["materialized"], runs["streamed"]],
+        "runs": [
+            runs["materialized"], runs["streamed"], runs["streamed-workers2"]
+        ],
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)

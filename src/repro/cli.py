@@ -300,13 +300,10 @@ def _streaming_study_main(args, parser) -> int:
                 "standard": StudyConfig.standard,
                 "paper": StudyConfig.paper_scale,
             }[args.preset](seed=args.seed)
-            if args.shards < 1:
-                parser.error("--shards must be >= 1")
-            if args.workers > 1:
-                parser.error("streaming campaigns run shards in-process; "
-                             "--workers must be 1 with --checkpoint")
-            if args.shards > 1:
-                config = config.with_sharding(args.shards)
+            if args.shards < 1 or args.workers < 1:
+                parser.error("--shards and --workers must be >= 1")
+            if args.shards > 1 or args.workers > 1:
+                config = config.with_sharding(args.shards, workers=args.workers)
             if args.engine is not None:
                 config = config.with_engine(args.engine)
             print(f"streaming study: preset={args.preset} seed={args.seed} "

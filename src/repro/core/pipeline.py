@@ -29,10 +29,14 @@ makes the partitioned execution exact rather than approximate.
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.config import StudyConfig
@@ -308,9 +312,43 @@ def shard_vp_lists(
     return [list(vps[i::shards]) for i in range(shards)]
 
 
-def _run_shard_job(config: StudyConfig, shard_index: int) -> CampaignCollector:
-    """Worker-process entry: rebuild the world, run one shard, return its
-    collector.  Module-level so it pickles for ProcessPoolExecutor."""
+#: Per-worker-process study config, installed once by the pool
+#: initializer so shard tasks ship only ``(shard_index, spill_root)``
+#: instead of re-pickling the config (and, transitively, nothing of the
+#: parent's world or platform) per task.
+_WORKER_CONFIG: Optional[StudyConfig] = None
+
+
+def _init_shard_worker(config_values: Dict[str, Any], owner_pid: int) -> None:
+    """Pool initializer: install the worker-process study config.
+
+    *config_values* is a plain ``asdict()`` of primitives — the only
+    payload that crosses the pipe at pool setup.  Worlds are NOT shipped:
+    each worker derives its own through the seed-keyed module cache
+    (``_WORLD_CACHE``), so repeated shard tasks in one worker reuse one
+    world build.  *owner_pid* arms the orphan watchdog: workers must not
+    outlive the campaign process that owns the pool.
+    """
+    from repro.util.procutil import exit_when_orphaned
+
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = StudyConfig(**config_values)
+    exit_when_orphaned(owner_pid)
+
+
+def _run_shard_spill_job(shard_index: int, spill_root: str) -> Dict[str, Any]:
+    """Worker-process entry: run one shard and spill it to disk.
+
+    Returns only the spill path plus a summary — the collector's numpy
+    buffers and zone graphs never transit the process-pool pipe.  The
+    parent memory-maps the spill back via
+    :func:`repro.data.spill.read_shard_spill`.
+    """
+    config = _WORKER_CONFIG
+    if config is None:
+        raise RuntimeError(
+            "shard worker used before _init_shard_worker installed its config"
+        )
     serial_config = config.serial()
     world = build_world(serial_config)
     platform = build_platform(serial_config, world)
@@ -318,24 +356,90 @@ def _run_shard_job(config: StudyConfig, shard_index: int) -> CampaignCollector:
     platform.prober.reset()
     shard_vps = shard_vp_lists(platform.vps, config.shards)[shard_index]
     _execute_campaign(config.engine, platform.prober, shard_vps, platform.schedule)
-    return platform.collector
+
+    from repro.data.spill import write_shard_spill
+
+    spill_dir = write_shard_spill(
+        Path(spill_root) / f"shard-{shard_index:03d}", platform.collector
+    )
+    import resource
+
+    rusage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "shard": shard_index,
+        "spill_dir": str(spill_dir),
+        "summary": platform.collector.summary(),
+        # worker-process CPU accounting: forkserver workers are children
+        # of the forkserver daemon, not of the parent, so the parent's
+        # RUSAGE_CHILDREN never sees them — report it ourselves.
+        "worker_pid": os.getpid(),
+        "worker_cpu_seconds": rusage.ru_utime + rusage.ru_stime,
+    }
+
+
+#: Handoff accounting for the most recent multiprocess campaign in this
+#: process: ``{"shards", "payload_bytes", "spill_bytes", "spill_dirs"}``.
+#: Benchmarks and CI read it to prove the spill path ran (spill_bytes >
+#: 0) and to size the new handoff against the old pickled-collector one.
+_LAST_SPILL_STATS: Optional[Dict[str, Any]] = None
+
+
+def last_spill_stats() -> Optional[Dict[str, Any]]:
+    """Stats for the last multiprocess campaign (None if none ran)."""
+    return _LAST_SPILL_STATS
+
+
+def _run_multiprocess(
+    config: StudyConfig, spill_root: Path
+) -> List[CampaignCollector]:
+    """Run every shard on a process pool with mmap spill handoff.
+
+    The pool uses the pinned start method (forkserver preferred, spawn
+    fallback — never fork), ships the config once per worker via the
+    initializer, and receives back per-shard spill *paths*; the heavy
+    row buffers come home through the filesystem, memory-mapped.
+    """
+    global _LAST_SPILL_STATS
+    from repro.data.spill import read_shard_spill, spill_nbytes
+    from repro.util.procutil import mp_context, pool_width
+
+    processes = pool_width(config.workers, config.shards)
+    with ProcessPoolExecutor(
+        max_workers=processes,
+        mp_context=mp_context(preload=("repro.core.pipeline",)),
+        initializer=_init_shard_worker,
+        initargs=(asdict(config), os.getpid()),
+    ) as pool:
+        futures = [
+            pool.submit(_run_shard_spill_job, index, str(spill_root))
+            for index in range(config.shards)
+        ]
+        results = [future.result() for future in futures]
+
+    worker_cpu: Dict[int, float] = {}
+    for result in results:
+        pid = result["worker_pid"]
+        # rusage is cumulative per process; with task reuse the last
+        # task's reading covers the earlier ones too
+        worker_cpu[pid] = max(worker_cpu.get(pid, 0.0), result["worker_cpu_seconds"])
+    _LAST_SPILL_STATS = {
+        "shards": config.shards,
+        "pool_processes": processes,
+        "payload_bytes": sum(
+            len(json.dumps(result).encode()) for result in results
+        ),
+        "spill_bytes": sum(spill_nbytes(r["spill_dir"]) for r in results),
+        "spill_dirs": [r["spill_dir"] for r in results],
+        "worker_cpu_seconds": round(sum(worker_cpu.values()), 2),
+    }
+    return [read_shard_spill(result["spill_dir"]) for result in results]
 
 
 def _run_sharded(
     config: StudyConfig, world: WorldArtifacts, platform: PlatformArtifacts
 ) -> List[CampaignCollector]:
-    """Run every shard (in-process or on worker processes); returns the
-    per-shard collectors in shard order."""
-    if config.workers > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(config.workers, config.shards)
-        ) as pool:
-            futures = [
-                pool.submit(_run_shard_job, config, index)
-                for index in range(config.shards)
-            ]
-            return [future.result() for future in futures]
-
+    """Run every shard in-process; returns the per-shard collectors in
+    shard order."""
     collectors: List[CampaignCollector] = []
     for shard_vps in shard_vp_lists(platform.vps, config.shards):
         world.distributor.reset_faults()
@@ -365,6 +469,24 @@ def run_campaign(
             config.engine, platform.prober, platform.vps, platform.schedule
         )
         return platform.collector
+    if config.workers > 1:
+        from repro.data.spill import spill_tempdir
+
+        spill_root = spill_tempdir("rootsim-spill-")
+        try:
+            shard_collectors = _run_multiprocess(config, spill_root)
+            world.distributor.reset_faults()
+            platform.prober.reset()
+            # merge copies every row out of the mmapped spill views, and
+            # the reload already pulled the transfer metadata and zone
+            # pack bytes into memory, so the spill directory is safe to
+            # delete once the merge returns.
+            merged = CampaignCollector.merge(shard_collectors)
+        finally:
+            shutil.rmtree(spill_root, ignore_errors=True)
+        platform.collector = merged
+        platform.prober.collector = merged
+        return merged
     shard_collectors = _run_sharded(config, world, platform)
     world.distributor.reset_faults()
     platform.prober.reset()

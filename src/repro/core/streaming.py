@@ -37,9 +37,12 @@ concatenating per-chunk merges reproduces the whole-campaign merge.
 from __future__ import annotations
 
 import json
+import os
+import shutil
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -177,6 +180,82 @@ class _ShardRunner:
             self.collector.rounds_processed += 1
 
 
+# --- multiprocess shard workers ------------------------------------------------------
+
+#: Per-worker-process streaming state: the study config installed by the
+#: pool initializer, and a cache of live shard runners keyed by shard
+#: index.  ProcessPoolExecutor does not pin tasks to workers, so a cache
+#: entry is only reused when its recorded position matches the requested
+#: ``lo`` — a reassigned shard rebuilds its runner from the shipped
+#: state dict (correct always, cheap in the common pinned case).
+_STREAM_CONFIG: Optional[StudyConfig] = None
+_STREAM_RUNNERS: Dict[int, Tuple[_ShardRunner, int]] = {}
+
+
+def _init_stream_worker(config_values: Dict[str, Any], owner_pid: int) -> None:
+    """Pool initializer: install the worker-process study config.
+
+    *owner_pid* arms the orphan watchdog — a SIGKILLed campaign (the
+    crash-injection tests) must not leave workers blocked on the call
+    queue holding its inherited file descriptors.
+    """
+    from repro.util.procutil import exit_when_orphaned
+
+    global _STREAM_CONFIG
+    _STREAM_CONFIG = StudyConfig(**config_values)
+    _STREAM_RUNNERS.clear()
+    exit_when_orphaned(owner_pid)
+
+
+def _advance_stream_shard(
+    shard_index: int, lo: int, hi: int, state: Dict, spill_root: str
+) -> Dict[str, Any]:
+    """Worker-process entry: advance one shard over ``[lo, hi)`` and
+    spill the chunk's rows.
+
+    The shipped *state* is the shard's aggregate state after round
+    ``lo`` was sealed; a cached runner already carrying that state (its
+    position matches ``lo``) advances directly, anything else rebuilds
+    world, platform and runner from the per-process seed-keyed world
+    cache plus the state dict.  Rows cross back to the parent through
+    the spill — only this path string and the shard index transit the
+    pool pipe.
+    """
+    config = _STREAM_CONFIG
+    if config is None:
+        raise RuntimeError(
+            "stream worker used before _init_stream_worker installed its config"
+        )
+    cached = _STREAM_RUNNERS.get(shard_index)
+    if cached is not None and cached[1] == lo:
+        runner = cached[0]
+    else:
+        serial_config = config.serial()
+        world = build_world(serial_config)
+        platform = build_platform(serial_config, world)
+        world.distributor.reset_faults()
+        platform.prober.reset()
+        shard_vps = shard_vp_lists(platform.vps, config.shards)[shard_index]
+        collector = CampaignCollector()
+        collector.restore_state_dict(state)
+        runner = _ShardRunner(world, platform, shard_vps, config.engine, collector)
+        runner.replay_to(lo)
+
+    runner.advance(lo, hi)
+
+    from repro.data.spill import write_shard_spill
+
+    spill_dir = write_shard_spill(
+        Path(spill_root) / f"rounds-{lo:05d}-shard-{shard_index:03d}",
+        runner.collector,
+    )
+    # Drain so the next advance appends only its own chunk's rows; the
+    # aggregates stay cumulative, exactly like the in-process path.
+    runner.collector.drain_rows()
+    _STREAM_RUNNERS[shard_index] = (runner, hi)
+    return {"shard": shard_index, "spill_dir": str(spill_dir)}
+
+
 # --- chunk delta extraction ----------------------------------------------------------
 
 
@@ -241,11 +320,6 @@ def run_streaming_campaign(
     """
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1: {checkpoint_every}")
-    if config.workers > 1:
-        raise CheckpointError(
-            "streaming campaigns run shards in-process; set workers=1 "
-            "(multiprocess shard workers cannot share the chunk writer)"
-        )
 
     world = build_world(config)
     platform = build_platform(config, world)
@@ -292,13 +366,35 @@ def run_streaming_campaign(
             shard_states=[c.state_dict() for c in shard_collectors],
         )
 
-    runners = [
-        _ShardRunner(world, platform, vps, config.engine, collector)
-        for vps, collector in zip(shard_vps, shard_collectors)
-    ]
     rounds_done = writer.rounds_done
-    for runner in runners:
-        runner.replay_to(rounds_done)
+    use_workers = config.workers > 1 and config.shards > 1
+    pool: Optional[ProcessPoolExecutor] = None
+    spill_root: Optional[Path] = None
+    runners: List[_ShardRunner] = []
+    shard_states: List[Dict] = []
+    if use_workers:
+        # Shards advance on worker processes; each chunk comes home as a
+        # per-shard mmap spill, merged columnar-ly here at seal time.
+        # The shipped per-task payload is (shard, range, state dict);
+        # returned payload is the spill path.
+        from repro.data.spill import spill_tempdir
+        from repro.util.procutil import mp_context, pool_width
+
+        shard_states = [c.state_dict() for c in shard_collectors]
+        spill_root = spill_tempdir("rootsim-stream-spill-")
+        pool = ProcessPoolExecutor(
+            max_workers=pool_width(config.workers, config.shards),
+            mp_context=mp_context(preload=("repro.core.streaming",)),
+            initializer=_init_stream_worker,
+            initargs=(asdict(config), os.getpid()),
+        )
+    else:
+        runners = [
+            _ShardRunner(world, platform, vps, config.engine, collector)
+            for vps, collector in zip(shard_vps, shard_collectors)
+        ]
+        for runner in runners:
+            runner.replay_to(rounds_done)
 
     prev_counts = global_state.change_counts()
     prev_idents = _snapshot_identities(global_state)
@@ -306,44 +402,73 @@ def run_streaming_campaign(
     prev_total = global_state.transfer_total
     prev_clean = global_state.transfer_clean
 
-    lo = rounds_done
-    while lo < n_rounds:
-        hi = min(lo + checkpoint_every, n_rounds)
-        for runner in runners:
-            runner.advance(lo, hi)
+    try:
+        lo = rounds_done
+        while lo < n_rounds:
+            hi = min(lo + checkpoint_every, n_rounds)
+            spill_dirs: List[str] = []
+            if use_workers:
+                from repro.data.spill import read_shard_spill
 
-        merged = CampaignCollector.merge(shard_collectors)
-        probes, traceroutes, transfers = merged.drain_rows()
-        chunk = ChunkData(
-            round_lo=lo,
-            round_hi=hi,
-            probes=probes,
-            traceroutes=traceroutes,
-            stability=_stability_delta(prev_counts, merged.change_counts()),
-            identities=_identity_delta(prev_idents, merged.identities),
-            transfers=transfers,
-            queries=merged.queries_simulated - prev_queries,
-            transfer_total=merged.transfer_total - prev_total,
-            transfer_clean=merged.transfer_clean - prev_clean,
-        )
-        for collector in shard_collectors:
-            collector.drain_rows()
-        chunk_index = len(writer.checkpoint["chunks"])
-        chunk_dir = writer.seal_chunk(
-            chunk,
-            state=merged.state_dict(),
-            shard_states=[c.state_dict() for c in shard_collectors],
-        )
+                futures = [
+                    pool.submit(
+                        _advance_stream_shard,
+                        index,
+                        lo,
+                        hi,
+                        shard_states[index],
+                        str(spill_root),
+                    )
+                    for index in range(len(shard_collectors))
+                ]
+                results = [future.result() for future in futures]
+                spill_dirs = [r["spill_dir"] for r in results]
+                chunk_collectors = [read_shard_spill(d) for d in spill_dirs]
+            else:
+                for runner in runners:
+                    runner.advance(lo, hi)
+                chunk_collectors = shard_collectors
 
-        global_state = merged
-        prev_counts = global_state.change_counts()
-        prev_idents = _snapshot_identities(global_state)
-        prev_queries = global_state.queries_simulated
-        prev_total = global_state.transfer_total
-        prev_clean = global_state.transfer_clean
-        lo = hi
-        if after_chunk is not None:
-            after_chunk(chunk_index, chunk_dir, chunk.round_lo, hi)
+            merged = CampaignCollector.merge(chunk_collectors)
+            probes, traceroutes, transfers = merged.drain_rows()
+            chunk = ChunkData(
+                round_lo=lo,
+                round_hi=hi,
+                probes=probes,
+                traceroutes=traceroutes,
+                stability=_stability_delta(prev_counts, merged.change_counts()),
+                identities=_identity_delta(prev_idents, merged.identities),
+                transfers=transfers,
+                queries=merged.queries_simulated - prev_queries,
+                transfer_total=merged.transfer_total - prev_total,
+                transfer_clean=merged.transfer_clean - prev_clean,
+            )
+            for collector in chunk_collectors:
+                collector.drain_rows()
+            shard_states = [c.state_dict() for c in chunk_collectors]
+            chunk_index = len(writer.checkpoint["chunks"])
+            chunk_dir = writer.seal_chunk(
+                chunk,
+                state=merged.state_dict(),
+                shard_states=shard_states,
+            )
+            for spill_dir in spill_dirs:
+                shutil.rmtree(spill_dir, ignore_errors=True)
+
+            global_state = merged
+            prev_counts = global_state.change_counts()
+            prev_idents = _snapshot_identities(global_state)
+            prev_queries = global_state.queries_simulated
+            prev_total = global_state.transfer_total
+            prev_clean = global_state.transfer_clean
+            lo = hi
+            if after_chunk is not None:
+                after_chunk(chunk_index, chunk_dir, chunk.round_lo, hi)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if spill_root is not None:
+            shutil.rmtree(spill_root, ignore_errors=True)
 
     return StreamingRun(
         config=config,

@@ -22,7 +22,19 @@ from repro.data.io import (
     load_dataset,
     save_dataset,
 )
+from repro.data.columnar import (
+    merge_shard_columns,
+    remap_lookup,
+    scan_order,
+    stitch_columns,
+)
 from repro.data.passive import PassiveStore
+from repro.data.spill import (
+    SPILL_VERSION,
+    read_shard_spill,
+    spill_nbytes,
+    write_shard_spill,
+)
 from repro.data.schema import (
     ALL_TABLES,
     BINARY_TABLES,
@@ -54,10 +66,18 @@ __all__ = [
     "DatasetReader",
     "DatasetVersionError",
     "DatasetWriter",
+    "SPILL_VERSION",
     "Table",
     "TableSchema",
     "TransferRecord",
     "load_dataset",
+    "merge_shard_columns",
+    "read_shard_spill",
+    "remap_lookup",
     "save_dataset",
+    "scan_order",
     "seal_transfers",
+    "spill_nbytes",
+    "stitch_columns",
+    "write_shard_spill",
 ]

@@ -550,25 +550,24 @@ class CheckpointReader:
                 f"checkpoint names unknown service address {exc}"
             ) from exc
 
+        from repro.data.columnar import stitch_columns
+
         chunk_sets = self.chunk_datasets()
         tables: Dict[str, Table] = {}
         for name in ("probes", "traceroutes"):
             schema = BINARY_TABLES[name]
             parts = [d.table(name) for d in chunk_sets]
+            names = [spec.name for spec in schema.columns]
+            dtypes = {spec.name: spec.disk_dtype for spec in schema.columns}
             if len(parts) == 1:
                 tables[name] = parts[0]
             else:
-                tables[name] = Table(
-                    schema,
-                    {
-                        spec.name: (
-                            np.concatenate([p.column(spec.name) for p in parts])
-                            if parts
-                            else np.empty(0, dtype=spec.disk_dtype)
-                        )
-                        for spec in schema.columns
-                    },
+                stitched = stitch_columns(
+                    names,
+                    [{n: p.column(n) for n in names} for p in parts],
+                    empty_dtypes=dtypes,
                 )
+                tables[name] = Table(schema, stitched)
 
         stability = state.change_counts()
         n = len(stability)

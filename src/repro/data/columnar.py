@@ -1,0 +1,90 @@
+"""Columnar recombination primitives shared by shard merge and chunk stitch.
+
+Two layers recombine row tables that were produced piecewise:
+
+* :meth:`repro.vantage.collector.CampaignCollector.merge` concatenates
+  per-shard probe/traceroute columns and reorders them into the serial
+  campaign-scan order, and
+* :meth:`repro.data.chunks.CheckpointReader.dataset` stitches sealed
+  chunk tables (already in scan order) back into one table.
+
+Both are the same array-level operation — column-wise concatenation of
+parts, optionally followed by a stable ``(ts, vp)`` sort — so both build
+on these helpers instead of carrying private copies.  Keeping the
+primitive in one place is what makes "sharded merge output ==
+concatenated chunk output == serial table" an invariant of one function
+rather than a coincidence of three.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def remap_lookup(mapping: Mapping[int, int], size: Optional[int] = None) -> np.ndarray:
+    """Dense old-index -> new-index lookup table for interner remapping.
+
+    ``lookup[old]`` yields the merged interner's index for a shard-local
+    code; fancy-indexing a whole column through it remaps the column in
+    one vectorised gather.
+    """
+    if size is None:
+        size = max(mapping, default=-1) + 1
+    lookup = np.zeros(max(size, 1), dtype=np.int64)
+    for old, new in mapping.items():
+        lookup[old] = new
+    return lookup
+
+
+def stitch_columns(
+    names: Sequence[str],
+    parts: Sequence[Mapping[str, np.ndarray]],
+    *,
+    empty_dtypes: Optional[Mapping[str, np.dtype]] = None,
+) -> Dict[str, np.ndarray]:
+    """Column-wise concatenation of row-table *parts*, in part order.
+
+    Each part maps column name -> array; all parts must carry every
+    column in *names*.  With no parts at all the result is empty columns
+    (dtyped via *empty_dtypes* when given, else numpy's default).
+    """
+    out: Dict[str, np.ndarray] = {}
+    for name in names:
+        blocks: List[np.ndarray] = [np.asarray(part[name]) for part in parts]
+        if blocks:
+            out[name] = blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+        else:
+            dtype = empty_dtypes.get(name) if empty_dtypes is not None else None
+            out[name] = np.empty(0, dtype=dtype)
+    return out
+
+
+def scan_order(columns: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Serial campaign-scan order of concatenated shard rows.
+
+    The campaign scans rounds outer, VPs inner; a (ts, vp) pair belongs
+    to exactly one shard and rows within a shard are already in scan
+    order, so a stable lexicographic sort on (ts, vp) *is* the k-way
+    merge back into the serial row order.
+    """
+    return np.lexsort((columns["vp"], columns["ts"]))
+
+
+def merge_shard_columns(
+    names: Sequence[str],
+    parts: Sequence[Mapping[str, np.ndarray]],
+    *,
+    empty_dtypes: Optional[Mapping[str, np.dtype]] = None,
+) -> Dict[str, np.ndarray]:
+    """Concatenate per-shard column dicts and restore serial scan order.
+
+    *parts* carry already-remapped (globally-valid) interner codes; this
+    is pure array recombination — no record objects, no per-row python.
+    """
+    stitched = stitch_columns(names, parts, empty_dtypes=empty_dtypes)
+    if not len(stitched["ts"]):
+        return stitched
+    order = scan_order(stitched)
+    return {name: stitched[name][order] for name in names}

@@ -75,6 +75,19 @@ def write_binary_table(
     return {"rows": rows or 0, "columns": entry_columns}
 
 
+def read_binary_table(
+    root: Union[str, Path], schema: TableSchema, entry: dict
+) -> Table:
+    """Memory-map one binary table written by :func:`write_binary_table`.
+
+    *entry* is the manifest entry the writer returned (row count plus
+    per-column file paths); columns come back as read-only ``np.memmap``
+    views in the schema's disk dtypes — the zero-copy reload primitive
+    shared by full datasets, streaming chunks and shard spills.
+    """
+    return DatasetReader(root)._read_table(schema, entry)
+
+
 def table_manifest_entry(schema: TableSchema, rows: int) -> dict:
     """The manifest entry :func:`write_binary_table` produces, without
     writing anything (for writers that append column files directly)."""

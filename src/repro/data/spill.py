@@ -1,0 +1,329 @@
+"""Per-shard spill datasets: the zero-copy multiprocess handoff format.
+
+Shard workers used to hand their results back by pickling the whole
+:class:`~repro.vantage.collector.CampaignCollector` through the process
+pool — tens of megabytes of numpy buffers and zone object graphs
+serialised, piped, and deserialised per shard.  A spill replaces that
+with the mmap dataset substrate (DESIGN.md §12): the worker writes its
+columnar row buffers as ordinary binary tables, its aggregate state as a
+compact JSON sidecar, and its transfer observations as metadata rows
+plus a deduplicated zone pack; only the spill *path* (plus a summary)
+crosses the pipe.  The parent memory-maps the tables back — zero copies,
+zero row-level python — and merges.
+
+Layout::
+
+    <dir>/
+      SPILL.json               # spill/schema versions, collector state
+                               # dict, summary, table manifest entries
+      tables/probes/<col>.bin  # write_binary_table output — byte-for-byte
+      tables/traceroutes/...   # the dataset column-file format
+      transfers.jsonl          # per-observation metadata (zone by index)
+      zones.pkl                # distinct Zone objects, first-seen order
+
+Row tables are spilled at the *disk* dtypes (float32 rtt/distances).
+That round-trip is byte-invisible to every consumer: analyses read
+float32 via ``probe_columns()`` regardless, and
+float64→float32→float64→float32 equals float64→float32, so a merged
+spill-reloaded campaign stays byte-identical to the serial run.
+
+Transfers keep full fidelity — the zone pack carries each *distinct*
+zone copy exactly once (the same dedup pickling a collector performed
+implicitly, minus the 40 MB of row buffers around it), so reloaded
+observations still power the Figure 10 bitflip diff and seal normally at
+dataset-save time.  No cryptography runs in workers: sealing 200+
+distinct zone contents costs ~45 s of RSA verification at the bench
+config, which stays where it always was (dataset save / chunk seal).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.data.io import read_binary_table, write_binary_table
+from repro.data.schema import BINARY_TABLES, SCHEMA_VERSION, DatasetError
+from repro.data.transfers import TransferRecord, record_to_row, row_to_record
+from repro.vantage.collector import CampaignCollector, TransferObservation
+
+SPILL_NAME = "SPILL.json"
+
+#: Version of the spill layout; bump on every incompatible change.
+SPILL_VERSION = 1
+
+#: Minimum free bytes before /dev/shm is trusted as the spill root.
+_SHM_MIN_FREE = 2 << 30
+
+
+def spill_tempdir(prefix: str) -> Path:
+    """A scratch root for shard spills.
+
+    Prefers ``/dev/shm`` (tmpfs) when it exists, is writable, and has
+    comfortable headroom: the handoff then never touches a disk — the
+    worker's table write is a memcpy into shared memory and the parent's
+    ``np.memmap`` reads the same pages back.  Falls back to the standard
+    temp dir otherwise.  ``ROOTSIM_SPILL_DIR`` overrides both.
+    """
+    override = os.environ.get("ROOTSIM_SPILL_DIR")
+    if override:
+        return Path(tempfile.mkdtemp(prefix=prefix, dir=override))
+    shm = Path("/dev/shm")
+    try:
+        if shm.is_dir() and os.access(shm, os.W_OK):
+            stats = os.statvfs(shm)
+            if stats.f_bavail * stats.f_frsize >= _SHM_MIN_FREE:
+                return Path(tempfile.mkdtemp(prefix=prefix, dir=str(shm)))
+    except OSError:
+        pass
+    return Path(tempfile.mkdtemp(prefix=prefix))
+
+
+class SpillTransfers(Sequence):
+    """Transfer observations of one reloaded spill, materialized lazily.
+
+    Rehydrating transfers is the one part of a spill reload that is not
+    zero-copy: the zone pack has to be unpickled and every observation
+    rebuilt as an object.  Most consumers never look — the statistical
+    analyses read row tables, and the batch pipeline only needs
+    transfers at dataset-save time (sealing), where the unpickle is
+    noise next to the crypto.  So the reload parses only the cheap
+    metadata rows eagerly (enough for ``len()`` and the merge's
+    ``(true_ts, vp_id)`` ordering) and holds the zone pack as raw bytes;
+    the first element access materializes the real observation objects.
+    """
+
+    def __init__(
+        self,
+        rows: List[dict],
+        zone_blob: bytes,
+        expected_zones: int,
+        address_map: Dict[str, object],
+        source: Path,
+    ) -> None:
+        self._rows: Optional[List[dict]] = rows
+        self._zone_blob: Optional[bytes] = zone_blob
+        self._expected_zones = expected_zones
+        self._address_map = address_map
+        self._source = source
+        self._items: Optional[List[object]] = None
+
+    def order_keys(self) -> List[Tuple[int, int]]:
+        """Per-row ``(true_ts, vp_id)`` without materializing objects."""
+        if self._items is not None:
+            return [(o.true_ts, o.vp_id) for o in self._items]
+        keys = []
+        for row in self._rows:
+            fields = row["row"] if row.get("kind") == "record" else row
+            keys.append((int(fields["true_ts"]), int(fields["vp_id"])))
+        return keys
+
+    def _materialize(self) -> List[object]:
+        if self._items is None:
+            zones: List[object] = (
+                pickle.loads(self._zone_blob) if self._zone_blob else []
+            )
+            if len(zones) != self._expected_zones:
+                raise DatasetError(
+                    f"shard spill at {self._source} promises "
+                    f"{self._expected_zones} zones; the pack holds {len(zones)}"
+                )
+            items: List[object] = []
+            for row in self._rows:
+                if row.get("kind") == "record":
+                    record = row_to_record(row["row"], self._address_map)
+                    if row.get("zone") is not None:
+                        from dataclasses import replace
+
+                        record = replace(record, zone=zones[int(row["zone"])])
+                    items.append(record)
+                else:
+                    items.append(
+                        TransferObservation(
+                            vp_id=int(row["vp_id"]),
+                            true_ts=int(row["true_ts"]),
+                            observed_ts=int(row["observed_ts"]),
+                            address=self._address_map[row["address"]],
+                            serial=int(row["serial"]),
+                            zone=zones[int(row["zone"])],
+                            fault=str(row["fault"]),
+                            fault_detail=str(row["fault_detail"]),
+                        )
+                    )
+            self._items = items
+            self._rows = self._zone_blob = None
+        return self._items
+
+    def __len__(self) -> int:
+        if self._items is not None:
+            return len(self._items)
+        return len(self._rows)
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+
+def write_shard_spill(
+    directory: Union[str, Path], collector: CampaignCollector
+) -> Path:
+    """Spill one shard collector's contents to *directory*.
+
+    Row tables go down as standard binary tables, aggregates as the
+    collector's :meth:`~repro.vantage.collector.CampaignCollector.state_dict`,
+    transfers as metadata rows referencing a deduplicated zone pack.
+    The collector itself is untouched (the streaming path drains it
+    afterwards; the batch path discards it with the worker process).
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    tables = {
+        "probes": write_binary_table(
+            root, "probes", BINARY_TABLES["probes"], collector.probe_columns()
+        ),
+        "traceroutes": write_binary_table(
+            root,
+            "traceroutes",
+            BINARY_TABLES["traceroutes"],
+            collector.traceroute_columns(),
+        ),
+    }
+
+    zones: List[object] = []
+    zone_index: Dict[int, int] = {}
+
+    def zone_ref(zone) -> int:
+        key = id(zone)
+        if key not in zone_index:
+            zone_index[key] = len(zones)
+            zones.append(zone)
+        return zone_index[key]
+
+    with open(root / "transfers.jsonl", "w") as handle:
+        for obs in collector.transfers:
+            if isinstance(obs, TransferRecord):
+                row = {
+                    "kind": "record",
+                    "zone": None if obs.zone is None else zone_ref(obs.zone),
+                    "row": record_to_row(obs),
+                }
+            else:
+                row = {
+                    "kind": "obs",
+                    "vp_id": obs.vp_id,
+                    "true_ts": obs.true_ts,
+                    "observed_ts": obs.observed_ts,
+                    "address": obs.address.address,
+                    "serial": obs.serial,
+                    "fault": obs.fault,
+                    "fault_detail": obs.fault_detail,
+                    "zone": zone_ref(obs.zone),
+                }
+            handle.write(json.dumps(row) + "\n")
+
+    if zones:
+        with open(root / "zones.pkl", "wb") as handle:
+            pickle.dump(zones, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    meta = {
+        "spill_version": SPILL_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "state": collector.state_dict(),
+        "summary": collector.summary(),
+        "tables": tables,
+        "transfers": {"rows": len(collector.transfers), "zones": len(zones)},
+    }
+    (root / SPILL_NAME).write_text(json.dumps(meta))
+    return root
+
+
+def read_shard_spill(directory: Union[str, Path]) -> CampaignCollector:
+    """Reload a shard spill as a merge-ready collector, zero-copy.
+
+    Aggregate state restores through the checkpoint codec; row tables
+    come back as read-only ``np.memmap`` views adopted via
+    :meth:`~repro.vantage.collector.CampaignCollector.attach_rows`;
+    transfer observations rehydrate with their real zone objects from
+    the pack.  The result merges byte-identically to the in-process
+    shard collector it was spilled from.
+    """
+    root = Path(directory)
+    meta_path = root / SPILL_NAME
+    if not meta_path.exists():
+        raise DatasetError(f"no shard spill at {root} (missing {SPILL_NAME})")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"corrupt spill manifest at {meta_path}: {exc}") from exc
+    if meta.get("spill_version") != SPILL_VERSION:
+        raise DatasetError(
+            f"shard spill at {root} has version {meta.get('spill_version')!r}; "
+            f"this reader supports version {SPILL_VERSION}"
+        )
+    if meta.get("schema_version") != SCHEMA_VERSION:
+        raise DatasetError(
+            f"shard spill at {root} carries dataset schema version "
+            f"{meta.get('schema_version')!r}; this reader supports "
+            f"version {SCHEMA_VERSION}"
+        )
+
+    collector = CampaignCollector()
+    collector.restore_state_dict(meta["state"])
+
+    probes = read_binary_table(root, BINARY_TABLES["probes"], meta["tables"]["probes"])
+    traceroutes = read_binary_table(
+        root, BINARY_TABLES["traceroutes"], meta["tables"]["traceroutes"]
+    )
+
+    # Transfer metadata parses eagerly (cheap, and the zone-pack bytes
+    # are pulled into memory so the spill directory can be deleted);
+    # object rehydration — the zone unpickle — waits for first access.
+    zones_path = root / "zones.pkl"
+    zone_blob = zones_path.read_bytes() if zones_path.exists() else b""
+    rows = [
+        json.loads(line)
+        for line in (root / "transfers.jsonl").read_text().splitlines()
+        if line.strip()
+    ]
+    if len(rows) != int(meta["transfers"]["rows"]):
+        raise DatasetError(
+            f"shard spill at {root} promises {meta['transfers']['rows']} "
+            f"transfer rows; found {len(rows)}"
+        )
+    if not zone_blob and int(meta["transfers"]["zones"]):
+        raise DatasetError(
+            f"shard spill at {root} promises {meta['transfers']['zones']} "
+            f"zones; the pack holds 0"
+        )
+    address_map = {sa.address: sa for sa in collector.addresses}
+    transfers: Union[List[object], SpillTransfers] = (
+        SpillTransfers(
+            rows, zone_blob, int(meta["transfers"]["zones"]), address_map, root
+        )
+        if rows
+        else []
+    )
+
+    collector.attach_rows(
+        {name: probes.column(name) for name in probes.schema.column_names()},
+        {
+            name: traceroutes.column(name)
+            for name in traceroutes.schema.column_names()
+        },
+        transfers,
+    )
+    return collector
+
+
+def spill_nbytes(directory: Union[str, Path]) -> int:
+    """Total on-disk size of one spill (the new handoff volume)."""
+    return sum(
+        p.stat().st_size for p in Path(directory).rglob("*") if p.is_file()
+    )

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -330,7 +331,14 @@ def _generate(
     if workers > 1 and len(groups) > 1:
         from concurrent.futures import ProcessPoolExecutor, as_completed
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        from repro.util.procutil import exit_when_orphaned, mp_context, pool_width
+
+        with ProcessPoolExecutor(
+            max_workers=pool_width(workers, len(groups)),
+            mp_context=mp_context(preload=("repro.reportgen",)),
+            initializer=exit_when_orphaned,
+            initargs=(os.getpid(),),
+        ) as pool:
             futures = [
                 pool.submit(_run_group, group, dataset_dir) for group in groups
             ]

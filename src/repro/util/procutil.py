@@ -1,0 +1,102 @@
+"""Pinned multiprocessing context for every process-pool user.
+
+The campaign pipeline, the streaming campaign and the report generator
+all fan work over ``ProcessPoolExecutor``.  Relying on the platform's
+default start method makes worker behaviour platform-dependent (``fork``
+on Linux silently inherits the parent's full mutable state — warmed
+caches, module globals, open file descriptors — while macOS and Windows
+spawn clean interpreters).  Worker determinism is part of the
+byte-identity contract, so every pool in the repo builds its context
+here: **forkserver** where available (cheap clean workers forked from a
+pristine server process), **spawn** otherwise.  Workers therefore always
+start from an empty world/dataset cache and receive their inputs
+explicitly — never by fork-time accident.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.context
+import os
+import threading
+import time
+from typing import Sequence
+
+#: Accepted start methods, most preferred first.  ``fork`` is deliberately
+#: absent: inheriting the parent's mutable state is exactly what pinned
+#: contexts exist to prevent.
+_PREFERRED = ("forkserver", "spawn")
+
+
+def mp_context(
+    preload: Sequence[str] = (),
+) -> multiprocessing.context.BaseContext:
+    """The pinned multiprocessing context for process pools.
+
+    *preload* names modules the forkserver imports once before forking
+    workers — listing the worker-function module there amortises its
+    (numpy-heavy) import cost across every worker instead of paying it
+    per process.  Ignored under ``spawn``, which has no server process.
+    """
+    for method in _PREFERRED:
+        if method in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context(method)
+            if preload and method == "forkserver":
+                ctx.set_forkserver_preload(list(preload))
+            return ctx
+    # No preferred method available (exotic platform): fall back to the
+    # default rather than failing — determinism is then best-effort.
+    return multiprocessing.get_context()
+
+
+def pool_width(requested: int, tasks: int) -> int:
+    """Process count for a pool: min(requested, tasks, visible CPUs).
+
+    Oversubscribing a narrow affinity mask buys nothing and costs a lot:
+    on a single-CPU container two concurrent shard workers interleave on
+    one core and thrash each other's caches — measurably slower than
+    running the same tasks through one worker process (which also reuses
+    its seed-keyed world cache across tasks).  Capping at the
+    affinity-visible CPU count keeps ``--workers N`` a pure upper bound;
+    on a real multi-core machine it changes nothing.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # no sched_getaffinity (macOS)
+        cpus = os.cpu_count() or 1
+    return max(1, min(requested, tasks, cpus))
+
+
+def _pid_running(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    try:
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            # The state letter follows the parenthesised comm (which may
+            # itself contain spaces); "Z" is a zombie — already dead.
+            return handle.read().rpartition(b")")[2].split()[0] != b"Z"
+    except OSError:  # no /proc (macOS): existence is the best signal
+        return True
+
+
+def exit_when_orphaned(owner_pid: int, poll_seconds: float = 1.0) -> None:
+    """Hard-exit this process once *owner_pid* is gone.
+
+    Forkserver pool workers are children of the server daemon, not of
+    the pool owner.  If the owner dies without shutting the pool down
+    (SIGKILL — the crash-injection tests do exactly this), the workers
+    block on the call queue forever, pinning every file descriptor they
+    inherited, including the owner's stdout/stderr pipes.  Pool
+    initializers call this to watch the owner's pid from a daemon
+    thread and exit the moment it disappears.
+    """
+
+    def _watch() -> None:
+        while True:
+            if not _pid_running(owner_pid):
+                os._exit(1)
+            time.sleep(poll_seconds)
+
+    threading.Thread(target=_watch, name="orphan-watchdog", daemon=True).start()

@@ -189,6 +189,94 @@ class _ColumnTable:
         return self._buffers[name][: self._n]
 
 
+class _FrozenColumnTable:
+    """Read-only columnar rows over externally-owned (mmap-backed) arrays.
+
+    A shard spill reload (:mod:`repro.data.spill`) adopts the on-disk
+    column files zero-copy instead of re-appending rows into fresh
+    buffers.  Columns may carry the *disk* dtypes (float32 for the RTT
+    and distance columns) rather than the in-memory float64 — every read
+    surface is unaffected: ``probe_columns`` downcasts to float32 anyway
+    and :meth:`CampaignCollector.merge` upcasts on append, and
+    float64→float32→float64→float32 equals float64→float32, so the
+    round-trip is byte-invisible.  Appends raise: a spill-backed
+    collector is a merge *input*, never an ingest target.
+    """
+
+    def __init__(
+        self,
+        spec: Sequence[Tuple[str, "np.dtype"]],
+        columns: Dict[str, np.ndarray],
+    ) -> None:
+        self._spec = list(spec)
+        names = {name for name, _ in self._spec}
+        if set(columns) != names:
+            raise ValueError(
+                f"column set mismatch: got {sorted(columns)}, "
+                f"want {sorted(names)}"
+            )
+        lengths = {len(array) for array in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self._columns = dict(columns)
+        self._n = lengths.pop() if lengths else 0
+        self.version = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def column(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def append(self, *values) -> None:
+        raise CollectorSealedError(
+            "spill-backed row tables are read-only merge inputs"
+        )
+
+    def extend(self, **arrays) -> None:
+        raise CollectorSealedError(
+            "spill-backed row tables are read-only merge inputs"
+        )
+
+
+class _MergedTransfers(Sequence):
+    """K-way-merged transfer observations, materialized on first access.
+
+    When :meth:`CampaignCollector.merge` combines spill-reloaded shards,
+    their transfer sequences defer zone-pack unpickling until someone
+    looks (``repro.data.spill.SpillTransfers``).  The merge must not be
+    that someone: it stores only the interleaving — ``(shard, index)``
+    in serial campaign order — and resolves real observation objects on
+    the first element access, so a campaign whose consumers never read
+    transfer content (the statistical analyses) never rehydrates zones.
+    """
+
+    def __init__(
+        self, sources: List[Sequence], order: List[Tuple[int, int]]
+    ) -> None:
+        self._sources: Optional[List[Sequence]] = sources
+        self._order: Optional[List[Tuple[int, int]]] = order
+        self._items: Optional[List] = None
+
+    def _materialize(self) -> List:
+        if self._items is None:
+            sources, order = self._sources, self._order
+            self._items = [sources[shard][i] for shard, i in order]
+            self._sources = self._order = None
+        return self._items
+
+    def __len__(self) -> int:
+        if self._items is not None:
+            return len(self._items)
+        return len(self._order)
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+
 #: Probe table schema (storage dtypes; ``probe_columns`` downcasts the
 #: float columns to float32 exactly like the historical list storage).
 _PROBE_SPEC = (
@@ -567,6 +655,37 @@ class CampaignCollector:
         self.transfer_total = int(state["transfer_total"])
         self.transfer_clean = int(state["transfer_clean"])
 
+    def attach_rows(
+        self,
+        probes: Dict[str, np.ndarray],
+        traceroutes: Dict[str, np.ndarray],
+        transfers: Sequence,
+    ) -> None:
+        """Adopt externally-owned row columns zero-copy (spill reload).
+
+        The inverse of :meth:`drain_rows` for a collector whose aggregate
+        state came back through :meth:`restore_state_dict`: row tables
+        become read-only views over the given arrays (typically
+        ``np.memmap`` columns of a shard spill) without copying a byte.
+        The result is a full-fidelity merge input for :meth:`merge`.
+        """
+        self._assert_unsealed()
+        if len(self._probes) or len(self._traceroutes) or self.transfers:
+            raise ValueError("attach_rows requires empty row tables")
+        self._probes = _FrozenColumnTable(_PROBE_SPEC, probes)
+        self._traceroutes = _FrozenColumnTable(_TRACEROUTE_SPEC, traceroutes)
+        # A lazily-materializing sequence (spill reload) is adopted
+        # as-is — copying it into a list would force rehydration now.
+        self.transfers = (
+            transfers
+            if hasattr(transfers, "order_keys")
+            else list(transfers)
+        )
+        self._probe_cols_cache = None
+        self._probe_cols_version = -1
+        self._trace_cols_cache = None
+        self._trace_cols_version = -1
+
     def drain_rows(
         self,
     ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], List[TransferObservation]]:
@@ -660,54 +779,43 @@ class CampaignCollector:
                 raise ValueError(f"shards overlap on (vp, addr) pair {pair}")
             merged._stability[pair] = [site_maps[shard_no][state[0]], state[1], state[2]]
 
-        # Probe rows: a stable sort of the concatenated shard tables on
-        # (ts, vp) reproduces the serial row order (see docstring).
-        def remap_lookup(mapping: Dict[int, int]) -> np.ndarray:
-            lookup = np.zeros(max(len(mapping), 1), dtype=np.int64)
-            for old, new in mapping.items():
-                lookup[old] = new
-            return lookup
+        # Probe/traceroute rows: remap each shard's interned codes, then
+        # recombine columnar-ly — concatenation plus a stable (ts, vp)
+        # sort reproduces the serial row order (see docstring).  The
+        # recombination primitive is shared with the streaming chunk
+        # stitcher (repro.data.columnar).
+        from repro.data.columnar import merge_shard_columns, remap_lookup
 
-        probe_blocks: Dict[str, List[np.ndarray]] = {
-            name: [] for name, _ in _PROBE_SPEC
-        }
+        probe_parts: List[Dict[str, np.ndarray]] = []
         for shard_no, shard in enumerate(shards):
-            table = shard._probes
-            for name, _dtype in _PROBE_SPEC:
-                col = table.column(name)
-                if name == "site" and len(col):
-                    col = remap_lookup(site_maps[shard_no])[col]
-                probe_blocks[name].append(col)
-        probe_all = {
-            name: np.concatenate(blocks) if blocks else np.empty(0)
-            for name, blocks in probe_blocks.items()
-        }
+            part = {
+                name: shard._probes.column(name) for name, _ in _PROBE_SPEC
+            }
+            if len(part["site"]):
+                part["site"] = remap_lookup(site_maps[shard_no])[part["site"]]
+            probe_parts.append(part)
+        probe_all = merge_shard_columns(
+            [name for name, _ in _PROBE_SPEC], probe_parts
+        )
         if len(probe_all["ts"]):
-            order = np.lexsort((probe_all["vp"], probe_all["ts"]))
-            merged._probes.extend(
-                **{name: probe_all[name][order] for name, _ in _PROBE_SPEC}
-            )
+            merged._probes.extend(**probe_all)
 
-        trace_blocks: Dict[str, List[np.ndarray]] = {
-            name: [] for name, _ in _TRACEROUTE_SPEC
-        }
+        trace_parts: List[Dict[str, np.ndarray]] = []
         for shard_no, shard in enumerate(shards):
-            table = shard._traceroutes
-            for name, _dtype in _TRACEROUTE_SPEC:
-                col = table.column(name)
-                if name == "hop" and len(col):
-                    lookup = remap_lookup(hop_maps[shard_no])
-                    col = np.where(col < 0, -1, lookup[np.maximum(col, 0)])
-                trace_blocks[name].append(col)
-        trace_all = {
-            name: np.concatenate(blocks) if blocks else np.empty(0)
-            for name, blocks in trace_blocks.items()
-        }
+            part = {
+                name: shard._traceroutes.column(name)
+                for name, _ in _TRACEROUTE_SPEC
+            }
+            hop = part["hop"]
+            if len(hop):
+                lookup = remap_lookup(hop_maps[shard_no])
+                part["hop"] = np.where(hop < 0, -1, lookup[np.maximum(hop, 0)])
+            trace_parts.append(part)
+        trace_all = merge_shard_columns(
+            [name for name, _ in _TRACEROUTE_SPEC], trace_parts
+        )
         if len(trace_all["ts"]):
-            order = np.lexsort((trace_all["vp"], trace_all["ts"]))
-            merged._traceroutes.extend(
-                **{name: trace_all[name][order] for name, _ in _TRACEROUTE_SPEC}
-            )
+            merged._traceroutes.extend(**trace_all)
 
         # Identities: counts sum; dict creation order follows the global
         # first (round, vp, addr) occurrence per (letter, identity).
@@ -728,13 +836,31 @@ class CampaignCollector:
             merged._identity_order[(letter, identity)] = first_seen[(letter, identity)]
 
         def transfer_rows(shard_no: int, shard: "CampaignCollector"):
-            for i, obs in enumerate(shard.transfers):
-                yield (obs.true_ts, obs.vp_id, shard_no, i)
+            keys = getattr(shard.transfers, "order_keys", None)
+            if keys is not None:
+                # Spill-reloaded shards expose ordering keys without
+                # materializing observation objects (zone unpickling
+                # stays deferred until a consumer actually looks).
+                for i, (true_ts, vp_id) in enumerate(keys()):
+                    yield (true_ts, vp_id, shard_no, i)
+            else:
+                for i, obs in enumerate(shard.transfers):
+                    yield (obs.true_ts, obs.vp_id, shard_no, i)
 
-        for _ts, _vp, shard_no, i in heapq.merge(
-            *(transfer_rows(n, s) for n, s in enumerate(shards))
-        ):
-            merged.transfers.append(shards[shard_no].transfers[i])
+        order = [
+            (shard_no, i)
+            for _ts, _vp, shard_no, i in heapq.merge(
+                *(transfer_rows(n, s) for n, s in enumerate(shards))
+            )
+        ]
+        if any(hasattr(s.transfers, "order_keys") for s in shards):
+            merged.transfers = _MergedTransfers(
+                [s.transfers for s in shards], order
+            )
+        else:
+            merged.transfers = [
+                shards[shard_no].transfers[i] for shard_no, i in order
+            ]
 
         return merged
 

@@ -145,14 +145,29 @@ class TestSharding:
         assert serial.seed == sharded.seed
 
     def test_multiprocess_run_equals_serial(self, tiny_study):
-        """workers > 1 runs shards on a process pool; output is still
-        identical to the serial campaign."""
+        """workers > 1 runs shards on a process pool with mmap spill
+        handoff; output is still byte-identical to the serial campaign."""
+        import numpy as np
+
+        from repro.core.pipeline import last_spill_stats
+
         study = RootStudy(tiny_config().with_sharding(2, workers=2))
         study.run()
         assert study.collector.summary() == tiny_study.collector.summary()
         assert study.collector.change_counts() == (
             tiny_study.collector.change_counts()
         )
+        ours, ref = study.collector.probe_columns(), (
+            tiny_study.collector.probe_columns()
+        )
+        for name in ours:
+            assert np.array_equal(ours[name], ref[name]), name
+
+        # the collectors came home through spills, not the pool pipe
+        stats = last_spill_stats()
+        assert stats is not None and stats["shards"] == 2
+        assert stats["spill_bytes"] > 0
+        assert stats["payload_bytes"] < 4096
 
 
 class TestAnalyzeStage:

@@ -81,10 +81,34 @@ def test_fresh_run_refuses_existing_checkpoint(tmp_path):
         run_streaming_campaign(config, ckpt, checkpoint_every=2)
 
 
-def test_streaming_requires_in_process_shards(tmp_path):
-    config = tiny_stream_config().with_sharding(2, workers=2)
-    with pytest.raises(CheckpointError, match="workers=1"):
-        run_streaming_campaign(config, tmp_path / "ckpt")
+def test_multiprocess_streaming_matches_in_process(tmp_path):
+    """Shard workers on a process pool seal the same chunks — the
+    finalized tree differs from the in-process run only in the study
+    fingerprint's worker count."""
+    import json
+
+    from tests.streamutil import tree_bytes
+
+    ckpt1, ckpt2 = tmp_path / "ckpt1", tmp_path / "ckpt2"
+    run_streaming_campaign(
+        tiny_stream_config().with_sharding(2, workers=1), ckpt1, checkpoint_every=2
+    )
+    mp_run = run_streaming_campaign(
+        tiny_stream_config().with_sharding(2, workers=2), ckpt2, checkpoint_every=2
+    )
+    assert mp_run.complete and mp_run.chunks == 3
+    out1, out2 = tmp_path / "out1", tmp_path / "out2"
+    finalize_streaming_campaign(ckpt1, out1, passive=False)
+    finalize_streaming_campaign(ckpt2, out2, passive=False)
+
+    left, right = tree_bytes(out1), tree_bytes(out2)
+    assert set(left) == set(right)
+    different = [name for name in left if left[name] != right[name]]
+    assert different in ([], ["MANIFEST.json"])
+    m1 = json.loads(left["MANIFEST.json"])
+    m2 = json.loads(right["MANIFEST.json"])
+    m1["study"]["workers"] = m2["study"]["workers"] = 0
+    assert m1 == m2
 
 
 def test_checkpoint_every_must_be_positive(tmp_path):

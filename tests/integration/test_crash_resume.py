@@ -30,7 +30,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 N_CHUNKS = 3  # 5 rounds, checkpoint_every=2 -> [0,2) [2,4) [4,5)
 
 
-def _run_child(checkpoint_dir, engine, shards, *, kill_after=None, resume=False):
+def _run_child(
+    checkpoint_dir, engine, shards, *, workers=1, kill_after=None, resume=False
+):
     argv = [
         sys.executable,
         "-m",
@@ -38,6 +40,7 @@ def _run_child(checkpoint_dir, engine, shards, *, kill_after=None, resume=False)
         str(checkpoint_dir),
         "--engine", engine,
         "--shards", str(shards),
+        "--workers", str(workers),
     ]
     if kill_after is not None:
         argv += ["--kill-after-chunk", str(kill_after)]
@@ -48,10 +51,20 @@ def _run_child(checkpoint_dir, engine, shards, *, kill_after=None, resume=False)
         [str(REPO_ROOT / "src"), str(REPO_ROOT)]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
     )
-    return subprocess.run(
-        argv, cwd=REPO_ROOT, env=env, capture_output=True, text=True,
-        timeout=600,
-    )
+    # Capture into *files*, not pipes: a SIGKILLed child's pool workers
+    # hold its inherited stdout/stderr for a moment before the orphan
+    # watchdog fires, and pipe capture would wait on them for EOF
+    # instead of returning when the child itself is reaped.
+    out_path = Path(str(checkpoint_dir) + ".stdout")
+    err_path = Path(str(checkpoint_dir) + ".stderr")
+    with open(out_path, "w") as out, open(err_path, "w") as err:
+        proc = subprocess.run(
+            argv, cwd=REPO_ROOT, env=env, stdout=out, stderr=err,
+            timeout=600,
+        )
+    proc.stdout = out_path.read_text()
+    proc.stderr = err_path.read_text()
+    return proc
 
 
 @pytest.mark.parametrize("engine", ["epoch", "scalar"])
@@ -78,6 +91,40 @@ def test_sigkill_at_chunk_boundary_resumes_byte_identical(
     assert 0 < ckpt_state["rounds_done"] < 5
 
     resumed = _run_child(ckpt, engine, shards, resume=True)
+    assert resumed.returncode == 0, resumed.stderr
+
+    out = tmp_path / "resumed"
+    finalize_streaming_campaign(ckpt, out, passive=False)
+    assert_trees_identical(reference, out)
+
+
+@pytest.mark.parametrize("engine", ["epoch", "scalar"])
+def test_sigkill_with_multiprocess_workers_resumes_byte_identical(
+    engine, tmp_path
+):
+    """SIGKILL of the *parent* mid-campaign with shard workers on a
+    process pool: the sealed prefix survives, the resume (also with
+    workers) finalizes byte-identically to an uninterrupted multiprocess
+    run."""
+    shards, workers = 2, 2
+    clean_ckpt = tmp_path / "clean-ckpt"
+    done = _run_child(clean_ckpt, engine, shards, workers=workers)
+    assert done.returncode == 0, done.stderr
+    reference = tmp_path / "reference"
+    finalize_streaming_campaign(clean_ckpt, reference, passive=False)
+
+    kill_after = random.Random(f"mp-{engine}").randrange(N_CHUNKS - 1)
+    ckpt = tmp_path / "crash-ckpt"
+    killed = _run_child(
+        ckpt, engine, shards, workers=workers, kill_after=kill_after
+    )
+    assert killed.returncode == -signal.SIGKILL, (
+        killed.returncode, killed.stderr
+    )
+    ckpt_state = json.loads((ckpt / CHECKPOINT_NAME).read_text())
+    assert 0 < ckpt_state["rounds_done"] < 5
+
+    resumed = _run_child(ckpt, engine, shards, workers=workers, resume=True)
     assert resumed.returncode == 0, resumed.stderr
 
     out = tmp_path / "resumed"
