@@ -21,6 +21,7 @@ import argparse
 import json
 import os
 import platform
+import resource
 import sys
 from dataclasses import asdict
 from typing import Dict, List, Optional, Tuple
@@ -199,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
         },
+        # High-water mark of this (parent) process over every variant.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "equivalence": (
             "all variants byte-identical to the scalar serial baseline"
             if not failures

@@ -22,6 +22,7 @@ import argparse
 import json
 import os
 import platform
+import resource
 import sys
 import time
 from dataclasses import replace
@@ -185,6 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python": platform.python_version(),
             "cpus": os.cpu_count(),
         },
+        # High-water mark of this process over the scalar + vectorized runs.
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "equivalence": (
             "all vectorized aggregates byte-identical to the scalar reference"
             if not failures

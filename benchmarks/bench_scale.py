@@ -1,0 +1,441 @@
+"""Paper-magnitude scaling matrix: wall, CPU and peak RSS per cell.
+
+Two cell families, every cell measured in its own subprocess (peak RSS
+is a per-process high-water mark):
+
+* ``epoch-<ring_scale>`` — builds the epoch-compiled campaign plan at
+  ring_scale 0.1 / 0.3 / 1.0 on the paper's 30-minute schedule, twice:
+  materialized (every (VP, address) epoch list up front) and streamed
+  (``EpochCampaignPlan(streamed=True)``, epochs per emitted chunk).
+  Both emit the same opening chunks and must report identical collector
+  summaries.  Each child samples its own RSS after the platform build
+  (the floor) and after plan construction, so the cell attributes
+  memory to the *plan* — the part the streamed path changes; emission
+  (collector rows, allocator high-water) is identical either way.
+  Streamed plan memory must sit well under materialized plan memory,
+  and a chunk-size sweep (same rounds emitted at every chunk size)
+  shows the retained state is O(chunk), not O(campaign).
+
+* ``passive-<clients>`` — 3 000 / 100 000 / 1 000 000 clients through a
+  week-long daily ISP capture.  ``indexed`` uses the paper-scale path
+  (mixer-compiled ``ClientColumns``, blocked flow grid, columnar
+  per-client ledger); ``legacy`` uses the original
+  ``build_client_population`` + eager per-client dicts (skipped at 10⁶,
+  where per-client Python objects stop being realistic).  Cells report
+  total wall and the population/per-client *path* speedup — the capture
+  kernel between those phases is the same vectorized engine either way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py                  # full matrix
+    PYTHONPATH=src python benchmarks/bench_scale.py \
+        --cells epoch-0.3,passive-100000 \
+        --max-epoch-rss-fraction 0.5 --min-passive-speedup 5.0       # CI smoke
+
+Exits non-zero on a summary mismatch or a failed gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SEED = 2024
+
+RING_SCALES = (0.1, 0.3, 1.0)
+CLIENT_COUNTS = (3_000, 100_000, 1_000_000)
+
+#: Rounds emitted per epoch cell: enough to exercise the full emission
+#: path; the RSS signal is the plan itself.
+EPOCH_CHUNK = 64
+EPOCH_ROUNDS = 128
+#: The streamed O(chunk) sweep (run at ring_scale 0.3) emits this many
+#: rounds at each chunk size — same collector growth per run, so the
+#: only RSS variable left is the per-chunk epoch buffer.
+SWEEP_CHUNKS = (16, 64, 256)
+SWEEP_ROUNDS = 512
+
+PASSIVE_WINDOW_DAYS = 7
+
+
+def _usage() -> Dict[str, float]:
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "cpu_seconds": round(usage.ru_utime + usage.ru_stime, 2),
+        "peak_rss_kb": usage.ru_maxrss,
+    }
+
+
+def _vmrss_kb() -> int:
+    """Current (not peak) resident set size, for in-process deltas."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def epoch_child(ring_scale: float, mode: str, chunk: int, rounds: int) -> int:
+    from dataclasses import replace
+
+    from repro.core.config import StudyConfig
+    from repro.core.pipeline import build_platform, build_world
+    from repro.vantage.epoch_engine import EpochCampaignPlan
+
+    config = replace(
+        StudyConfig.paper(seed=SEED),
+        ring_scale=ring_scale,
+        ring_min_per_region=1,
+    )
+    world = build_world(config, reuse=False)
+    platform_artifacts = build_platform(config, world)
+    floor_kb = _vmrss_kb()  # world + platform, before the first epoch
+
+    started = time.perf_counter()
+    plan = EpochCampaignPlan(
+        platform_artifacts.prober,
+        platform_artifacts.vps,
+        platform_artifacts.schedule,
+        streamed=(mode == "streamed"),
+    )
+    build_seconds = time.perf_counter() - started
+    plan_kb = max(0, _vmrss_kb() - floor_kb)  # retained by the plan itself
+    for lo in range(0, rounds, chunk):
+        plan.emit_range(lo, min(lo + chunk, rounds))
+    wall = time.perf_counter() - started
+
+    collector = platform_artifacts.prober.collector
+    print(json.dumps({
+        "mode": mode,
+        "chunk": chunk,
+        "rounds_emitted": rounds,
+        "vps": len(platform_artifacts.vps),
+        "rounds": platform_artifacts.schedule.round_count(),
+        "plan_build_seconds": round(build_seconds, 2),
+        "wall_seconds": round(wall, 2),
+        "floor_rss_kb": floor_kb,
+        "plan_rss_kb": plan_kb,
+        "summary": collector.summary(),
+        **_usage(),
+    }))
+    return 0
+
+
+def passive_child(clients: int, mode: str) -> int:
+    from dataclasses import replace
+
+    from repro.passive.clients import ISP_PROFILE, build_client_population
+    from repro.passive.isp import IspCapture
+    from repro.passive.population_engine import compile_population
+    from repro.util.rng import RngFactory
+    from repro.util.timeutil import DAY, parse_ts
+
+    profile = replace(
+        ISP_PROFILE, name=f"isp-scale-{clients}", n_clients=clients
+    )
+    window = (
+        parse_ts("2024-02-05"),
+        parse_ts("2024-02-05") + PASSIVE_WINDOW_DAYS * DAY,
+    )
+
+    started = time.perf_counter()
+    if mode == "indexed":
+        population = compile_population(profile, SEED)
+    else:
+        population = build_client_population(
+            profile, RngFactory(SEED).fork("scale")
+        )
+    capture = IspCapture(population, seed=SEED)
+    capture.client_columns()  # legacy pays the object -> columns walk here
+    built = time.perf_counter()
+
+    aggregate = capture.capture(*window, bucket_seconds=DAY)
+    captured = time.perf_counter()
+
+    if mode == "indexed":
+        # Figure 8 read off the columnar ledger — no dicts, no strings.
+        per_client = sum(
+            len(aggregate.mean_daily_flows_per_client(sa.address))
+            for sa in capture.addresses
+        )
+    else:
+        # The pre-ledger behaviour: eager per-client dicts.
+        per_client = len(aggregate.per_client_flows)
+    finished = time.perf_counter()
+
+    print(json.dumps({
+        "mode": mode,
+        "clients": clients,
+        "population_seconds": round(built - started, 2),
+        "capture_seconds": round(captured - built, 2),
+        "per_client_seconds": round(finished - captured, 2),
+        # Everything this PR's indexed path replaces; the capture kernel
+        # in between is the same vectorized engine for both modes.
+        "population_path_seconds": round(
+            (built - started) + (finished - captured), 2
+        ),
+        "wall_seconds": round(finished - started, 2),
+        "flow_cells": len(aggregate.flows),
+        "per_client_series": per_client,
+        **_usage(),
+    }))
+    return 0
+
+
+def run_child(argv: List[str]) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(REPO_ROOT, "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__)] + argv,
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"child {argv} failed ({proc.returncode}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run_epoch_cell(ring_scale: float, sweep: bool, failures: List[str]) -> dict:
+    label = f"epoch-{ring_scale:g}"
+    runs = {}
+    for mode in ("materialized", "streamed"):
+        runs[mode] = run_child(
+            ["--epoch-child", mode, "--ring-scale", str(ring_scale),
+             "--chunk", str(EPOCH_CHUNK), "--rounds", str(EPOCH_ROUNDS)]
+        )
+        print(f"{label:<16s} {mode:<13s} wall {runs[mode]['wall_seconds']:7.2f}s  "
+              f"cpu {runs[mode]['cpu_seconds']:7.2f}s  "
+              f"plan RSS {runs[mode]['plan_rss_kb'] / 1024:7.1f} MB  "
+              f"peak RSS {runs[mode]['peak_rss_kb'] / 1024:7.1f} MB")
+    if runs["streamed"]["summary"] != runs["materialized"]["summary"]:
+        failures.append(f"{label}: streamed summary differs from materialized")
+
+    # Plan-attributable memory: what each child retains over its own
+    # world + platform floor once the plan exists.  Emission costs
+    # (collector rows, allocator high-water over ~10^6 transient block
+    # allocations) are mode-independent and reported via peak RSS.
+    fraction = (
+        runs["streamed"]["plan_rss_kb"] / runs["materialized"]["plan_rss_kb"]
+        if runs["materialized"]["plan_rss_kb"]
+        else 1.0
+    )
+    total_fraction = (
+        runs["streamed"]["peak_rss_kb"] / runs["materialized"]["peak_rss_kb"]
+    )
+    print(f"{label:<16s} streamed plan RSS = {fraction:.2f}x materialized "
+          f"(child peak RSS {total_fraction:.2f}x)")
+
+    cell = {
+        "cell": label,
+        "ring_scale": ring_scale,
+        "vps": runs["materialized"]["vps"],
+        "rounds": runs["materialized"]["rounds"],
+        "chunk": EPOCH_CHUNK,
+        "rounds_emitted": EPOCH_ROUNDS,
+        "plan_rss_kb": {
+            "materialized": runs["materialized"]["plan_rss_kb"],
+            "streamed": runs["streamed"]["plan_rss_kb"],
+        },
+        "plan_rss_fraction": round(fraction, 3),
+        "total_rss_fraction": round(total_fraction, 3),
+        "identical_summaries": (
+            runs["streamed"]["summary"] == runs["materialized"]["summary"]
+        ),
+        "materialized": {k: v for k, v in runs["materialized"].items() if k != "summary"},
+        "streamed": {k: v for k, v in runs["streamed"].items() if k != "summary"},
+    }
+    if sweep:
+        # O(chunk) evidence: same rounds emitted at every chunk size, so
+        # collector growth is constant across the sweep and the only RSS
+        # variable is the per-chunk epoch buffer — which barely moves
+        # over a 16x chunk range and never approaches the materialized
+        # plan's O(campaign) footprint.
+        cell["sweep_rounds"] = SWEEP_ROUNDS
+        cell["chunk_sweep"] = []
+        for chunk in SWEEP_CHUNKS:
+            run = run_child(
+                ["--epoch-child", "streamed", "--ring-scale", str(ring_scale),
+                 "--chunk", str(chunk), "--rounds", str(SWEEP_ROUNDS)]
+            )
+            cell["chunk_sweep"].append({
+                "chunk": chunk,
+                "plan_rss_kb": run["plan_rss_kb"],
+                "peak_rss_kb": run["peak_rss_kb"],
+                "emission_rss_kb": max(
+                    0, run["peak_rss_kb"] - run["floor_rss_kb"]
+                ),
+            })
+            print(f"{label:<16s} streamed chunk={chunk:<4d} "
+                  f"peak RSS {run['peak_rss_kb'] / 1024:7.1f} MB "
+                  f"(over floor "
+                  f"{cell['chunk_sweep'][-1]['emission_rss_kb'] / 1024:6.1f} MB)")
+    return cell
+
+
+def run_passive_cell(clients: int, failures: List[str]) -> dict:
+    label = f"passive-{clients}"
+    modes = ["indexed"] if clients >= 1_000_000 else ["legacy", "indexed"]
+    runs = {}
+    for mode in modes:
+        runs[mode] = run_child(
+            ["--passive-child", mode, "--clients", str(clients)]
+        )
+        print(f"{label:<16s} {mode:<13s} wall {runs[mode]['wall_seconds']:7.2f}s  "
+              f"cpu {runs[mode]['cpu_seconds']:7.2f}s  "
+              f"peak RSS {runs[mode]['peak_rss_kb'] / 1024:7.1f} MB")
+    cell = {
+        "cell": label,
+        "clients": clients,
+        **{mode: runs[mode] for mode in modes},
+    }
+    if "legacy" in runs:
+        if runs["legacy"]["flow_cells"] != runs["indexed"]["flow_cells"]:
+            failures.append(f"{label}: legacy/indexed flow cells differ")
+        speedup = (
+            runs["legacy"]["wall_seconds"] / runs["indexed"]["wall_seconds"]
+            if runs["indexed"]["wall_seconds"]
+            else 0.0
+        )
+        # The capture kernel between the two phases is the same
+        # vectorized engine either way; this is the path the indexed
+        # population replaces (object build + eager per-client dicts).
+        path_speedup = (
+            runs["legacy"]["population_path_seconds"]
+            / runs["indexed"]["population_path_seconds"]
+            if runs["indexed"]["population_path_seconds"]
+            else 0.0
+        )
+        cell["speedup"] = round(speedup, 2)
+        cell["population_path_speedup"] = round(path_speedup, 2)
+        print(f"{label:<16s} indexed speedup = {speedup:.1f}x total, "
+              f"{path_speedup:.1f}x on the population/per-client path")
+    return cell
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cells", default=None,
+        help="comma-separated cell filter, e.g. 'epoch-0.3,passive-100000' "
+             "(default: the full matrix)",
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(REPO_ROOT, "BENCH_scale.json"),
+        help="result file (default: BENCH_scale.json at the repo root)",
+    )
+    parser.add_argument(
+        "--max-epoch-rss-fraction", type=float, default=None,
+        help="fail any epoch cell whose plan-attributable streamed/"
+             "materialized peak-RSS fraction is not below this",
+    )
+    parser.add_argument(
+        "--min-passive-speedup", type=float, default=None,
+        help="fail any passive cell of >= 100k clients whose "
+             "population/per-client path speedup is below this (smaller "
+             "cells are dominated by fixed costs and not gated)",
+    )
+    parser.add_argument(
+        "--epoch-child", choices=("materialized", "streamed")
+    )
+    parser.add_argument("--ring-scale", type=float)
+    parser.add_argument("--chunk", type=int, default=EPOCH_CHUNK)
+    parser.add_argument("--rounds", type=int, default=EPOCH_ROUNDS)
+    parser.add_argument("--passive-child", choices=("legacy", "indexed"))
+    parser.add_argument("--clients", type=int)
+    args = parser.parse_args(argv)
+
+    if args.epoch_child:
+        return epoch_child(
+            args.ring_scale, args.epoch_child, args.chunk, args.rounds
+        )
+    if args.passive_child:
+        return passive_child(args.clients, args.passive_child)
+
+    wanted = set(args.cells.split(",")) if args.cells else None
+
+    def selected(label: str) -> bool:
+        return wanted is None or label in wanted
+
+    failures: List[str] = []
+    cells: List[dict] = []
+    for ring_scale in RING_SCALES:
+        label = f"epoch-{ring_scale:g}"
+        if not selected(label):
+            continue
+        cell = run_epoch_cell(ring_scale, sweep=(ring_scale == 0.3), failures=failures)
+        cells.append(cell)
+        if (
+            args.max_epoch_rss_fraction is not None
+            and cell["plan_rss_fraction"] >= args.max_epoch_rss_fraction
+        ):
+            failures.append(
+                f"{label}: streamed plan RSS fraction "
+                f"{cell['plan_rss_fraction']} not below required "
+                f"{args.max_epoch_rss_fraction}"
+            )
+    for clients in CLIENT_COUNTS:
+        label = f"passive-{clients}"
+        if not selected(label):
+            continue
+        cell = run_passive_cell(clients, failures)
+        cells.append(cell)
+        if (
+            args.min_passive_speedup is not None
+            and clients >= 100_000
+            and "population_path_speedup" in cell
+            and cell["population_path_speedup"] < args.min_passive_speedup
+        ):
+            failures.append(
+                f"{label}: population-path speedup "
+                f"{cell['population_path_speedup']}x below required "
+                f"{args.min_passive_speedup}x"
+            )
+
+    if wanted is not None:
+        known = {f"epoch-{r:g}" for r in RING_SCALES} | {
+            f"passive-{c}" for c in CLIENT_COUNTS
+        }
+        for name in sorted(wanted - known):
+            failures.append(f"unknown cell {name!r} (choose from {sorted(known)})")
+
+    report = {
+        "benchmark": "paper-magnitude scaling: streamed epoch plans + "
+                     "indexed passive populations",
+        "seed": SEED,
+        "machine": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "cells": cells,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"results written to {args.output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -100,6 +100,12 @@ class StudyConfig:
             clean_transfer_keep_one_in=20000,
         )
 
+    @classmethod
+    def paper(cls, seed: int = 2024) -> "StudyConfig":
+        """Alias of :meth:`paper_scale`: the preset whose world/platform
+        match the paper's magnitudes (675 VPs, ~1.7k candidate sites)."""
+        return cls.paper_scale(seed)
+
     def with_seed(self, seed: int) -> "StudyConfig":
         """Same configuration under a different seed."""
         return replace(self, seed=seed)

@@ -155,7 +155,12 @@ class _ShardRunner:
         )
         self._plan: Optional[EpochCampaignPlan] = None
         if engine == "epoch":
-            self._plan = EpochCampaignPlan(self.prober, list(vps), platform.schedule)
+            # Streamed plan: per-pair epoch lists are materialised one
+            # chunk at a time, so the plan's retained memory is the
+            # sparse trigger arrays, not O(campaign) epoch tuples.
+            self._plan = EpochCampaignPlan(
+                self.prober, list(vps), platform.schedule, streamed=True
+            )
 
     def replay_to(self, round_no: int) -> None:
         """Reconstruct non-collector engine state for rounds ``[0, round_no)``."""

@@ -71,13 +71,16 @@ def mix64_array(prefix, values: "np.ndarray", *suffix: int) -> "np.ndarray":
         )
     else:
         h = np.bitwise_xor(np.uint64(prefix), values.astype(np.uint64, copy=False))
-    h = h * np.uint64(_MUL1)
-    h = (h ^ (h >> np.uint64(27))) * np.uint64(_MUL2)
-    h = h ^ (h >> np.uint64(31))
-    for v in suffix:
-        h = (h ^ np.uint64(v & _MASK)) * np.uint64(_MUL1)
+    # uint64 wrap-around *is* the mixer; numpy only warns about it for
+    # 0-d operands (the scalar golden-reference paths), never arrays.
+    with np.errstate(over="ignore"):
+        h = h * np.uint64(_MUL1)
         h = (h ^ (h >> np.uint64(27))) * np.uint64(_MUL2)
         h = h ^ (h >> np.uint64(31))
+        for v in suffix:
+            h = (h ^ np.uint64(v & _MASK)) * np.uint64(_MUL1)
+            h = (h ^ (h >> np.uint64(27))) * np.uint64(_MUL2)
+            h = h ^ (h >> np.uint64(31))
     return h
 
 

@@ -37,6 +37,46 @@ class ClientBehavior(enum.Enum):
     PRIMER = "switches, but re-primes against the old address daily"
 
 
+#: The widened anonymised address plan supports this many distinct
+#: client networks: 53 v4 /16 blocks (first octet 203..255) of 65 536
+#: /24s each.  The v6 plan (/32 blocks of 65 536 /48s) reaches further,
+#: but the population is capped at the tighter family.
+MAX_CLIENTS = 53 * (1 << 16)
+
+
+def client_prefix_v4(client_id: int) -> str:
+    """The anonymised /24 of client *client_id*.
+
+    Ids below 2**16 keep the historical ``203.x.y.0/24`` mapping;
+    beyond that each 65 536-client block moves to the next first octet
+    (the old plan silently wrapped and collided at id 65 536).
+    """
+    if not 0 <= client_id < MAX_CLIENTS:
+        raise ValueError(
+            f"client_id {client_id} outside the v4 address plan "
+            f"[0, {MAX_CLIENTS})"
+        )
+    return (
+        f"{203 + (client_id >> 16)}."
+        f"{(client_id >> 8) & 0xFF}.{client_id & 0xFF}.0/24"
+    )
+
+
+def client_prefix_v6(client_id: int) -> str:
+    """The anonymised /48 of client *client_id*.
+
+    Ids below 2**16 keep the historical ``2001:4d0:<id>::/48`` mapping
+    (the old f-string spilled to five hex digits — an invalid group —
+    at id 65 536); beyond that each block gets its own /32.
+    """
+    if not 0 <= client_id < MAX_CLIENTS:
+        raise ValueError(
+            f"client_id {client_id} outside the v6 address plan "
+            f"[0, {MAX_CLIENTS})"
+        )
+    return f"2001:{0x4D0 + (client_id >> 16):x}:{client_id & 0xFFFF:x}::/48"
+
+
 @dataclass(frozen=True)
 class PopulationProfile:
     """Behaviour mix and size of one observation point's client base.
@@ -269,9 +309,9 @@ def build_client_population(
         clients.append(
             ClientNetwork(
                 client_id=client_id,
-                prefix_v4=f"203.{(client_id >> 8) & 0xFF}.{client_id & 0xFF}.0/24",
+                prefix_v4=client_prefix_v4(client_id),
                 prefix_v6=(
-                    f"2001:4d0:{client_id:x}::/48" if dual[client_id] else None
+                    client_prefix_v6(client_id) if dual[client_id] else None
                 ),
                 daily_flows=volumes[client_id],
                 behavior_v4=behaviors_v4[client_id],

@@ -83,7 +83,7 @@ class IspCapture:
 
     def __init__(
         self,
-        clients: List[ClientNetwork],
+        clients,  # List[ClientNetwork] or a compiled ClientColumns
         seed: int,
         sampling_rate: float = 1.0,
         letter_weights: Optional[Dict[str, float]] = None,
@@ -110,11 +110,20 @@ class IspCapture:
         self._columns = None
 
     def client_columns(self):
-        """The population compiled into numpy columns (memoized)."""
+        """The population compiled into numpy columns (memoized).
+
+        ``clients`` may already *be* a compiled
+        :class:`~repro.passive.flow_engine.ClientColumns` (the
+        paper-scale population engine never builds per-client objects);
+        it is then used as-is.
+        """
         if self._columns is None:
             from repro.passive.flow_engine import ClientColumns
 
-            self._columns = ClientColumns.from_clients(self.clients)
+            if isinstance(self.clients, ClientColumns):
+                self._columns = self.clients
+            else:
+                self._columns = ClientColumns.from_clients(self.clients)
         return self._columns
 
     def reset(self) -> None:
@@ -197,6 +206,11 @@ class IspCapture:
             from repro.passive.flow_engine import capture_vectorized
 
             return capture_vectorized(self, start, end, bucket_seconds)
+        if not isinstance(self.clients, list):
+            raise ValueError(
+                "the scalar engine walks ClientNetwork objects; a "
+                "columns-only population requires engine='vectorized'"
+            )
         return self._capture_scalar(start, end, bucket_seconds)
 
     def _capture_scalar(

@@ -63,6 +63,60 @@ class ClientMembership:
         return sets
 
 
+@dataclass
+class PerClientLedger:
+    """Columnar (address, client) flow totals of one vectorized capture.
+
+    At 10⁵–10⁶ clients the dict forms of ``per_client_flows`` /
+    ``per_client_days`` mean tens of millions of ``(address, prefix)``
+    tuple keys and prefix strings; this ledger carries the same facts as
+    four parallel arrays plus the population's prefix tables.  The dicts
+    materialise lazily on direct access; the hot consumer
+    (:meth:`FlowAggregate.mean_daily_flows_per_client`, Figure 8) reads
+    the arrays and never builds a string.
+    """
+
+    addresses: List[str]  # entry addr_idx -> service address
+    #: address -> family, family -> per-client prefixes (population order)
+    families: Dict[str, int]
+    prefixes: Dict[int, Tuple[Optional[str], ...]]
+    addr_idx: np.ndarray  # int32 per entry
+    client_idx: np.ndarray  # int64 per entry, index into prefixes[family]
+    flows: np.ndarray  # float64 total flows of (address, client)
+    days: np.ndarray  # int64 buckets with >= 1 flow
+
+    def __len__(self) -> int:
+        return len(self.addr_idx)
+
+    def materialize(
+        self,
+    ) -> Tuple[Dict[Tuple[str, str], float], Dict[Tuple[str, str], int]]:
+        """Expand to the exact scalar-engine dicts (entry order is the
+        scalar fill order: address-major, client-minor)."""
+        flows_dict: Dict[Tuple[str, str], float] = {}
+        days_dict: Dict[Tuple[str, str], int] = {}
+        addr_idx = self.addr_idx.tolist()
+        client_idx = self.client_idx.tolist()
+        flows = self.flows.tolist()
+        days = self.days.tolist()
+        for e in range(len(addr_idx)):
+            address = self.addresses[addr_idx[e]]
+            prefix = self.prefixes[self.families[address]][client_idx[e]]
+            key = (address, prefix)
+            flows_dict[key] = flows[e]  # type: ignore[index]
+            days_dict[key] = days[e]  # type: ignore[index]
+        return flows_dict, days_dict
+
+    def mean_daily_flows(self) -> Dict[str, List[float]]:
+        """address -> per-client mean flows per active bucket, straight
+        off the arrays (bit-identical to ``total / max(1, days)``)."""
+        ratios = self.flows / np.maximum(1, self.days)
+        out: Dict[str, List[float]] = {}
+        for a_idx, address in enumerate(self.addresses):
+            out[address] = ratios[self.addr_idx == a_idx].tolist()
+        return out
+
+
 class FlowAggregate:
     """Sampled flow counts per (time bucket, service address)."""
 
@@ -70,10 +124,11 @@ class FlowAggregate:
         self.bucket_seconds = bucket_seconds
         #: (bucket_ts, address) -> flow count
         self.flows: Dict[Tuple[Timestamp, str], float] = {}
-        #: (address, client prefix) -> total flows (Figure 8 input)
-        self.per_client_flows: Dict[Tuple[str, str], float] = {}
-        #: (address, client prefix) -> buckets with >= 1 flow
-        self.per_client_days: Dict[Tuple[str, str], int] = {}
+        #: Dict forms of the per-client totals; None while they still
+        #: live in ``_per_client_ledger`` (vectorized captures at scale).
+        self._per_client_flows: Optional[Dict[Tuple[str, str], float]] = {}
+        self._per_client_days: Optional[Dict[Tuple[str, str], int]] = {}
+        self._per_client_ledger: Optional[PerClientLedger] = None
         #: (bucket_ts, address) -> distinct client prefixes; None when the
         #: sets live in ``_membership`` (vectorized) or were never
         #: persisted (counts-only reload).
@@ -98,24 +153,61 @@ class FlowAggregate:
         *,
         flows: Dict[Tuple[Timestamp, str], float],
         client_counts: Dict[Tuple[Timestamp, str], int],
-        per_client_flows: Dict[Tuple[str, str], float],
-        per_client_days: Dict[Tuple[str, str], int],
+        per_client_flows: Optional[Dict[Tuple[str, str], float]] = None,
+        per_client_days: Optional[Dict[Tuple[str, str], int]] = None,
+        per_client: Optional[PerClientLedger] = None,
         membership: Optional[ClientMembership] = None,
     ) -> "FlowAggregate":
         """Assemble an aggregate from pre-computed columns.
 
         Used by the vectorized engine and the dataset reload path; with
         ``membership=None`` the aggregate is *counts-only* — every read
-        works except the :attr:`clients` prefix sets themselves.
+        works except the :attr:`clients` prefix sets themselves.  The
+        per-client totals arrive either as the two dicts or as one
+        columnar :class:`PerClientLedger` (the dicts then materialise
+        lazily on first direct access).
         """
+        if (per_client is None) == (per_client_flows is None):
+            raise ValueError(
+                "pass either per_client_flows/per_client_days or a "
+                "per_client ledger, not both"
+            )
+        if per_client is None and per_client_days is None:
+            raise ValueError("per_client_flows requires per_client_days")
         aggregate = cls(bucket_seconds)
         aggregate.flows = flows
-        aggregate.per_client_flows = per_client_flows
-        aggregate.per_client_days = per_client_days
+        aggregate._per_client_flows = per_client_flows
+        aggregate._per_client_days = per_client_days
+        aggregate._per_client_ledger = per_client
         aggregate._client_counts = client_counts
         aggregate._client_sets = None
         aggregate._membership = membership
         return aggregate
+
+    # -- per-client totals ---------------------------------------------------------
+
+    def _materialize_per_client(self) -> None:
+        assert self._per_client_ledger is not None
+        self._per_client_flows, self._per_client_days = (
+            self._per_client_ledger.materialize()
+        )
+        self._per_client_ledger = None
+
+    @property
+    def per_client_flows(self) -> Dict[Tuple[str, str], float]:
+        """(address, client prefix) -> total flows (Figure 8 input)."""
+        if self._per_client_flows is None:
+            self._materialize_per_client()
+        assert self._per_client_flows is not None
+        return self._per_client_flows
+
+    @property
+    def per_client_days(self) -> Dict[Tuple[str, str], int]:
+        """(address, client prefix) -> buckets with >= 1 flow."""
+        if self._per_client_days is None:
+            self._materialize_per_client()
+        assert self._per_client_days is not None
+        return self._per_client_days
 
     # -- write side --------------------------------------------------------------
 
@@ -259,13 +351,17 @@ class FlowAggregate:
         """Per client of *address*: mean flows per active bucket —
         the Figure 8 x-axis values."""
         if self._pc_cache is None:
-            cache: Dict[str, List[float]] = {}
-            days = self.per_client_days
-            for (addr, client), total in self.per_client_flows.items():
-                cache.setdefault(addr, []).append(
-                    total / max(1, days[(addr, client)])
-                )
-            self._pc_cache = cache
+            if self._per_client_ledger is not None:
+                # Array fast path: no dict materialisation, no strings.
+                self._pc_cache = self._per_client_ledger.mean_daily_flows()
+            else:
+                cache: Dict[str, List[float]] = {}
+                days = self.per_client_days
+                for (addr, client), total in self.per_client_flows.items():
+                    cache.setdefault(addr, []).append(
+                        total / max(1, days[(addr, client)])
+                    )
+                self._pc_cache = cache
         return list(self._pc_cache.get(address, []))
 
 

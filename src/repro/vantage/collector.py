@@ -144,8 +144,15 @@ class _ColumnTable:
     def __len__(self) -> int:
         return self._n
 
+    @property
+    def capacity(self) -> int:
+        """Allocated rows per column (live rows occupy ``[0, len)``)."""
+        return len(next(iter(self._buffers.values())))
+
     def _grow_to(self, needed: int) -> None:
-        capacity = len(next(iter(self._buffers.values())))
+        # Geometric doubling: total copy work over any append sequence
+        # is O(rows), and a batch extend pays at most one reallocation.
+        capacity = self.capacity
         if needed <= capacity:
             return
         while capacity < needed:
@@ -154,6 +161,14 @@ class _ColumnTable:
             buf = np.empty(capacity, dtype=self._buffers[name].dtype)
             buf[: self._n] = self._buffers[name][: self._n]
             self._buffers[name] = buf
+
+    def reserve(self, rows: int) -> None:
+        """Pre-size for *rows* total rows (no-op when already allocated).
+
+        Callers that know a chunk's row count up front (the epoch
+        engine's block appends, spill reloads) skip the doubling ramp's
+        intermediate copies."""
+        self._grow_to(rows)
 
     def append(self, *values) -> None:
         """Append one row (values in column-spec order)."""

@@ -51,7 +51,7 @@ import numpy as np
 
 from repro.faults.bitflip import flip_bit_in_zone
 from repro.geo.coords import RTT_MS_PER_KM
-from repro.netsim.epochs import compile_pair_epochs
+from repro.netsim.epochs import PairEpochStream, compile_pair_epochs
 from repro.netsim.latency import JITTER, PER_HOP_MS
 from repro.netsim.mix import mix64_array, mix64_prefix, mix_float_array
 from repro.vantage.collector import CampaignCollector, TransferObservation
@@ -102,6 +102,19 @@ class _PairPlan:
         return e_lo, e_hi
 
 
+class _PairStream:
+    """One (VP, address) pair's campaign as a lazy epoch stream."""
+
+    __slots__ = ("vp", "addr_idx", "sa", "routes", "stream")
+
+    def __init__(self, vp: VantagePoint, addr_idx: int, sa, routes, stream) -> None:
+        self.vp = vp
+        self.addr_idx = addr_idx
+        self.sa = sa
+        self.routes = routes
+        self.stream = stream
+
+
 class EpochCampaignPlan:
     """A compiled campaign that can be executed one round range at a time.
 
@@ -112,6 +125,16 @@ class EpochCampaignPlan:
     ascending, contiguous sequence of sub-ranges produces byte-identical
     collector contents — the invariant the checkpoint/resume path and
     ``tests/vantage/test_stream_equivalence.py`` rely on.
+
+    With ``streamed=True`` the whole-campaign epoch lists are never
+    held: each pair keeps a :class:`~repro.netsim.epochs.
+    PairEpochStream` (the sparse trigger rounds plus a cursor), and
+    :meth:`emit_range` materialises only the epochs overlapping the
+    requested range, discarding them afterwards — epoch-plan memory is
+    O(chunk) + O(pairs) instead of O(campaign).  The cost is that
+    ranges must then be emitted in ascending order (the streaming
+    checkpoint path's natural call pattern); output stays byte-identical
+    to the materialized plan.
     """
 
     def __init__(
@@ -119,29 +142,47 @@ class EpochCampaignPlan:
         prober: Prober,
         vps: List[VantagePoint],
         schedule: MeasurementSchedule,
+        *,
+        streamed: bool = False,
     ) -> None:
         self.prober = prober
         self.collector = prober.collector
         self.sampling = prober.sampling
+        self.streamed = streamed
         ts_list = schedule.rounds()
         self.n_rounds = len(ts_list)
         self.ts_arr = np.asarray(ts_list, dtype=np.int64)
 
         selector = prober.selector
         self.pairs: List[_PairPlan] = []
+        self._pair_streams: List[_PairStream] = []
         for vp in vps:
             for addr_idx, sa in enumerate(self.collector.addresses):
                 routes = selector.candidates(vp.attachment, sa.letter, sa.family)
-                epochs = compile_pair_epochs(
-                    selector.churn,
-                    vp.vp_id,
-                    sa.address,
-                    sa.letter,
-                    sa.family,
-                    self.n_rounds,
-                    len(routes),
-                )
-                self.pairs.append(_PairPlan(vp, addr_idx, sa, epochs, routes))
+                if streamed:
+                    stream = PairEpochStream(
+                        selector.churn,
+                        vp.vp_id,
+                        sa.address,
+                        sa.letter,
+                        sa.family,
+                        self.n_rounds,
+                        len(routes),
+                    )
+                    self._pair_streams.append(
+                        _PairStream(vp, addr_idx, sa, routes, stream)
+                    )
+                else:
+                    epochs = compile_pair_epochs(
+                        selector.churn,
+                        vp.vp_id,
+                        sa.address,
+                        sa.letter,
+                        sa.family,
+                        self.n_rounds,
+                        len(routes),
+                    )
+                    self.pairs.append(_PairPlan(vp, addr_idx, sa, epochs, routes))
 
     # -- range execution ---------------------------------------------------------------
 
@@ -153,12 +194,23 @@ class EpochCampaignPlan:
             )
         if lo == hi:
             return
-        self._update_aggregates(lo, hi)
-        tr_state = self._intern_hops(lo, hi)
-        self._emit_rows(lo, hi, tr_state)
-        self._run_transfers(lo, hi)
+        if self.streamed:
+            # Materialise only the epochs overlapping this range; the
+            # helpers below see the same epoch tuples (true bounds) the
+            # materialized plan's epoch_span would have selected, so
+            # every downstream computation is unchanged.
+            pairs = [
+                _PairPlan(p.vp, p.addr_idx, p.sa, p.stream.take(lo, hi), p.routes)
+                for p in self._pair_streams
+            ]
+        else:
+            pairs = self.pairs
+        self._update_aggregates(pairs, lo, hi)
+        tr_state = self._intern_hops(pairs, lo, hi)
+        self._emit_rows(pairs, lo, hi, tr_state)
+        self._run_transfers(pairs, lo, hi)
 
-    def _update_aggregates(self, lo: int, hi: int) -> None:
+    def _update_aggregates(self, pairs: List[_PairPlan], lo: int, hi: int) -> None:
         """Sites, identities, stability and counters for ``[lo, hi)``.
 
         First-occurrence keys are clipped to ``max(epoch_start, lo)``;
@@ -172,7 +224,7 @@ class EpochCampaignPlan:
         ident_first: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
         ident_delta: Dict[Tuple[str, str], int] = {}
 
-        for pair in self.pairs:
+        for pair in pairs:
             vp_id = pair.vp.vp_id
             addr_idx = pair.addr_idx
             e_lo, e_hi = pair.epoch_span(lo, hi)
@@ -212,7 +264,7 @@ class EpochCampaignPlan:
         # first range (round 0), matching the scalar serial insertion
         # order; an epoch start *at* lo belongs to this range's changes.
         stability = collector._stability
-        for pair in self.pairs:
+        for pair in pairs:
             e_lo, e_hi = pair.epoch_span(lo, hi)
             last_site = site_index[pair.routes[pair.epochs[e_hi][2]].site.key]
             changes = e_hi - e_lo
@@ -231,19 +283,19 @@ class EpochCampaignPlan:
                 state[2] += hi - lo
 
         collector.queries_simulated += (
-            (hi - lo) * len(self.pairs) * QUERIES_PER_ADDRESS
+            (hi - lo) * len(pairs) * QUERIES_PER_ADDRESS
         )
         collector.rounds_processed += hi - lo
 
     def _intern_hops(
-        self, lo: int, hi: int
+        self, pairs: List[_PairPlan], lo: int, hi: int
     ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
         """Traceroute sampling for ``[lo, hi)``; fixes hop interner order."""
         collector = self.collector
         hop_known = collector.hops._index
         tr_state: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         hop_first: Dict[str, Tuple[int, int, int]] = {}
-        for pair in self.pairs:
+        for pair in pairs:
             r_tr = _sampled_rounds_range(
                 pair.vp.vp_id, self.sampling.traceroute_every, lo, hi
             )
@@ -274,6 +326,7 @@ class EpochCampaignPlan:
 
     def _emit_rows(
         self,
+        pairs: List[_PairPlan],
         lo: int,
         hi: int,
         tr_state: List[Tuple[np.ndarray, np.ndarray, np.ndarray]],
@@ -294,7 +347,7 @@ class EpochCampaignPlan:
             name: [] for name in ("round", "vp", "addr", "hop")
         }
 
-        for pair, (r_tr, missing, eidx_tr) in zip(self.pairs, tr_state):
+        for pair, (r_tr, missing, eidx_tr) in zip(pairs, tr_state):
             vp = pair.vp
             pf = mix64_prefix(vp.vp_id, pair.addr_idx)
             n_epochs = len(pair.epochs)
@@ -386,7 +439,7 @@ class EpochCampaignPlan:
 
     # -- transfers ---------------------------------------------------------------------
 
-    def _run_transfers(self, lo: int, hi: int) -> None:
+    def _run_transfers(self, pairs: List[_PairPlan], lo: int, hi: int) -> None:
         """Count every sampled/faulted transfer in ``[lo, hi)``; serve
         only the kept ones.
 
@@ -410,7 +463,7 @@ class EpochCampaignPlan:
         total = 0
         clean_total = 0
 
-        for pair in self.pairs:
+        for pair in pairs:
             vp = pair.vp
             events = [
                 (i, e)

@@ -3,7 +3,11 @@
 import pytest
 
 from repro.netsim.churn import ChurnModel, TARGET_MEDIAN_CHANGES
-from repro.netsim.epochs import compile_pair_epochs, epoch_change_count
+from repro.netsim.epochs import (
+    PairEpochStream,
+    compile_pair_epochs,
+    epoch_change_count,
+)
 
 
 def scalar_indices(seed, client_id, address, letter, family, n_rounds, n_candidates):
@@ -78,6 +82,87 @@ class TestEpochEquivalence:
     def test_no_rounds(self):
         churn = ChurnModel(5, expected_rounds=10)
         assert compile_pair_epochs(churn, 1, "192.0.2.1", "a", 4, 0, 4) == []
+
+    def test_streamed_equals_compiled_across_chunkings(self):
+        """Concatenated take() ranges reproduce compile_pair_epochs for
+        every chunk size, with boundary epochs deduplicated."""
+        for n_candidates in (1, 2, 5, 40):
+            for seed, client_id in ((1, 0), (2024, 3), (3, 77)):
+                n_rounds = 400
+                want = compile_pair_epochs(
+                    ChurnModel(seed, expected_rounds=n_rounds),
+                    client_id, "198.41.0.4", "g", 6, n_rounds, n_candidates,
+                )
+                for chunk in (1, 3, 7, 50, 160, n_rounds):
+                    got = self._streamed(
+                        seed, client_id, n_rounds, n_candidates, chunk
+                    )
+                    assert got == want, (n_candidates, seed, client_id, chunk)
+
+    @staticmethod
+    def _streamed(seed, client_id, n_rounds, n_candidates, chunk):
+        stream = PairEpochStream(
+            ChurnModel(seed, expected_rounds=n_rounds),
+            client_id, "198.41.0.4", "g", 6, n_rounds, n_candidates,
+        )
+        out = []
+        for lo in range(0, n_rounds, chunk):
+            hi = min(lo + chunk, n_rounds)
+            for epoch in stream.take(lo, hi):
+                # An epoch spanning a chunk boundary is returned by both
+                # adjacent takes (true bounds preserved); dedupe it.
+                if not out or out[-1] != epoch:
+                    out.append(epoch)
+        return out
+
+    def test_streamed_flappy_pair(self):
+        """The dense-trigger regime streams exactly too."""
+        checked = 0
+        for client_id in range(200):
+            churn = ChurnModel(3, expected_rounds=100)
+            if churn.state_for(client_id, "199.7.91.13", "g", 6).excursion_prob > 0.2:
+                checked += 1
+                want = compile_pair_epochs(
+                    ChurnModel(3, expected_rounds=300),
+                    client_id, "199.7.91.13", "g", 6, 300, 7,
+                )
+                stream = PairEpochStream(
+                    ChurnModel(3, expected_rounds=300),
+                    client_id, "199.7.91.13", "g", 6, 300, 7,
+                )
+                got = []
+                for lo in range(0, 300, 11):
+                    for epoch in stream.take(lo, min(lo + 11, 300)):
+                        if not got or got[-1] != epoch:
+                            got.append(epoch)
+                assert got == want
+        assert checked > 0, "no flappy pair found; loosen the search"
+
+    def test_streamed_take_returns_exact_overlap(self):
+        """take(lo, hi) is exactly the compiled epochs overlapping
+        [lo, hi), including a mid-campaign first call (resume)."""
+        n_rounds = 500
+        compiled = compile_pair_epochs(
+            ChurnModel(5, expected_rounds=n_rounds), 42, "192.33.4.12", "c", 4,
+            n_rounds, 6,
+        )
+        for lo, hi in ((0, 120), (130, 400), (411, 500)):
+            stream = PairEpochStream(
+                ChurnModel(5, expected_rounds=n_rounds), 42, "192.33.4.12",
+                "c", 4, n_rounds, 6,
+            )
+            want = [e for e in compiled if e[1] > lo and e[0] < hi]
+            assert stream.take(lo, hi) == want
+
+    def test_streamed_rejects_rewind(self):
+        stream = PairEpochStream(
+            ChurnModel(5, expected_rounds=100), 1, "192.0.2.1", "a", 4, 100, 4
+        )
+        stream.take(0, 50)
+        with pytest.raises(ValueError, match="cannot rewind"):
+            stream.take(20, 60)
+        with pytest.raises(ValueError, match="outside campaign"):
+            stream.take(50, 101)
 
     def test_compilation_does_not_advance_state(self):
         """Compiling then selecting must equal selecting alone."""

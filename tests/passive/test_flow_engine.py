@@ -130,6 +130,40 @@ class TestIspEquivalence:
             IspCapture(small_clients, seed=SEED, engine="gpu")
 
 
+class TestClientBlocking:
+    """The client-axis blocked grid is byte-identical at any width."""
+
+    @pytest.mark.parametrize("block", [1, 37, 100_000])
+    def test_blocked_matches_scalar_and_default(self, small_clients, block):
+        from repro.passive.flow_engine import capture_vectorized
+
+        scalar, vectorized = engine_pair(small_clients, sampling_rate=0.1)
+        blocked = capture_vectorized(
+            vectorized, POST_START, POST_END, DAY, client_block=block
+        )
+        assert_identical(scalar.capture(POST_START, POST_END), blocked)
+        default = vectorized.capture(POST_START, POST_END)
+        assert blocked.flows == default.flows
+
+    def test_blocked_membership_matches(self, small_clients):
+        from repro.passive.flow_engine import capture_vectorized
+
+        scalar, vectorized = engine_pair(small_clients)
+        blocked = capture_vectorized(
+            vectorized, BOUNDARY_START, BOUNDARY_END, DAY, client_block=41
+        )
+        assert blocked.clients == scalar.capture(BOUNDARY_START, BOUNDARY_END).clients
+
+    def test_rejects_bad_block(self, small_clients):
+        from repro.passive.flow_engine import capture_vectorized
+
+        _scalar, vectorized = engine_pair(small_clients)
+        with pytest.raises(ValueError, match="client_block"):
+            capture_vectorized(
+                vectorized, POST_START, POST_END, DAY, client_block=0
+            )
+
+
 class TestIxpEquivalence:
     WINDOW = (parse_ts("2023-12-08"), parse_ts("2023-12-15"))
 

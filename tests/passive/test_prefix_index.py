@@ -1,0 +1,137 @@
+"""The radix LPM index answers exactly like the linear-scan reference."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.passive.clients import ISP_PROFILE, client_prefix_v4, client_prefix_v6
+from repro.passive.population_engine import compile_population
+from repro.passive.prefix_index import (
+    PREFIX_INDEX_ENGINES,
+    LinearPrefixIndex,
+    RadixPrefixIndex,
+    build_prefix_index,
+    population_prefix_index,
+)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("engine", PREFIX_INDEX_ENGINES)
+    def test_exact_slash24_match(self, engine):
+        index = build_prefix_index(
+            [client_prefix_v4(i) for i in range(300)], engine=engine
+        )
+        assert index.lookup("203.0.7.99") == "203.0.7.0/24"
+        assert index.lookup("203.1.43.1") == "203.1.43.0/24"  # id 299
+        assert index.lookup("203.9.9.9") is None  # id 2313 not inserted
+        assert index.lookup("2001:4d0:1::1") is None  # family separated
+
+    @pytest.mark.parametrize("engine", PREFIX_INDEX_ENGINES)
+    def test_exact_slash48_match(self, engine):
+        index = build_prefix_index(
+            [client_prefix_v6(i) for i in range(300)], engine=engine
+        )
+        assert index.lookup("2001:4d0:2a:dead::beef") == "2001:4d0:2a::/48"
+        assert index.lookup("2001:4d0:ffff::1") is None
+
+    @pytest.mark.parametrize("engine", PREFIX_INDEX_ENGINES)
+    def test_longest_match_wins_in_nested_plans(self, engine):
+        index = build_prefix_index(
+            ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"], engine=engine
+        )
+        assert index.lookup("10.1.2.3") == "10.1.2.0/24"
+        assert index.lookup("10.1.9.1") == "10.1.0.0/16"
+        assert index.lookup("10.9.9.9") == "10.0.0.0/8"
+        assert index.lookup("11.0.0.1") is None
+
+    @pytest.mark.parametrize("engine", PREFIX_INDEX_ENGINES)
+    def test_default_route_and_none_skipping(self, engine):
+        index = build_prefix_index(["0.0.0.0/0", None, "192.0.2.0/24"], engine=engine)
+        assert len(index) == 2
+        assert index.lookup("8.8.8.8") == "0.0.0.0/0"
+        assert index.lookup("192.0.2.1") == "192.0.2.0/24"
+
+    def test_engine_validation(self):
+        assert set(PREFIX_INDEX_ENGINES) == {"radix", "linear"}
+        with pytest.raises(ValueError, match="engine"):
+            build_prefix_index([], engine="bloom")
+        assert isinstance(build_prefix_index([]), RadixPrefixIndex)
+        assert isinstance(
+            build_prefix_index([], engine="linear"), LinearPrefixIndex
+        )
+
+    @pytest.mark.parametrize("engine", PREFIX_INDEX_ENGINES)
+    def test_duplicate_insert_keeps_first_payload(self, engine):
+        index = build_prefix_index([], engine=engine)
+        index.add("198.51.100.0/24", "first")
+        index.add("198.51.100.0/24", "second")
+        assert len(index) == 1
+        assert index.lookup("198.51.100.7") == "first"
+
+
+class TestEngineEquivalence:
+    def test_random_nested_plans(self):
+        """Random prefix plans with nesting: both engines agree on every
+        lookup, hit or miss."""
+        rng = random.Random(7)
+        for _trial in range(20):
+            prefixes = []
+            for _ in range(60):
+                length = rng.choice([8, 12, 16, 20, 24, 28, 32])
+                value = rng.getrandbits(32) & ~((1 << (32 - length)) - 1)
+                octets = ".".join(str((value >> s) & 0xFF) for s in (24, 16, 8, 0))
+                prefixes.append(f"{octets}/{length}")
+            radix = build_prefix_index(prefixes, engine="radix")
+            linear = build_prefix_index(prefixes, engine="linear")
+            for _ in range(200):
+                if rng.random() < 0.5:
+                    probe = rng.getrandbits(32)
+                else:  # bias toward hits: probe inside a known prefix
+                    base = prefixes[rng.randrange(len(prefixes))].split("/")[0]
+                    parts = [int(p) for p in base.split(".")]
+                    parts[3] = rng.randrange(256)
+                    probe = (
+                        (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3]
+                    )
+                address = ".".join(str((probe >> s) & 0xFF) for s in (24, 16, 8, 0))
+                assert radix.lookup(address) == linear.lookup(address), address
+
+    def test_v6_equivalence(self):
+        rng = random.Random(11)
+        prefixes = [client_prefix_v6(rng.randrange(200_000)) for _ in range(300)]
+        prefixes += ["2001:4d0::/32", "2001::/16"]
+        radix = build_prefix_index(prefixes, engine="radix")
+        linear = build_prefix_index(prefixes, engine="linear")
+        for _ in range(300):
+            address = f"2001:{rng.randrange(0x5000):x}:{rng.getrandbits(16):x}::{rng.getrandbits(16):x}"
+            assert radix.lookup(address) == linear.lookup(address), address
+
+
+class TestPopulationRoundTrip:
+    def test_every_sampled_client_maps_to_its_own_prefix(self):
+        """At 10⁵ clients, addresses inside a client's /24 (or /48) come
+        back as exactly that client's prefix."""
+        profile = replace(ISP_PROFILE, name="isp-pfx-test", n_clients=100_000)
+        columns = compile_population(profile, 99)
+        for family in (4, 6):
+            index = population_prefix_index(columns, family)
+            prefixes = columns.prefixes[family]
+            rng = random.Random(family)
+            checked = 0
+            for client_id in rng.sample(range(100_000), 500):
+                prefix = prefixes[client_id]
+                if prefix is None:
+                    continue
+                host = prefix.split("/")[0]
+                probe = (
+                    host.rsplit(".", 1)[0] + f".{rng.randrange(1, 255)}"
+                    if family == 4
+                    else host + f"{rng.getrandbits(16):x}"
+                )
+                assert index.lookup(probe) == prefix
+                checked += 1
+            # All 500 samples check for v4; only dual-stack ones for v6.
+            assert checked >= 250

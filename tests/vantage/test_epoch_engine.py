@@ -130,3 +130,61 @@ class TestFastPathVsFullFidelity:
             assert zonemd.rdata.serial == obs.serial
             assert obs.observed_ts == obs.true_ts  # clean => no skew
             assert obs.zone.serial == obs.serial
+
+
+class TestStreamedPlan:
+    """streamed=True materialises epochs per range, byte-identically."""
+
+    @staticmethod
+    def _collector(streamed, ranges, config=None):
+        from repro.core.pipeline import build_platform, build_world
+        from repro.vantage.epoch_engine import EpochCampaignPlan
+
+        config = config or fault_window_config()
+        world = build_world(config)
+        platform = build_platform(config, world)
+        world.distributor.reset_faults()
+        platform.prober.reset()
+        plan = EpochCampaignPlan(
+            platform.prober, platform.vps, platform.schedule, streamed=streamed
+        )
+        if ranges is None:
+            ranges = [(0, plan.n_rounds)]
+        for lo, hi in ranges:
+            plan.emit_range(lo, hi)
+        return plan, platform.prober.collector
+
+    def test_streamed_whole_range_matches_materialized(self):
+        _, want = self._collector(False, None)
+        _, got = self._collector(True, None)
+        assert_collectors_identical(got, want)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64])
+    def test_streamed_chunked_matches_materialized(self, chunk):
+        plan, want = self._collector(False, None)
+        n = plan.n_rounds
+        ranges = [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)]
+        _, got = self._collector(True, ranges)
+        assert_collectors_identical(got, want)
+
+    def test_streamed_mid_campaign_start_matches(self):
+        """A resumed runner's first emit_range starts past round 0."""
+        plan, _ = self._collector(False, [])
+        k, n = plan.n_rounds // 3, plan.n_rounds
+        _, want = self._collector(False, [(k, n)])
+        _, got = self._collector(True, [(k, n)])
+        assert_collectors_identical(got, want)
+
+    def test_streamed_holds_no_epoch_lists_between_ranges(self):
+        plan, _ = self._collector(True, [(0, 4)])
+        assert plan.pairs == []
+        buffered = sum(len(p.stream._buffer) for p in plan._pair_streams)
+        # Only epochs still open past the range boundary stay buffered —
+        # at most the boundary-spanning gap epoch plus the excursion
+        # after it, nothing like the full campaign's lists.
+        assert buffered <= 2 * len(plan._pair_streams)
+
+    def test_streamed_rejects_descending_ranges(self):
+        plan, _ = self._collector(True, [(0, 8)])
+        with pytest.raises(ValueError, match="cannot rewind"):
+            plan.emit_range(4, 12)
