@@ -1,0 +1,152 @@
+"""Longitudinal per-region RTT for one letter (the froot-sea pack's
+headline view).
+
+"Unravelling DNS Performance: A Historical Examination of F-ROOT in
+Southeast Asia" reads one letter's latency per region over time, as the
+letter's site build-out lands.  This analysis is that view over the
+probe table: per-(continent, family) RTT distributions for a chosen
+letter, plus calendar-month median series per continent — the
+longitudinal figure a staged :class:`WorldSpec` build-out is designed
+to move.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.base import RegisteredAnalysis
+from repro.geo.continents import Continent
+from repro.vantage.node import VantagePoint
+
+#: The letter whose deployment the froot-sea scenario stages.
+DEFAULT_LETTER = "f"
+
+
+@dataclass(frozen=True)
+class RegionCell:
+    """One (continent, family) RTT distribution for the letter."""
+
+    continent: Continent
+    family: int
+    count: int
+    mean: float
+    p50: float
+    p90: float
+
+
+class RegionalRttAnalysis(RegisteredAnalysis):
+    """Per-region, per-family RTT of one letter, over the campaign and
+    month by month."""
+
+    name = "regional_rtt"
+    requires = ("dataset", "vps", "config?")
+    tables = ("probes",)
+
+    def __init__(self, dataset, vps: List[VantagePoint], config=None) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.columns = dataset.probe_columns()
+        continents = list(Continent)
+        self._continent_list = continents
+        vp_cont = np.zeros(
+            max((vp.vp_id for vp in vps), default=0) + 1, dtype=np.int8
+        )
+        for vp in vps:
+            vp_cont[vp.vp_id] = continents.index(vp.continent)
+        self._vp_cont = vp_cont
+
+    def _letter_mask(self, letter: str, family: Optional[int] = None) -> np.ndarray:
+        indices = [
+            self.dataset.addr_index[sa.address]
+            for sa in self.dataset.addresses
+            if sa.letter == letter and (family is None or sa.family == family)
+        ]
+        if not indices:
+            raise ValueError(f"no {letter}.root addresses in this dataset")
+        return np.isin(self.columns["addr"], np.asarray(indices))
+
+    def _continent_mask(self, continent: Continent) -> np.ndarray:
+        cont_idx = self._continent_list.index(continent)
+        return self._vp_cont[self.columns["vp"]] == cont_idx
+
+    def cell(
+        self, continent: Continent, family: int, letter: str = DEFAULT_LETTER
+    ) -> Optional[RegionCell]:
+        """The (continent, family) distribution, or None if unobserved."""
+        mask = self._letter_mask(letter, family) & self._continent_mask(continent)
+        rtts = self.columns["rtt"][mask]
+        if len(rtts) == 0:
+            return None
+        return RegionCell(
+            continent=continent,
+            family=family,
+            count=int(len(rtts)),
+            mean=float(np.mean(rtts)),
+            p50=float(np.percentile(rtts, 50)),
+            p90=float(np.percentile(rtts, 90)),
+        )
+
+    def regional_summary(
+        self, letter: str = DEFAULT_LETTER
+    ) -> Dict[str, Dict[int, RegionCell]]:
+        """Every observed (continent, family) cell, keyed by continent
+        name then family."""
+        out: Dict[str, Dict[int, RegionCell]] = {}
+        for continent in Continent:
+            cells = {
+                family: cell
+                for family in (4, 6)
+                for cell in [self.cell(continent, family, letter)]
+                if cell is not None
+            }
+            if cells:
+                out[continent.name] = cells
+        return out
+
+    def _month_labels(self) -> np.ndarray:
+        """Per-probe ``YYYY-MM`` labels (vectorised via the day grid)."""
+        days = self.columns["ts"] // 86400
+        unique_days, inverse = np.unique(days, return_inverse=True)
+        labels = np.array(
+            [
+                time.strftime("%Y-%m", time.gmtime(int(day) * 86400))
+                for day in unique_days
+            ]
+        )
+        return labels[inverse]
+
+    def monthly_medians(
+        self, letter: str = DEFAULT_LETTER, family: int = 4
+    ) -> Dict[str, List[Tuple[str, float, int]]]:
+        """Per-continent ``(month, median RTT, count)`` series — the
+        longitudinal build-out figure."""
+        letter_mask = self._letter_mask(letter, family)
+        months = self._month_labels()
+        out: Dict[str, List[Tuple[str, float, int]]] = {}
+        for continent in Continent:
+            mask = letter_mask & self._continent_mask(continent)
+            if not mask.any():
+                continue
+            cont_months = months[mask]
+            cont_rtts = self.columns["rtt"][mask]
+            series: List[Tuple[str, float, int]] = []
+            for month in sorted(set(cont_months.tolist())):
+                rtts = cont_rtts[cont_months == month]
+                series.append(
+                    (month, float(np.percentile(rtts, 50)), int(len(rtts)))
+                )
+            out[continent.name] = series
+        return out
+
+    def buildout_stages(self) -> List[Dict[str, object]]:
+        """The world layer's build-out timeline (for figure annotation);
+        empty without a config or build-out."""
+        if self.config is None:
+            return []
+        return [
+            stage.to_dict() for stage in self.config.world_spec().buildout
+        ]

@@ -1,6 +1,6 @@
 """The uniform analysis registry.
 
-All eleven analyses register here under a stable name; drivers — the
+All thirteen analyses register here under a stable name; drivers — the
 CLI, the report generator, the benchmarks — look them up with
 :func:`get` and construct them with :func:`run` instead of hand-wiring
 constructors:
@@ -24,6 +24,8 @@ from repro.analysis.colocation import ColocationAnalysis
 from repro.analysis.coverage import CoverageAnalysis
 from repro.analysis.distance import DistanceAnalysis
 from repro.analysis.paths import PathAnalysis
+from repro.analysis.querymix import QueryMixAnalysis
+from repro.analysis.regionalrtt import RegionalRttAnalysis
 from repro.analysis.rssac import RssacMetrics
 from repro.analysis.rtt import RttAnalysis
 from repro.analysis.stability import StabilityAnalysis
@@ -59,6 +61,8 @@ for _cls in (
     PathAnalysis,
     RssacMetrics,
     VariabilityAnalysis,
+    RegionalRttAnalysis,
+    QueryMixAnalysis,
 ):
     register(_cls)
 

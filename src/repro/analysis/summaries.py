@@ -22,26 +22,27 @@ from repro.util.tables import Table
 
 #: Analyses that consume a passive capture aggregate instead of the
 #: campaign dataset (see :func:`passive_aggregate`).
-PASSIVE_ANALYSES = ("trafficshift", "clientbehavior")
+PASSIVE_ANALYSES = ("trafficshift", "clientbehavior", "querymix")
 
 #: The ISP capture window reportgen uses for Figures 7/8/12 (the
 #: canonical definition lives in :mod:`repro.passive.recipes`).
 from repro.passive.recipes import ISP_WINDOW as PASSIVE_WINDOW  # noqa: E402
 
 
-def passive_aggregate(seed: int, engine: str = "vectorized"):
+def passive_aggregate(seed: int, engine: str = "vectorized", traffic=None):
     """The deterministic ISP capture aggregate for *seed*.
 
-    This is the exact aggregate ``rootsim-report`` feeds the
-    trafficshift/clientbehavior analyses (same window, same RNG
-    streams), rebuilt without any campaign simulation.  Delegates to
-    :func:`repro.passive.recipes.isp_aggregate`; datasets saved with
-    passive tables carry the identical aggregate on disk instead
-    (``dataset.passive.aggregate("isp")``).
+    This is the exact aggregate ``rootsim-report`` feeds the passive
+    analyses (same window, same RNG streams), rebuilt without any
+    campaign simulation.  Delegates to
+    :func:`repro.passive.recipes.isp_aggregate`; *traffic* (a scenario's
+    :class:`~repro.scenarios.specs.TrafficSpec`) overrides the capture
+    population.  Datasets saved with passive tables carry the identical
+    aggregate on disk instead (``dataset.passive.aggregate("isp")``).
     """
     from repro.passive.recipes import isp_aggregate
 
-    return isp_aggregate(seed, engine=engine)
+    return isp_aggregate(seed, engine=engine, traffic=traffic)
 
 
 def _render_coverage(coverage) -> str:
@@ -144,6 +145,56 @@ def _render_clientbehavior(behavior) -> str:
     )
 
 
+def _render_querymix(querymix) -> str:
+    shares = querymix.category_shares()
+    lines = [
+        "Query composition (synthesised over the ISP aggregate)",
+        "  "
+        + "  ".join(
+            f"{category}={100 * share:.1f}%"
+            for category, share in shares.items()
+        ),
+    ]
+    table = Table(["QNAME", "queries"], float_digits=0)
+    for qname, count in querymix.top_qnames(10):
+        table.add_row([qname, count])
+    lines.append(table.render("Top query names (Zipf head)"))
+    for burst in querymix.burst_report():
+        lines.append(
+            f"burst {burst['start']}..{burst['end']} "
+            f"({burst['category']} x{burst['multiplier']:g}): "
+            f"observed amplification {burst['amplification']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _render_regional_rtt(regional) -> str:
+    table = Table(["Region", "family", "n", "mean ms", "p50 ms", "p90 ms"],
+                  float_digits=1)
+    for region, cells in regional.regional_summary().items():
+        for family in (4, 6):
+            cell = cells.get(family)
+            if cell is None:
+                continue
+            table.add_row(
+                [region, f"v{family}", cell.count, cell.mean, cell.p50, cell.p90]
+            )
+    lines = [table.render("f.root RTT per region")]
+    monthly = regional.monthly_medians()
+    if monthly:
+        lines.append("Monthly median RTT (v4):")
+        for region, series in monthly.items():
+            points = "  ".join(f"{month}={median:.1f}ms" for month, median, _n in series)
+            lines.append(f"  {region}: {points}")
+    stages = regional.buildout_stages()
+    if stages:
+        lines.append(
+            "build-out: "
+            + ", ".join(f"{s['label']} @ {s['start']}" for s in stages)
+        )
+    return "\n".join(lines)
+
+
 _RENDERERS: Dict[str, Any] = {
     "coverage": _render_coverage,
     "stability": _render_stability,
@@ -156,6 +207,8 @@ _RENDERERS: Dict[str, Any] = {
     "variability": _render_variability,
     "trafficshift": _render_trafficshift,
     "clientbehavior": _render_clientbehavior,
+    "querymix": _render_querymix,
+    "regional_rtt": _render_regional_rtt,
 }
 
 

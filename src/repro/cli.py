@@ -156,8 +156,33 @@ def zonecheck_main(argv: Optional[List[str]] = None) -> int:
 # --- rootsim-study ------------------------------------------------------------------
 
 
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="run a registered scenario (see repro.scenarios; e.g. "
+             "'default', 'paper', 'froot-sea', 'broot-querymix'); "
+             "overrides --preset",
+    )
+    parser.add_argument(
+        "--overlay", metavar="NAME", action="append", default=[],
+        help="fold a registered overlay onto --scenario (repeatable, "
+             "applied in order)",
+    )
+
+
+def _compose_scenario(parser: argparse.ArgumentParser, args):
+    """The composed scenario for --scenario/--overlay (exits on error)."""
+    from repro.scenarios import MergeError, compose
+
+    try:
+        return compose(args.scenario, args.overlay)
+    except (KeyError, MergeError, ValueError) as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+
+
 def study_main(argv: Optional[List[str]] = None) -> int:
-    """Run a campaign preset and print headline results."""
+    """Run a campaign preset or registered scenario and print headline
+    results."""
     parser = argparse.ArgumentParser(
         prog="rootsim-study",
         description="run a simulated root measurement campaign",
@@ -165,6 +190,7 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--preset", choices=("quick", "standard", "paper"), default="quick"
     )
+    _add_scenario_arguments(parser)
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
         "--save", "--export", dest="save", metavar="DIR",
@@ -209,7 +235,9 @@ def study_main(argv: Optional[List[str]] = None) -> int:
         "--resume", metavar="DIR",
         help="resume a streamed campaign from its checkpoint directory; "
              "the study configuration comes from the checkpoint, so "
-             "--preset/--seed/--shards/--engine are ignored",
+             "--preset/--seed/--shards/--engine are ignored "
+             "(--scenario, if given, is validated against the "
+             "checkpoint's scenario fingerprint)",
     )
     args = parser.parse_args(argv)
 
@@ -223,11 +251,20 @@ def study_main(argv: Optional[List[str]] = None) -> int:
             parser.error("--profile is not available in streaming mode")
         return _streaming_study_main(args, parser)
 
-    config = {
-        "quick": StudyConfig.quick,
-        "standard": StudyConfig.standard,
-        "paper": StudyConfig.paper_scale,
-    }[args.preset](seed=args.seed)
+    if args.scenario:
+        config = _compose_scenario(parser, args).study_config(seed=args.seed)
+        label = f"scenario={args.scenario}"
+        if args.overlay:
+            label += f"+{'+'.join(args.overlay)}"
+    elif args.overlay:
+        parser.error("--overlay requires --scenario")
+    else:
+        config = {
+            "quick": StudyConfig.quick,
+            "standard": StudyConfig.standard,
+            "paper": StudyConfig.paper_scale,
+        }[args.preset](seed=args.seed)
+        label = f"preset={args.preset}"
     if args.shards < 1 or args.workers < 1:
         parser.error("--shards and --workers must be >= 1")
     if args.shards > 1 or args.workers > 1:
@@ -235,7 +272,7 @@ def study_main(argv: Optional[List[str]] = None) -> int:
     if args.engine is not None:
         config = config.with_engine(args.engine)
 
-    print(f"building study: preset={args.preset} seed={args.seed}")
+    print(f"building study: {label} seed={args.seed}")
     study = RootStudy(config, profile=args.profile)
     print(f"  {len(study.vps)} VPs, {len(study.catalog)} sites, "
           f"{study.schedule.round_count()} rounds")
@@ -291,22 +328,41 @@ def _streaming_study_main(args, parser) -> int:
     try:
         if resume:
             config = config_from_checkpoint(checkpoint_dir)
+            if args.scenario:
+                expected = _compose_scenario(parser, args).fingerprint()
+                actual = config.scenario_fingerprint
+                if actual != expected:
+                    raise CheckpointError(
+                        f"checkpoint at {checkpoint_dir} was produced by "
+                        f"scenario {config.scenario_name!r} (fingerprint "
+                        f"{actual}), not the requested {args.scenario!r} "
+                        f"(fingerprint {expected}); refusing to resume"
+                    )
             print(f"resuming streamed study from {checkpoint_dir}: "
                   f"seed={config.seed} engine={config.engine} "
                   f"shards={config.shards}")
         else:
-            config = {
-                "quick": StudyConfig.quick,
-                "standard": StudyConfig.standard,
-                "paper": StudyConfig.paper_scale,
-            }[args.preset](seed=args.seed)
+            if args.scenario:
+                config = _compose_scenario(parser, args).study_config(
+                    seed=args.seed
+                )
+                label = f"scenario={args.scenario}"
+            elif args.overlay:
+                parser.error("--overlay requires --scenario")
+            else:
+                config = {
+                    "quick": StudyConfig.quick,
+                    "standard": StudyConfig.standard,
+                    "paper": StudyConfig.paper_scale,
+                }[args.preset](seed=args.seed)
+                label = f"preset={args.preset}"
             if args.shards < 1 or args.workers < 1:
                 parser.error("--shards and --workers must be >= 1")
             if args.shards > 1 or args.workers > 1:
                 config = config.with_sharding(args.shards, workers=args.workers)
             if args.engine is not None:
                 config = config.with_engine(args.engine)
-            print(f"streaming study: preset={args.preset} seed={args.seed} "
+            print(f"streaming study: {label} seed={args.seed} "
                   f"-> {checkpoint_dir}")
 
         def progress(index, _chunk_dir, lo, hi):
@@ -351,6 +407,16 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
         help="registered analysis name (omit to list the dataset's "
              "contents and the runnable analyses)",
     )
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="require the dataset to have been produced by this "
+             "registered scenario (fingerprint-checked; exits 2 on "
+             "mismatch)",
+    )
+    parser.add_argument(
+        "--overlay", metavar="NAME", action="append", default=[],
+        help="overlays the requested --scenario was composed with",
+    )
     args = parser.parse_args(argv)
 
     from repro.analysis import registry
@@ -366,6 +432,25 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
     except DatasetError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.overlay and not args.scenario:
+        parser.error("--overlay requires --scenario")
+    if args.scenario:
+        expected = _compose_scenario(parser, args).fingerprint()
+        stamp = (dataset.study or {}).get("scenario") or {}
+        actual = stamp.get("fingerprint")
+        if actual != expected:
+            produced = (
+                f"scenario {stamp['name']!r} (fingerprint {actual})"
+                if stamp else "no registered scenario"
+            )
+            print(
+                f"error: dataset {args.dataset} was produced by {produced}, "
+                f"not the requested {args.scenario!r} (fingerprint "
+                f"{expected}); refusing to analyze it as that scenario",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.analysis is None:
         summary = dataset.summary()
@@ -396,11 +481,13 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
             inputs["aggregate"] = passive.aggregate("isp")
         else:
             try:
-                seed = dataset.study_config().seed
+                config = dataset.study_config()
             except DatasetError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            inputs["aggregate"] = passive_aggregate(seed)
+            inputs["aggregate"] = passive_aggregate(
+                config.seed, traffic=config.traffic_spec()
+            )
 
     try:
         analysis = registry.run(args.analysis, dataset, **inputs)

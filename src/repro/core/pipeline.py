@@ -165,8 +165,13 @@ class PlatformArtifacts:
 
 # --- stage 1: build_world -----------------------------------------------------------
 
-#: Checkpointed worlds by seed (the only config knob a world depends on).
-_WORLD_CACHE: Dict[int, WorldArtifacts] = {}
+#: Checkpointed worlds by (seed, world-layer cache token): the seed plus
+#: whatever part of the world spec shapes the site catalog.
+_WORLD_CACHE: Dict[Any, WorldArtifacts] = {}
+
+
+def _world_cache_key(config: StudyConfig) -> Any:
+    return (config.seed, config.world_spec().cache_token())
 
 
 def build_world(config: StudyConfig, *, reuse: bool = True) -> WorldArtifacts:
@@ -176,10 +181,11 @@ def build_world(config: StudyConfig, *, reuse: bool = True) -> WorldArtifacts:
     which every campaign resets at start — so reuse across studies, CLI
     invocations and benchmarks is exact, not approximate.
     """
-    if reuse and config.seed in _WORLD_CACHE:
-        return _WORLD_CACHE[config.seed]
+    cache_key = _world_cache_key(config)
+    if reuse and cache_key in _WORLD_CACHE:
+        return _WORLD_CACHE[cache_key]
     rng_factory = RngFactory(config.seed)
-    catalog = build_site_catalog(rng_factory)
+    catalog = build_site_catalog(rng_factory, config.world_spec().site_plan())
     fabric = NetworkFabric(catalog, rng_factory)
     zone_builder = RootZoneBuilder(seed=config.seed)
     distributor = ZoneDistributor(zone_builder)
@@ -198,7 +204,7 @@ def build_world(config: StudyConfig, *, reuse: bool = True) -> WorldArtifacts:
         deployments=deployments,
     )
     if reuse:
-        _WORLD_CACHE[config.seed] = world
+        _WORLD_CACHE[cache_key] = world
     return world
 
 
@@ -248,10 +254,11 @@ def build_platform(config: StudyConfig, world: WorldArtifacts) -> PlatformArtifa
     )
     ring = build_ring(rng_factory, config.ring_config)
 
-    if config.include_faults:
+    fault_spec = config.fault_spec()
+    if fault_spec.include_faults:
         stale_keys = _popular_d_sites(world.catalog, selector, ring)
-        fault_plan = default_fault_plan(
-            world.catalog, len(ring), stale_site_keys=stale_keys
+        fault_plan = fault_spec.apply(
+            default_fault_plan(world.catalog, len(ring), stale_site_keys=stale_keys)
         )
     else:
         fault_plan = FaultPlan()
@@ -557,7 +564,7 @@ class StudyPipeline:
             world = self.store.get("world", WorldArtifacts)
             self._record("build_world", started, reused=True)
             return world
-        reused = self.config.seed in _WORLD_CACHE
+        reused = _world_cache_key(self.config) in _WORLD_CACHE
         world = build_world(self.config)
         self.store.put("world", world, stage="build_world", expected_type=WorldArtifacts)
         self.store.put("catalog", world.catalog, stage="build_world")

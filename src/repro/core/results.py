@@ -75,7 +75,11 @@ class StudyResults:
 
             dataset.attach_passive(
                 PassiveStore.from_aggregates(
-                    standard_captures(self.config.seed, engine=passive_engine)
+                    standard_captures(
+                        self.config.seed,
+                        engine=passive_engine,
+                        traffic=self.config.traffic_spec(),
+                    )
                 )
             )
         return save_dataset(dataset, directory)

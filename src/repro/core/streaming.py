@@ -518,13 +518,16 @@ def finalize_streaming_campaign(
         from repro.data.passive import PassiveStore
         from repro.passive.recipes import STANDARD_CAPTURES, build_capture
 
-        seed = int(ckpt["study"]["seed"])
+        study_config = StudyConfig.from_dict(ckpt["study"])
+        traffic = study_config.traffic_spec()
         aggregates = {}
         for name in STANDARD_CAPTURES:
             if name in ckpt.get("passive_done", []):
                 aggregates[name] = read_passive_aggregate(writer.path, name)
             else:
-                aggregates[name] = build_capture(name, seed, passive_engine)
+                aggregates[name] = build_capture(
+                    name, study_config.seed, passive_engine, traffic
+                )
                 write_passive_aggregate(writer.path, name, aggregates[name])
                 writer.note_passive_done(name)
         passive_store = PassiveStore.from_aggregates(aggregates)
@@ -543,8 +546,6 @@ def config_from_checkpoint(checkpoint_dir: Union[str, Path]) -> StudyConfig:
     ``--resume`` uses this instead of re-deriving the config from CLI
     flags, so a resumed run can never silently diverge from the run it
     continues."""
-    from dataclasses import fields
-
     ckpt = CheckpointReader(checkpoint_dir).checkpoint()
     study = ckpt.get("study")
     if study is None:
@@ -552,5 +553,12 @@ def config_from_checkpoint(checkpoint_dir: Union[str, Path]) -> StudyConfig:
             f"checkpoint at {checkpoint_dir} carries no study fingerprint; "
             f"it cannot be resumed from the CLI"
         )
-    known = {f.name for f in fields(StudyConfig)}
-    return StudyConfig(**{k: v for k, v in study.items() if k in known})
+    try:
+        # Strict: a checkpoint written by a different schema must fail
+        # loudly rather than silently drop the unknown knobs.
+        return StudyConfig.from_dict(study)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint at {checkpoint_dir} carries a study fingerprint "
+            f"this version cannot reload: {exc}"
+        ) from None

@@ -261,9 +261,11 @@ class Dataset:
 
     def study_config(self):
         """The :class:`~repro.core.config.StudyConfig` this dataset was
-        collected under, rebuilt from the manifest fingerprint."""
-        from dataclasses import fields
+        collected under, rebuilt from the manifest fingerprint.
 
+        Strict: a manifest written by a different config schema raises
+        a :class:`DatasetError` instead of silently dropping knobs.
+        """
         from repro.core.config import StudyConfig
 
         study = self.study
@@ -273,8 +275,13 @@ class Dataset:
                 "a config, so seed-derived inputs (vps, catalog) cannot be "
                 "reconstructed — pass them explicitly"
             )
-        known = {f.name for f in fields(StudyConfig)}
-        return StudyConfig(**{k: v for k, v in study.items() if k in known})
+        try:
+            return StudyConfig.from_dict(study)
+        except (TypeError, ValueError) as exc:
+            raise DatasetError(
+                f"dataset's study fingerprint does not reload under this "
+                f"config schema: {exc}"
+            ) from None
 
     def study_inputs(self) -> Dict[str, Any]:
         """The seed-deterministic non-table analysis inputs.
@@ -293,6 +300,8 @@ class Dataset:
             self._study_inputs = {
                 "config": config,
                 "vps": build_ring(RngFactory(config.seed), config.ring_config),
-                "catalog": build_site_catalog(RngFactory(config.seed)),
+                "catalog": build_site_catalog(
+                    RngFactory(config.seed), config.world_spec().site_plan()
+                ),
             }
         return dict(self._study_inputs)

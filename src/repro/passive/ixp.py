@@ -19,6 +19,7 @@ from repro.passive.clients import (
     IXP_EU_PROFILE,
     IXP_NA_PROFILE,
     LETTER_WEIGHTS_IXP,
+    PopulationProfile,
     build_client_population,
 )
 from repro.netsim.mix import mix_str
@@ -59,15 +60,19 @@ def build_ixp_captures(
     clients_per_ixp: int = 300,
     sampling_rate: float = 0.1,
     engine: str = "vectorized",
+    eu_profile: PopulationProfile = IXP_EU_PROFILE,
+    na_profile: PopulationProfile = IXP_NA_PROFILE,
 ) -> List[IxpCapture]:
-    """The 14 passive IXP vantage points with region-specific behaviour."""
+    """The 14 passive IXP vantage points with region-specific behaviour.
+
+    The regional profiles default to the paper's; a scenario's traffic
+    layer substitutes its overridden ones.
+    """
     captures: List[IxpCapture] = []
     by_id: Dict[str, Ixp] = {ixp.ixp_id: ixp for ixp in IXP_CATALOG}
     for ixp_id in PASSIVE_IXP_IDS:
         ixp = by_id[ixp_id]
-        profile = (
-            IXP_EU_PROFILE if ixp.continent is Continent.EUROPE else IXP_NA_PROFILE
-        )
+        profile = eu_profile if ixp.continent is Continent.EUROPE else na_profile
         # Per-exchange population: share the regional behaviour profile
         # but draw independent clients.
         sized = replace(

@@ -7,11 +7,15 @@ December 2023 shift window.  This module is the single definition of
 those recipes — ``rootsim-report``, the analysis summaries, the dataset
 export and the parallel report workers all build captures through it,
 so "the ISP aggregate for seed S" means exactly one thing everywhere.
+
+A scenario's traffic layer (:class:`~repro.scenarios.specs.TrafficSpec`)
+may override the capture-point populations; every recipe takes it as an
+optional ``traffic`` argument, defaulting to the paper's profiles.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.geo.continents import Continent
 from repro.passive.clients import ISP_PROFILE, build_client_population
@@ -20,6 +24,9 @@ from repro.passive.ixp import IxpCapture, build_ixp_captures, regional_aggregate
 from repro.passive.traces import FlowAggregate
 from repro.util.rng import RngFactory
 from repro.util.timeutil import parse_ts
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.scenarios.specs import TrafficSpec
 
 #: The ISP capture window (Figures 7/8/12: the post-change month).
 ISP_WINDOW: Tuple[str, str] = ("2024-02-05", "2024-03-04")
@@ -39,38 +46,59 @@ _REGIONS: Dict[str, Continent] = {
 }
 
 
-def isp_capture(seed: int, engine: str = "vectorized") -> IspCapture:
+def isp_capture(
+    seed: int,
+    engine: str = "vectorized",
+    traffic: Optional["TrafficSpec"] = None,
+) -> IspCapture:
     """The ISP capture point for *seed* (population included)."""
+    profile = ISP_PROFILE if traffic is None else traffic.profile("isp")
     return IspCapture(
-        build_client_population(ISP_PROFILE, RngFactory(seed)),
+        build_client_population(profile, RngFactory(seed)),
         seed=seed,
         engine=engine,
     )
 
 
-def isp_aggregate(seed: int, engine: str = "vectorized") -> FlowAggregate:
+def isp_aggregate(
+    seed: int,
+    engine: str = "vectorized",
+    traffic: Optional["TrafficSpec"] = None,
+) -> FlowAggregate:
     """The ISP aggregate over :data:`ISP_WINDOW` for *seed*."""
-    return isp_capture(seed, engine).capture(
+    return isp_capture(seed, engine, traffic).capture(
         parse_ts(ISP_WINDOW[0]), parse_ts(ISP_WINDOW[1])
     )
 
 
-def ixp_captures(seed: int, engine: str = "vectorized") -> List[IxpCapture]:
+def ixp_captures(
+    seed: int,
+    engine: str = "vectorized",
+    traffic: Optional["TrafficSpec"] = None,
+) -> List[IxpCapture]:
     """The 14 per-exchange capture points at report scale."""
+    kwargs = {}
+    if traffic is not None:
+        kwargs["eu_profile"] = traffic.profile("ixp-eu")
+        kwargs["na_profile"] = traffic.profile("ixp-na")
     return build_ixp_captures(
         RngFactory(seed).fork("ixp"),
         seed=seed,
         clients_per_ixp=CLIENTS_PER_IXP,
         engine=engine,
+        **kwargs,
     )
 
 
 def build_capture(
-    name: str, seed: int, engine: str = "vectorized"
+    name: str,
+    seed: int,
+    engine: str = "vectorized",
+    traffic: Optional["TrafficSpec"] = None,
 ) -> FlowAggregate:
     """One standard aggregate by name ("isp", "ixp-eu", "ixp-na")."""
     if name == "isp":
-        return isp_aggregate(seed, engine)
+        return isp_aggregate(seed, engine, traffic)
     try:
         region = _REGIONS[name]
     except KeyError:
@@ -79,15 +107,17 @@ def build_capture(
             f"{', '.join(STANDARD_CAPTURES)}"
         ) from None
     window = (parse_ts(IXP_WINDOW[0]), parse_ts(IXP_WINDOW[1]))
-    return regional_aggregate(ixp_captures(seed, engine), region, *window)
+    return regional_aggregate(ixp_captures(seed, engine, traffic), region, *window)
 
 
 def standard_captures(
-    seed: int, engine: str = "vectorized"
+    seed: int,
+    engine: str = "vectorized",
+    traffic: Optional["TrafficSpec"] = None,
 ) -> Dict[str, FlowAggregate]:
     """All standard aggregates for *seed*, keyed by capture name."""
-    out = {"isp": isp_aggregate(seed, engine)}
-    captures = ixp_captures(seed, engine)
+    out = {"isp": isp_aggregate(seed, engine, traffic)}
+    captures = ixp_captures(seed, engine, traffic)
     window = (parse_ts(IXP_WINDOW[0]), parse_ts(IXP_WINDOW[1]))
     for name, region in _REGIONS.items():
         out[name] = regional_aggregate(captures, region, *window)

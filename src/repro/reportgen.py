@@ -404,7 +404,11 @@ def generate_all(
     dataset = results.dataset
     if dataset.passive is None:
         dataset.attach_passive(
-            PassiveStore.from_aggregates(standard_captures(seed, engine=engine))
+            PassiveStore.from_aggregates(
+                standard_captures(
+                    seed, engine=engine, traffic=results.config.traffic_spec()
+                )
+            )
         )
     dataset_dir = out_path / "dataset"
     results.save(str(dataset_dir))
@@ -447,6 +451,15 @@ def report_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--preset", choices=("quick", "standard", "paper"), default="quick"
     )
+    parser.add_argument(
+        "--scenario", metavar="NAME",
+        help="run a registered scenario instead of --preset "
+             "(see repro.scenarios)",
+    )
+    parser.add_argument(
+        "--overlay", metavar="NAME", action="append", default=[],
+        help="fold a registered overlay onto --scenario (repeatable)",
+    )
     parser.add_argument("--seed", type=int, default=2024)
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -475,12 +488,25 @@ def report_main(argv: Optional[List[str]] = None) -> int:
     else:
         from repro.core import RootStudy, StudyConfig
 
-        config = {
-            "quick": StudyConfig.quick,
-            "standard": StudyConfig.standard,
-            "paper": StudyConfig.paper_scale,
-        }[args.preset](seed=args.seed)
-        print(f"running {args.preset} study (seed {args.seed}) ...")
+        if args.scenario:
+            from repro.scenarios import MergeError, compose
+
+            try:
+                config = compose(args.scenario, args.overlay).study_config(
+                    seed=args.seed
+                )
+            except (KeyError, MergeError, ValueError) as exc:
+                parser.error(str(exc.args[0] if exc.args else exc))
+            print(f"running scenario {args.scenario} (seed {args.seed}) ...")
+        elif args.overlay:
+            parser.error("--overlay requires --scenario")
+        else:
+            config = {
+                "quick": StudyConfig.quick,
+                "standard": StudyConfig.standard,
+                "paper": StudyConfig.paper_scale,
+            }[args.preset](seed=args.seed)
+            print(f"running {args.preset} study (seed {args.seed}) ...")
         study = RootStudy(config)
         study.run()
         written = generate_all(

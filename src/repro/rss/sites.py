@@ -163,18 +163,28 @@ class SiteCatalog:
         return len(self.sites)
 
 
-def build_site_catalog(rng_factory: RngFactory) -> SiteCatalog:
-    """Instantiate the SITE_PLAN into concrete, deterministically-placed sites."""
+def build_site_catalog(
+    rng_factory: RngFactory,
+    plan: Optional[Dict[str, Dict[Continent, Tuple[int, int]]]] = None,
+) -> SiteCatalog:
+    """Instantiate a site plan into concrete, deterministically-placed
+    sites.  *plan* defaults to the paper's Table-4 :data:`SITE_PLAN`; a
+    scenario's world layer may pass a scaled plan (same letters, scaled
+    per-continent counts).  Placement is a pure function of
+    ``(plan, rng_factory)``: each letter draws from its own named
+    stream, so the same plan always yields the same catalog.
+    """
+    site_plan = SITE_PLAN if plan is None else plan
     sites: List[Site] = []
-    for letter in sorted(SITE_PLAN):
+    for letter in sorted(site_plan):
         rng = rng_factory.stream(f"sites.{letter}")
         unmapped_fraction = UNMAPPED_SITE_FRACTION.get(letter, 0.0)
         index = 0
         for continent in Continent:
-            plan = SITE_PLAN[letter].get(continent)
-            if plan is None:
+            letter_plan = site_plan[letter].get(continent)
+            if letter_plan is None:
                 continue
-            n_global, n_local = plan
+            n_global, n_local = letter_plan
             pool = cities_in(continent)
             if not pool:
                 raise RuntimeError(f"no cities on {continent} for {letter}.root")

@@ -1,0 +1,65 @@
+"""Layered scenario system.
+
+A scenario stacks four typed layer documents — world, platform,
+traffic, faults (:mod:`repro.scenarios.specs`) — merged with the
+deterministic deep-merge (:mod:`repro.scenarios.merge`) and registered
+under a name + version (:mod:`repro.scenarios.registry`).  Importing
+this package registers the shipped packs
+(:mod:`repro.scenarios.packs`): ``default``, ``paper``, ``froot-sea``,
+``broot-querymix``.
+
+Typical use::
+
+    from repro.scenarios import compose
+
+    config = compose("froot-sea", overlays=["froot-sea-stage1"]).study_config(seed=7)
+"""
+
+from repro.scenarios.merge import MergeError, deep_merge, merge_layers
+from repro.scenarios.packs import register_packs
+from repro.scenarios.registry import (
+    EXECUTION_KNOBS,
+    LAYERS,
+    Overlay,
+    Scenario,
+    compose,
+    get_overlay,
+    get_scenario,
+    overlay_names,
+    register_overlay,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.specs import (
+    BuildoutStage,
+    FaultSpec,
+    PlatformSpec,
+    TrafficSpec,
+    WorldSpec,
+    reject_unknown_keys,
+)
+
+register_packs()
+
+__all__ = [
+    "EXECUTION_KNOBS",
+    "LAYERS",
+    "MergeError",
+    "deep_merge",
+    "merge_layers",
+    "Overlay",
+    "Scenario",
+    "compose",
+    "get_overlay",
+    "get_scenario",
+    "overlay_names",
+    "register_overlay",
+    "register_scenario",
+    "scenario_names",
+    "BuildoutStage",
+    "FaultSpec",
+    "PlatformSpec",
+    "TrafficSpec",
+    "WorldSpec",
+    "reject_unknown_keys",
+]

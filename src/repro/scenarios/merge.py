@@ -1,0 +1,81 @@
+"""Deterministic deep-merge for scenario layers.
+
+A scenario is a stack of layer documents (plain dicts of JSON
+primitives): the base layers of the registered scenario plus any number
+of ordered overlays.  :func:`deep_merge` folds one overlay onto a base;
+:func:`merge_layers` folds a whole stack left to right.
+
+The semantics are deliberately tiny so they can be *associative*:
+
+* mapping ⊕ mapping — merge key-wise, recursing per key;
+* leaf ⊕ leaf — the overlay value replaces the base value (lists are
+  leaves: overlays replace them wholesale, they never concatenate);
+* mapping ⊕ leaf (either direction) — a :class:`MergeError`.
+
+Rejecting category changes is what makes the fold associative: with
+"scalar wipes subtree" semantics the wipe is forgotten as soon as a
+later mapping lands on the same key, so ``(a ⊕ b) ⊕ c`` and
+``a ⊕ (b ⊕ c)`` diverge.  Category-stable layers form a semigroup —
+the hypothesis property test in ``tests/scenarios`` drives triples
+through both associations and asserts identical output, key order
+included (merged mappings are emitted with sorted keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+
+class MergeError(ValueError):
+    """An overlay changed the category (mapping vs leaf) of a key."""
+
+
+def _copy_sorted(doc: Any) -> Any:
+    """A subtree untouched by the merge, re-emitted with sorted keys so
+    the "sorted at every level" contract holds for one-sided keys too."""
+    if not isinstance(doc, Mapping):
+        return doc
+    return {key: _copy_sorted(doc[key]) for key in sorted(doc)}
+
+
+def _merge(base: Any, overlay: Any, path: str) -> Any:
+    base_is_map = isinstance(base, Mapping)
+    overlay_is_map = isinstance(overlay, Mapping)
+    if base_is_map != overlay_is_map:
+        raise MergeError(
+            f"overlay changes the category of {path or '<root>'!r}: "
+            f"{type(base).__name__} vs {type(overlay).__name__} "
+            f"(scenario layers must be category-stable)"
+        )
+    if not base_is_map:
+        return overlay
+    merged: Dict[str, Any] = {}
+    for key in sorted(set(base) | set(overlay)):
+        child = f"{path}.{key}" if path else key
+        if key not in overlay:
+            merged[key] = _copy_sorted(base[key])
+        elif key not in base:
+            merged[key] = _copy_sorted(overlay[key])
+        else:
+            merged[key] = _merge(base[key], overlay[key], child)
+    return merged
+
+
+def deep_merge(base: Mapping[str, Any], overlay: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fold *overlay* onto *base*; neither input is mutated.
+
+    The result's mappings carry sorted keys at every level, so equal
+    layer stacks produce not just equal but identically-ordered dicts
+    (the scenario fingerprint hashes the canonical JSON of this).
+    """
+    if not isinstance(base, Mapping) or not isinstance(overlay, Mapping):
+        raise MergeError("scenario layers must be mappings at the top level")
+    return _merge(base, overlay, "")
+
+
+def merge_layers(*layers: Mapping[str, Any]) -> Dict[str, Any]:
+    """Fold a whole layer stack, left to right (base first)."""
+    merged: Dict[str, Any] = {}
+    for layer in layers:
+        merged = deep_merge(merged, layer)
+    return merged

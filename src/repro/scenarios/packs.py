@@ -1,0 +1,132 @@
+"""The shipped scenario packs.
+
+Importing :mod:`repro.scenarios` registers these.  Three packs ground
+the layers in the literature, plus the two baselines:
+
+* ``default`` — the repo's default :class:`StudyConfig` knobs, as a
+  registered scenario (byte-identical to a hand-built config);
+* ``paper`` — the full 675-VP, 30-minute campaign (what
+  ``StudyConfig.paper()`` historically special-cased);
+* ``froot-sea`` — the F-ROOT Southeast-Asia build-out study: boosted
+  Asia/Oceania VP density and a three-stage f.root site expansion wave,
+  read through the longitudinal per-region RTT analysis.  The
+  ``froot-sea-stage1`` / ``froot-sea-stage2`` overlays pin the timeline
+  to its earlier stages so the waves replay as separate campaigns;
+* ``broot-querymix`` — the B-Root query-composition study: a larger ISP
+  client population and a popularity-skewed query mix (Zipf head,
+  Chromium-style random-label probes, junk tail, one junk burst)
+  synthesised through the passive flow engine.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import (
+    Overlay,
+    Scenario,
+    register_overlay,
+    register_scenario,
+)
+
+
+def register_packs() -> None:
+    """Register the shipped packs (idempotent per process: the package
+    ``__init__`` calls this exactly once, on first import)."""
+    register_scenario(Scenario(
+        name="default",
+        version=1,
+        description="The repo's default study: ~200 VPs, 6-hour base "
+        "interval, all fault classes on.",
+        analyses=("stability", "rtt"),
+    ))
+
+    register_scenario(Scenario(
+        name="paper",
+        version=1,
+        description="The source paper's full campaign: 675 VPs, 30-minute "
+        "intervals, 174 days (formerly StudyConfig.paper()).",
+        world={"ring_scale": 1.0, "ring_min_per_region": 1},
+        platform={
+            "interval_scale": 1.0,
+            "rtt_sample_every": 8,
+            "traceroute_sample_every": 16,
+            "axfr_sample_every": 32,
+            "clean_transfer_keep_one_in": 20000,
+        },
+        analyses=("stability", "rtt"),
+    ))
+
+    register_scenario(Scenario(
+        name="froot-sea",
+        version=1,
+        description="F-ROOT in Southeast Asia: denser Asia/Oceania VP "
+        "coverage watching a staged f.root site build-out, measured as "
+        "longitudinal per-region RTT.",
+        world={
+            "region_scale": {"ASIA": 1.6, "OCEANIA": 1.5},
+            "buildout": [
+                {
+                    "label": "pre-expansion",
+                    "start": "2023-01-01",
+                    "site_scale": {"f/ASIA": 0.4, "f/OCEANIA": 0.4},
+                },
+                {
+                    "label": "sea-wave-1",
+                    "start": "2023-06-01",
+                    "site_scale": {"f/ASIA": 0.7, "f/OCEANIA": 0.7},
+                },
+                {
+                    "label": "sea-wave-2",
+                    "start": "2023-11-01",
+                    "site_scale": {"f/ASIA": 1.0, "f/OCEANIA": 1.0},
+                },
+            ],
+        },
+        analyses=("regional_rtt", "rtt"),
+    ))
+
+    register_scenario(Scenario(
+        name="broot-querymix",
+        version=1,
+        description="B-Root query composition: a larger ISP population "
+        "feeding a popularity-skewed query mix (Zipf head, chromioid "
+        "probes, junk tail, one junk burst) through the passive flow "
+        "engine.",
+        traffic={
+            "profiles": {"isp": {"n_clients": 4000}},
+            "querymix": {
+                "zipf_alpha": 1.1,
+                "n_qnames": 4000,
+                "junk_fraction": 0.18,
+                "chromioid_fraction": 0.45,
+                # Inside the ISP capture window (recipes.ISP_WINDOW),
+                # so the aggregate actually shows the amplification.
+                "bursts": [
+                    {
+                        "start": "2024-02-12",
+                        "end": "2024-02-15",
+                        "multiplier": 3.0,
+                        "category": "junk",
+                    },
+                ],
+            },
+        },
+        analyses=("querymix", "trafficshift"),
+    ))
+
+    register_overlay(Overlay(
+        name="froot-sea-stage1",
+        description="Pin the froot-sea build-out to its first stage "
+        "(pre-expansion site counts).",
+        world={"buildout_stage": 1},
+    ))
+    register_overlay(Overlay(
+        name="froot-sea-stage2",
+        description="Pin the froot-sea build-out after the first "
+        "Southeast-Asia wave.",
+        world={"buildout_stage": 2},
+    ))
+    register_overlay(Overlay(
+        name="no-faults",
+        description="Disable all fault injection (clean-world control).",
+        faults={"include_faults": False},
+    ))

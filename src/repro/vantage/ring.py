@@ -66,10 +66,15 @@ class RingConfig:
     scale: float = 1.0  # 1.0 = the paper's 675 VPs
     first_asn: int = 50000
     min_per_region: int = 1
+    #: Per-continent multipliers (by :class:`Continent` name, e.g.
+    #: ``(("ASIA", 1.6),)``) applied on top of ``scale`` — how a
+    #: scenario's world layer densifies coverage of a studied region.
+    region_scale: Tuple[Tuple[str, float], ...] = ()
 
     def region_count(self, continent: Continent) -> int:
         full, _countries, _nets = REGION_PLAN[continent]
-        return max(self.min_per_region, int(round(full * self.scale)))
+        scale = self.scale * dict(self.region_scale).get(continent.name, 1.0)
+        return max(self.min_per_region, int(round(full * scale)))
 
 
 def _pick_transits(

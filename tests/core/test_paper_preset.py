@@ -13,7 +13,11 @@ from repro.rss.operators import ROOT_LETTERS
 
 class TestPaperPreset:
     def test_paper_is_paper_scale(self):
-        assert StudyConfig.paper() == StudyConfig.paper_scale()
+        # paper() now materialises the registered "paper" scenario; the
+        # knobs still equal the paper_scale preset exactly, plus the
+        # scenario provenance stamp.
+        assert StudyConfig.paper().without_scenario() == StudyConfig.paper_scale()
+        assert StudyConfig.paper().scenario_name == "paper"
         assert StudyConfig.paper(seed=7).seed == 7
         assert StudyConfig.paper().ring_scale == 1.0
 

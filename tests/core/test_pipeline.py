@@ -178,6 +178,8 @@ class TestAnalyzeStage:
             "coverage",
             "distance",
             "paths",
+            "querymix",
+            "regional_rtt",
             "rssac",
             "rtt",
             "stability",

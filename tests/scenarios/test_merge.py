@@ -1,0 +1,138 @@
+"""Property tests: the overlay deep-merge is associative and deterministic.
+
+Overlay folding must not depend on how the fold is parenthesised —
+``compose`` merges left to right, but a scenario author reasoning about
+``base + (a + b)`` has to get the same layers.  Associativity only holds
+because :func:`repro.scenarios.merge.deep_merge` enforces *category
+stability* (a path is either a mapping everywhere or a leaf everywhere);
+these tests generate layer documents that share a random shape tree and
+check both parenthesisations agree byte-for-byte, including key order,
+and that category changes raise instead of silently winning.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios.merge import MergeError, deep_merge, merge_layers
+
+# A random *shape*: each key is either a leaf or a nested mapping.  All
+# documents drawn against one shape agree on every path's category, so
+# they are category-stable by construction — the regime deep_merge
+# guarantees associativity for.
+leaf_st = st.one_of(
+    st.integers(-100, 100),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(0, 9), max_size=4),
+)
+key_st = st.sampled_from(["a", "b", "c", "d", "e", "scale", "stage"])
+
+shape_st = st.recursive(
+    st.just("leaf"),
+    lambda inner: st.dictionaries(key_st, inner, min_size=1, max_size=4),
+    max_leaves=12,
+)
+
+
+@st.composite
+def doc_for_shape(draw, shape):
+    """A document drawn against *shape*: random subset of keys, leaves
+    filled with random values, mappings recursed into."""
+    if shape == "leaf":
+        return draw(leaf_st)
+    doc = {}
+    for key, sub in shape.items():
+        if draw(st.booleans()):
+            doc[key] = draw(doc_for_shape(sub))
+    return doc
+
+
+@st.composite
+def stable_triple(draw):
+    shape = draw(shape_st.filter(lambda s: s != "leaf"))
+    return (
+        draw(doc_for_shape(shape)),
+        draw(doc_for_shape(shape)),
+        draw(doc_for_shape(shape)),
+    )
+
+
+def canonical(doc) -> str:
+    # sort_keys=False: key *order* is part of the determinism contract.
+    return json.dumps(doc, sort_keys=False)
+
+
+class TestAssociativity:
+    @given(stable_triple())
+    @settings(max_examples=200, deadline=None)
+    def test_both_parenthesisations_agree(self, docs):
+        a, b, c = docs
+        left = deep_merge(deep_merge(a, b), c)
+        right = deep_merge(a, deep_merge(b, c))
+        assert canonical(left) == canonical(right)
+
+    @given(stable_triple())
+    @settings(max_examples=100, deadline=None)
+    def test_merge_is_deterministic(self, docs):
+        a, b, c = docs
+        assert canonical(merge_layers(a, b, c)) == canonical(
+            merge_layers(a, b, c)
+        )
+
+    @given(stable_triple())
+    @settings(max_examples=100, deadline=None)
+    def test_merged_mappings_have_sorted_keys(self, docs):
+        a, b, _ = docs
+
+        def assert_sorted(doc):
+            if not isinstance(doc, dict):
+                return
+            assert list(doc) == sorted(doc)
+            for value in doc.values():
+                assert_sorted(value)
+
+        assert_sorted(deep_merge(a, b))
+
+
+class TestMergeSemantics:
+    def test_overlay_wins_on_leaves(self):
+        assert deep_merge({"x": 1, "y": 2}, {"y": 3}) == {"x": 1, "y": 3}
+
+    def test_nested_mappings_merge_keywise(self):
+        merged = deep_merge(
+            {"world": {"ring_scale": 0.3, "buildout_stage": -1}},
+            {"world": {"buildout_stage": 2}},
+        )
+        assert merged == {"world": {"ring_scale": 0.3, "buildout_stage": 2}}
+
+    def test_lists_are_replaced_wholesale(self):
+        merged = deep_merge({"bursts": [1, 2, 3]}, {"bursts": [9]})
+        assert merged == {"bursts": [9]}
+
+    def test_category_change_mapping_to_leaf_raises(self):
+        with pytest.raises(MergeError, match="category"):
+            deep_merge({"a": {"b": 1}}, {"a": 5})
+
+    def test_category_change_leaf_to_mapping_raises(self):
+        with pytest.raises(MergeError, match="category"):
+            deep_merge({"a": 5}, {"a": {"b": 1}})
+
+    def test_error_names_the_offending_path(self):
+        with pytest.raises(MergeError, match=r"world\.site_scale"):
+            deep_merge(
+                {"world": {"site_scale": {"f": 1.0}}},
+                {"world": {"site_scale": 0.5}},
+            )
+
+    def test_inputs_are_not_mutated(self):
+        base = {"a": {"b": 1}}
+        overlay = {"a": {"c": 2}}
+        deep_merge(base, overlay)
+        assert base == {"a": {"b": 1}}
+        assert overlay == {"a": {"c": 2}}

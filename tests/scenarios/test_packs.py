@@ -1,0 +1,67 @@
+"""Every shipped pack runs end to end: config → campaign → saved
+dataset → its headline analyses → rendered figure text.
+
+This is the in-suite twin of CI's scenario-smoke job
+(``python -m repro.scenarios.smoke``): each registered scenario is
+driven through the full path at tiny scale, and the figure text each
+pack exists to produce is asserted on — the froot-sea build-out
+annotation, the broot-querymix burst amplification, and so on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import scenario_names
+from repro.scenarios.smoke import run_scenario_smoke
+
+
+@pytest.fixture(scope="module")
+def smoke_artifacts(tmp_path_factory):
+    out = tmp_path_factory.mktemp("packs")
+    return {
+        name: run_scenario_smoke(name, str(out))
+        for name in scenario_names()
+    }
+
+
+class TestEveryPackRunsEndToEnd:
+    def test_all_registered_scenarios_covered(self, smoke_artifacts):
+        assert sorted(smoke_artifacts) == [
+            "broot-querymix", "default", "froot-sea", "paper",
+        ]
+
+    @pytest.mark.parametrize(
+        "name", ["broot-querymix", "default", "froot-sea", "paper"]
+    )
+    def test_pack_saves_dataset_and_figures(self, smoke_artifacts, name):
+        written = smoke_artifacts[name]
+        assert (written["dataset"] / "MANIFEST.json").exists()
+        figures = [key for key in written if key != "dataset"]
+        assert figures, f"scenario {name} wrote no analysis output"
+        for key in figures:
+            assert written[key].read_text().strip()
+
+    def test_default_and_paper_render_headline_analyses(
+        self, smoke_artifacts
+    ):
+        for name in ("default", "paper"):
+            assert {"rtt", "stability"} <= set(smoke_artifacts[name])
+
+    def test_froot_sea_reports_the_buildout(self, smoke_artifacts):
+        text = smoke_artifacts["froot-sea"]["regional_rtt"].read_text()
+        assert "f.root RTT per region" in text
+        assert "build-out: pre-expansion @ 2023-01-01" in text
+        assert "sea-wave-2 @ 2023-11-01" in text
+
+    def test_broot_querymix_reports_the_burst(self, smoke_artifacts):
+        text = smoke_artifacts["broot-querymix"]["querymix"].read_text()
+        assert "Query composition" in text
+        assert "com." in text  # the Zipf head
+        assert "burst 2024-02-12..2024-02-15 (junk x3)" in text
+        # the burst lands inside the ISP capture window, so it must
+        # actually amplify the window's traffic
+        amplification = float(
+            text.split("observed amplification ")[1].split("x")[0]
+        )
+        assert amplification > 1.1
