@@ -57,10 +57,24 @@ from repro.util.timeutil import parse_ts
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+from benchutil import cpu_scaling_meta, scaling_worker_levels, visible_cpus
+
 #: (shards, workers) execution variants, in report order.  workers 1/2/4
 #: is the scaling curve; on a single-CPU container the interesting number
 #: is the multiprocess *overhead* over serial, not speedup.
 VARIANTS = [(1, 1), (2, 1), (2, 2), (4, 4)]
+
+
+def variants_for(cpus: int) -> List[tuple]:
+    """The fixed overhead variants, plus — when the container actually
+    has CPUs to scale over — one ``(N, N)`` row per scaling level, so a
+    many-core host records a real speedup curve instead of silently
+    publishing single-core numbers."""
+    variants = list(VARIANTS)
+    for level in scaling_worker_levels(cpus):
+        if level > 1 and (level, level) not in variants:
+            variants.append((level, level))
+    return variants
 
 
 def make_config(scale: str) -> StudyConfig:
@@ -219,7 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures: List[str] = []
     medians: List[dict] = []
-    for shards, workers in VARIANTS:
+    for shards, workers in variants_for(visible_cpus()):
         samples = [
             run_child(args.scale, shards, workers)
             for _ in range(max(args.repeats, 1))
@@ -282,10 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "config": asdict(make_config(args.scale)),
         "machine": {
             "python": platform.python_version(),
-            "cpus": len(os.sched_getaffinity(0)),
-            "note": "cpus is the affinity-visible count; on a single-CPU "
-                    "container workers>1 measures handoff overhead, not "
-                    "parallel speedup",
+            **cpu_scaling_meta(),
         },
         "equivalence": "all variants produced identical collector content "
                        "digests (probe/traceroute column bytes, aggregate "

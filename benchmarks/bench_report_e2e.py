@@ -36,6 +36,8 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
+from benchutil import cpu_scaling_meta, scaling_worker_levels
+
 from repro.core import RootStudy, StudyConfig
 from repro.reportgen import generate_all
 
@@ -120,10 +122,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         run_variant(study, os.path.join(tmp, "warmup"), config.seed,
                     "vectorized", 1)
 
+        # The requested worker count is always measured; a multi-core
+        # container additionally sweeps the scaling levels so the
+        # published numbers carry a real curve, not one point.
+        parallel_levels = sorted(
+            {args.workers} | {w for w in scaling_worker_levels() if w > 1}
+        )
         variants = [
             ("scalar/serial", "scalar", 1),
             ("vectorized/serial", "vectorized", 1),
-            (f"vectorized/parallel-{args.workers}", "vectorized", args.workers),
+        ] + [
+            (f"vectorized/parallel-{workers}", "vectorized", workers)
+            for workers in parallel_levels
         ]
         timings: Dict[str, float] = {}
         baseline = None
@@ -177,7 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign_seconds": round(campaign_s, 2),
         "machine": {
             "python": platform.python_version(),
-            "cpus": os.cpu_count(),
+            **cpu_scaling_meta(levels=[1] + [w for w in parallel_levels if w > 1]),
         },
         "equivalence": (
             "all artefacts byte-identical to the scalar serial baseline"

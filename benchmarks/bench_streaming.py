@@ -27,6 +27,7 @@ import argparse
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import time
@@ -37,6 +38,8 @@ from typing import List, Optional
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
+
+from benchutil import cpu_scaling_meta, scaling_worker_levels
 
 from repro.core.config import StudyConfig
 from repro.util.timeutil import parse_ts
@@ -64,15 +67,22 @@ def make_config(scale: str) -> StudyConfig:
     )
 
 
+def parse_workers_mode(mode: str) -> int:
+    """``streamed-workersN`` -> N; 0 for the single-process modes."""
+    match = re.fullmatch(r"streamed-workers(\d+)", mode)
+    return int(match.group(1)) if match else 0
+
+
 def child_main(mode: str, scale: str, out_dir: str) -> int:
     """One measured variant; prints a JSON result line for the parent."""
     import resource
 
     config = make_config(scale)
-    if mode == "streamed-workers2":
+    workers = parse_workers_mode(mode)
+    if workers:
         # multiprocess shard workers streaming into per-shard spills,
         # merged columnar-ly at each seal (DESIGN.md §12)
-        config = config.with_sharding(2, workers=2)
+        config = config.with_sharding(workers, workers=workers)
     started = time.perf_counter()
     if mode == "materialized":
         from repro.core.pipeline import StudyPipeline
@@ -168,7 +178,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="scratch directory for datasets (default: a temp directory)",
     )
     parser.add_argument(
-        "--child", choices=("materialized", "streamed", "streamed-workers2")
+        "--child",
+        help="(internal) one variant: materialized, streamed, or "
+             "streamed-workersN",
     )
     parser.add_argument("--out-dir", help="(child only) dataset target")
     args = parser.parse_args(argv)
@@ -182,8 +194,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     work = args.work_dir or tempfile.mkdtemp(prefix="bench-streaming-")
     os.makedirs(work, exist_ok=True)
     failures: List[str] = []
+    # Always keep the workers=2 overhead row; on a multi-core container
+    # extend it into the full scaling curve instead of silently recording
+    # single-core numbers.
+    worker_levels = sorted(
+        {2} | {w for w in scaling_worker_levels() if w > 1}
+    )
+    modes = ["materialized", "streamed"] + [
+        f"streamed-workers{w}" for w in worker_levels
+    ]
     runs = {}
-    for mode in ("materialized", "streamed", "streamed-workers2"):
+    for mode in modes:
         out_dir = os.path.join(work, mode)
         runs[mode] = run_child(mode, args.scale, out_dir)
         print(f"{mode:<18s}  wall {runs[mode]['wall_seconds']:7.2f}s  "
@@ -197,16 +218,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         print("materialized and streamed datasets byte-identical")
 
-    differing_mp = trees_identical_modulo_sharding(
-        os.path.join(work, "streamed"), os.path.join(work, "streamed-workers2")
-    )
-    if differing_mp:
-        failures.append(
-            f"workers=2 streamed dataset differs: {differing_mp[:10]}"
+    workers_identical = {}
+    for workers in worker_levels:
+        mode = f"streamed-workers{workers}"
+        differing_mp = trees_identical_modulo_sharding(
+            os.path.join(work, "streamed"), os.path.join(work, mode)
         )
-    else:
-        print("workers=2 streamed dataset byte-identical "
-              "(modulo study shard/worker counts)")
+        workers_identical[mode] = not differing_mp
+        if differing_mp:
+            failures.append(
+                f"workers={workers} streamed dataset differs: "
+                f"{differing_mp[:10]}"
+            )
+        else:
+            print(f"workers={workers} streamed dataset byte-identical "
+                  "(modulo study shard/worker counts)")
 
     fraction = (
         runs["streamed"]["peak_rss_kb"] / runs["materialized"]["peak_rss_kb"]
@@ -226,14 +252,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "config": asdict(make_config(args.scale)),
         "machine": {
             "python": platform.python_version(),
-            "cpus": os.cpu_count(),
+            **cpu_scaling_meta(levels=[1] + worker_levels),
         },
         "byte_identical": not differing,
-        "workers2_byte_identical": not differing_mp,
+        "workers_byte_identical": workers_identical,
         "rss_fraction": round(fraction, 3),
-        "runs": [
-            runs["materialized"], runs["streamed"], runs["streamed-workers2"]
-        ],
+        "runs": [runs[mode] for mode in modes],
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)

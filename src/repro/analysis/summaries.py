@@ -1,4 +1,4 @@
-"""Canonical plain-text summaries, one per registered analysis.
+"""Canonical summaries, one per registered analysis — text and JSON.
 
 ``rootsim-analyze DIR <name>`` prints exactly what
 :func:`render_summary` returns, and the dataset round-trip tests compare
@@ -9,11 +9,21 @@ save/load boundary.
 The renderings reuse :mod:`repro.analysis.report` wherever a paper
 artefact exists; the few analyses without a dedicated report function
 (rssac, variability) get compact tables here.
+
+The JSON side is the same contract, one layer down:
+:func:`analysis_document` builds one canonical JSON-able document per
+analysis (headline numbers plus the text summary) and
+:func:`canonical_json_bytes` fixes its byte encoding (sorted keys,
+compact separators, UTF-8).  ``rootsim-analyze --json`` and every
+``repro.serving`` analysis endpoint emit exactly these bytes, which is
+what makes the served responses equivalence-testable against the CLI —
+and makes them exact ETag material.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+import json
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis import report
 from repro.geo.continents import Continent
@@ -227,3 +237,207 @@ def render_summary(name: str, analysis: Any) -> str:
             f"known: {', '.join(summary_names())}"
         ) from None
     return renderer(analysis)
+
+
+# --- canonical JSON documents -------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """*value* with numpy scalars/arrays reduced to plain Python types
+    (canonical JSON must not depend on who computed it)."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()
+    return value
+
+
+def canonical_json_bytes(document: Dict[str, Any]) -> bytes:
+    """The one byte encoding of a JSON document this repo serves:
+    sorted keys, compact separators, UTF-8, no trailing newline."""
+    return json.dumps(
+        _jsonable(document), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=False,
+    ).encode("utf-8")
+
+
+def _data_coverage(coverage) -> Dict[str, Any]:
+    total, unmapped = coverage.observed_identifier_count()
+    return {"identifiers_observed": total, "unmapped": unmapped}
+
+
+def _data_stability(stability) -> Dict[str, Any]:
+    return {
+        "median_changes": {
+            "b_v4_new": stability.median_changes("b", 4, "new"),
+            "g_v4": stability.median_changes("g", 4),
+            "g_v6": stability.median_changes("g", 6),
+        },
+        "letters_with_v6_excess": stability.letters_with_v6_excess(),
+    }
+
+
+def _data_colocation(colocation) -> Dict[str, Any]:
+    return {
+        "fraction_with_colocation": colocation.fraction_with_colocation(),
+        "max_observed_colocation": colocation.max_observed_colocation(),
+    }
+
+
+def _data_zonemd(audit) -> Dict[str, Any]:
+    findings, valid = audit.validate_transfers()
+    return {"valid_transfers": valid, "finding_groups": len(findings)}
+
+
+def _data_rssac(metrics) -> Dict[str, Any]:
+    return {
+        "response_latency": [
+            {
+                "letter": latency.letter,
+                "samples": latency.samples,
+                "p50_ms": latency.p50_ms,
+                "p95_ms": latency.p95_ms,
+                "within_threshold": latency.within_threshold,
+            }
+            for latency in metrics.all_response_latencies()
+        ]
+    }
+
+
+def _data_variability(variability) -> Dict[str, Any]:
+    full, subsets = variability.subset_spread(4, max_subsets=6)
+    spreads = {}
+    for metric in ("changes_v4", "changes_v6", "v6_excess"):
+        low, high = variability.relative_spread(full, subsets, metric)
+        spreads[metric] = {"low": low, "high": high}
+    return {
+        "full": {
+            "median_changes_v4": full.median_changes_v4,
+            "median_changes_v6": full.median_changes_v6,
+            "v6_excess": full.v6_excess,
+        },
+        "subset_spread": spreads,
+    }
+
+
+def _data_trafficshift(shift) -> Dict[str, Any]:
+    from repro.util.timeutil import parse_ts
+
+    ratios = shift.shift_ratios(
+        parse_ts(PASSIVE_WINDOW[0]), parse_ts(PASSIVE_WINDOW[1])
+    )
+    return {
+        "window": list(PASSIVE_WINDOW),
+        "in_family_shift": {"v4": ratios.v4_shifted, "v6": ratios.v6_shifted},
+    }
+
+
+def _data_clientbehavior(behavior) -> Dict[str, Any]:
+    return {
+        "by_family": {
+            str(family): {
+                address: {
+                    "mean_clients_per_day": dist.mean_clients_per_day(),
+                    "single_daily_contact":
+                        dist.fraction_single_daily_contact(),
+                }
+                for address, dist in sorted(behavior.by_family(family).items())
+            }
+            for family in (4, 6)
+        }
+    }
+
+
+def _data_querymix(querymix) -> Dict[str, Any]:
+    return {
+        "category_shares": dict(querymix.category_shares()),
+        "top_qnames": [
+            {"qname": qname, "queries": count}
+            for qname, count in querymix.top_qnames(10)
+        ],
+        "bursts": [dict(burst) for burst in querymix.burst_report()],
+    }
+
+
+def _data_regional_rtt(regional) -> Dict[str, Any]:
+    cells = {}
+    for region, families in regional.regional_summary().items():
+        cells[region] = {
+            f"v{family}": {
+                "count": cell.count,
+                "mean_ms": cell.mean,
+                "p50_ms": cell.p50,
+                "p90_ms": cell.p90,
+            }
+            for family, cell in sorted(families.items())
+            if cell is not None
+        }
+    return {"regions": cells, "buildout_stages": regional.buildout_stages()}
+
+
+#: Structured headline data per analysis, folded into the canonical JSON
+#: document next to the text summary.  Analyses without an entry (the
+#: figure-shaped ones: distance, rtt, paths) carry their text alone.
+_JSON_DATA: Dict[str, Callable[[Any], Dict[str, Any]]] = {
+    "coverage": _data_coverage,
+    "stability": _data_stability,
+    "colocation": _data_colocation,
+    "zonemd_audit": _data_zonemd,
+    "rssac": _data_rssac,
+    "variability": _data_variability,
+    "trafficshift": _data_trafficshift,
+    "clientbehavior": _data_clientbehavior,
+    "querymix": _data_querymix,
+    "regional_rtt": _data_regional_rtt,
+}
+
+
+def render_json(name: str, analysis: Any) -> Dict[str, Any]:
+    """The canonical JSON document of one constructed analysis."""
+    document: Dict[str, Any] = {"analysis": name}
+    builder = _JSON_DATA.get(name)
+    if builder is not None:
+        document["data"] = builder(analysis)
+    document["summary"] = render_summary(name, analysis)
+    return document
+
+
+def analysis_inputs(dataset, name: str) -> Dict[str, Any]:
+    """The explicit inputs analysis *name* needs beyond the dataset.
+
+    Passive analyses consume a capture aggregate: replayed from the
+    dataset's passive tables when present, rebuilt from the recorded
+    study seed otherwise (pure function of the seed — no campaign
+    stage).  Shared by ``rootsim-analyze`` and the serving layer so both
+    construct the analysis from identical inputs.
+    """
+    if name not in PASSIVE_ANALYSES:
+        return {}
+    passive = dataset.passive
+    if passive is not None and "isp" in passive.names():
+        return {"aggregate": passive.aggregate("isp")}
+    config = dataset.study_config()
+    return {
+        "aggregate": passive_aggregate(
+            config.seed, traffic=config.traffic_spec()
+        )
+    }
+
+
+def analysis_document(dataset, name: str, inputs: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Run analysis *name* against *dataset* and build its canonical
+    JSON document (:class:`KeyError` for unknown names,
+    :class:`~repro.data.schema.DatasetError` for missing tables)."""
+    from repro.analysis import registry
+
+    if inputs is None:
+        inputs = analysis_inputs(dataset, name)
+    return render_json(name, registry.run(name, dataset, **inputs))
+
+
+def analysis_json_bytes(dataset, name: str, inputs: Optional[Dict[str, Any]] = None) -> bytes:
+    """The exact bytes ``rootsim-analyze --json`` prints and the serving
+    layer returns for analysis *name* over *dataset*."""
+    return canonical_json_bytes(analysis_document(dataset, name, inputs))

@@ -417,12 +417,20 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
         "--overlay", metavar="NAME", action="append", default=[],
         help="overlays the requested --scenario was composed with",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical JSON document instead of the text "
+             "summary (byte-identical to what rootsim-serve returns "
+             "for the same analysis)",
+    )
     args = parser.parse_args(argv)
 
     from repro.analysis import registry
     from repro.analysis.summaries import (
         PASSIVE_ANALYSES,
-        passive_aggregate,
+        analysis_inputs,
+        canonical_json_bytes,
+        render_json,
         render_summary,
     )
     from repro.data import DatasetError, load_dataset
@@ -453,6 +461,8 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
             return 2
 
     if args.analysis is None:
+        if args.json:
+            parser.error("--json requires an analysis name")
         summary = dataset.summary()
         print(f"dataset {args.dataset} (schema v{dataset.version})")
         checkpoint = dataset.meta.get("checkpoint") if dataset.meta else None
@@ -470,32 +480,24 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
         print(f"  runnable analyses: {', '.join(runnable)}")
         return 0
 
-    inputs = {}
-    if args.analysis in PASSIVE_ANALYSES:
-        # Datasets saved with passive tables replay the aggregate straight
-        # from disk; older live saves fall back to rebuilding it — passive
-        # captures are pure functions of the study seed, not of any
-        # campaign stage.
-        passive = dataset.passive
-        if passive is not None and "isp" in passive.names():
-            inputs["aggregate"] = passive.aggregate("isp")
-        else:
-            try:
-                config = dataset.study_config()
-            except DatasetError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-            inputs["aggregate"] = passive_aggregate(
-                config.seed, traffic=config.traffic_spec()
-            )
-
     try:
+        # Datasets saved with passive tables replay the capture aggregate
+        # straight from disk; older live saves rebuild it from the
+        # recorded study seed — resolved by analysis_inputs, shared with
+        # the serving layer so both feed the analysis identical inputs.
+        inputs = analysis_inputs(dataset, args.analysis)
         analysis = registry.run(args.analysis, dataset, **inputs)
     except (KeyError, DatasetError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
-    print(render_summary(args.analysis, analysis))
+    if args.json:
+        sys.stdout.buffer.write(
+            canonical_json_bytes(render_json(args.analysis, analysis)) + b"\n"
+        )
+        sys.stdout.buffer.flush()
+    else:
+        print(render_summary(args.analysis, analysis))
     return 0
 
 

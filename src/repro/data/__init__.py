@@ -47,6 +47,12 @@ from repro.data.schema import (
     TableSchema,
 )
 from repro.data.transfers import TransferRecord, seal_transfers
+from repro.data.watch import (
+    DatasetWatcher,
+    ServedState,
+    probe_state,
+    study_fingerprint,
+)
 
 __all__ = [
     "ALL_TABLES",
@@ -65,13 +71,16 @@ __all__ = [
     "DatasetError",
     "DatasetReader",
     "DatasetVersionError",
+    "DatasetWatcher",
     "DatasetWriter",
     "SPILL_VERSION",
+    "ServedState",
     "Table",
     "TableSchema",
     "TransferRecord",
     "load_dataset",
     "merge_shard_columns",
+    "probe_state",
     "read_shard_spill",
     "remap_lookup",
     "save_dataset",
@@ -79,5 +88,6 @@ __all__ = [
     "seal_transfers",
     "spill_nbytes",
     "stitch_columns",
+    "study_fingerprint",
     "write_shard_spill",
 ]

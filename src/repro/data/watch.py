@@ -1,0 +1,197 @@
+"""Served-state probes: fingerprints, watermarks and change watching.
+
+The analysis-serving layer (:mod:`repro.serving`) caches computed
+results keyed on *what data produced them*.  Two pieces of identity make
+that exact instead of heuristic:
+
+* the **fingerprint** — which study the directory holds.  A scenario-
+  stamped manifest (PR 9) already carries a content fingerprint; an
+  unstamped one gets a content hash of its recorded ``StudyConfig``
+  dict.  Same scenario, same fingerprint — across directories, hosts
+  and re-runs.
+* the **watermark** — how much of that study the directory holds.  A
+  finalized dataset is immutable (``final`` plus its row counts); a
+  live streaming checkpoint advances as chunks seal
+  (``rounds:<done>/<total>`` plus the sealed-chunk count), so partial
+  results cached at one watermark are never served after more rounds
+  land.
+
+:func:`probe_state` reads both from the directory's governing file —
+``MANIFEST.json`` for a finalized dataset, ``CHECKPOINT.json`` for a
+streaming checkpoint — and :class:`DatasetWatcher` turns that into a
+cheap poll: a ``stat`` of the governing file per call, a re-read only
+when the file actually changed (``CHECKPOINT.json`` is atomically
+replaced on every seal, so mtime/size/inode movement is exactly the
+signal "a chunk landed or sealed").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.data.io import MANIFEST_NAME
+from repro.data.schema import DatasetError
+
+__all__ = [
+    "DatasetWatcher",
+    "ServedState",
+    "probe_state",
+    "study_fingerprint",
+]
+
+
+def study_fingerprint(study: Optional[Dict[str, Any]]) -> str:
+    """The cache identity of a recorded study dict.
+
+    Prefers the scenario content fingerprint stamped by the scenario
+    registry (``study["scenario"]["fingerprint"]``); an unstamped study
+    hashes its canonical config JSON instead — seed and execution knobs
+    included, so "same config" is the exact condition for "same bytes on
+    disk".  A dataset sealed without any config is its own island:
+    ``unstamped`` (never shared across directories).
+    """
+    if not study:
+        return "unstamped"
+    scenario = study.get("scenario") or {}
+    fingerprint = scenario.get("fingerprint")
+    if fingerprint:
+        return f"scenario:{fingerprint}"
+    payload = json.dumps(study, sort_keys=True, separators=(",", ":"))
+    return "study:" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ServedState:
+    """What a served directory holds right now."""
+
+    #: ``dataset`` (finalized, immutable) or ``checkpoint`` (growing).
+    kind: str
+    #: Study identity — see :func:`study_fingerprint`.
+    fingerprint: str
+    #: Data-extent identity; changes exactly when servable rows change.
+    watermark: str
+    #: The recorded study dict (``None`` when sealed without a config).
+    study: Optional[Dict[str, Any]]
+    #: (st_mtime_ns, st_size, st_ino) of the governing file — the cheap
+    #: change signal :class:`DatasetWatcher` polls.
+    stamp: Tuple[int, int, int]
+
+    @property
+    def final(self) -> bool:
+        return self.kind == "dataset"
+
+
+def _stat_stamp(path: Path) -> Tuple[int, int, int]:
+    st = os.stat(path)
+    return (st.st_mtime_ns, st.st_size, st.st_ino)
+
+
+def probe_state(directory: Union[str, Path]) -> ServedState:
+    """Read the :class:`ServedState` of a dataset or checkpoint dir.
+
+    A directory with a finalized ``MANIFEST.json`` is a ``dataset``
+    (the manifest wins even if checkpoint debris is still present — this
+    mirrors :func:`repro.data.io.load_dataset`); one with only a
+    ``CHECKPOINT.json`` is a growing ``checkpoint``.  Anything else
+    raises :class:`~repro.data.schema.DatasetError`.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    checkpoint_path = directory / "CHECKPOINT.json"
+    if manifest_path.exists():
+        stamp = _stat_stamp(manifest_path)
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"corrupt manifest at {manifest_path}: {exc}"
+            ) from exc
+        summary = manifest.get("summary", {})
+        watermark = (
+            f"final:{summary.get('probe_samples', 0)}"
+            f":{summary.get('transfer_observations', 0)}"
+        )
+        study = manifest.get("study")
+        return ServedState(
+            kind="dataset",
+            fingerprint=study_fingerprint(study),
+            watermark=watermark,
+            study=study,
+            stamp=stamp,
+        )
+    if checkpoint_path.exists():
+        stamp = _stat_stamp(checkpoint_path)
+        try:
+            ckpt = json.loads(checkpoint_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(
+                f"corrupt checkpoint at {checkpoint_path}: {exc}"
+            ) from exc
+        watermark = (
+            f"rounds:{ckpt.get('rounds_done', 0)}/{ckpt.get('n_rounds', 0)}"
+            f":chunks:{len(ckpt.get('chunks', []))}"
+        )
+        study = ckpt.get("study")
+        return ServedState(
+            kind="checkpoint",
+            fingerprint=study_fingerprint(study),
+            watermark=watermark,
+            study=study,
+            stamp=stamp,
+        )
+    raise DatasetError(
+        f"nothing servable at {directory}: neither {MANIFEST_NAME} "
+        f"(finalized dataset) nor CHECKPOINT.json (streaming checkpoint)"
+    )
+
+
+class DatasetWatcher:
+    """Watches one served directory for watermark movement.
+
+    :meth:`poll` is the hot-path call: a single ``stat`` of the
+    governing file.  Only when the stat stamp moves (a chunk sealed, a
+    checkpoint finalized into a dataset) does it re-read the state and
+    report the change.  A finalized dataset short-circuits — its
+    watermark can never move again, so polls are free.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.path = Path(directory)
+        self._state = probe_state(self.path)
+
+    @property
+    def state(self) -> ServedState:
+        """The most recently observed state (no I/O)."""
+        return self._state
+
+    def poll(self) -> Optional[ServedState]:
+        """Re-check the directory; the new state if it changed, else
+        ``None``.  The governing file can also *switch* (checkpoint →
+        finalized dataset), which reports as a change like any other."""
+        previous = self._state
+        if previous.final:
+            return None
+        try:
+            manifest_path = self.path / MANIFEST_NAME
+            if manifest_path.exists():
+                # finalized since the last look — always a transition
+                self._state = probe_state(self.path)
+                return self._state
+            if _stat_stamp(self.path / "CHECKPOINT.json") == previous.stamp:
+                return None
+        except FileNotFoundError:
+            raise DatasetError(
+                f"served directory {self.path} lost its governing file "
+                f"(CHECKPOINT.json removed mid-serve)"
+            ) from None
+        self._state = probe_state(self.path)
+        if self._state.watermark == previous.watermark:
+            # stamp moved but content didn't (e.g. a passive-cache note
+            # rewrote CHECKPOINT.json): not a servable change
+            return None
+        return self._state

@@ -92,43 +92,43 @@ def _load(dataset_dir: str):
 # --- artefact groups (worker-side; each is dataset dir -> {name: content}) ---------
 
 
-def _group_coverage(dataset_dir: str) -> Dict[str, str]:
+def _group_coverage(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
 
-    coverage = registry.run("coverage", _load(dataset_dir))
+    coverage = registry.run("coverage", dataset)
     return {
         "table1": report.render_table1(coverage),
         "table4": report.render_table4(coverage),
     }
 
 
-def _group_audit(dataset_dir: str) -> Dict[str, str]:
+def _group_audit(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
 
-    audit = registry.run("zonemd_audit", _load(dataset_dir))
+    audit = registry.run("zonemd_audit", dataset)
     findings, valid = audit.validate_transfers()
     return {"table2": report.render_table2(findings, valid)}
 
 
-def _group_stability(dataset_dir: str) -> Dict[str, str]:
+def _group_stability(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
 
-    stability = registry.run("stability", _load(dataset_dir))
+    stability = registry.run("stability", dataset)
     return {"fig3": report.render_figure3(stability)}
 
 
-def _group_colocation(dataset_dir: str) -> Dict[str, str]:
+def _group_colocation(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
 
-    colocation = registry.run("colocation", _load(dataset_dir))
+    colocation = registry.run("colocation", dataset)
     return {"fig4": report.render_figure4(colocation)}
 
 
-def _group_distance(dataset_dir: str) -> Dict[str, str]:
+def _group_distance(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
     from repro.rss.operators import root_server
 
-    distance = registry.run("distance", _load(dataset_dir))
+    distance = registry.run("distance", dataset)
     b = root_server("b")
     m = root_server("m")
     return {
@@ -136,11 +136,10 @@ def _group_distance(dataset_dir: str) -> Dict[str, str]:
     }
 
 
-def _group_rtt(dataset_dir: str) -> Dict[str, str]:
+def _group_rtt(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
     from repro.geo.continents import Continent
 
-    dataset = _load(dataset_dir)
     rtt = registry.run("rtt", dataset)
     addresses = [sa.address for sa in dataset.addresses]
     return {
@@ -154,11 +153,11 @@ def _group_rtt(dataset_dir: str) -> Dict[str, str]:
     }
 
 
-def _group_paths(dataset_dir: str) -> Dict[str, str]:
+def _group_paths(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
     from repro.geo.continents import Continent
 
-    paths = registry.run("paths", _load(dataset_dir))
+    paths = registry.run("paths", dataset)
     return {
         "paths_sec6": "\n\n".join(
             report.render_path_breakdown(paths, continent, "i")
@@ -167,21 +166,21 @@ def _group_paths(dataset_dir: str) -> Dict[str, str]:
     }
 
 
-def _group_bitflip(dataset_dir: str) -> Dict[str, str]:
+def _group_bitflip(dataset) -> Dict[str, str]:
     """Figure 10 from a reloaded dataset: descriptions only — the zone
     content a line diff needs is not persisted (``generate_all`` renders
     the full diff from the live results instead)."""
     from repro.analysis import registry
 
-    audit = registry.run("zonemd_audit", _load(dataset_dir))
+    audit = registry.run("zonemd_audit", dataset)
     return {"fig10": _bitflip_report(audit, None)}
 
 
-def _group_isp(dataset_dir: str) -> Dict[str, str]:
+def _group_isp(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
     from repro.passive.recipes import ISP_WINDOW
 
-    aggregate = _load(dataset_dir).passive.aggregate("isp")
+    aggregate = dataset.passive.aggregate("isp")
     shift = registry.run("trafficshift", aggregate=aggregate)
     behavior = registry.run("clientbehavior", aggregate=aggregate)
     return {
@@ -196,11 +195,10 @@ def _group_isp(dataset_dir: str) -> Dict[str, str]:
     }
 
 
-def _group_ixp(dataset_dir: str) -> Dict[str, str]:
+def _group_ixp(dataset) -> Dict[str, str]:
     from repro.analysis import registry, report
     from repro.geo.continents import Continent
 
-    dataset = _load(dataset_dir)
     out: Dict[str, str] = {}
     fig9_parts: List[str] = []
     for capture_name, region in (
@@ -237,8 +235,54 @@ _GROUPS = {
 def _run_group(name: str, dataset_dir: str) -> Tuple[str, Dict[str, str], float]:
     """One group, timed — the unit a pool worker executes."""
     start = time.perf_counter()
-    contents = _GROUPS[name](dataset_dir)
+    contents = _GROUPS[name](_load(dataset_dir))
     return name, contents, time.perf_counter() - start
+
+
+def render_group(name: str, dataset) -> Dict[str, str]:
+    """Render one artefact group from an in-memory dataset.
+
+    The serving layer's figure endpoints go through here so a live
+    checkpoint's *current* stitched dataset is what renders — the
+    dir-keyed worker cache (:func:`_load`) would pin the first load
+    forever.  Returns ``{artefact_name: content}``; unknown groups raise
+    a :class:`KeyError` naming the registered ones.
+    """
+    try:
+        group = _GROUPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown artefact group {name!r}; "
+            f"registered: {', '.join(sorted(_GROUPS))}"
+        ) from None
+    return group(dataset)
+
+
+def group_requirements_error(name: str, dataset) -> Optional[str]:
+    """Why group *name* cannot run against *dataset* (``None`` = it can).
+
+    The same preflight the report driver runs before dispatching to a
+    worker, reusable per group: declared analysis tables present, and
+    every passive capture the group replays on disk.
+    """
+    from repro.analysis import registry
+    from repro.data import DatasetError
+
+    for analysis in GROUP_ANALYSES[name]:
+        try:
+            dataset.require_tables(
+                registry.tables_for(analysis), consumer=f"report group {name!r}"
+            )
+        except DatasetError as exc:
+            return str(exc)
+    for capture in GROUP_CAPTURES.get(name, ()):
+        if dataset.passive is None or capture not in dataset.passive.names():
+            return (
+                f"report group {name!r} needs passive capture {capture!r}; "
+                f"save the dataset with passive captures "
+                f"(rootsim-study --save / StudyResults.save)"
+            )
+    return None
 
 
 # --- shared renderers ---------------------------------------------------------------
@@ -314,19 +358,11 @@ def _generate(
     # before any worker starts.
     dataset = _load(dataset_dir)
     for group in groups:
-        for analysis in GROUP_ANALYSES[group]:
-            dataset.require_tables(
-                registry.tables_for(analysis), consumer=f"report group {group!r}"
-            )
-        for capture in GROUP_CAPTURES.get(group, ()):
-            if dataset.passive is None or capture not in dataset.passive.names():
-                from repro.data import DatasetError
+        problem = group_requirements_error(group, dataset)
+        if problem is not None:
+            from repro.data import DatasetError
 
-                raise DatasetError(
-                    f"report group {group!r} needs passive capture "
-                    f"{capture!r}; save the dataset with passive captures "
-                    f"(rootsim-study --save / StudyResults.save)"
-                )
+            raise DatasetError(problem)
 
     if workers > 1 and len(groups) > 1:
         from concurrent.futures import ProcessPoolExecutor, as_completed

@@ -1,0 +1,36 @@
+"""Analysis-serving layer: cached query service over saved datasets.
+
+The collect-once / analyse-many split of the paper, turned into a
+long-running service: ``rootsim-serve`` hosts a catalog of saved dataset
+and streaming-checkpoint directories, serves every registered analysis
+and report figure group as canonical JSON, and fronts the computations
+with a bounded single-flight LRU cache keyed on *(study fingerprint,
+resource, watermark)*.  Live checkpoints stay servable while they grow:
+a per-directory watcher observes sealed chunks and invalidates exactly
+the affected cache lines.
+
+The HTTP stack is pluggable — a dependency-free stdlib
+``ThreadingHTTPServer`` by default, FastAPI/uvicorn via the
+``[serving]`` extra — and both wrap the same framework-agnostic
+:class:`~repro.serving.service.AnalysisService`, whose responses are
+byte-identical to ``rootsim-analyze DIR NAME --json``.
+"""
+
+from repro.serving.app import make_fastapi_app, run_server, serve_main
+from repro.serving.cache import CacheStats, ResultCache, ResultKey
+from repro.serving.catalog import Catalog, CatalogEntry, discover
+from repro.serving.service import AnalysisService, Response
+
+__all__ = [
+    "AnalysisService",
+    "CacheStats",
+    "Catalog",
+    "CatalogEntry",
+    "Response",
+    "ResultCache",
+    "ResultKey",
+    "discover",
+    "make_fastapi_app",
+    "run_server",
+    "serve_main",
+]

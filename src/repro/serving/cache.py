@@ -1,0 +1,238 @@
+"""Bounded LRU result cache with single-flight computation.
+
+The serving layer's cache maps a :class:`ResultKey` — *(study
+fingerprint, resource kind, resource name, watermark)* — to the
+canonical response bytes for that resource.  The key design carries the
+correctness argument:
+
+* the **fingerprint** ties an entry to the exact study configuration
+  that produced the data (same scenario on two directories → shared
+  entry; different seed → different entry);
+* the **watermark** ties it to the data extent.  A finalized dataset's
+  watermark never moves, so its entries are immortal until evicted; a
+  live checkpoint's watermark advances per sealed chunk, so entries
+  computed over a partial prefix can never be served once more rows
+  land — the service swaps the watermark it queries with, and
+  :meth:`ResultCache.invalidate_fingerprint` reclaims the stale bytes.
+
+Under a thundering herd (N concurrent requests for one cold key) exactly
+one thread computes; the rest block on the in-flight entry and reuse its
+result — the classic single-flight discipline, here per key with the
+whole cache never locked during a compute.
+
+Bounds are dual: entry count and total cached bytes.  Eviction is LRU on
+access order (an ``OrderedDict``), and an over-large single result is
+still cached if it alone fits the byte bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, NamedTuple, Optional
+
+__all__ = ["CacheStats", "ResultCache", "ResultKey"]
+
+
+class ResultKey(NamedTuple):
+    """What uniquely identifies one cached serving result."""
+
+    fingerprint: str
+    kind: str  # "analysis" | "figure"
+    name: str
+    watermark: str
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters (served by ``/stats``, read by the bench)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: Requests that neither hit nor computed: they waited on another
+    #: thread's in-flight computation of the same key.
+    coalesced: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self.lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "coalesced": self.coalesced,
+            }
+
+    def _bump(self, attr: str) -> None:
+        with self.lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+
+class _InFlight:
+    """One in-progress computation other threads can wait on."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Optional[bytes] = None
+        self.error: Optional[BaseException] = None
+
+
+class ResultCache:
+    """Thread-safe bounded LRU over canonical response bytes."""
+
+    def __init__(self, max_entries: int = 256, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1: {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[ResultKey, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._inflight: Dict[ResultKey, _InFlight] = {}
+
+    # -- core --------------------------------------------------------------------
+
+    def get(self, key: ResultKey) -> Optional[bytes]:
+        """The cached bytes for *key*, refreshing its LRU position."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats._bump("hits")
+                return value
+        return None
+
+    def get_or_compute(self, key: ResultKey, compute: Callable[[], bytes]) -> bytes:
+        """The bytes for *key*, computing once under a thundering herd.
+
+        The first thread to miss installs an in-flight marker, runs
+        *compute* outside the cache lock, stores the result and wakes
+        the waiters; concurrent requests for the same key block on the
+        marker instead of recomputing.  A failed compute propagates its
+        exception to every waiter and leaves the key uncached.
+        """
+        flight: Optional[_InFlight] = None
+        leader = False
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+                self.stats._bump("hits")
+                return value
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _InFlight()
+                leader = True
+
+        if not leader:
+            self.stats._bump("coalesced")
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            assert flight.value is not None
+            return flight.value
+
+        self.stats._bump("misses")
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.value = value
+            self.put(key, value)
+            return value
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+
+    def put(self, key: ResultKey, value: bytes) -> None:
+        """Insert (or refresh) *key*, evicting LRU entries past bounds."""
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = value
+            self._bytes += len(value)
+            while self._entries and (
+                len(self._entries) > self.max_entries
+                or self._bytes > self.max_bytes
+            ):
+                if len(self._entries) == 1 and len(self._entries) <= self.max_entries:
+                    # the sole (over-large) entry may stay: serving it
+                    # beats recomputing it on every request
+                    break
+                evicted_key, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.stats._bump("evictions")
+
+    # -- invalidation ------------------------------------------------------------
+
+    def invalidate_fingerprint(
+        self, fingerprint: str, keep_watermark: Optional[str] = None
+    ) -> int:
+        """Drop entries for *fingerprint* (all kinds and names), keeping
+        those already at *keep_watermark*; returns the number dropped.
+
+        This is the watcher's hook: when a checkpoint seals new chunks,
+        only that study's stale-watermark entries die — every other
+        dataset's cache lines survive untouched.
+        """
+        with self._lock:
+            doomed = [
+                key for key in self._entries
+                if key.fingerprint == fingerprint
+                and key.watermark != keep_watermark
+            ]
+            for key in doomed:
+                self._bytes -= len(self._entries.pop(key))
+            if doomed:
+                with self.stats.lock:
+                    self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (the bench's cold-path reset); returns the
+        number of entries dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            if dropped:
+                with self.stats.lock:
+                    self.stats.invalidations += dropped
+        return dropped
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def cached_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def keys(self):
+        with self._lock:
+            return list(self._entries)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Size + counters, JSON-shaped (the ``/stats`` payload)."""
+        with self._lock:
+            size = {"entries": len(self._entries), "bytes": self._bytes}
+        return {
+            **size,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            **self.stats.snapshot(),
+        }

@@ -1,0 +1,183 @@
+"""The served-directory catalog.
+
+A :class:`Catalog` is the server's view of the datasets it hosts: each
+entry wraps one dataset or streaming-checkpoint directory with its
+:class:`~repro.data.watch.DatasetWatcher`, a watermark-keyed handle on
+the loaded :class:`~repro.data.Dataset`, and the resource inventory
+(runnable analyses, renderable figure groups) clients discover through
+``/catalog``.
+
+Entries load lazily and reload only when their watermark moves: a
+finalized dataset maps its columns once and keeps them for the life of
+the process; a live checkpoint re-stitches its sealed chunks when (and
+only when) :meth:`CatalogEntry.refresh` observes a new seal.  Loads are
+serialized per entry so a request herd arriving at a fresh watermark
+maps the directory once.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.data import DatasetError, load_dataset
+from repro.data.io import MANIFEST_NAME
+from repro.data.watch import DatasetWatcher, ServedState
+
+__all__ = ["Catalog", "CatalogEntry", "discover"]
+
+
+def _is_servable(path: Path) -> bool:
+    return (path / MANIFEST_NAME).exists() or (path / "CHECKPOINT.json").exists()
+
+
+def discover(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand *paths* into servable directories.
+
+    Each path is either itself a dataset/checkpoint directory, or a root
+    whose immediate children are scanned (one level — a datasets/ layout,
+    not a filesystem crawl).  Order is deterministic: the given order,
+    children sorted by name.  A path yielding nothing raises — a server
+    with an empty catalog is a misconfiguration, not a service.
+    """
+    found: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if _is_servable(path):
+            found.append(path)
+            continue
+        if path.is_dir():
+            children = sorted(
+                child for child in path.iterdir()
+                if child.is_dir() and _is_servable(child)
+            )
+            if children:
+                found.extend(children)
+                continue
+        raise DatasetError(
+            f"nothing servable at {path}: expected a dataset or checkpoint "
+            f"directory, or a directory containing them"
+        )
+    return found
+
+
+class CatalogEntry:
+    """One served directory: identity, watcher, and the loaded dataset."""
+
+    def __init__(self, entry_id: str, path: Path) -> None:
+        self.id = entry_id
+        self.path = path
+        self._watcher = DatasetWatcher(path)
+        self._lock = threading.Lock()
+        self._loaded: Optional[Tuple[str, object]] = None  # (watermark, Dataset)
+
+    @property
+    def state(self) -> ServedState:
+        return self._watcher.state
+
+    def refresh(self) -> Optional[ServedState]:
+        """Poll the directory; the new state when the watermark moved
+        (the caller invalidates its cache lines), else ``None``."""
+        return self._watcher.poll()
+
+    def dataset(self):
+        """The dataset at the current watermark (loaded/reloaded lazily)."""
+        watermark = self._watcher.state.watermark
+        with self._lock:
+            if self._loaded is None or self._loaded[0] != watermark:
+                self._loaded = (watermark, load_dataset(self.path))
+            return self._loaded[1]
+
+    # -- resource inventory ------------------------------------------------------
+
+    def analyses(self) -> List[str]:
+        """Registered analyses this entry can serve, passive included."""
+        from repro.analysis import registry
+        from repro.analysis.summaries import PASSIVE_ANALYSES
+
+        dataset = self.dataset()
+        names = set(registry.runnable(dataset))
+        # passive analyses replay from disk aggregates, or rebuild from
+        # the recorded seed — either way they need a study fingerprint
+        passive = dataset.passive
+        if (passive is not None and "isp" in passive.names()) or (
+            dataset.study is not None
+        ):
+            names.update(PASSIVE_ANALYSES)
+        return sorted(names)
+
+    def figures(self) -> List[str]:
+        """Renderable artefact groups (each serves its figure/table set)."""
+        from repro.reportgen import GROUP_ARTEFACTS, group_requirements_error
+
+        dataset = self.dataset()
+        return sorted(
+            group for group in GROUP_ARTEFACTS
+            if group_requirements_error(group, dataset) is None
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """The ``/datasets/{id}`` document body (no analysis runs)."""
+        state = self.state
+        dataset = self.dataset()
+        scenario = ((state.study or {}).get("scenario") or {})
+        doc: Dict[str, object] = {
+            "id": self.id,
+            "kind": state.kind,
+            "fingerprint": state.fingerprint,
+            "watermark": state.watermark,
+            "summary": dataset.summary(),
+            "tables": dataset.table_names(),
+            "analyses": self.analyses(),
+            "figures": self.figures(),
+        }
+        if scenario:
+            doc["scenario"] = {
+                "name": scenario.get("name"),
+                "fingerprint": scenario.get("fingerprint"),
+            }
+        checkpoint = (dataset.meta or {}).get("checkpoint")
+        if checkpoint:
+            doc["checkpoint"] = checkpoint
+        return doc
+
+
+class Catalog:
+    """Every entry the server hosts, keyed by id (directory basename,
+    suffixed on collision in discovery order: ``run``, ``run-2``, ...)."""
+
+    def __init__(self, directories: Iterable[Union[str, Path]]) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+        for path in directories:
+            path = Path(path)
+            entry_id = path.name or str(path)
+            if entry_id in self._entries:
+                bump = 2
+                while f"{entry_id}-{bump}" in self._entries:
+                    bump += 1
+                entry_id = f"{entry_id}-{bump}"
+            self._entries[entry_id] = CatalogEntry(entry_id, path)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Union[str, Path]]) -> "Catalog":
+        """Build a catalog by :func:`discover`-ing *paths*."""
+        return cls(discover(paths))
+
+    def ids(self) -> List[str]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, entry_id: str) -> CatalogEntry:
+        try:
+            return self._entries[entry_id]
+        except KeyError:
+            raise KeyError(
+                f"no catalog entry {entry_id!r}; "
+                f"hosted: {', '.join(self.ids()) or '(none)'}"
+            ) from None
+
+    def entries(self) -> List[CatalogEntry]:
+        return list(self._entries.values())

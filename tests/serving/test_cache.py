@@ -1,0 +1,177 @@
+"""Result-cache correctness: LRU bounds, single-flight, invalidation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serving.cache import ResultCache, ResultKey
+
+
+def key(name: str, fingerprint: str = "scenario:aaaa", watermark: str = "final:1:1") -> ResultKey:
+    return ResultKey(
+        fingerprint=fingerprint, kind="analysis", name=name, watermark=watermark
+    )
+
+
+class TestLRUBounds:
+    def test_entry_bound_evicts_least_recently_used(self):
+        cache = ResultCache(max_entries=3)
+        for name in ("a", "b", "c"):
+            cache.put(key(name), name.encode())
+        assert cache.get(key("a")) == b"a"  # refresh a: b is now LRU
+        cache.put(key("d"), b"d")
+        assert cache.get(key("b")) is None
+        assert cache.get(key("a")) == b"a"
+        assert cache.get(key("c")) == b"c"
+        assert cache.get(key("d")) == b"d"
+        assert cache.stats.snapshot()["evictions"] == 1
+
+    def test_byte_bound_evicts_under_memory_pressure(self):
+        cache = ResultCache(max_entries=100, max_bytes=100)
+        cache.put(key("a"), b"x" * 60)
+        cache.put(key("b"), b"y" * 30)
+        assert len(cache) == 2
+        cache.put(key("c"), b"z" * 50)  # 140 B total: a (LRU) must go
+        assert cache.get(key("a")) is None
+        assert cache.cached_bytes == 80
+        assert len(cache) == 2
+
+    def test_sole_oversized_entry_is_kept(self):
+        # Serving one over-large result beats recomputing it per request.
+        cache = ResultCache(max_entries=4, max_bytes=10)
+        cache.put(key("big"), b"x" * 50)
+        assert cache.get(key("big")) == b"x" * 50
+        cache.put(key("b"), b"y")  # next insert displaces the giant
+        assert cache.get(key("big")) is None
+        assert cache.get(key("b")) == b"y"
+
+    def test_reput_same_key_updates_bytes(self):
+        cache = ResultCache(max_entries=4, max_bytes=100)
+        cache.put(key("a"), b"x" * 80)
+        cache.put(key("a"), b"y" * 10)
+        assert cache.cached_bytes == 10
+        assert len(cache) == 1
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(max_bytes=0)
+
+
+class TestSingleFlight:
+    def test_thundering_herd_computes_once(self):
+        cache = ResultCache()
+        computes = []
+        gate = threading.Event()
+
+        def compute() -> bytes:
+            computes.append(1)
+            gate.wait(timeout=5)
+            return b"result"
+
+        results = []
+
+        def request():
+            results.append(cache.get_or_compute(key("slow"), compute))
+
+        threads = [threading.Thread(target=request) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+
+        assert len(computes) == 1
+        assert results == [b"result"] * 8
+        stats = cache.stats.snapshot()
+        assert stats["misses"] == 1
+        assert stats["coalesced"] == 7
+
+    def test_failed_compute_propagates_and_leaves_uncached(self):
+        cache = ResultCache()
+
+        def boom() -> bytes:
+            raise RuntimeError("compute failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute(key("bad"), boom)
+        # the key is not poisoned: a later compute succeeds
+        assert cache.get_or_compute(key("bad"), lambda: b"ok") == b"ok"
+
+    def test_waiters_see_leader_failure(self):
+        cache = ResultCache()
+        gate = threading.Event()
+        outcomes = []
+
+        def boom() -> bytes:
+            gate.wait(timeout=5)
+            raise RuntimeError("leader failed")
+
+        def request():
+            try:
+                cache.get_or_compute(key("bad"), boom)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("error")
+
+        threads = [threading.Thread(target=request) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert outcomes == ["error"] * 4
+
+    def test_hit_skips_compute(self):
+        cache = ResultCache()
+        cache.put(key("a"), b"cached")
+        value = cache.get_or_compute(
+            key("a"), lambda: pytest.fail("must not compute")
+        )
+        assert value == b"cached"
+
+
+class TestInvalidation:
+    def test_invalidate_fingerprint_drops_only_that_study(self):
+        cache = ResultCache()
+        cache.put(key("a", fingerprint="scenario:one"), b"1")
+        cache.put(key("b", fingerprint="scenario:one"), b"2")
+        cache.put(key("a", fingerprint="scenario:two"), b"3")
+        dropped = cache.invalidate_fingerprint("scenario:one")
+        assert dropped == 2
+        assert cache.get(key("a", fingerprint="scenario:one")) is None
+        assert cache.get(key("a", fingerprint="scenario:two")) == b"3"
+        assert cache.stats.snapshot()["invalidations"] == 2
+
+    def test_keep_watermark_spares_current_entries(self):
+        cache = ResultCache()
+        cache.put(key("a", watermark="rounds:1/4:chunks:1"), b"old")
+        cache.put(key("a", watermark="rounds:2/4:chunks:2"), b"new")
+        dropped = cache.invalidate_fingerprint(
+            "scenario:aaaa", keep_watermark="rounds:2/4:chunks:2"
+        )
+        assert dropped == 1
+        assert cache.get(key("a", watermark="rounds:1/4:chunks:1")) is None
+        assert cache.get(key("a", watermark="rounds:2/4:chunks:2")) == b"new"
+
+    def test_clear_drops_everything(self):
+        cache = ResultCache()
+        cache.put(key("a"), b"1")
+        cache.put(key("b"), b"2")
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.cached_bytes == 0
+
+    def test_snapshot_shape(self):
+        cache = ResultCache(max_entries=7, max_bytes=1000)
+        cache.put(key("a"), b"12345")
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 1
+        assert snapshot["bytes"] == 5
+        assert snapshot["max_entries"] == 7
+        assert snapshot["max_bytes"] == 1000
+        for counter in ("hits", "misses", "evictions", "invalidations", "coalesced"):
+            assert counter in snapshot
